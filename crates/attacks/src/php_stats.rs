@@ -1,0 +1,183 @@
+//! php-stats cross-site scripting (Table 2, row 5).
+//!
+//! The hit counter persists per-page counts in a stats file and renders a
+//! table; the page name from the request is echoed into the table row
+//! unescaped — a reflected XSS caught by H5. Unlike Scry, the tainted value
+//! also round-trips through the stats *file* before being rendered, so
+//! detection exercises taint flowing disk → memory → HTML.
+
+use shift_core::{Policy, World};
+use shift_ir::{Program, ProgramBuilder, Rhs};
+use shift_isa::{sys, CmpRel};
+
+use crate::{web, Attack};
+
+/// Where the counter persists its state.
+pub const STATS_FILE: &str = "stats.dat";
+
+fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+    web::add_get_param(&mut pb);
+    let key = pb.global_str("k_page", "page=");
+    let sf = pb.global_str("stats_path", STATS_FILE);
+    let head = pb.global_str("tpl_head", "<table><tr><td>");
+    let mid = pb.global_str("tpl_mid", "</td><td>hits: ");
+    let tail = pb.global_str("tpl_tail", "</td></tr></table>");
+
+    pb.func("main", 0, move |f| {
+        let reqslot = f.local(512);
+        let req = f.local_addr(reqslot);
+        let cap = f.iconst(500);
+        let n = f.syscall(sys::NET_READ, &[req, cap]);
+        let end = f.add(req, n);
+        let z = f.iconst(0);
+        f.store1(z, end, 0);
+
+        let pageslot = f.local(256);
+        let page = f.local_addr(pageslot);
+        let ka = f.global_addr(key);
+        let max = f.iconst(200);
+        let plen = f.call("get_param", &[req, ka, page, max]);
+        f.if_cmp(CmpRel::Lt, plen, Rhs::Imm(0), |f| {
+            let one = f.iconst(1);
+            f.ret(Some(one));
+        });
+
+        // Append the page name to the stats file, then read it back and
+        // count previous visits (taint round-trips through disk).
+        let sfp = f.global_addr(sf);
+        let one = f.iconst(1);
+        let wfd = f.syscall(sys::FILE_OPEN, &[sfp, one]);
+        f.syscall_void(sys::FILE_WRITE, &[wfd, page, plen]);
+        let nl = f.local(8);
+        let nlp = f.local_addr(nl);
+        let sep = f.iconst('\n' as i64);
+        f.store1(sep, nlp, 0);
+        let onelen = f.iconst(1);
+        f.syscall_void(sys::FILE_WRITE, &[wfd, nlp, onelen]);
+        f.syscall_void(sys::FILE_CLOSE, &[wfd]);
+
+        let size = f.syscall(sys::FILE_STAT, &[sfp]);
+        let padded = f.addi(size, 8);
+        let statbuf = f.syscall(sys::BRK, &[padded]);
+        let zero = f.iconst(0);
+        let rfd = f.syscall(sys::FILE_OPEN, &[sfp, zero]);
+        f.syscall_void(sys::FILE_READ, &[rfd, statbuf, size]);
+        f.syscall_void(sys::FILE_CLOSE, &[rfd]);
+
+        // hits = number of lines equal to the page name.
+        let hits = f.iconst(0);
+        let i = f.iconst(0);
+        f.while_cmp(
+            |f| (CmpRel::Lt, f.use_of(i), Rhs::Reg(size)),
+            |f| {
+                // Compare the line starting at i with `page`.
+                let matches = f.iconst(1);
+                let k = f.iconst(0);
+                f.loop_(|f| {
+                    let lp0 = f.add(statbuf, i);
+                    let lp = f.add(lp0, k);
+                    let c = f.load1(lp, 0);
+                    let pp = f.add(page, k);
+                    let p = f.load1(pp, 0);
+                    f.if_cmp(CmpRel::Eq, p, Rhs::Imm(0), |f| {
+                        // End of the page name: the line must end too.
+                        f.if_cmp(CmpRel::Ne, c, Rhs::Imm('\n' as i64), |f| {
+                            f.assign_imm(matches, 0);
+                        });
+                        f.break_();
+                    });
+                    f.if_cmp(CmpRel::Ne, c, Rhs::Reg(p), |f| {
+                        f.assign_imm(matches, 0);
+                        f.break_();
+                    });
+                    let k1 = f.addi(k, 1);
+                    f.assign(k, k1);
+                });
+                f.if_cmp(CmpRel::Ne, matches, Rhs::Imm(0), |f| {
+                    let h1 = f.addi(hits, 1);
+                    f.assign(hits, h1);
+                });
+                // Advance to the next line.
+                f.loop_(|f| {
+                    f.if_cmp(CmpRel::Ge, i, Rhs::Reg(size), |f| f.break_());
+                    let lp = f.add(statbuf, i);
+                    let c = f.load1(lp, 0);
+                    let i1 = f.addi(i, 1);
+                    f.assign(i, i1);
+                    f.if_cmp(CmpRel::Eq, c, Rhs::Imm('\n' as i64), |f| f.break_());
+                });
+            },
+        );
+
+        // Render the table row with the (tainted) page name echoed.
+        let pageout = f.local(1024);
+        let html = f.local_addr(pageout);
+        let h = f.global_addr(head);
+        f.call_void("strcpy", &[html, h]);
+        f.call_void("strcat", &[html, page]);
+        let m = f.global_addr(mid);
+        f.call_void("strcat", &[html, m]);
+        let numslot = f.local(32);
+        let num = f.local_addr(numslot);
+        f.call_void("utoa", &[hits, num]);
+        f.call_void("strcat", &[html, num]);
+        let t = f.global_addr(tail);
+        f.call_void("strcat", &[html, t]);
+        let hlen = f.call("strlen", &[html]);
+        f.syscall_void(sys::HTML_OUT, &[html, hlen]);
+        f.ret(Some(hits));
+    });
+
+    pb.build().expect("php-stats guest is well-formed")
+}
+
+fn benign() -> World {
+    World::new()
+        .net(b"GET /stats?page=index HTTP/1.0".to_vec())
+        .file(STATS_FILE, b"index\nabout\nindex\n".to_vec())
+}
+
+fn exploit() -> World {
+    World::new()
+        .net(b"GET /stats?page=<ScRiPt>document.location='http://evil'</ScRiPt> HTTP/1.0".to_vec())
+        .file(STATS_FILE, Vec::new())
+}
+
+/// Table-2 row.
+pub fn attack() -> Attack {
+    Attack {
+        cve: "CVE-2005-4604",
+        program: "php-stats (0.1.9.1b)",
+        language: "PHP",
+        attack_type: "Cross Site Scripting",
+        policies: "H5 + Low level policies",
+        expected: Policy::H5,
+        build,
+        benign,
+        exploit,
+        succeeded: |report| {
+            report
+                .runtime
+                .html_output
+                .windows(7)
+                .any(|w| w.eq_ignore_ascii_case(b"<script"))
+        },
+        word_smears: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_core::{Mode, Shift};
+
+    #[test]
+    fn counts_previous_hits() {
+        let report = Shift::new(Mode::Uninstrumented).run(&build(), benign()).unwrap();
+        // Two prior "index" lines plus the one this request appended.
+        assert_eq!(report.exit, shift_core::Exit::Halted(3));
+        let html = String::from_utf8_lossy(&report.runtime.html_output).into_owned();
+        assert!(html.contains("index</td><td>hits: 3"), "{html}");
+    }
+}

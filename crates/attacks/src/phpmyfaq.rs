@@ -1,0 +1,119 @@
+//! phpMyFAQ SQL command injection (Table 2, row 7).
+//!
+//! The FAQ page concatenates the request's `id=` parameter into a SQL
+//! statement between single quotes. A crafted id closes the string and
+//! injects `OR '1'='1'`; the injected quotes are tainted network bytes, so
+//! policy H3 fires at `sql_exec`. The app quotes the statement itself with
+//! *clean* quotes, which H3 must (and does) ignore.
+
+use shift_core::{Policy, World};
+use shift_ir::{Program, ProgramBuilder, Rhs};
+use shift_isa::{sys, CmpRel};
+
+use crate::{web, Attack};
+
+fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+    web::add_get_param(&mut pb);
+    let key = pb.global_str("k_id", "id=");
+    let q1 = pb.global_str("sql_1", "SELECT answer FROM faqdata WHERE active='yes' AND id='");
+    let q2 = pb.global_str("sql_2", "' LIMIT 1");
+    let page = pb.global_str("tpl", "<div class=faq>answer body</div>");
+
+    pb.func("main", 0, move |f| {
+        let reqslot = f.local(512);
+        let req = f.local_addr(reqslot);
+        let cap = f.iconst(500);
+        let n = f.syscall(sys::NET_READ, &[req, cap]);
+        let end = f.add(req, n);
+        let z = f.iconst(0);
+        f.store1(z, end, 0);
+
+        let idslot = f.local(256);
+        let id = f.local_addr(idslot);
+        let ka = f.global_addr(key);
+        let max = f.iconst(200);
+        let ilen = f.call("get_param", &[req, ka, id, max]);
+        f.if_cmp(CmpRel::Lt, ilen, Rhs::Imm(0), |f| {
+            let one = f.iconst(1);
+            f.ret(Some(one));
+        });
+
+        // query = q1 + id + q2 — the classic string-built statement.
+        let qslot = f.local(1024);
+        let query = f.local_addr(qslot);
+        let a = f.global_addr(q1);
+        f.call_void("strcpy", &[query, a]);
+        f.call_void("strcat", &[query, id]);
+        let b = f.global_addr(q2);
+        f.call_void("strcat", &[query, b]);
+
+        let qlen = f.call("strlen", &[query]);
+        f.syscall_void(sys::SQL_EXEC, &[query, qlen]);
+
+        let p = f.global_addr(page);
+        let pl = f.call("strlen", &[p]);
+        f.syscall_void(sys::HTML_OUT, &[p, pl]);
+        f.ret(Some(qlen));
+    });
+
+    pb.build().expect("phpmyfaq guest is well-formed")
+}
+
+fn benign() -> World {
+    World::new().net(b"GET /faq?id=42 HTTP/1.0".to_vec())
+}
+
+fn exploit() -> World {
+    World::new().net(b"GET /faq?id=0'_OR_'1'='1 HTTP/1.0".to_vec())
+}
+
+/// Table-2 row.
+pub fn attack() -> Attack {
+    Attack {
+        cve: "CVE-2006-1884",
+        program: "phpMyFAQ (1.6.8)",
+        language: "PHP",
+        attack_type: "SQL Command Injection",
+        policies: "H3 + Low level policies",
+        expected: Policy::H3,
+        build,
+        benign,
+        exploit,
+        succeeded: |report| {
+            // Unprotected, the injected tautology reaches the database.
+            report
+                .runtime
+                .sql_log
+                .iter()
+                .any(|q| q.windows(9).any(|w| w == b"OR_'1'='1" || w == b"OR '1'='1"))
+        },
+        word_smears: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_core::{Mode, Shift};
+
+    #[test]
+    fn benign_query_executes_with_clean_quotes() {
+        let report = Shift::new(Mode::Uninstrumented).run(&build(), benign()).unwrap();
+        assert_eq!(report.runtime.sql_log.len(), 1);
+        let q = String::from_utf8_lossy(&report.runtime.sql_log[0]).into_owned();
+        assert_eq!(q, "SELECT answer FROM faqdata WHERE active='yes' AND id='42' LIMIT 1");
+        assert!(!report.runtime.html_output.is_empty());
+    }
+
+    #[test]
+    fn benign_query_is_clean_even_instrumented() {
+        use shift_core::{Granularity, Mode, ShiftOptions};
+        // The program's own quotes around the tainted id must not trip H3.
+        let report = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+            .run(&build(), benign())
+            .unwrap();
+        assert!(!report.exit.is_detection(), "{:?}", report.exit);
+        assert_eq!(report.runtime.sql_log.len(), 1);
+    }
+}

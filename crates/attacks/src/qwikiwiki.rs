@@ -1,0 +1,138 @@
+//! Qwikiwiki directory traversal (Table 2, row 3).
+//!
+//! The wiki builds `pages/<page>.txt` from the request's `page=` parameter
+//! and serves the file. `page=../../../../etc/passwd` walks out of the
+//! document root; the traversal happens through *tainted* `..` components,
+//! so policy H2 fires at `file_open`. (This mirrors the paper's
+//! description: "SHIFT marks the file path as tainted when reading the http
+//! request and tracks the propagation of the tainted string. When the
+//! tainted data is used as an argument of fopen, SHIFT examines the
+//! argument.")
+
+use shift_core::{Policy, World};
+use shift_ir::{Program, ProgramBuilder, Rhs};
+use shift_isa::{sys, CmpRel};
+
+use crate::{web, Attack};
+
+fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+    web::add_get_param(&mut pb);
+    let key = pb.global_str("k_page", "page=");
+    let root = pb.global_str("docroot", "pages/");
+    let ext = pb.global_str("ext", ".txt");
+    let notfound = pb.global_str("nf", "<p>no such page</p>");
+
+    pb.func("main", 0, move |f| {
+        let reqslot = f.local(512);
+        let req = f.local_addr(reqslot);
+        let cap = f.iconst(500);
+        let n = f.syscall(sys::NET_READ, &[req, cap]);
+        let end = f.add(req, n);
+        let z = f.iconst(0);
+        f.store1(z, end, 0);
+
+        let pageslot = f.local(256);
+        let page = f.local_addr(pageslot);
+        let ka = f.global_addr(key);
+        let max = f.iconst(200);
+        let plen = f.call("get_param", &[req, ka, page, max]);
+        f.if_cmp(CmpRel::Lt, plen, Rhs::Imm(0), |f| {
+            let one = f.iconst(1);
+            f.ret(Some(one));
+        });
+
+        // path = "pages/" + page + ".txt"
+        let pathslot = f.local(512);
+        let path = f.local_addr(pathslot);
+        let ra = f.global_addr(root);
+        f.call_void("strcpy", &[path, ra]);
+        f.call_void("strcat", &[path, page]);
+        let ea = f.global_addr(ext);
+        f.call_void("strcat", &[path, ea]);
+
+        let zero = f.iconst(0);
+        let fd = f.syscall(sys::FILE_OPEN, &[path, zero]);
+        f.if_cmp(CmpRel::Lt, fd, Rhs::Imm(0), |f| {
+            let nf = f.global_addr(notfound);
+            let nl = f.call("strlen", &[nf]);
+            f.syscall_void(sys::HTML_OUT, &[nf, nl]);
+            let two = f.iconst(2);
+            f.ret(Some(two));
+        });
+        let bufsz = f.iconst(4096);
+        let buf = f.syscall(sys::BRK, &[bufsz]);
+        let got = f.syscall(sys::FILE_READ, &[fd, buf, bufsz]);
+        f.syscall_void(sys::FILE_CLOSE, &[fd]);
+        f.syscall_void(sys::HTML_OUT, &[buf, got]);
+        f.ret(Some(got));
+    });
+
+    pb.build().expect("qwikiwiki guest is well-formed")
+}
+
+fn benign() -> World {
+    World::new()
+        .net(b"GET /wiki?page=home HTTP/1.0".to_vec())
+        .file("pages/home.txt", b"Welcome to the wiki".to_vec())
+        .file("etc/passwd.txt", b"decoy".to_vec())
+}
+
+fn exploit() -> World {
+    // The extension append does not stop the classic read: the attacker
+    // targets a file that happens to end in .txt outside the root. The
+    // simulated filesystem is string-keyed (no path canonicalization), so
+    // the out-of-root file is registered under the literal traversal path a
+    // real kernel would resolve to it.
+    World::new()
+        .net(b"GET /wiki?page=../../../../secret/tokens HTTP/1.0".to_vec())
+        .file("pages/home.txt", b"Welcome to the wiki".to_vec())
+        .file("pages/../../../../secret/tokens.txt", b"api-key-123".to_vec())
+}
+
+/// Table-2 row.
+pub fn attack() -> Attack {
+    Attack {
+        cve: "CVE-2006-1668",
+        program: "Qwikiwiki (1.4.1)",
+        language: "PHP",
+        attack_type: "Directory Traversal",
+        policies: "H2 + Low level policies",
+        expected: Policy::H2,
+        build,
+        benign,
+        exploit,
+        succeeded: |report| {
+            // Unprotected, the secret file's contents reach the response.
+            report
+                .runtime
+                .html_output
+                .windows(11)
+                .any(|w| w == b"api-key-123")
+        },
+        word_smears: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_core::{Mode, Shift};
+
+    #[test]
+    fn benign_page_is_served() {
+        let report = Shift::new(Mode::Uninstrumented).run(&build(), benign()).unwrap();
+        assert_eq!(report.exit, shift_core::Exit::Halted(19));
+        assert_eq!(report.runtime.html_output, b"Welcome to the wiki");
+    }
+
+    #[test]
+    fn missing_page_gets_an_error_body() {
+        let world = World::new()
+            .net(b"GET /wiki?page=nothere HTTP/1.0".to_vec())
+            .file("pages/home.txt", b"x".to_vec());
+        let report = Shift::new(Mode::Uninstrumented).run(&build(), world).unwrap();
+        assert_eq!(report.exit, shift_core::Exit::Halted(2));
+        assert!(report.runtime.html_output.starts_with(b"<p>no such page"));
+    }
+}

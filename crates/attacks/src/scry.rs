@@ -1,0 +1,105 @@
+//! Scry gallery cross-site scripting (Table 2, row 4).
+//!
+//! The gallery echoes the `album=` parameter into its page header without
+//! escaping. A reflected `<script>` tag arrives tainted from the network
+//! and reaches `html_out` — policy H5.
+
+use shift_core::{Policy, World};
+use shift_ir::{Program, ProgramBuilder, Rhs};
+use shift_isa::{sys, CmpRel};
+
+use crate::{web, Attack};
+
+fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+    web::add_get_param(&mut pb);
+    let key = pb.global_str("k_album", "album=");
+    let head = pb.global_str("tpl_head", "<html><body><h1>Album: ");
+    let mid = pb.global_str("tpl_mid", "</h1><div class=thumbs>");
+    let thumb = pb.global_str("tpl_thumb", "<img src=t.jpg>");
+    let tail = pb.global_str("tpl_tail", "</div></body></html>");
+
+    pb.func("main", 0, move |f| {
+        let reqslot = f.local(512);
+        let req = f.local_addr(reqslot);
+        let cap = f.iconst(500);
+        let n = f.syscall(sys::NET_READ, &[req, cap]);
+        let end = f.add(req, n);
+        let z = f.iconst(0);
+        f.store1(z, end, 0);
+
+        let albumslot = f.local(256);
+        let album = f.local_addr(albumslot);
+        let ka = f.global_addr(key);
+        let max = f.iconst(200);
+        let alen = f.call("get_param", &[req, ka, album, max]);
+        f.if_cmp(CmpRel::Lt, alen, Rhs::Imm(0), |f| {
+            let one = f.iconst(1);
+            f.ret(Some(one));
+        });
+
+        // Render: head + album + mid + thumbs + tail, built with strcat so
+        // the tainted album name flows through instrumented guest code.
+        let pageslot = f.local(1024);
+        let html = f.local_addr(pageslot);
+        let h = f.global_addr(head);
+        f.call_void("strcpy", &[html, h]);
+        f.call_void("strcat", &[html, album]);
+        let m = f.global_addr(mid);
+        f.call_void("strcat", &[html, m]);
+        let t = f.global_addr(thumb);
+        f.for_up(Rhs::Imm(0), Rhs::Imm(3), |f, _i| {
+            f.call_void("strcat", &[html, t]);
+        });
+        let tl = f.global_addr(tail);
+        f.call_void("strcat", &[html, tl]);
+
+        let hlen = f.call("strlen", &[html]);
+        f.syscall_void(sys::HTML_OUT, &[html, hlen]);
+        f.ret(Some(hlen));
+    });
+
+    pb.build().expect("scry guest is well-formed")
+}
+
+fn benign() -> World {
+    World::new().net(b"GET /gallery?album=vacation HTTP/1.0".to_vec())
+}
+
+fn exploit() -> World {
+    World::new().net(b"GET /gallery?album=<script>steal(document.cookie)</script> HTTP/1.0".to_vec())
+}
+
+/// Table-2 row.
+pub fn attack() -> Attack {
+    Attack {
+        cve: "CVE-2005-0529",
+        program: "Scry (1.1)",
+        language: "PHP",
+        attack_type: "Cross Site Scripting",
+        policies: "H5 + Low level policies",
+        expected: Policy::H5,
+        build,
+        benign,
+        exploit,
+        succeeded: |report| {
+            report.runtime.html_output.windows(8).any(|w| w.eq_ignore_ascii_case(b"<script>"))
+        },
+        word_smears: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_core::{Mode, Shift};
+
+    #[test]
+    fn benign_page_renders_fully() {
+        let report = Shift::new(Mode::Uninstrumented).run(&build(), benign()).unwrap();
+        let html = String::from_utf8_lossy(&report.runtime.html_output).into_owned();
+        assert!(html.starts_with("<html><body><h1>Album: vacation</h1>"));
+        assert_eq!(html.matches("<img").count(), 3);
+        assert!(html.ends_with("</body></html>"));
+    }
+}

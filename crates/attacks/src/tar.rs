@@ -1,0 +1,163 @@
+//! GNU Tar directory traversal (Table 2, row 1).
+//!
+//! The extractor trusts member paths embedded in the archive. A hostile
+//! archive names a member `/etc/passwd`; since archive bytes are tainted
+//! (disk source), the `file_open(..., write)` sink sees a *tainted absolute
+//! path* and policy H1 fires. The benign archive extracts normally.
+
+use shift_core::{Policy, World};
+use shift_ir::{Program, ProgramBuilder, Rhs};
+use shift_isa::{sys, CmpRel};
+
+use crate::Attack;
+
+/// The archive file name the extractor reads.
+pub const ARCHIVE: &str = "archive.tar";
+
+/// Archive wire format: repeated `[plen:1][path][dlen:1][data]`, terminated
+/// by `plen == 0`.
+pub fn make_archive(entries: &[(&str, &[u8])]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (path, data) in entries {
+        out.push(path.len() as u8);
+        out.extend_from_slice(path.as_bytes());
+        out.push(data.len() as u8);
+        out.extend_from_slice(data);
+    }
+    out.push(0);
+    out
+}
+
+fn build() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let arc = pb.global_str("arc_path", ARCHIVE);
+
+    pb.func("main", 0, move |f| {
+        // Slurp the archive.
+        let ap = f.global_addr(arc);
+        let size = f.syscall(sys::FILE_STAT, &[ap]);
+        f.if_cmp(CmpRel::Lt, size, Rhs::Imm(0), |f| {
+            let one = f.iconst(1);
+            f.ret(Some(one));
+        });
+        let padded = f.addi(size, 8);
+        let buf = f.syscall(sys::BRK, &[padded]);
+        let zero = f.iconst(0);
+        let fd = f.syscall(sys::FILE_OPEN, &[ap, zero]);
+        f.syscall_void(sys::FILE_READ, &[fd, buf, size]);
+        f.syscall_void(sys::FILE_CLOSE, &[fd]);
+
+        let nameslot = f.local(256);
+        let name = f.local_addr(nameslot);
+        let extracted = f.iconst(0);
+        let i = f.iconst(0);
+
+        f.loop_(|f| {
+            let hp = f.add(buf, i);
+            let plen_raw = f.load1(hp, 0);
+            f.if_cmp(CmpRel::Eq, plen_raw, Rhs::Imm(0), |f| f.break_());
+            // Bounds-check the tainted length field against the archive
+            // size, then sanitize it so it may drive address arithmetic
+            // (the paper's bounds-checking pattern, §3.3.2).
+            let need0 = f.add(i, plen_raw);
+            let need = f.addi(need0, 2);
+            f.if_cmp(CmpRel::Gt, need, Rhs::Reg(size), |f| f.break_());
+            let plen = f.sanitize(plen_raw);
+            let i1 = f.addi(i, 1);
+            f.assign(i, i1);
+
+            // Copy the member path (tainted bytes) into a C string.
+            f.for_up(Rhs::Imm(0), Rhs::Reg(plen), |f, k| {
+                let sp0 = f.add(buf, i);
+                let sp = f.add(sp0, k);
+                let c = f.load1(sp, 0);
+                let dp = f.add(name, k);
+                f.store1(c, dp, 0);
+            });
+            let endp = f.add(name, plen);
+            let z = f.iconst(0);
+            f.store1(z, endp, 0);
+            let i2 = f.add(i, plen);
+            f.assign(i, i2);
+
+            let dlen_raw = {
+                let dp = f.add(buf, i);
+                f.load1(dp, 0)
+            };
+            let dneed0 = f.add(i, dlen_raw);
+            let dneed = f.addi(dneed0, 1);
+            f.if_cmp(CmpRel::Gt, dneed, Rhs::Reg(size), |f| f.break_());
+            let dlen = f.sanitize(dlen_raw);
+            let i3 = f.addi(i, 1);
+            f.assign(i, i3);
+
+            // Extract: open for writing (H1/H2 sink) and copy the data.
+            let one = f.iconst(1);
+            let out = f.syscall(sys::FILE_OPEN, &[name, one]);
+            f.if_cmp(CmpRel::Ge, out, Rhs::Imm(0), |f| {
+                let src = f.add(buf, i);
+                f.syscall_void(sys::FILE_WRITE, &[out, src, dlen]);
+                f.syscall_void(sys::FILE_CLOSE, &[out]);
+                let e1 = f.addi(extracted, 1);
+                f.assign(extracted, e1);
+            });
+            let i4 = f.add(i, dlen);
+            f.assign(i, i4);
+        });
+
+        f.ret(Some(extracted));
+    });
+
+    pb.build().expect("tar guest is well-formed")
+}
+
+fn benign() -> World {
+    World::new().file(
+        ARCHIVE,
+        make_archive(&[("docs/readme", b"hello"), ("docs/notes", b"world")]),
+    )
+}
+
+fn exploit() -> World {
+    World::new().file(
+        ARCHIVE,
+        make_archive(&[("docs/readme", b"hello"), ("/etc/passwd", b"root::0:0::/:/bin/sh")]),
+    )
+}
+
+/// Table-2 row.
+pub fn attack() -> Attack {
+    Attack {
+        cve: "CVE-2001-1267",
+        program: "GNU Tar (1.4)",
+        language: "C",
+        attack_type: "Directory Traversal",
+        policies: "H1 + Low level policies",
+        expected: Policy::H1,
+        build,
+        benign,
+        exploit,
+        succeeded: |report| {
+            // Unprotected, the hostile member really lands in /etc/passwd.
+            report.runtime.world_files().contains_key("/etc/passwd")
+        },
+        word_smears: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_core::{Mode, Shift};
+
+    #[test]
+    fn benign_archive_extracts_two_members() {
+        let report =
+            Shift::new(Mode::Uninstrumented).run(&build(), benign()).unwrap();
+        assert_eq!(report.exit, shift_core::Exit::Halted(2));
+        assert_eq!(
+            report.runtime.world_files().get("docs/readme").map(Vec::as_slice),
+            Some(&b"hello"[..])
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Shared guest helpers for the web-application attacks.
+
+use shift_ir::{ProgramBuilder, Rhs};
+use shift_isa::CmpRel;
+
+/// Adds `get_param(query, key, out, max) -> len | -1` to the program: finds
+/// `key` in the query string (e.g. `"page="` in `"page=home&x=1"`), copies
+/// the value into `out` until `&`, space, or NUL, NUL-terminates it, and
+/// returns its length. Uses `strstr`/byte scans from the guest libc, so the
+/// copied value's taint is tracked by ordinary instrumented code.
+pub fn add_get_param(pb: &mut ProgramBuilder) {
+    pb.func("get_param", 4, |f| {
+        let query = f.param(0);
+        let key = f.param(1);
+        let out = f.param(2);
+        let max = f.param(3);
+        let hit = f.call("strstr", &[query, key]);
+        f.if_cmp(CmpRel::Eq, hit, Rhs::Imm(0), |f| {
+            let neg = f.iconst(-1);
+            f.ret(Some(neg));
+        });
+        let klen = f.call("strlen", &[key]);
+        let start = f.add(hit, klen);
+        let n = f.iconst(0);
+        f.loop_(|f| {
+            f.if_cmp(CmpRel::Ge, n, Rhs::Reg(max), |f| f.break_());
+            let sp = f.add(start, n);
+            let c = f.load1(sp, 0);
+            f.if_cmp(CmpRel::Eq, c, Rhs::Imm(0), |f| f.break_());
+            f.if_cmp(CmpRel::Eq, c, Rhs::Imm('&' as i64), |f| f.break_());
+            f.if_cmp(CmpRel::Eq, c, Rhs::Imm(' ' as i64), |f| f.break_());
+            let dp = f.add(out, n);
+            f.store1(c, dp, 0);
+            let n1 = f.addi(n, 1);
+            f.assign(n, n1);
+        });
+        let end = f.add(out, n);
+        let z = f.iconst(0);
+        f.store1(z, end, 0);
+        f.ret(Some(n));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_core::{Mode, Shift, World};
+    use shift_ir::ProgramBuilder;
+    use shift_isa::sys;
+
+    #[test]
+    fn extracts_values_from_query_strings() {
+        let mut pb = ProgramBuilder::new();
+        add_get_param(&mut pb);
+        let q = pb.global_str("q", "a=1&page=home&x=2");
+        let k = pb.global_str("k", "page=");
+        pb.func("main", 0, move |f| {
+            let out = f.local(64);
+            let outp = f.local_addr(out);
+            let qa = f.global_addr(q);
+            let ka = f.global_addr(k);
+            let max = f.iconst(63);
+            let n = f.call("get_param", &[qa, ka, outp, max]);
+            f.syscall_void(sys::PRINT, &[outp, n]);
+            f.ret(Some(n));
+        });
+        let app = pb.build().unwrap();
+        let report = Shift::new(Mode::Uninstrumented).run(&app, World::new()).unwrap();
+        assert_eq!(report.exit, shift_core::Exit::Halted(4));
+        assert_eq!(report.log_text(), "home");
+    }
+
+    #[test]
+    fn missing_key_returns_minus_one() {
+        let mut pb = ProgramBuilder::new();
+        add_get_param(&mut pb);
+        let q = pb.global_str("q", "a=1");
+        let k = pb.global_str("k", "page=");
+        pb.func("main", 0, move |f| {
+            let out = f.local(64);
+            let outp = f.local_addr(out);
+            let qa = f.global_addr(q);
+            let ka = f.global_addr(k);
+            let max = f.iconst(63);
+            let n = f.call("get_param", &[qa, ka, outp, max]);
+            f.ret(Some(n));
+        });
+        let app = pb.build().unwrap();
+        let report = Shift::new(Mode::Uninstrumented).run(&app, World::new()).unwrap();
+        assert_eq!(report.exit, shift_core::Exit::Halted(-1));
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation: SHIFT's implementation choices, quantified — the kept
+//! NaT-source register (§4.4) and the clean-register analysis (§4.1).
+
+use shift_bench::{ablation_design_choices, geomean};
+use shift_workloads::Scale;
+
+fn main() {
+    println!("Ablation: design choices (byte-level slowdowns, tainted input)");
+    println!("{:-<76}", "");
+    println!(
+        "{:<10} {:>9} {:>13} {:>18} {:>14}",
+        "bench", "default", "no-analysis", "natgen/function", "natgen/use"
+    );
+    println!("{:-<76}", "");
+    let rows = ablation_design_choices(Scale::Reference);
+    for r in &rows {
+        println!(
+            "{:<10} {:>8.2}x {:>12.2}x {:>17.2}x {:>13.2}x",
+            r.name, r.default, r.no_analysis, r.natgen_per_function, r.natgen_per_use
+        );
+    }
+    println!("{:-<76}", "");
+    let gm = |f: fn(&shift_bench::AblationRow) -> f64| {
+        geomean(&rows.iter().map(f).collect::<Vec<_>>())
+    };
+    let (d, na, npf, npu) = (
+        gm(|r| r.default),
+        gm(|r| r.no_analysis),
+        gm(|r| r.natgen_per_function),
+        gm(|r| r.natgen_per_use),
+    );
+    println!("{:<10} {:>8.2}x {:>12.2}x {:>17.2}x {:>13.2}x", "geomean", d, na, npf, npu);
+    println!();
+    println!(
+        "paper §4.4: generating the NaT source per function instead of keeping it \
+         \"degrades the performance by a factor of 3X\"."
+    );
+    println!(
+        "measured: per-function costs {:.2}x the kept strategy; per-use costs {:.2}x.",
+        npf / d,
+        npu / d
+    );
+    assert!(
+        npf >= d,
+        "per-function generation must not beat keeping the register"
+    );
+    // Our kernels are main-dominated (few dynamic function entries), so the
+    // per-function strawman shows up mostly on call-heavy code; per-use makes
+    // the paper's point unambiguously.
+    assert!(npu >= npf, "per-use generation must be the worst");
+    assert!(na >= d, "the clean-register analysis must never hurt");
+}

@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks of the substrates themselves: simulator
+//! instruction throughput, tag-address translation, compilation, and the
+//! host shadow map. These guard against performance regressions in the
+//! infrastructure the experiments stand on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use shift_compiler::{Compiler, Mode, ShiftOptions};
+use shift_core::{Granularity, libc_program};
+use shift_ir::{ProgramBuilder, Rhs};
+use shift_isa::make_vaddr;
+use shift_machine::{Machine, NullOs};
+use shift_tagmap::{tag_location, HostShadow};
+
+/// A counting-loop guest used to measure raw simulator speed.
+fn spin_program(iters: i64) -> shift_ir::Program {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", 0, move |f| {
+        let acc = f.iconst(0);
+        f.for_up(Rhs::Imm(0), Rhs::Imm(iters), |f, i| {
+            let x = f.xor(acc, i);
+            let y = f.addi(x, 3);
+            f.assign(acc, y);
+        });
+        f.ret(Some(acc));
+    });
+    pb.build().unwrap()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let compiled = Compiler::baseline().compile(&spin_program(10_000)).unwrap();
+    let mut g = c.benchmark_group("simulator");
+    // ~5 instructions per iteration plus overhead.
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("insn_throughput", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&compiled.image);
+            let exit = m.run(&mut NullOs, 10_000_000);
+            assert!(matches!(exit, shift_machine::Exit::Fault(_)), "stub os rejects exit");
+            m.stats.instructions
+        })
+    });
+    g.finish();
+}
+
+fn bench_tagmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tagmap");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("tag_location_byte", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..4096u64 {
+                let loc = tag_location(make_vaddr(3, 0x1000 + i), Granularity::Byte).unwrap();
+                acc ^= loc.byte_addr ^ u64::from(loc.mask);
+            }
+            acc
+        })
+    });
+    g.bench_function("host_shadow_set_query", |b| {
+        b.iter(|| {
+            let mut s = HostShadow::new();
+            s.set_range(0x1000, 4096, true);
+            s.set_range(0x1800, 1024, false);
+            s.any_tainted(0x1000, 4096)
+        })
+    });
+    g.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut program = spin_program(10);
+    program.link(libc_program());
+    let mut g = c.benchmark_group("compiler");
+    g.bench_function("compile_baseline", |b| {
+        b.iter(|| Compiler::baseline().compile(&program).unwrap().image.insn_count())
+    });
+    g.bench_function("compile_shift_byte", |b| {
+        b.iter(|| {
+            Compiler::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+                .compile(&program)
+                .unwrap()
+                .image
+                .insn_count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_tagmap, bench_compiler);
+criterion_main!(benches);

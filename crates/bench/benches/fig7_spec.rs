@@ -1,0 +1,42 @@
+//! Figure 7: SPEC-INT2000-like performance slowdowns — byte/word-level
+//! tracking with tainted ("unsafe") and untainted ("safe") inputs.
+
+use shift_bench::{fig7_spec_slowdowns, geomean};
+use shift_workloads::Scale;
+
+fn main() {
+    println!("Figure 7: relative performance of SHIFT vs non-instrumented (SPEC-like suite)");
+    println!("(slowdown = instrumented cycles / baseline cycles; reference inputs)");
+    println!("{:-<76}", "");
+    println!(
+        "{:<10} {:>13} {:>13} {:>13} {:>13}",
+        "bench", "byte-unsafe", "byte-safe", "word-unsafe", "word-safe"
+    );
+    println!("{:-<76}", "");
+    let rows = fig7_spec_slowdowns(Scale::Reference);
+    for r in &rows {
+        println!(
+            "{:<10} {:>12.2}x {:>12.2}x {:>12.2}x {:>12.2}x",
+            r.name, r.byte_unsafe, r.byte_safe, r.word_unsafe, r.word_safe
+        );
+    }
+    println!("{:-<76}", "");
+    let gm = |f: fn(&shift_bench::SpecRow) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
+    let (bu, bs) = (gm(|r| r.byte_unsafe), gm(|r| r.byte_safe));
+    let (wu, ws) = (gm(|r| r.word_unsafe), gm(|r| r.word_safe));
+    println!(
+        "{:<10} {:>12.2}x {:>12.2}x {:>12.2}x {:>12.2}x",
+        "geomean", bu, bs, wu, ws
+    );
+    let min_max = |f: fn(&shift_bench::SpecRow) -> f64| {
+        let v: Vec<f64> = rows.iter().map(f).collect();
+        (v.iter().cloned().fold(f64::MAX, f64::min), v.iter().cloned().fold(0.0, f64::max))
+    };
+    let (bmin, bmax) = min_max(|r| r.byte_unsafe);
+    let (wmin, wmax) = min_max(|r| r.word_unsafe);
+    println!();
+    println!("measured: byte {bu:.2}x avg (range {bmin:.2}–{bmax:.2}x), word {wu:.2}x avg (range {wmin:.2}–{wmax:.2}x)");
+    println!("paper:    byte 2.81x avg (range 1.32–4.73x), word 2.27x avg (range 1.34–3.80x)");
+    assert!(bu > wu, "byte-level tracking must cost more than word-level");
+    assert!(bs <= bu && ws <= wu, "safe inputs must not cost more than unsafe");
+}

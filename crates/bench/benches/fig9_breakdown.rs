@@ -1,0 +1,45 @@
+//! Figure 9: breakdown of the instrumentation slowdown into tag-address
+//! computation vs bitmap memory access, split by load-side and store-side.
+
+use shift_bench::fig9_breakdown;
+use shift_workloads::Scale;
+
+fn main() {
+    println!("Figure 9: slowdown breakdown (fractions of baseline execution time)");
+    println!("{:-<96}", "");
+    println!(
+        "{:<10} {:<5} {:>10} {:>10} {:>10} {:>10} {:>9} {:>10}",
+        "bench", "gran", "ld-comp", "ld-mem", "st-comp", "st-mem", "relax", "taint-src"
+    );
+    println!("{:-<96}", "");
+    let rows = fig9_breakdown(Scale::Reference);
+    let mut comp_total = 0.0;
+    let mut mem_total = 0.0;
+    let mut ld_total = 0.0;
+    let mut st_total = 0.0;
+    for r in &rows {
+        println!(
+            "{:<10} {:<5} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9.3} {:>10.3}",
+            r.name, r.granularity.name(), r.ld_compute, r.ld_memory, r.st_compute, r.st_memory, r.relax, r.taint_src
+        );
+        comp_total += r.ld_compute + r.st_compute;
+        mem_total += r.ld_memory + r.st_memory;
+        ld_total += r.ld_compute + r.ld_memory;
+        st_total += r.st_compute + r.st_memory;
+    }
+    println!("{:-<96}", "");
+    println!(
+        "aggregate: computation {:.1}x of memory access; load-side {:.1}x of store-side",
+        comp_total / mem_total,
+        ld_total / st_total
+    );
+    println!(
+        "paper: computation incurs much more overhead than memory access \
+         (unimplemented-bit folding); loads contribute much more than stores"
+    );
+    assert!(
+        comp_total > mem_total,
+        "tag-address computation must dominate bitmap access"
+    );
+    assert!(ld_total > st_total, "load instrumentation must dominate store instrumentation");
+}

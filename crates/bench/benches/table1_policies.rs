@@ -1,0 +1,104 @@
+//! Table 1: the security-policy catalogue, with a live self-test per
+//! policy (a minimal guest program that triggers exactly that policy).
+
+use shift_core::{Granularity, Mode, Policy, Shift, ShiftOptions, World};
+use shift_ir::{ProgramBuilder, Rhs};
+use shift_isa::{sys, CmpRel};
+
+/// Builds a minimal guest that trips `policy`, plus the world that does it.
+fn trigger(policy: Policy) -> (shift_ir::Program, World) {
+    let mut pb = ProgramBuilder::new();
+    match policy {
+        Policy::H1 | Policy::H2 | Policy::H3 | Policy::H4 | Policy::H5 => {
+            pb.func("main", 0, move |f| {
+                let buf = f.local(128);
+                let p = f.local_addr(buf);
+                let cap = f.iconst(120);
+                let n = f.syscall(sys::NET_READ, &[p, cap]);
+                let end = f.add(p, n);
+                let z = f.iconst(0);
+                f.store1(z, end, 0);
+                match policy {
+                    Policy::H1 | Policy::H2 => {
+                        let zero = f.iconst(0);
+                        f.syscall_void(sys::FILE_OPEN, &[p, zero]);
+                    }
+                    Policy::H3 => f.syscall_void(sys::SQL_EXEC, &[p, n]),
+                    Policy::H4 => f.syscall_void(sys::SYSTEM, &[p, n]),
+                    Policy::H5 => f.syscall_void(sys::HTML_OUT, &[p, n]),
+                    _ => unreachable!(),
+                }
+                let ok = f.iconst(0);
+                f.ret(Some(ok));
+            });
+            let input: &[u8] = match policy {
+                Policy::H1 => b"/etc/shadow",
+                Policy::H2 => b"www/../../secret",
+                Policy::H3 => b"x' OR '1'='1",
+                Policy::H4 => b"report.txt; rm -rf /",
+                Policy::H5 => b"<script>alert(1)</script>",
+                _ => unreachable!(),
+            };
+            (pb.build().unwrap(), World::new().net(input.to_vec()))
+        }
+        Policy::L1 | Policy::L2 | Policy::L3 => {
+            pb.func("main", 0, move |f| {
+                let buf = f.local(16);
+                let p = f.local_addr(buf);
+                let cap = f.iconst(8);
+                f.syscall_void(sys::NET_READ, &[p, cap]);
+                let ptr = f.load8(p, 0); // tainted value
+                match policy {
+                    Policy::L1 => {
+                        let v = f.load1(ptr, 0); // tainted load address
+                        f.if_cmp(CmpRel::Eq, v, Rhs::Imm(0), |f| {
+                            let z = f.iconst(0);
+                            f.ret(Some(z));
+                        });
+                    }
+                    Policy::L2 => {
+                        let v = f.iconst(7);
+                        f.store8(v, ptr, 0); // tainted store address
+                    }
+                    Policy::L3 => {
+                        // Tainted data reaching CPU control state: a chk.s
+                        // guard on a critical value (§3.3.3 user-level
+                        // handling of the same class).
+                        f.guard(ptr);
+                    }
+                    _ => unreachable!(),
+                }
+                let z = f.iconst(0);
+                f.ret(Some(z));
+            });
+            (pb.build().unwrap(), World::new().net(vec![0x41; 8]))
+        }
+    }
+}
+
+fn main() {
+    println!("Table 1: Security Policies in SHIFT");
+    println!("{:-<104}", "");
+    println!("{:<7} {:<30} {:<56} self-test", "Policy", "Attacks to Detect", "Description");
+    println!("{:-<104}", "");
+    let shift = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)));
+    for policy in Policy::ALL {
+        let (program, world) = trigger(policy);
+        let report = shift.run(&program, world).expect("trigger compiles");
+        let fired = match policy {
+            // L3's trigger goes through the chk.s guard (reported as GUARD).
+            Policy::L3 => report.exit.is_detection(),
+            p => report.detected_policy() == Some(p),
+        };
+        println!(
+            "{:<7} {:<30} {:<56} {}",
+            policy.name(),
+            policy.attack_class(),
+            policy.description(),
+            if fired { "fires" } else { "MISSED" }
+        );
+        assert!(fired, "policy {policy} self-test failed: {:?}", report.exit);
+    }
+    println!("{:-<104}", "");
+    println!("all 8 policies fire on their minimal triggers (byte-level tracking)");
+}

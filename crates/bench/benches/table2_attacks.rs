@@ -1,0 +1,64 @@
+//! Table 2: the security-evaluation matrix over the eight attack
+//! applications — detection when instrumented, success when not.
+
+use shift_attacks::all_attacks;
+use shift_core::{Granularity, Mode, Shift, ShiftOptions};
+
+fn main() {
+    println!("Table 2: Security Evaluation Results of SHIFT");
+    println!("{:-<118}", "");
+    println!(
+        "{:<15} {:<22} {:<6} {:<24} {:<28} {:<9} {:<8}",
+        "CVE#", "Program (Version)", "Lang", "Attack Type", "Detection Policies", "Detected?", "Benign?"
+    );
+    println!("{:-<118}", "");
+
+    let mut all_detected = true;
+    for atk in all_attacks() {
+        let app = (atk.build)();
+        let shift =
+            Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+                .with_insn_limit(500_000_000);
+
+        let hit = shift.run(&app, (atk.exploit)()).expect("attack app compiles");
+        let detected = hit.exit.is_detection();
+        let policy_ok = hit.detected_policy() == Some(atk.expected);
+        all_detected &= detected && policy_ok;
+
+        let benign = shift.run(&app, (atk.benign)()).expect("attack app compiles");
+        let clean = !benign.exit.is_detection();
+        all_detected &= clean;
+
+        let unprotected = Shift::new(Mode::Uninstrumented)
+            .with_insn_limit(500_000_000)
+            .run(&app, (atk.exploit)())
+            .expect("attack app compiles");
+        let succeeded = (atk.succeeded)(&unprotected);
+
+        println!(
+            "{:<15} {:<22} {:<6} {:<24} {:<28} {:<9} {:<8}",
+            atk.cve,
+            atk.program,
+            atk.language,
+            atk.attack_type,
+            atk.policies,
+            if detected {
+                if policy_ok { "Yes" } else { "Yes(*)" }
+            } else {
+                "NO"
+            },
+            if clean { "clean" } else { "FP!" },
+        );
+        if !succeeded {
+            println!("    WARNING: exploit did not visibly succeed when unprotected");
+            all_detected = false;
+        }
+    }
+    println!("{:-<118}", "");
+    println!(
+        "paper: all 8 attacks detected, no false positives; \
+         without SHIFT protection, all attacks succeed"
+    );
+    assert!(all_detected, "Table 2 reproduction failed");
+    println!("reproduced: 8/8 detected with the expected policies, 0 false positives");
+}

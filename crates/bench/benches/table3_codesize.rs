@@ -1,0 +1,35 @@
+//! Table 3: the impact of compiler instrumentation on static code size.
+
+use shift_bench::table3_codesize;
+
+fn main() {
+    println!("Table 3: code-size expansion under SHIFT instrumentation");
+    println!("(sizes in instructions; the paper reports bytes — same ratios)");
+    println!("{:-<78}", "");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "app", "orig", "word", "word ovh", "byte", "byte ovh"
+    );
+    println!("{:-<78}", "");
+    for r in table3_codesize() {
+        println!(
+            "{:<10} {:>10} {:>10} {:>9.0}% {:>10} {:>9.0}%",
+            r.name,
+            r.orig,
+            r.word,
+            r.word_overhead(),
+            r.byte,
+            r.byte_overhead()
+        );
+    }
+    println!("{:-<78}", "");
+    println!(
+        "paper: glibc +36% (word) / +45% (byte); benchmarks +132–223% (word) / +160–288% (byte)"
+    );
+
+    let rows = table3_codesize();
+    for r in &rows {
+        assert!(r.byte >= r.word, "{}: byte-level must not be smaller", r.name);
+        assert!(r.word > r.orig, "{}: instrumentation must expand code", r.name);
+    }
+}

@@ -1,0 +1,423 @@
+//! # shift-bench — the experiment harnesses
+//!
+//! One function per table/figure of the paper's evaluation (§5–§6); the
+//! `benches/` targets are thin `main`s that call these and print the rows.
+//! Everything returns plain data structures so the integration test-suite
+//! can assert on experiment *shapes* (who wins, rough factors, orderings)
+//! without parsing text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use shift_core::{Granularity, Mode, ShiftOptions};
+use shift_isa::Provenance;
+use shift_workloads::{all_benches, run_spec, Scale, SpecBench};
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// A Figure-7 row: slowdowns relative to the uninstrumented baseline.
+#[derive(Clone, Debug)]
+pub struct SpecRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Byte-level tracking, tainted input ("byte-unsafe").
+    pub byte_unsafe: f64,
+    /// Byte-level tracking, untainted input ("byte-safe").
+    pub byte_safe: f64,
+    /// Word-level, tainted.
+    pub word_unsafe: f64,
+    /// Word-level, untainted.
+    pub word_safe: f64,
+}
+
+/// Figure 7: SPEC slowdowns at both granularities and taint conditions.
+pub fn fig7_spec_slowdowns(scale: Scale) -> Vec<SpecRow> {
+    run_suite(scale, |bench, baseline| {
+        let slowdown = |mode: Mode, tainted: bool| {
+            let run = run_spec(bench, mode, scale, tainted);
+            run.stats.cycles as f64 / baseline as f64
+        };
+        SpecRow {
+            name: bench.name,
+            byte_unsafe: slowdown(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)), true),
+            byte_safe: slowdown(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)), false),
+            word_unsafe: slowdown(Mode::Shift(ShiftOptions::baseline(Granularity::Word)), true),
+            word_safe: slowdown(Mode::Shift(ShiftOptions::baseline(Granularity::Word)), false),
+        }
+    })
+}
+
+/// A Figure-8 row: slowdowns under the architectural-enhancement modes
+/// (tainted input throughout, like the paper's byte/word-unsafe baselines).
+#[derive(Clone, Debug)]
+pub struct EnhanceRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Stock Itanium, byte level.
+    pub byte_unsafe: f64,
+    /// `tset`/`tclr` added, byte level.
+    pub byte_set_clr: f64,
+    /// Both enhancements, byte level.
+    pub byte_both: f64,
+    /// Stock Itanium, word level.
+    pub word_unsafe: f64,
+    /// `tset`/`tclr` added, word level.
+    pub word_set_clr: f64,
+    /// Both enhancements, word level.
+    pub word_both: f64,
+}
+
+impl EnhanceRow {
+    /// The paper's "reduction of performance slowdown": old − new, in
+    /// slowdown units (their §6.3 definition).
+    pub fn reduction_byte_both(&self) -> f64 {
+        self.byte_unsafe - self.byte_both
+    }
+    /// See [`EnhanceRow::reduction_byte_both`].
+    pub fn reduction_word_both(&self) -> f64 {
+        self.word_unsafe - self.word_both
+    }
+}
+
+/// Figure 8: the effect of the proposed instructions.
+pub fn fig8_enhancements(scale: Scale) -> Vec<EnhanceRow> {
+    run_suite(scale, |bench, baseline| {
+        let slowdown = |opts: ShiftOptions| {
+            let run = run_spec(bench, Mode::Shift(opts), scale, true);
+            run.stats.cycles as f64 / baseline as f64
+        };
+        let set_clr =
+            |g| ShiftOptions { set_clr: true, nat_cmp: false, ..ShiftOptions::baseline(g) };
+        EnhanceRow {
+            name: bench.name,
+            byte_unsafe: slowdown(ShiftOptions::baseline(Granularity::Byte)),
+            byte_set_clr: slowdown(set_clr(Granularity::Byte)),
+            byte_both: slowdown(ShiftOptions::enhanced(Granularity::Byte)),
+            word_unsafe: slowdown(ShiftOptions::baseline(Granularity::Word)),
+            word_set_clr: slowdown(set_clr(Granularity::Word)),
+            word_both: slowdown(ShiftOptions::enhanced(Granularity::Word)),
+        }
+    })
+}
+
+/// A Figure-9 row: the instrumentation-cycle breakdown, as fractions of the
+/// *baseline* execution time (so the bars stack like the paper's).
+#[derive(Clone, Debug)]
+pub struct BreakdownRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Granularity of this row.
+    pub granularity: Granularity,
+    /// Load-side tag-address computation.
+    pub ld_compute: f64,
+    /// Load-side bitmap accesses.
+    pub ld_memory: f64,
+    /// Store-side tag-address computation.
+    pub st_compute: f64,
+    /// Store-side bitmap accesses.
+    pub st_memory: f64,
+    /// Compare relaxation / laundering.
+    pub relax: f64,
+    /// Taint-source material.
+    pub taint_src: f64,
+}
+
+/// Figure 9: where the instrumented cycles go, per benchmark and
+/// granularity (tainted input).
+pub fn fig9_breakdown(scale: Scale) -> Vec<BreakdownRow> {
+    let mut out = Vec::new();
+    for gran in [Granularity::Byte, Granularity::Word] {
+        let rows = run_suite(scale, |bench, baseline| {
+            let run = run_spec(bench, Mode::Shift(ShiftOptions::baseline(gran)), scale, true);
+            let frac = |p: Provenance| run.stats.cycles_for(p) as f64 / baseline as f64;
+            BreakdownRow {
+                name: bench.name,
+                granularity: gran,
+                ld_compute: frac(Provenance::LdTagCompute),
+                ld_memory: frac(Provenance::LdTagMemory),
+                st_compute: frac(Provenance::StTagCompute),
+                st_memory: frac(Provenance::StTagMemory),
+                relax: frac(Provenance::Relax),
+                taint_src: frac(Provenance::TaintSource),
+            }
+        });
+        out.extend(rows);
+    }
+    out
+}
+
+/// Runs `f` for every benchmark (in parallel), handing it the baseline
+/// (uninstrumented, tainted-config) cycle count.
+fn run_suite<T: Send>(scale: Scale, f: impl Fn(&SpecBench, u64) -> T + Sync) -> Vec<T> {
+    let benches = all_benches();
+    let mut out: Vec<Option<T>> = (0..benches.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (slot, bench) in out.iter_mut().zip(&benches) {
+            let f = &f;
+            s.spawn(move |_| {
+                let baseline = run_spec(bench, Mode::Uninstrumented, scale, true).stats.cycles;
+                *slot = Some(f(bench, baseline));
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    out.into_iter().map(|t| t.expect("worker filled its slot")).collect()
+}
+
+/// A Figure-6 cell: server overhead at one file size and granularity.
+#[derive(Clone, Debug)]
+pub struct ApacheRow {
+    /// Requested file size in bytes.
+    pub file_size: usize,
+    /// Latency overhead of byte-level tracking (instrumented / baseline).
+    pub byte_latency: f64,
+    /// Throughput ratio (baseline / instrumented — >1 means slower).
+    pub byte_throughput: f64,
+    /// Latency overhead of word-level tracking.
+    pub word_latency: f64,
+    /// Throughput ratio, word level.
+    pub word_throughput: f64,
+}
+
+/// Figure 6: Apache overheads over the paper's file-size sweep.
+///
+/// `requests` scales the run length (the paper used 1,000 requests with
+/// `ab`; the simulator preserves the CPU-to-I/O structure at smaller
+/// counts).
+pub fn fig6_apache(file_sizes: &[usize], requests: usize) -> Vec<ApacheRow> {
+    use shift_workloads::apache::run_apache;
+    file_sizes
+        .iter()
+        .map(|&size| {
+            let base = run_apache(Mode::Uninstrumented, size, requests);
+            let byte = run_apache(
+                Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
+                size,
+                requests,
+            );
+            let word = run_apache(
+                Mode::Shift(ShiftOptions::baseline(Granularity::Word)),
+                size,
+                requests,
+            );
+            ApacheRow {
+                file_size: size,
+                byte_latency: byte.latency() / base.latency(),
+                byte_throughput: base.throughput() / byte.throughput(),
+                word_latency: word.latency() / base.latency(),
+                word_throughput: base.throughput() / word.throughput(),
+            }
+        })
+        .collect()
+}
+
+/// A Table-3 row: static code size under each compilation mode.
+#[derive(Clone, Debug)]
+pub struct CodeSizeRow {
+    /// "glibc" or a benchmark name.
+    pub name: String,
+    /// Uninstrumented size in instructions.
+    pub orig: usize,
+    /// Word-level instrumented size.
+    pub word: usize,
+    /// Byte-level instrumented size.
+    pub byte: usize,
+}
+
+impl CodeSizeRow {
+    /// Word-level expansion, percent.
+    pub fn word_overhead(&self) -> f64 {
+        (self.word as f64 / self.orig as f64 - 1.0) * 100.0
+    }
+    /// Byte-level expansion, percent.
+    pub fn byte_overhead(&self) -> f64 {
+        (self.byte as f64 / self.orig as f64 - 1.0) * 100.0
+    }
+}
+
+/// Table 3: code-size expansion for the guest libc and every benchmark.
+pub fn table3_codesize() -> Vec<CodeSizeRow> {
+    use shift_compiler::{CompiledProgram, Compiler};
+    use shift_core::libc_program;
+
+    let compile = |program: &shift_ir::Program, mode: Mode| -> CompiledProgram {
+        let mut linked = program.clone();
+        linked.link(libc_program());
+        Compiler::new(mode).compile(&linked).expect("benchmarks compile")
+    };
+    let libc_size = |c: &CompiledProgram| -> usize {
+        shift_core::LIBC_FUNCS.iter().filter_map(|n| c.func_size(n)).sum()
+    };
+    let app_size = |c: &CompiledProgram| -> usize {
+        c.func_ranges
+            .iter()
+            .filter(|(n, _)| {
+                !shift_core::LIBC_FUNCS.contains(&n.as_str()) && n.as_str() != "_start"
+            })
+            .map(|(_, (s, e))| e - s)
+            .sum()
+    };
+
+    let mut rows = Vec::new();
+    // glibc row: measured inside the first benchmark's image (the libc is
+    // identical across programs).
+    let probe = (all_benches()[0].build)();
+    let orig = compile(&probe, Mode::Uninstrumented);
+    let word = compile(&probe, Mode::Shift(ShiftOptions::baseline(Granularity::Word)));
+    let byte = compile(&probe, Mode::Shift(ShiftOptions::baseline(Granularity::Byte)));
+    rows.push(CodeSizeRow {
+        name: "glibc".into(),
+        orig: libc_size(&orig),
+        word: libc_size(&word),
+        byte: libc_size(&byte),
+    });
+    for bench in all_benches() {
+        let program = (bench.build)();
+        let orig = compile(&program, Mode::Uninstrumented);
+        let word = compile(&program, Mode::Shift(ShiftOptions::baseline(Granularity::Word)));
+        let byte = compile(&program, Mode::Shift(ShiftOptions::baseline(Granularity::Byte)));
+        rows.push(CodeSizeRow {
+            name: bench.name.into(),
+            orig: app_size(&orig),
+            word: app_size(&word),
+            byte: app_size(&byte),
+        });
+    }
+    rows
+}
+
+/// An ablation row over SHIFT's implementation choices (byte-level
+/// slowdowns, tainted input).
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The shipped configuration: kept NaT source, clean-register analysis.
+    pub default: f64,
+    /// Clean-register analysis disabled (every compare relaxed, every store
+    /// treated as possibly tainted).
+    pub no_analysis: f64,
+    /// NaT source regenerated at every function entry — the strategy the
+    /// paper rejects in §4.4 ("degrades the performance by a factor of 3X,
+    /// compared to generating a NaT-bit and keeping it").
+    pub natgen_per_function: f64,
+    /// NaT source regenerated before every use (worst case).
+    pub natgen_per_use: f64,
+}
+
+/// A NaT-vs-shadow row: SHIFT's hardware-assisted tracking against the
+/// software-only shadow-register implementation of the same semantics.
+#[derive(Clone, Debug)]
+pub struct NatVsShadowRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// SHIFT, byte level (NaT bits track register taint for free).
+    pub shift_byte: f64,
+    /// Software-only, byte level (explicit propagation around every
+    /// instruction, LIFT-style).
+    pub shadow_byte: f64,
+    /// SHIFT, word level.
+    pub shift_word: f64,
+    /// Software-only, word level.
+    pub shadow_word: f64,
+}
+
+/// The headline ablation: what is the NaT reuse actually worth? Runs every
+/// kernel under SHIFT and under the software-only shadow-register mode.
+pub fn ablation_nat_vs_shadow(scale: Scale) -> Vec<NatVsShadowRow> {
+    run_suite(scale, |bench, baseline| {
+        let slowdown = |mode: Mode| {
+            let run = run_spec(bench, mode, scale, true);
+            run.stats.cycles as f64 / baseline as f64
+        };
+        NatVsShadowRow {
+            name: bench.name,
+            shift_byte: slowdown(Mode::Shift(ShiftOptions::baseline(Granularity::Byte))),
+            shadow_byte: slowdown(Mode::Shadow(Granularity::Byte)),
+            shift_word: slowdown(Mode::Shift(ShiftOptions::baseline(Granularity::Word))),
+            shadow_word: slowdown(Mode::Shadow(Granularity::Word)),
+        }
+    })
+}
+
+/// Ablation: the kept-NaT-source decision (§4.4) and the clean-register
+/// analysis, quantified.
+pub fn ablation_design_choices(scale: Scale) -> Vec<AblationRow> {
+    use shift_compiler::NatGen;
+    run_suite(scale, |bench, baseline| {
+        let slowdown = |opts: ShiftOptions| {
+            let run = run_spec(bench, Mode::Shift(opts), scale, true);
+            run.stats.cycles as f64 / baseline as f64
+        };
+        let base = ShiftOptions::baseline(Granularity::Byte);
+        AblationRow {
+            name: bench.name,
+            default: slowdown(base),
+            no_analysis: slowdown(ShiftOptions { relax_analysis: false, ..base }),
+            natgen_per_function: slowdown(ShiftOptions {
+                nat_gen: NatGen::PerFunction,
+                ..base
+            }),
+            natgen_per_use: slowdown(ShiftOptions { nat_gen: NatGen::PerUse, ..base }),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig7_shape_holds_at_test_scale() {
+        let rows = fig7_spec_slowdowns(Scale::Test);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(r.byte_unsafe > 1.0, "{}: no overhead?", r.name);
+            // Byte-level ≥ word-level on average; safe ≤ unsafe.
+            assert!(r.byte_safe <= r.byte_unsafe + 1e-9, "{}", r.name);
+            assert!(r.word_safe <= r.word_unsafe + 1e-9, "{}", r.name);
+        }
+        let byte: Vec<f64> = rows.iter().map(|r| r.byte_unsafe).collect();
+        let word: Vec<f64> = rows.iter().map(|r| r.word_unsafe).collect();
+        assert!(
+            geomean(&byte) > geomean(&word),
+            "byte tracking must cost more on average: {:.2} vs {:.2}",
+            geomean(&byte),
+            geomean(&word)
+        );
+    }
+
+    #[test]
+    fn table3_shape_holds() {
+        let rows = table3_codesize();
+        assert_eq!(rows.len(), 9);
+        let glibc = &rows[0];
+        assert_eq!(glibc.name, "glibc");
+        for r in &rows {
+            assert!(r.word > r.orig, "{}: word must grow", r.name);
+            assert!(r.byte >= r.word, "{}: byte ≥ word expected", r.name);
+        }
+        // Expansion magnitudes stay in the paper's ballpark (tens to a few
+        // hundred percent). Note our guest libc is pure byte-loop string
+        // code, so unlike the paper's real glibc (+45%, diluted by masses
+        // of non-memory code) it expands about as much as the benchmarks —
+        // EXPERIMENTS.md discusses the divergence.
+        for r in &rows {
+            assert!(
+                r.byte_overhead() > 30.0 && r.byte_overhead() < 400.0,
+                "{}: implausible expansion {:.0}%",
+                r.name,
+                r.byte_overhead()
+            );
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! `shift` — the command-line front end for the SHIFT reproduction.
+//!
+//! ```text
+//! shift attacks [--mode M]             run the Table-2 corpus
+//! shift attack <program> [--mode M] [--benign] [--trace]
+//! shift spec <bench|all> [--mode M] [--reference] [--safe]
+//! shift apache <size-kb> <requests> [--mode M]
+//! shift disasm [--mode M]              show the instrumentation templates
+//! shift modes                          list compilation modes
+//! ```
+//!
+//! Modes: `plain`, `byte` (default), `word`, `byte-enhanced`,
+//! `word-enhanced`, `shadow-byte`, `shadow-word`.
+
+use std::process::ExitCode;
+
+use shift_core::{Granularity, Mode, Shift, ShiftOptions};
+use shift_workloads::{run_spec, Scale};
+
+fn parse_mode(name: &str) -> Option<Mode> {
+    Some(match name {
+        "plain" | "uninstrumented" => Mode::Uninstrumented,
+        "byte" => Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
+        "word" => Mode::Shift(ShiftOptions::baseline(Granularity::Word)),
+        "byte-enhanced" => Mode::Shift(ShiftOptions::enhanced(Granularity::Byte)),
+        "word-enhanced" => Mode::Shift(ShiftOptions::enhanced(Granularity::Word)),
+        "shadow-byte" => Mode::Shadow(Granularity::Byte),
+        "shadow-word" => Mode::Shadow(Granularity::Word),
+        _ => return None,
+    })
+}
+
+/// Pulls `--mode <m>` out of the argument list (default: byte-level SHIFT).
+fn take_mode(args: &mut Vec<String>) -> Result<Mode, String> {
+    if let Some(i) = args.iter().position(|a| a == "--mode") {
+        if i + 1 >= args.len() {
+            return Err("--mode needs a value".into());
+        }
+        let name = args.remove(i + 1);
+        args.remove(i);
+        parse_mode(&name).ok_or_else(|| format!("unknown mode `{name}` (try `shift modes`)"))
+    } else {
+        Ok(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn mode_name(mode: Mode) -> String {
+    match mode {
+        Mode::Uninstrumented => "plain".into(),
+        Mode::Shift(o) => format!(
+            "shift/{}{}",
+            o.granularity,
+            if o.set_clr || o.nat_cmp { "-enhanced" } else { "" }
+        ),
+        Mode::Shadow(g) => format!("shadow/{g}"),
+    }
+}
+
+fn cmd_modes() {
+    println!("compilation modes:");
+    for (name, what) in [
+        ("plain", "no taint tracking (the experiments' baseline)"),
+        ("byte", "SHIFT, byte-level tags, stock Itanium (default)"),
+        ("word", "SHIFT, word-level tags, stock Itanium"),
+        ("byte-enhanced", "SHIFT, byte-level, with tset/tclr + cmp.nat"),
+        ("word-enhanced", "SHIFT, word-level, with tset/tclr + cmp.nat"),
+        ("shadow-byte", "software-only shadow-register tracking (the ablation)"),
+        ("shadow-word", "software-only, word-level tags"),
+    ] {
+        println!("  {name:<14} {what}");
+    }
+}
+
+fn cmd_attacks(mode: Mode) -> ExitCode {
+    println!(
+        "{:<22} {:<24} {:>10} {:>8}",
+        "program", "attack", "verdict", "benign"
+    );
+    let mut all_ok = true;
+    for atk in shift_attacks::all_attacks() {
+        let app = (atk.build)();
+        let shift = Shift::new(mode);
+        let hit = shift.run(&app, (atk.exploit)()).expect("corpus app compiles");
+        let benign = shift.run(&app, (atk.benign)()).expect("corpus app compiles");
+        let verdict = match (mode, hit.exit.is_detection()) {
+            (Mode::Uninstrumented, false) => "unseen".to_string(),
+            (_, true) => hit
+                .detected_policy()
+                .map(|p| format!("caught:{p}"))
+                .unwrap_or_else(|| "caught".into()),
+            (_, false) => {
+                all_ok = false;
+                "MISSED".into()
+            }
+        };
+        println!(
+            "{:<22} {:<24} {:>10} {:>8}",
+            atk.program,
+            atk.attack_type,
+            verdict,
+            if benign.exit.is_detection() { "FP!" } else { "clean" }
+        );
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_attack(name: &str, mode: Mode, benign: bool, trace: bool) -> ExitCode {
+    let Some(atk) = shift_attacks::all_attacks()
+        .into_iter()
+        .find(|a| a.program.to_lowercase().contains(&name.to_lowercase()))
+    else {
+        eprintln!("no attack matching `{name}`; programs are:");
+        for a in shift_attacks::all_attacks() {
+            eprintln!("  {}", a.program);
+        }
+        return ExitCode::FAILURE;
+    };
+    let app = (atk.build)();
+    let world = if benign { (atk.benign)() } else { (atk.exploit)() };
+    let shift = Shift::new(mode);
+    let report = if trace {
+        // Drive the machine by hand so the last instructions before the
+        // detection are visible.
+        use shift_core::{Runtime, TaintConfig};
+        let compiled = shift.compile(&app).expect("corpus app compiles");
+        let mut machine = shift_machine::Machine::new(&compiled.image);
+        machine.enable_trace(16);
+        let mut rt = Runtime::new(TaintConfig::default_secure(), world, shift.granularity());
+        let exit = machine.run(&mut rt, 500_000_000);
+        println!("last instructions before the end of the run:");
+        print!("{}", machine.trace_listing());
+        println!();
+        shift_core::RunReport { exit, stats: machine.stats.clone(), runtime: rt, machine }
+    } else {
+        shift.run(&app, world).expect("corpus app compiles")
+    };
+    println!("program : {} ({})", atk.program, atk.cve);
+    println!("mode    : {}", mode_name(mode));
+    println!("input   : {}", if benign { "benign" } else { "exploit" });
+    println!("exit    : {}", report.exit);
+    if let Some(p) = report.detected_policy() {
+        println!("policy  : {p} — {}", p.description());
+    }
+    println!(
+        "cycles  : {} ({} instrumentation)",
+        report.stats.cycles,
+        report.stats.instrumentation_cycles()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_spec(name: &str, mode: Mode, scale: Scale, tainted: bool) -> ExitCode {
+    let benches = shift_workloads::all_benches();
+    let selected: Vec<_> = if name == "all" {
+        benches
+    } else {
+        benches.into_iter().filter(|b| b.name == name).collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no benchmark `{name}`; try: all, gzip, gcc, crafty, bzip2, vpr, mcf, parser, twolf");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "bench", "cycles", "instructions", "slowdown"
+    );
+    for bench in selected {
+        let run = run_spec(&bench, mode, scale, tainted);
+        let base = run_spec(&bench, Mode::Uninstrumented, scale, tainted);
+        println!(
+            "{:<10} {:>14} {:>14} {:>9.2}x",
+            bench.name,
+            run.stats.cycles,
+            run.stats.instructions,
+            run.stats.cycles as f64 / base.stats.cycles as f64
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_apache(size_kb: usize, requests: usize, mode: Mode) -> ExitCode {
+    let run = shift_workloads::apache::run_apache(mode, size_kb << 10, requests);
+    let base = shift_workloads::apache::run_apache(Mode::Uninstrumented, size_kb << 10, requests);
+    println!("mode       : {}", mode_name(mode));
+    println!("served     : {} requests of {size_kb} KB", run.served);
+    println!("cpu cycles : {} (baseline {})", run.stats.cycles, base.stats.cycles);
+    println!("io cycles  : {}", run.stats.io_cycles);
+    println!(
+        "overhead   : {:+.2}% end-to-end, {:.2}x cpu",
+        (run.total_time() as f64 / base.total_time() as f64 - 1.0) * 100.0,
+        run.stats.cycles as f64 / base.stats.cycles as f64
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_disasm(mode: Mode) -> ExitCode {
+    use shift_ir::ProgramBuilder;
+    let mut pb = ProgramBuilder::new();
+    let g = pb.global_zeroed("cell", 16);
+    pb.func("main", 0, move |f| {
+        let p = f.global_addr(g);
+        let v = f.load8(p, 0);
+        let b = f.andi(v, 0xff);
+        f.store1(b, p, 8);
+        f.ret(Some(b));
+    });
+    let program = pb.build().unwrap();
+    let compiled = shift_compiler::Compiler::new(mode).compile(&program).unwrap();
+    let (start, end) = compiled.func_ranges["main"];
+    println!("mode: {} — one ld8 + one st1, instrumented:", mode_name(mode));
+    println!("{}", shift_isa::disasm_listing(&compiled.image.code[start..end], start));
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         shift attacks [--mode M]\n  \
+         shift attack <program> [--mode M] [--benign]\n  \
+         shift spec <bench|all> [--mode M] [--reference] [--safe]\n  \
+         shift apache <size-kb> <requests> [--mode M]\n  \
+         shift disasm [--mode M]\n  \
+         shift modes"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    let mode = match take_mode(&mut args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "modes" => {
+            cmd_modes();
+            ExitCode::SUCCESS
+        }
+        "attacks" => cmd_attacks(mode),
+        "attack" => {
+            let benign = take_flag(&mut args, "--benign");
+            let trace = take_flag(&mut args, "--trace");
+            match args.first() {
+                Some(name) => cmd_attack(name, mode, benign, trace),
+                None => usage(),
+            }
+        }
+        "spec" => {
+            let scale =
+                if take_flag(&mut args, "--reference") { Scale::Reference } else { Scale::Test };
+            let tainted = !take_flag(&mut args, "--safe");
+            match args.first() {
+                Some(name) => cmd_spec(name, mode, scale, tainted),
+                None => usage(),
+            }
+        }
+        "apache" => {
+            let (Some(kb), Some(reqs)) = (args.first(), args.get(1)) else {
+                return usage();
+            };
+            match (kb.parse(), reqs.parse()) {
+                (Ok(kb), Ok(reqs)) => cmd_apache(kb, reqs, mode),
+                _ => usage(),
+            }
+        }
+        "disasm" => cmd_disasm(mode),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn all_documented_modes_parse() {
+        for name in [
+            "plain",
+            "byte",
+            "word",
+            "byte-enhanced",
+            "word-enhanced",
+            "shadow-byte",
+            "shadow-word",
+        ] {
+            assert!(parse_mode(name).is_some(), "{name}");
+        }
+        assert!(parse_mode("turbo").is_none());
+    }
+
+    #[test]
+    fn take_mode_extracts_and_defaults() {
+        let mut a = args(&["spec", "--mode", "word", "gzip"]);
+        let mode = take_mode(&mut a).unwrap();
+        assert_eq!(mode, Mode::Shift(ShiftOptions::baseline(Granularity::Word)));
+        assert_eq!(a, args(&["spec", "gzip"]));
+
+        let mut b = args(&["attacks"]);
+        let mode = take_mode(&mut b).unwrap();
+        assert_eq!(mode, Mode::Shift(ShiftOptions::baseline(Granularity::Byte)));
+
+        let mut c = args(&["spec", "--mode"]);
+        assert!(take_mode(&mut c).is_err());
+
+        let mut d = args(&["spec", "--mode", "bogus"]);
+        assert!(take_mode(&mut d).is_err());
+    }
+
+    #[test]
+    fn take_flag_removes_only_the_flag() {
+        let mut a = args(&["attack", "tar", "--benign"]);
+        assert!(take_flag(&mut a, "--benign"));
+        assert!(!take_flag(&mut a, "--benign"));
+        assert_eq!(a, args(&["attack", "tar"]));
+    }
+
+    #[test]
+    fn mode_names_are_distinct() {
+        let names: Vec<String> = [
+            Mode::Uninstrumented,
+            Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
+            Mode::Shift(ShiftOptions::enhanced(Granularity::Byte)),
+            Mode::Shadow(Granularity::Word),
+        ]
+        .into_iter()
+        .map(mode_name)
+        .collect();
+        let mut uniq = names.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), names.len(), "{names:?}");
+    }
+}

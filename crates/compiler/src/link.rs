@@ -1,0 +1,203 @@
+//! Linking: resolve labels and call targets, produce a loadable image.
+
+use std::collections::{BTreeMap, HashMap};
+
+use shift_isa::{Br, Gpr, Insn, Op};
+
+use crate::vcode::{CInsn, COp, Label};
+
+/// Error produced while linking.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LinkError {
+    /// A call references a function that was not compiled.
+    UnresolvedCall {
+        /// The function containing the call.
+        from: String,
+        /// The missing callee.
+        callee: String,
+    },
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::UnresolvedCall { from, callee } => {
+                write!(f, "`{from}` calls `{callee}`, which was not compiled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Linked code plus its symbol information.
+#[derive(Clone, Debug)]
+pub struct Linked {
+    /// The flat code image.
+    pub code: Vec<Insn>,
+    /// Function entry points by name.
+    pub entries: HashMap<String, usize>,
+    /// `entry → name` map for the image symbol table.
+    pub symbols: BTreeMap<usize, String>,
+    /// Instruction ranges `[start, end)` per function.
+    pub ranges: HashMap<String, (usize, usize)>,
+}
+
+/// Links compiled functions into one image. The first function in the list
+/// is placed first and becomes the entry point.
+///
+/// # Errors
+///
+/// Returns [`LinkError`] for calls to functions not in `funcs`.
+///
+/// # Panics
+///
+/// Panics if a branch references an unbound label (a compiler bug, not a
+/// user error) or if raw absolute-target ISA control ops appear before
+/// linking.
+pub fn link(funcs: &[(String, Vec<CInsn<Gpr>>)]) -> Result<Linked, LinkError> {
+    // Pass 1: assign addresses (Bind emits no code).
+    let mut entries = HashMap::new();
+    let mut labels: HashMap<(usize, Label), usize> = HashMap::new();
+    let mut ranges = HashMap::new();
+    let mut addr = 0usize;
+    for (fi, (name, code)) in funcs.iter().enumerate() {
+        entries.insert(name.clone(), addr);
+        let start = addr;
+        for insn in code {
+            match &insn.op {
+                COp::Bind(l) => {
+                    labels.insert((fi, *l), addr);
+                }
+                _ => addr += 1,
+            }
+        }
+        ranges.insert(name.clone(), (start, addr));
+    }
+
+    // Pass 2: emit resolved instructions.
+    let mut out = Vec::with_capacity(addr);
+    let mut symbols = BTreeMap::new();
+    for (fi, (name, code)) in funcs.iter().enumerate() {
+        symbols.insert(entries[name], name.clone());
+        for insn in code {
+            let op: Op<Gpr> = match &insn.op {
+                COp::Bind(_) => continue,
+                COp::Isa(op) => {
+                    debug_assert!(
+                        !matches!(op, Op::Jmp { .. } | Op::Call { .. } | Op::ChkS { .. }),
+                        "absolute-target control op before linking in `{name}`"
+                    );
+                    *op
+                }
+                COp::Jmp(l) => Op::Jmp {
+                    target: *labels
+                        .get(&(fi, *l))
+                        .unwrap_or_else(|| panic!("unbound label {l} in `{name}`")),
+                },
+                COp::Call(callee) => Op::Call {
+                    link: Br::B0,
+                    target: *entries.get(callee).ok_or_else(|| LinkError::UnresolvedCall {
+                        from: name.clone(),
+                        callee: callee.clone(),
+                    })?,
+                },
+                COp::ChkS(r, l) => Op::ChkS {
+                    src: *r,
+                    target: *labels
+                        .get(&(fi, *l))
+                        .unwrap_or_else(|| panic!("unbound label {l} in `{name}`")),
+                },
+            };
+            out.push(Insn { qp: insn.qp, op, prov: insn.prov });
+        }
+    }
+
+    Ok(Linked { code: out, entries, symbols, ranges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_isa::Pr;
+
+    fn jmp(l: Label) -> CInsn<Gpr> {
+        CInsn::new(COp::Jmp(l))
+    }
+
+    fn bind(l: Label) -> CInsn<Gpr> {
+        CInsn::new(COp::Bind(l))
+    }
+
+    #[test]
+    fn labels_resolve_within_functions() {
+        let f = (
+            "f".to_string(),
+            vec![
+                bind(Label(0)),
+                CInsn::isa(Op::Nop),
+                jmp(Label(1)),
+                bind(Label(1)),
+                CInsn::isa(Op::Halt),
+            ],
+        );
+        let linked = link(&[f]).unwrap();
+        assert_eq!(linked.code.len(), 3);
+        assert_eq!(linked.code[1].op, Op::Jmp { target: 2 });
+    }
+
+    #[test]
+    fn calls_resolve_across_functions() {
+        let a = ("a".to_string(), vec![CInsn::new(COp::Call("b".into())), CInsn::isa(Op::Halt)]);
+        let b = ("b".to_string(), vec![CInsn::isa(Op::JmpBr { br: Br::B0 })]);
+        let linked = link(&[a, b]).unwrap();
+        assert_eq!(linked.code[0].op, Op::Call { link: Br::B0, target: 2 });
+        assert_eq!(linked.entries["b"], 2);
+        assert_eq!(linked.ranges["a"], (0, 2));
+        assert_eq!(linked.symbols[&2], "b");
+    }
+
+    #[test]
+    fn same_label_in_two_functions_does_not_collide() {
+        let a = ("a".to_string(), vec![bind(Label(0)), jmp(Label(0))]);
+        let b = ("b".to_string(), vec![bind(Label(0)), jmp(Label(0))]);
+        let linked = link(&[a, b]).unwrap();
+        assert_eq!(linked.code[0].op, Op::Jmp { target: 0 });
+        assert_eq!(linked.code[1].op, Op::Jmp { target: 1 });
+    }
+
+    #[test]
+    fn unresolved_call_is_an_error() {
+        let a = ("a".to_string(), vec![CInsn::new(COp::Call("ghost".into()))]);
+        let err = link(&[a]).unwrap_err();
+        assert_eq!(
+            err,
+            LinkError::UnresolvedCall { from: "a".into(), callee: "ghost".into() }
+        );
+    }
+
+    #[test]
+    fn chk_s_targets_resolve() {
+        let f = (
+            "f".to_string(),
+            vec![
+                CInsn::new(COp::ChkS(Gpr::R5, Label(1))),
+                CInsn::isa(Op::Halt),
+                bind(Label(1)),
+                CInsn::isa(Op::Nop),
+            ],
+        );
+        let linked = link(&[f]).unwrap();
+        assert_eq!(linked.code[0].op, Op::ChkS { src: Gpr::R5, target: 2 });
+    }
+
+    #[test]
+    fn predicates_survive_linking() {
+        let f = (
+            "f".to_string(),
+            vec![bind(Label(0)), jmp(Label(0)).under(Pr::P3), CInsn::isa(Op::Halt)],
+        );
+        let linked = link(&[f]).unwrap();
+        assert_eq!(linked.code[0].qp, Pr::P3);
+    }
+}

@@ -1,0 +1,374 @@
+//! Lowering: IR functions → virtual machine code.
+//!
+//! Parameters arrive in `r16..` and are copied into their virtual registers
+//! at entry; calls marshal arguments the same way. Compare-and-branch
+//! terminators become `cmp p1, p2 = …` plus predicated branches, with
+//! fall-through branches elided when the target is the next block in layout
+//! order. Returns jump to a single shared epilogue (attached after register
+//! allocation, when the frame size is known).
+
+use std::collections::HashMap;
+
+use shift_isa::{AluOp, Gpr, Op, Pr};
+use shift_ir::{Function, GlobalId, Inst, Rhs, Terminator, VReg};
+
+use crate::vcode::{CInsn, COp, Label, LoweredFn, VR};
+
+/// Predicate pair used by lowered application compares. Instrumentation owns
+/// `p6`/`p7`, so application code sticks to `p1`/`p2`.
+pub const APP_PT: Pr = Pr::P1;
+/// See [`APP_PT`].
+pub const APP_PF: Pr = Pr::P2;
+
+struct LowerCtx<'a> {
+    global_addrs: &'a HashMap<GlobalId, u64>,
+    next_vreg: u32,
+    out: Vec<CInsn<VR>>,
+    guard: Label,
+    uses_guard: bool,
+}
+
+impl LowerCtx<'_> {
+    fn fresh(&mut self) -> VR {
+        let v = VR::V(VReg(self.next_vreg));
+        self.next_vreg += 1;
+        v
+    }
+
+    fn push(&mut self, i: CInsn<VR>) {
+        self.out.push(i);
+    }
+
+    fn isa(&mut self, op: Op<VR>) {
+        self.push(CInsn::isa(op));
+    }
+
+    /// Materializes `addr + offset`, reusing `addr` when the offset is zero.
+    fn with_offset(&mut self, addr: VR, offset: i64) -> VR {
+        if offset == 0 {
+            addr
+        } else {
+            let t = self.fresh();
+            self.isa(Op::AluI { op: AluOp::Add, dst: t, src1: addr, imm: offset });
+            t
+        }
+    }
+}
+
+/// Lowers one IR function.
+///
+/// `global_addrs` maps global ids to their final virtual addresses (the
+/// compiler lays globals out before lowering).
+pub fn lower_fn(func: &Function, global_addrs: &HashMap<GlobalId, u64>) -> LoweredFn {
+    // Stack-slot layout: IR locals first, 8-aligned, at sp + [0, locals_size).
+    let mut local_offs = Vec::with_capacity(func.locals.len());
+    let mut cursor = 0u64;
+    for local in &func.locals {
+        local_offs.push(cursor);
+        cursor += local.size.div_ceil(8) * 8;
+    }
+    let locals_size = cursor;
+
+    let has_calls =
+        func.blocks.iter().any(|b| b.insts.iter().any(|i| matches!(i, Inst::Call { .. })));
+    let epilogue = Label(func.blocks.len() as u32);
+
+    let mut blocks = Vec::with_capacity(func.blocks.len());
+    let mut succs = Vec::with_capacity(func.blocks.len());
+    let mut next_vreg = func.vregs;
+
+    let guard = Label(func.blocks.len() as u32 + 1);
+    let mut uses_guard = false;
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let mut ctx =
+            LowerCtx { global_addrs, next_vreg, out: Vec::new(), guard, uses_guard: false };
+
+        if bi == 0 {
+            // Copy incoming arguments out of the ABI registers.
+            for p in 0..func.params {
+                ctx.isa(Op::Mov { dst: VR::V(VReg(p as u32)), src: VR::P(Gpr::arg(p)) });
+            }
+        }
+
+        for inst in &block.insts {
+            lower_inst(&mut ctx, inst, &local_offs);
+        }
+
+        let term = block.term.as_ref().expect("validated IR has terminators");
+        let next = bi + 1;
+        match term {
+            Terminator::Jmp(t) => {
+                if t.index() != next {
+                    ctx.push(CInsn::new(COp::Jmp(Label(t.0))));
+                }
+            }
+            Terminator::Br { rel, a, rhs, then_bb, else_bb } => {
+                let a = VR::V(*a);
+                match rhs {
+                    Rhs::Reg(b) => ctx.isa(Op::Cmp {
+                        rel: *rel,
+                        pt: APP_PT,
+                        pf: APP_PF,
+                        src1: a,
+                        src2: VR::V(*b),
+                        nat_aware: false,
+                    }),
+                    Rhs::Imm(imm) => ctx.isa(Op::CmpI {
+                        rel: *rel,
+                        pt: APP_PT,
+                        pf: APP_PF,
+                        src1: a,
+                        imm: *imm,
+                        nat_aware: false,
+                    }),
+                }
+                if then_bb.index() == next {
+                    ctx.push(CInsn::new(COp::Jmp(Label(else_bb.0))).under(APP_PF));
+                } else if else_bb.index() == next {
+                    ctx.push(CInsn::new(COp::Jmp(Label(then_bb.0))).under(APP_PT));
+                } else {
+                    ctx.push(CInsn::new(COp::Jmp(Label(then_bb.0))).under(APP_PT));
+                    ctx.push(CInsn::new(COp::Jmp(Label(else_bb.0))));
+                }
+            }
+            Terminator::Ret(v) => {
+                if let Some(v) = v {
+                    ctx.isa(Op::Mov { dst: VR::P(Gpr::RET), src: VR::V(*v) });
+                }
+                ctx.push(CInsn::new(COp::Jmp(epilogue)));
+            }
+        }
+
+        next_vreg = ctx.next_vreg;
+        uses_guard |= ctx.uses_guard;
+        blocks.push(ctx.out);
+        succs.push(func.blocks[bi].successors().iter().map(|b| b.index()).collect());
+    }
+
+    LoweredFn {
+        name: func.name.clone(),
+        blocks,
+        succs,
+        nvregs: next_vreg,
+        locals_size,
+        has_calls,
+        uses_guard,
+    }
+}
+
+fn lower_inst(ctx: &mut LowerCtx<'_>, inst: &Inst, local_offs: &[u64]) {
+    match inst {
+        Inst::Const { dst, value } => ctx.isa(Op::MovI { dst: VR::V(*dst), imm: *value }),
+        Inst::Mov { dst, src } => ctx.isa(Op::Mov { dst: VR::V(*dst), src: VR::V(*src) }),
+        Inst::Bin { op, dst, a, b } => {
+            ctx.isa(Op::Alu { op: *op, dst: VR::V(*dst), src1: VR::V(*a), src2: VR::V(*b) })
+        }
+        Inst::BinI { op, dst, a, imm } => {
+            ctx.isa(Op::AluI { op: *op, dst: VR::V(*dst), src1: VR::V(*a), imm: *imm })
+        }
+        Inst::SetCmp { rel, dst, a, rhs } => {
+            match rhs {
+                Rhs::Reg(b) => ctx.isa(Op::Cmp {
+                    rel: *rel,
+                    pt: APP_PT,
+                    pf: APP_PF,
+                    src1: VR::V(*a),
+                    src2: VR::V(*b),
+                    nat_aware: false,
+                }),
+                Rhs::Imm(imm) => ctx.isa(Op::CmpI {
+                    rel: *rel,
+                    pt: APP_PT,
+                    pf: APP_PF,
+                    src1: VR::V(*a),
+                    imm: *imm,
+                    nat_aware: false,
+                }),
+            }
+            ctx.push(CInsn::isa(Op::MovI { dst: VR::V(*dst), imm: 1 }).under(APP_PT));
+            ctx.push(CInsn::isa(Op::MovI { dst: VR::V(*dst), imm: 0 }).under(APP_PF));
+        }
+        Inst::Load { size, ext, dst, addr, offset } => {
+            let a = ctx.with_offset(VR::V(*addr), *offset);
+            ctx.isa(Op::Ld { size: *size, ext: *ext, dst: VR::V(*dst), addr: a, spec: false });
+        }
+        Inst::Store { size, src, addr, offset } => {
+            let a = ctx.with_offset(VR::V(*addr), *offset);
+            ctx.isa(Op::St { size: *size, src: VR::V(*src), addr: a });
+        }
+        Inst::Guard { src } => {
+            // chk.s to the function's recovery stub, which raises a
+            // user-level alert (§3.3.3).
+            ctx.uses_guard = true;
+            let guard = ctx.guard;
+            ctx.push(
+                CInsn::new(COp::ChkS(VR::V(*src), guard))
+                    .with_prov(shift_isa::Provenance::Check),
+            );
+        }
+        Inst::Sanitize { dst, src } => {
+            // Lowered as a value copy plus a `tclr` marker. The
+            // instrumentation pass keeps the `tclr` under the set/clear
+            // enhancement, expands it into a spill/plain-reload launder on
+            // baseline hardware, and the uninstrumented baseline drops it.
+            if dst != src {
+                ctx.isa(Op::Mov { dst: VR::V(*dst), src: VR::V(*src) });
+            }
+            ctx.isa(Op::Tclr { dst: VR::V(*dst) });
+        }
+        Inst::LocalAddr { dst, local } => {
+            ctx.isa(Op::AluI {
+                op: AluOp::Add,
+                dst: VR::V(*dst),
+                src1: VR::P(Gpr::SP),
+                imm: local_offs[local.index()] as i64,
+            });
+        }
+        Inst::GlobalAddr { dst, global } => {
+            let addr = *ctx
+                .global_addrs
+                .get(global)
+                .unwrap_or_else(|| panic!("global {global} has no layout address"));
+            ctx.isa(Op::MovI { dst: VR::V(*dst), imm: addr as i64 });
+        }
+        Inst::Call { dst, callee, args } => {
+            for (i, a) in args.iter().enumerate() {
+                ctx.isa(Op::Mov { dst: VR::P(Gpr::arg(i)), src: VR::V(*a) });
+            }
+            ctx.push(CInsn::new(COp::Call(callee.clone())));
+            if let Some(d) = dst {
+                ctx.isa(Op::Mov { dst: VR::V(*d), src: VR::P(Gpr::RET) });
+            }
+        }
+        Inst::Syscall { dst, num, args } => {
+            for (i, a) in args.iter().enumerate() {
+                ctx.isa(Op::Mov { dst: VR::P(Gpr::arg(i)), src: VR::V(*a) });
+            }
+            ctx.isa(Op::Syscall { num: *num });
+            if let Some(d) = dst {
+                ctx.isa(Op::Mov { dst: VR::V(*d), src: VR::P(Gpr::RET) });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_ir::ProgramBuilder;
+    use shift_isa::CmpRel;
+
+    fn lower_named(name: &str, build: impl FnOnce(&mut shift_ir::FnBuilder)) -> LoweredFn {
+        let mut pb = ProgramBuilder::new();
+        pb.func(name, 0, build);
+        let p = pb.build().unwrap();
+        lower_fn(p.func(name).unwrap(), &HashMap::new())
+    }
+
+    #[test]
+    fn ret_routes_through_epilogue() {
+        let f = lower_named("f", |f| {
+            let v = f.iconst(3);
+            f.ret(Some(v));
+        });
+        let last = f.blocks[0].last().unwrap();
+        assert_eq!(last.op, COp::Jmp(epilabel(&f)));
+        // r8 is set right before.
+        let before = &f.blocks[0][f.blocks[0].len() - 2];
+        assert!(matches!(before.op, COp::Isa(Op::Mov { dst: VR::P(Gpr::R8), .. })));
+    }
+
+    fn epilabel(f: &LoweredFn) -> Label {
+        crate::vcode::epilogue_label(f)
+    }
+
+    #[test]
+    fn branch_fallthrough_elided() {
+        let f = lower_named("f", |f| {
+            let x = f.iconst(1);
+            f.if_cmp(CmpRel::Eq, x, Rhs::Imm(1), |f| {
+                let y = f.iconst(2);
+                f.ret(Some(y));
+            });
+            f.ret(None);
+        });
+        // Entry block ends with cmp + a single predicated jump (then-block is
+        // next in layout, so the taken path falls through under (p2)).
+        let entry = &f.blocks[0];
+        let jumps: Vec<_> =
+            entry.iter().filter(|i| matches!(i.op, COp::Jmp(_))).collect();
+        assert_eq!(jumps.len(), 1, "one fall-through branch expected:\n{entry:#?}");
+        assert_eq!(jumps[0].qp, APP_PF);
+    }
+
+    #[test]
+    fn call_marshals_args() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("callee", 2, |f| f.ret(None));
+        pb.func("main", 0, |f| {
+            let a = f.iconst(1);
+            let b = f.iconst(2);
+            let r = f.call("callee", &[a, b]);
+            f.ret(Some(r));
+        });
+        let p = pb.build().unwrap();
+        let f = lower_fn(p.func("main").unwrap(), &HashMap::new());
+        let code = &f.blocks[0];
+        let call_pos = code.iter().position(|i| matches!(i.op, COp::Call(_))).unwrap();
+        assert!(matches!(
+            code[call_pos - 1].op,
+            COp::Isa(Op::Mov { dst: VR::P(Gpr::R17), .. })
+        ));
+        assert!(matches!(
+            code[call_pos - 2].op,
+            COp::Isa(Op::Mov { dst: VR::P(Gpr::R16), .. })
+        ));
+        assert!(matches!(
+            code[call_pos + 1].op,
+            COp::Isa(Op::Mov { src: VR::P(Gpr::R8), .. })
+        ));
+        assert!(f.has_calls);
+    }
+
+    #[test]
+    fn locals_are_sp_relative_and_aligned() {
+        let f = lower_named("f", |f| {
+            let a = f.local(3); // rounds to 8
+            let b = f.local(8);
+            let pa = f.local_addr(a);
+            let pb_ = f.local_addr(b);
+            let d = f.sub(pb_, pa);
+            f.ret(Some(d));
+        });
+        assert_eq!(f.locals_size, 16);
+        let offs: Vec<i64> = f.blocks[0]
+            .iter()
+            .filter_map(|i| match i.op {
+                COp::Isa(Op::AluI { src1: VR::P(Gpr::R12), imm, .. }) => Some(imm),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(offs, vec![0, 8]);
+    }
+
+    #[test]
+    fn params_copied_from_abi_registers() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", 2, |f| {
+            let a = f.param(0);
+            let b = f.param(1);
+            let s = f.add(a, b);
+            f.ret(Some(s));
+        });
+        let p = pb.build().unwrap();
+        let f = lower_fn(p.func("f").unwrap(), &HashMap::new());
+        assert!(matches!(
+            f.blocks[0][0].op,
+            COp::Isa(Op::Mov { dst: VR::V(VReg(0)), src: VR::P(Gpr::R16) })
+        ));
+        assert!(matches!(
+            f.blocks[0][1].op,
+            COp::Isa(Op::Mov { dst: VR::V(VReg(1)), src: VR::P(Gpr::R17) })
+        ));
+    }
+}

@@ -1,0 +1,127 @@
+//! Post-instrumentation peephole cleanup.
+//!
+//! Two safe, local rewrites on allocated code:
+//!
+//! * **self-move elimination** — `mov rX = rX` does nothing (value and NaT
+//!   bit both preserved trivially); lowering produces these when the
+//!   register allocator assigns a `Mov`'s source and destination to the same
+//!   physical register (common for argument marshalling);
+//! * **jump-to-next elimination** — an unconditional branch whose target
+//!   label binds immediately after it (possibly through other labels) is a
+//!   fall-through; lowering's single-epilogue scheme produces these at the
+//!   last return site of straight-line functions.
+//!
+//! Both apply to every compilation mode, so baselines and instrumented
+//! builds benefit equally and slowdown ratios stay honest.
+
+use shift_isa::{Gpr, Op, Pr};
+
+use crate::vcode::{CInsn, COp, Label};
+
+/// Statistics from one peephole run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PeepholeStats {
+    /// `mov rX = rX` instructions removed.
+    pub self_moves: usize,
+    /// Unconditional jumps to the immediately following label removed.
+    pub fallthrough_jumps: usize,
+}
+
+/// Runs the peephole pass over one function's code.
+pub fn peephole(code: Vec<CInsn<Gpr>>) -> (Vec<CInsn<Gpr>>, PeepholeStats) {
+    let mut stats = PeepholeStats::default();
+    let mut out: Vec<CInsn<Gpr>> = Vec::with_capacity(code.len());
+
+    for (i, insn) in code.iter().enumerate() {
+        // Self-moves: value and tag are preserved by doing nothing.
+        if let COp::Isa(Op::Mov { dst, src }) = &insn.op {
+            if dst == src {
+                stats.self_moves += 1;
+                continue;
+            }
+        }
+        // Unconditional jump to a label that binds before the next real
+        // instruction.
+        if insn.qp == Pr::P0 {
+            if let COp::Jmp(target) = &insn.op {
+                if falls_through(&code[i + 1..], *target) {
+                    stats.fallthrough_jumps += 1;
+                    continue;
+                }
+            }
+        }
+        out.push(insn.clone());
+    }
+    (out, stats)
+}
+
+/// Does `label` bind before any code-emitting instruction in `rest`?
+fn falls_through(rest: &[CInsn<Gpr>], label: Label) -> bool {
+    for insn in rest {
+        match &insn.op {
+            COp::Bind(l) if *l == label => return true,
+            COp::Bind(_) => continue,
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_isa::AluOp;
+
+    fn mov(dst: Gpr, src: Gpr) -> CInsn<Gpr> {
+        CInsn::isa(Op::Mov { dst, src })
+    }
+
+    #[test]
+    fn removes_self_moves_only() {
+        let code = vec![mov(Gpr::R3, Gpr::R3), mov(Gpr::R3, Gpr::R4), mov(Gpr::R5, Gpr::R5)];
+        let (out, stats) = peephole(code);
+        assert_eq!(stats.self_moves, 2);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].op, COp::Isa(Op::Mov { dst: Gpr::R3, src: Gpr::R4 })));
+    }
+
+    #[test]
+    fn removes_jump_to_next_label() {
+        let code = vec![
+            CInsn::new(COp::Jmp(Label(2))),
+            CInsn::new(COp::Bind(Label(1))),
+            CInsn::new(COp::Bind(Label(2))),
+            CInsn::isa(Op::Halt),
+        ];
+        let (out, stats) = peephole(code);
+        assert_eq!(stats.fallthrough_jumps, 1);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn keeps_real_jumps_and_predicated_jumps() {
+        let code = vec![
+            // Taken jump over an instruction: must stay.
+            CInsn::new(COp::Jmp(Label(9))),
+            CInsn::isa(Op::AluI { op: AluOp::Add, dst: Gpr::R1, src1: Gpr::R1, imm: 1 }),
+            CInsn::new(COp::Bind(Label(9))),
+            // Predicated jump to next: must stay (it may be the not-taken
+            // leg of a conditional, and removing it changes semantics only
+            // if the predicate analysis is wrong — don't risk it).
+            CInsn::new(COp::Jmp(Label(10))).under(Pr::P1),
+            CInsn::new(COp::Bind(Label(10))),
+        ];
+        let expect = code.len();
+        let (out, stats) = peephole(code);
+        assert_eq!(stats.fallthrough_jumps, 0);
+        assert_eq!(out.len(), expect);
+    }
+
+    #[test]
+    fn glue_self_moves_also_removed() {
+        let code = vec![mov(Gpr::R8, Gpr::R8).glued()];
+        let (out, stats) = peephole(code);
+        assert_eq!(stats.self_moves, 1);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Taint-source and policy configuration.
+//!
+//! The paper's SHIFT is configured by "writing a simple configuration file"
+//! that the instrumenting compiler and runtime read (§3.3.1, §4.2). This
+//! module provides the same: a [`TaintConfig`] value, constructible in code
+//! or parsed from the paper-style text format:
+//!
+//! ```text
+//! # taint sources
+//! source network on
+//! source disk on
+//! source keyboard off
+//! source args off
+//!
+//! # policies
+//! policy H1 on
+//! policy H3 off
+//! ```
+
+use std::collections::HashSet;
+
+use crate::policy::Policy;
+
+/// A taint-source channel (§3.3.1's list of potential sources).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Source {
+    /// Network I/O (`net_read`).
+    Network,
+    /// Disk files (`file_read`).
+    Disk,
+    /// Keyboard input (`kbd_read`).
+    Keyboard,
+    /// Program arguments (`get_arg`) — how `tar`-style attacks arrive.
+    Args,
+}
+
+impl Source {
+    /// All channels.
+    pub const ALL: [Source; 4] = [Source::Network, Source::Disk, Source::Keyboard, Source::Args];
+
+    /// Configuration-file keyword.
+    pub const fn keyword(self) -> &'static str {
+        match self {
+            Source::Network => "network",
+            Source::Disk => "disk",
+            Source::Keyboard => "keyboard",
+            Source::Args => "args",
+        }
+    }
+}
+
+/// Which channels taint data and which policies are armed.
+#[derive(Clone, Debug)]
+pub struct TaintConfig {
+    sources: HashSet<Source>,
+    policies: HashSet<Policy>,
+}
+
+impl TaintConfig {
+    /// The paper's default server posture: network, disk, keyboard and
+    /// argument input tainted; every policy armed (low-level policies are
+    /// "usually turned on as the default policies", §5.1).
+    pub fn default_secure() -> TaintConfig {
+        TaintConfig {
+            sources: Source::ALL.into_iter().collect(),
+            policies: Policy::ALL.into_iter().collect(),
+        }
+    }
+
+    /// No sources, no policies: the configuration used for pure performance
+    /// baselines with untainted input ("-safe" bars in Figure 7).
+    pub fn off() -> TaintConfig {
+        TaintConfig { sources: HashSet::new(), policies: HashSet::new() }
+    }
+
+    /// Enables or disables a source channel.
+    pub fn set_source(&mut self, s: Source, on: bool) -> &mut Self {
+        if on {
+            self.sources.insert(s);
+        } else {
+            self.sources.remove(&s);
+        }
+        self
+    }
+
+    /// Enables or disables a policy.
+    pub fn set_policy(&mut self, p: Policy, on: bool) -> &mut Self {
+        if on {
+            self.policies.insert(p);
+        } else {
+            self.policies.remove(&p);
+        }
+        self
+    }
+
+    /// Is the channel a taint source?
+    pub fn source_on(&self, s: Source) -> bool {
+        self.sources.contains(&s)
+    }
+
+    /// Is the policy armed?
+    pub fn policy_on(&self, p: Policy) -> bool {
+        self.policies.contains(&p)
+    }
+
+    /// Parses the paper-style configuration format. Unknown lines are
+    /// errors; `#` starts a comment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<TaintConfig, String> {
+        let mut cfg = TaintConfig::off();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (kind, name, state) = (parts.next(), parts.next(), parts.next());
+            let on = match state {
+                Some("on") => true,
+                Some("off") => false,
+                _ => return Err(format!("line {}: expected `on` or `off`", ln + 1)),
+            };
+            match (kind, name) {
+                (Some("source"), Some(n)) => {
+                    let s = Source::ALL
+                        .into_iter()
+                        .find(|s| s.keyword() == n)
+                        .ok_or_else(|| format!("line {}: unknown source `{n}`", ln + 1))?;
+                    cfg.set_source(s, on);
+                }
+                (Some("policy"), Some(n)) => {
+                    let p = Policy::ALL
+                        .into_iter()
+                        .find(|p| p.name() == n)
+                        .ok_or_else(|| format!("line {}: unknown policy `{n}`", ln + 1))?;
+                    cfg.set_policy(p, on);
+                }
+                _ => return Err(format!("line {}: expected `source` or `policy`", ln + 1)),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+impl Default for TaintConfig {
+    fn default() -> Self {
+        TaintConfig::default_secure()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_arms_everything() {
+        let cfg = TaintConfig::default();
+        for s in Source::ALL {
+            assert!(cfg.source_on(s));
+        }
+        for p in Policy::ALL {
+            assert!(cfg.policy_on(p));
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let cfg = TaintConfig::parse(
+            "# server posture\n\
+             source network on\n\
+             source disk off\n\
+             policy H1 on\n\
+             policy H5 on  # xss\n\
+             policy L3 on\n",
+        )
+        .unwrap();
+        assert!(cfg.source_on(Source::Network));
+        assert!(!cfg.source_on(Source::Disk));
+        assert!(cfg.policy_on(Policy::H1));
+        assert!(cfg.policy_on(Policy::H5));
+        assert!(!cfg.policy_on(Policy::H3));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TaintConfig::parse("source network maybe").is_err());
+        assert!(TaintConfig::parse("source floppy on").is_err());
+        assert!(TaintConfig::parse("policy H9 on").is_err());
+        assert!(TaintConfig::parse("frobnicate all the things").is_err());
+    }
+
+    #[test]
+    fn toggling() {
+        let mut cfg = TaintConfig::off();
+        cfg.set_source(Source::Network, true).set_policy(Policy::H3, true);
+        assert!(cfg.source_on(Source::Network));
+        assert!(cfg.policy_on(Policy::H3));
+        cfg.set_policy(Policy::H3, false);
+        assert!(!cfg.policy_on(Policy::H3));
+    }
+}

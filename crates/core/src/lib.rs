@@ -1,0 +1,409 @@
+//! # shift-core — SHIFT itself
+//!
+//! This crate assembles the substrates into the system the paper describes:
+//!
+//! * [`policy`] — the Table-1 security policies, high-level (H1–H5, checked
+//!   in software at sinks) and low-level (L1–L3, enforced by NaT-consumption
+//!   faults);
+//! * [`TaintConfig`] — the paper's configuration file: which input channels
+//!   taint data, which policies are armed;
+//! * [`Runtime`] — the host OS/policy engine the guest traps into: taint
+//!   sources mark both the guest's in-memory bitmap and a host-side ground
+//!   truth shadow; sinks evaluate policies over the *guest-maintained*
+//!   bitmap;
+//! * [`libc_program`] — the guest C library, written in IR and instrumented
+//!   like application code (real `strcpy` overflows, real `%n`);
+//! * [`Shift`] — the end-to-end session: link an application against the
+//!   libc, compile it in a chosen [`Mode`], run it against a [`World`], and
+//!   report the exit, the detection (if any), and full cycle accounting.
+//!
+//! ## Example: detect the paper's Figure-1 style overflow
+//!
+//! ```
+//! use shift_core::{Mode, Shift, ShiftOptions, World, Granularity};
+//! use shift_ir::{ProgramBuilder, Rhs};
+//! use shift_isa::{sys, CmpRel};
+//!
+//! // A server that copies network input into a 16-byte stack buffer with
+//! // strcpy (no length check), then trusts an adjacent value — guarded
+//! // with a chk.s check on the critical data (§3.3.3).
+//! let mut pb = ProgramBuilder::new();
+//! pb.func("main", 0, |f| {
+//!     let buf = f.local(16);
+//!     let trusted = f.local(8);
+//!     let req = f.local(128);
+//!     let reqp = f.local_addr(req);
+//!     let cap = f.iconst(120);
+//!     f.syscall_void(sys::NET_READ, &[reqp, cap]);
+//!     let bufp = f.local_addr(buf);
+//!     f.call_void("strcpy", &[bufp, reqp]);          // overflow!
+//!     let tp = f.local_addr(trusted);
+//!     let v = f.load8(tp, 0);
+//!     f.guard(v);                                    // chk.s before use
+//!     let z = f.iconst(0);
+//!     f.ret(Some(z));
+//! });
+//! let app = pb.build().unwrap();
+//!
+//! let shift = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)));
+//! let report = shift
+//!     .run(&app, World::new().net(vec![b'A'; 64]))  // 64 > 16: smash
+//!     .unwrap();
+//! assert!(report.exit.is_detection());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod libc;
+pub mod policy;
+mod runtime;
+
+pub use config::{Source, TaintConfig};
+pub use libc::{libc_program, LIBC_FUNCS};
+pub use policy::Policy;
+pub use runtime::{IoCostModel, Runtime, World};
+
+// Re-export the pieces callers need to drive a session without extra deps.
+pub use shift_compiler::{CompileError, CompiledProgram, Compiler, Mode, ShiftOptions};
+pub use shift_machine::{Exit, Fault, NatFaultKind, Stats, Violation};
+pub use shift_tagmap::Granularity;
+
+use shift_ir::Program;
+use shift_machine::Machine;
+
+/// An end-to-end SHIFT session: configuration + compiler mode.
+#[derive(Clone, Debug)]
+pub struct Shift {
+    mode: Mode,
+    config: TaintConfig,
+    io: IoCostModel,
+    insn_limit: u64,
+}
+
+/// Everything observable about one guest run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// How the run ended.
+    pub exit: Exit,
+    /// Cycle/instruction accounting (cloned out of the machine).
+    pub stats: Stats,
+    /// The runtime, with its logs, outputs, filesystem, and shadow map.
+    pub runtime: Runtime,
+    /// The machine in its final state (registers, memory, caches).
+    pub machine: Machine,
+}
+
+impl RunReport {
+    /// The policy whose violation ended the run, if the run was a detection:
+    /// high-level violations carry their policy name; NaT-consumption faults
+    /// map to L1/L2/L3.
+    pub fn detected_policy(&self) -> Option<Policy> {
+        match &self.exit {
+            Exit::Violation(v) => Policy::ALL.into_iter().find(|p| p.name() == v.policy),
+            Exit::Fault(Fault::NatConsumption { kind, .. }) => Some(Policy::from_fault(*kind)),
+            _ => None,
+        }
+    }
+
+    /// Concatenated `print` output, lossily decoded.
+    pub fn log_text(&self) -> String {
+        self.runtime.log.iter().map(|l| String::from_utf8_lossy(l).into_owned()).collect()
+    }
+}
+
+impl Shift {
+    /// Creates a session with the paper's default-secure configuration.
+    pub fn new(mode: Mode) -> Shift {
+        Shift {
+            mode,
+            config: TaintConfig::default_secure(),
+            io: IoCostModel::FREE,
+            insn_limit: 500_000_000,
+        }
+    }
+
+    /// Replaces the taint/policy configuration.
+    pub fn with_config(mut self, config: TaintConfig) -> Shift {
+        self.config = config;
+        self
+    }
+
+    /// Sets the I/O latency model.
+    pub fn with_io(mut self, io: IoCostModel) -> Shift {
+        self.io = io;
+        self
+    }
+
+    /// Overrides the instruction budget per run.
+    pub fn with_insn_limit(mut self, limit: u64) -> Shift {
+        self.insn_limit = limit;
+        self
+    }
+
+    /// The session's compiler mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The tag granularity implied by the mode (`None` when uninstrumented).
+    pub fn granularity(&self) -> Option<Granularity> {
+        match self.mode {
+            Mode::Uninstrumented => None,
+            Mode::Shift(opts) => Some(opts.granularity),
+            Mode::Shadow(gran) => Some(gran),
+        }
+    }
+
+    /// Links `app` against the guest libc and compiles it in this session's
+    /// mode.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] on invalid IR or unresolved symbols.
+    pub fn compile(&self, app: &Program) -> Result<CompiledProgram, CompileError> {
+        let mut linked = app.clone();
+        linked.link(libc_program());
+        Compiler::new(self.mode).compile(&linked)
+    }
+
+    /// Compiles (with libc) and runs `app` against `world`.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] on invalid IR or unresolved symbols.
+    pub fn run(&self, app: &Program, world: World) -> Result<RunReport, CompileError> {
+        let compiled = self.compile(app)?;
+        Ok(self.run_compiled(&compiled, world))
+    }
+
+    /// Runs an already-compiled program against `world`.
+    pub fn run_compiled(&self, compiled: &CompiledProgram, world: World) -> RunReport {
+        let mut machine = Machine::new(&compiled.image);
+        let mut runtime =
+            Runtime::new(self.config.clone(), world, self.granularity()).with_io(self.io);
+        let exit = machine.run(&mut runtime, self.insn_limit);
+        RunReport { exit, stats: machine.stats.clone(), runtime, machine }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_ir::{ProgramBuilder, Rhs};
+    use shift_isa::{sys, CmpRel};
+
+    fn byte_shift() -> Shift {
+        Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+    }
+
+    /// Echo server: read network input, copy it with strcpy into a large
+    /// enough buffer, write it back out. Benign.
+    fn echo_app() -> shift_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let req = f.local(256);
+            let reqp = f.local_addr(req);
+            let copy = f.local(256);
+            let copyp = f.local_addr(copy);
+            let cap = f.iconst(255);
+            let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+            let end = f.add(reqp, n);
+            let z = f.iconst(0);
+            f.store1(z, end, 0);
+            f.call_void("strcpy", &[copyp, reqp]);
+            let len = f.call("strlen", &[copyp]);
+            f.syscall_void(sys::NET_WRITE, &[copyp, len]);
+            let zero = f.iconst(0);
+            f.ret(Some(zero));
+        });
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn echo_round_trip_with_taint_tracking() {
+        let report =
+            byte_shift().run(&echo_app(), World::new().net(&b"hello over the wire"[..])).unwrap();
+        assert!(report.exit.is_clean(), "{:?}", report.exit);
+        assert_eq!(report.runtime.net_output, b"hello over the wire");
+        assert_eq!(report.detected_policy(), None);
+    }
+
+    #[test]
+    fn taint_flows_through_strcpy_into_the_copy() {
+        // After the run, the *copy* buffer (written only by instrumented
+        // guest code, never by the runtime) must be tainted in the guest
+        // bitmap, and must agree with ground truth... which requires the
+        // shadow to have been propagated. The host shadow only knows source
+        // writes, so here we check the guest bitmap directly via the
+        // violation-free sink path: sending tainted bytes to sql_exec with a
+        // quote must trip H3 *after the copy*.
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let req = f.local(128);
+            let reqp = f.local_addr(req);
+            let copy = f.local(128);
+            let copyp = f.local_addr(copy);
+            let cap = f.iconst(127);
+            let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+            let end = f.add(reqp, n);
+            let z = f.iconst(0);
+            f.store1(z, end, 0);
+            f.call_void("strcpy", &[copyp, reqp]);
+            let len = f.call("strlen", &[copyp]);
+            f.syscall_void(sys::SQL_EXEC, &[copyp, len]);
+            let zero = f.iconst(0);
+            f.ret(Some(zero));
+        });
+        let app = pb.build().unwrap();
+        let report =
+            byte_shift().run(&app, World::new().net(&b"x' OR '1'='1"[..])).unwrap();
+        assert_eq!(report.detected_policy(), Some(Policy::H3), "{:?}", report.exit);
+    }
+
+    #[test]
+    fn same_attack_succeeds_without_shift() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let req = f.local(128);
+            let reqp = f.local_addr(req);
+            let cap = f.iconst(127);
+            let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+            f.syscall_void(sys::SQL_EXEC, &[reqp, n]);
+            let zero = f.iconst(0);
+            f.ret(Some(zero));
+        });
+        let app = pb.build().unwrap();
+        let shift = Shift::new(Mode::Uninstrumented);
+        let report = shift.run(&app, World::new().net(&b"x' OR '1'='1"[..])).unwrap();
+        assert!(report.exit.is_clean());
+        assert_eq!(report.runtime.sql_log.len(), 1, "the injection executed unnoticed");
+    }
+
+    #[test]
+    fn overflow_into_function_pointer_trips_l3() {
+        // Figure-1-shaped: strcpy past a small buffer into an adjacent
+        // function pointer; calling through it moves tainted data into a
+        // branch register.
+        let mut pb = ProgramBuilder::new();
+        pb.func("helper", 0, |f| f.ret(None));
+        pb.func("main", 0, |f| {
+            let small = f.local(16);
+            let fnptr = f.local(8);
+            let req = f.local(128);
+            let reqp = f.local_addr(req);
+            // Initialize the "GOT entry" with a legitimate value.
+            let fpp = f.local_addr(fnptr);
+            let legit = f.iconst(7);
+            f.store8(legit, fpp, 0);
+            let cap = f.iconst(127);
+            let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+            let end = f.add(reqp, n);
+            let z = f.iconst(0);
+            f.store1(z, end, 0);
+            let smallp = f.local_addr(small);
+            f.call_void("strcpy", &[smallp, reqp]); // may overflow into fnptr
+            // Use the pointer as a load address (tainted ⇒ L1 fault).
+            let v = f.load8(fpp, 0);
+            let t = f.load1(v, 0);
+            let folded = f.andi(t, 0);
+            f.ret(Some(folded));
+        });
+        let app = pb.build().unwrap();
+
+        // Benign input fits: no alarm, pointer untouched.
+        let benign = byte_shift()
+            .run(&app, World::new().net(&b"short"[..]).file("x", vec![7u8; 8]))
+            .unwrap();
+        assert!(!benign.exit.is_detection(), "false positive: {:?}", benign.exit);
+
+        // 40 tainted bytes smash through the 16-byte buffer into fnptr.
+        let atk = byte_shift().run(&app, World::new().net(vec![b'A'; 40])).unwrap();
+        assert!(atk.exit.is_detection(), "{:?}", atk.exit);
+        assert_eq!(atk.detected_policy(), Some(Policy::L1));
+    }
+
+    #[test]
+    fn word_level_tracking_also_detects() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let req = f.local(64);
+            let reqp = f.local_addr(req);
+            let cap = f.iconst(63);
+            let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+            f.syscall_void(sys::SQL_EXEC, &[reqp, n]);
+            let zero = f.iconst(0);
+            f.ret(Some(zero));
+        });
+        let app = pb.build().unwrap();
+        let shift = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Word)));
+        let report = shift.run(&app, World::new().net(&b"';--"[..])).unwrap();
+        assert_eq!(report.detected_policy(), Some(Policy::H3));
+    }
+
+    #[test]
+    fn benign_workload_has_no_false_positives_across_modes() {
+        // Compute over tainted input without illegal uses: checksum bytes,
+        // with a sanitized table lookup.
+        let mut pb = ProgramBuilder::new();
+        let table = pb.global("tbl", 256, (0u8..=255).collect());
+        pb.func("main", 0, move |f| {
+            let req = f.local(64);
+            let reqp = f.local_addr(req);
+            let cap = f.iconst(64);
+            let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+            let tbl = f.global_addr(table);
+            let sum = f.iconst(0);
+            f.for_up(Rhs::Imm(0), Rhs::Reg(n), |f, i| {
+                let p = f.add(reqp, i);
+                let c = f.load1(p, 0);
+                // Bounds-checked table index (the §3.3.2 pattern).
+                let masked = f.andi(c, 0xff);
+                let idx = f.sanitize(masked);
+                let tp = f.add(tbl, idx);
+                let tv = f.load1(tp, 0);
+                let s = f.add(sum, tv);
+                f.assign(sum, s);
+            });
+            f.if_cmp(CmpRel::Ne, sum, Rhs::Imm(0), |f| {
+                let ok = f.iconst(0);
+                f.ret(Some(ok));
+            });
+            let z = f.iconst(0);
+            f.ret(Some(z));
+        });
+        let app = pb.build().unwrap();
+        for mode in [
+            Mode::Uninstrumented,
+            Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
+            Mode::Shift(ShiftOptions::baseline(Granularity::Word)),
+            Mode::Shift(ShiftOptions::enhanced(Granularity::Byte)),
+        ] {
+            let report = Shift::new(mode)
+                .run(&app, World::new().net(&b"payload bytes"[..]))
+                .unwrap();
+            assert!(report.exit.is_clean(), "{mode:?}: {:?}", report.exit);
+        }
+    }
+
+    #[test]
+    fn parsed_config_drives_the_session() {
+        let cfg = TaintConfig::parse("source network off\npolicy H3 on\n").unwrap();
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let req = f.local(64);
+            let reqp = f.local_addr(req);
+            let cap = f.iconst(63);
+            let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+            f.syscall_void(sys::SQL_EXEC, &[reqp, n]);
+            let z = f.iconst(0);
+            f.ret(Some(z));
+        });
+        let app = pb.build().unwrap();
+        // Network is not a source: the injection goes unnoticed.
+        let report =
+            byte_shift().with_config(cfg).run(&app, World::new().net(&b"';--"[..])).unwrap();
+        assert!(report.exit.is_clean());
+    }
+}

@@ -1,0 +1,846 @@
+//! The guest C library, written in IR and instrumented like user code.
+//!
+//! The paper instruments glibc with the same GCC pass as applications
+//! (Table 3's first row measures its code-size expansion) and summarizes a
+//! handful of assembly routines with *wrap functions*. Here the whole
+//! library is IR — byte loops, no assembly — so every `strcpy` executes real
+//! instrumented loads and stores in guest memory. That is what makes the
+//! attack corpus honest: a `strcpy` overflow really does smear tainted bytes
+//! across an adjacent stack buffer, tag by tag.
+//!
+//! Provided routines: `strlen`, `strcpy`, `strncpy`, `strcat`, `strncat`,
+//! `strcmp`, `strncmp`, `strcasecmp`, `strchr`, `strrchr`, `strstr`,
+//! `memcpy`, `memmove`, `memset`, `memcmp`, `atoi`, `utoa`, `utox`, and
+//! `vformat` — a miniature
+//! `vsprintf` with `%s %d %x %c %% %n` whose `%n` is the classic
+//! format-string write primitive (the Bftpd attack's vehicle).
+
+use shift_ir::{FnBuilder, Program, ProgramBuilder, Rhs, VReg};
+use shift_isa::CmpRel;
+
+/// Names of the functions [`libc_program`] defines, for Table 3's
+/// glibc-vs-application code-size split.
+pub const LIBC_FUNCS: &[&str] = &[
+    "strlen",
+    "strcpy",
+    "strncpy",
+    "strcat",
+    "strcmp",
+    "strncmp",
+    "strcasecmp",
+    "strchr",
+    "strstr",
+    "memcpy",
+    "memset",
+    "memcmp",
+    "atoi",
+    "utoa",
+    "utox",
+    "vformat",
+    "memmove",
+    "strncat",
+    "strrchr",
+    "__udiv",
+];
+
+/// Emits `fresh = tolower(c)` branch-free: `c + 32·(c in 'A'..='Z')`.
+fn lower(f: &mut FnBuilder, c: VReg) -> VReg {
+    let ge = f.set_cmp(CmpRel::Ge, c, Rhs::Imm('A' as i64));
+    let le = f.set_cmp(CmpRel::Le, c, Rhs::Imm('Z' as i64));
+    let both = f.and(ge, le);
+    let delta = f.muli(both, 32);
+    f.add(c, delta)
+}
+
+/// Builds the guest libc as a standalone (main-less) program, ready to be
+/// linked into an application with [`shift_ir::Program::link`].
+pub fn libc_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+
+    // ---- strlen(s) -> n ---------------------------------------------------
+    pb.func("strlen", 1, |f| {
+        let s = f.param(0);
+        let n = f.iconst(0);
+        f.loop_(|f| {
+            let p = f.add(s, n);
+            let c = f.load1(p, 0);
+            f.if_cmp(CmpRel::Eq, c, Rhs::Imm(0), |f| f.break_());
+            let n1 = f.addi(n, 1);
+            f.assign(n, n1);
+        });
+        f.ret(Some(n));
+    });
+
+    // ---- strcpy(dst, src) -> dst  (no bounds check — by design) -----------
+    pb.func("strcpy", 2, |f| {
+        let dst = f.param(0);
+        let src = f.param(1);
+        let i = f.iconst(0);
+        f.loop_(|f| {
+            let sp = f.add(src, i);
+            let c = f.load1(sp, 0);
+            let dp = f.add(dst, i);
+            f.store1(c, dp, 0);
+            f.if_cmp(CmpRel::Eq, c, Rhs::Imm(0), |f| f.break_());
+            let i1 = f.addi(i, 1);
+            f.assign(i, i1);
+        });
+        f.ret(Some(dst));
+    });
+
+    // ---- strncpy(dst, src, n) -> dst ---------------------------------------
+    pb.func("strncpy", 3, |f| {
+        let dst = f.param(0);
+        let src = f.param(1);
+        let n = f.param(2);
+        let done = f.iconst(0); // set once the source NUL has been copied
+        f.for_up(Rhs::Imm(0), Rhs::Reg(n), |f, i| {
+            let dp = f.add(dst, i);
+            f.if_else_cmp(
+                CmpRel::Ne,
+                done,
+                Rhs::Imm(0),
+                |f| {
+                    let z = f.iconst(0);
+                    f.store1(z, dp, 0);
+                },
+                |f| {
+                    let sp = f.add(src, i);
+                    let c = f.load1(sp, 0);
+                    f.store1(c, dp, 0);
+                    f.if_cmp(CmpRel::Eq, c, Rhs::Imm(0), |f| f.assign_imm(done, 1));
+                },
+            );
+        });
+        f.ret(Some(dst));
+    });
+
+    // ---- strcat(dst, src) -> dst -------------------------------------------
+    pb.func("strcat", 2, |f| {
+        let dst = f.param(0);
+        let src = f.param(1);
+        let n = f.call("strlen", &[dst]);
+        let tail = f.add(dst, n);
+        f.call_void("strcpy", &[tail, src]);
+        f.ret(Some(dst));
+    });
+
+    // ---- strcmp(a, b) -> -1/0/1 --------------------------------------------
+    pb.func("strcmp", 2, |f| {
+        let a = f.param(0);
+        let b = f.param(1);
+        let i = f.iconst(0);
+        let out = f.iconst(0);
+        f.loop_(|f| {
+            let pa = f.add(a, i);
+            let ca = f.load1(pa, 0);
+            let pb_ = f.add(b, i);
+            let cb = f.load1(pb_, 0);
+            f.if_cmp(CmpRel::Lt, ca, Rhs::Reg(cb), |f| {
+                f.assign_imm(out, -1);
+                f.break_();
+            });
+            f.if_cmp(CmpRel::Gt, ca, Rhs::Reg(cb), |f| {
+                f.assign_imm(out, 1);
+                f.break_();
+            });
+            f.if_cmp(CmpRel::Eq, ca, Rhs::Imm(0), |f| f.break_());
+            let i1 = f.addi(i, 1);
+            f.assign(i, i1);
+        });
+        f.ret(Some(out));
+    });
+
+    // ---- strncmp(a, b, n) -> -1/0/1 ------------------------------------------
+    pb.func("strncmp", 3, |f| {
+        let a = f.param(0);
+        let b = f.param(1);
+        let n = f.param(2);
+        let i = f.iconst(0);
+        let out = f.iconst(0);
+        f.while_cmp(
+            |f| (CmpRel::Lt, f.use_of(i), Rhs::Reg(n)),
+            |f| {
+                let pa = f.add(a, i);
+                let ca = f.load1(pa, 0);
+                let pb_ = f.add(b, i);
+                let cb = f.load1(pb_, 0);
+                f.if_cmp(CmpRel::Lt, ca, Rhs::Reg(cb), |f| {
+                    f.assign_imm(out, -1);
+                    f.break_();
+                });
+                f.if_cmp(CmpRel::Gt, ca, Rhs::Reg(cb), |f| {
+                    f.assign_imm(out, 1);
+                    f.break_();
+                });
+                f.if_cmp(CmpRel::Eq, ca, Rhs::Imm(0), |f| f.break_());
+                let i1 = f.addi(i, 1);
+                f.assign(i, i1);
+            },
+        );
+        f.ret(Some(out));
+    });
+
+    // ---- strcasecmp(a, b) -> -1/0/1 ------------------------------------------
+    pb.func("strcasecmp", 2, |f| {
+        let a = f.param(0);
+        let b = f.param(1);
+        let i = f.iconst(0);
+        let out = f.iconst(0);
+        f.loop_(|f| {
+            let pa = f.add(a, i);
+            let ca_raw = f.load1(pa, 0);
+            let ca = lower(f, ca_raw);
+            let pb_ = f.add(b, i);
+            let cb_raw = f.load1(pb_, 0);
+            let cb = lower(f, cb_raw);
+            f.if_cmp(CmpRel::Lt, ca, Rhs::Reg(cb), |f| {
+                f.assign_imm(out, -1);
+                f.break_();
+            });
+            f.if_cmp(CmpRel::Gt, ca, Rhs::Reg(cb), |f| {
+                f.assign_imm(out, 1);
+                f.break_();
+            });
+            f.if_cmp(CmpRel::Eq, ca, Rhs::Imm(0), |f| f.break_());
+            let i1 = f.addi(i, 1);
+            f.assign(i, i1);
+        });
+        f.ret(Some(out));
+    });
+
+    // ---- strchr(s, c) -> ptr | 0 ---------------------------------------------
+    pb.func("strchr", 2, |f| {
+        let s = f.param(0);
+        let c = f.param(1);
+        let p = f.fresh();
+        f.assign(p, s);
+        let out = f.iconst(0);
+        f.loop_(|f| {
+            let ch = f.load1(p, 0);
+            f.if_cmp(CmpRel::Eq, ch, Rhs::Reg(c), |f| {
+                f.assign(out, p);
+                f.break_();
+            });
+            f.if_cmp(CmpRel::Eq, ch, Rhs::Imm(0), |f| f.break_());
+            let p1 = f.addi(p, 1);
+            f.assign(p, p1);
+        });
+        f.ret(Some(out));
+    });
+
+    // ---- strstr(hay, needle) -> ptr | 0 ----------------------------------------
+    pb.func("strstr", 2, |f| {
+        let hay = f.param(0);
+        let needle = f.param(1);
+        let nlen = f.call("strlen", &[needle]);
+        let out = f.iconst(0);
+        f.if_cmp(CmpRel::Eq, nlen, Rhs::Imm(0), |f| {
+            f.ret(Some(hay));
+        });
+        let p = f.fresh();
+        f.assign(p, hay);
+        f.loop_(|f| {
+            let ch = f.load1(p, 0);
+            f.if_cmp(CmpRel::Eq, ch, Rhs::Imm(0), |f| f.break_());
+            let r = f.call("strncmp", &[p, needle, nlen]);
+            f.if_cmp(CmpRel::Eq, r, Rhs::Imm(0), |f| {
+                f.assign(out, p);
+                f.break_();
+            });
+            let p1 = f.addi(p, 1);
+            f.assign(p, p1);
+        });
+        f.ret(Some(out));
+    });
+
+    // ---- memcpy(dst, src, n) -> dst ---------------------------------------------
+    pb.func("memcpy", 3, |f| {
+        let dst = f.param(0);
+        let src = f.param(1);
+        let n = f.param(2);
+        f.for_up(Rhs::Imm(0), Rhs::Reg(n), |f, i| {
+            let sp = f.add(src, i);
+            let c = f.load1(sp, 0);
+            let dp = f.add(dst, i);
+            f.store1(c, dp, 0);
+        });
+        f.ret(Some(dst));
+    });
+
+    // ---- memset(dst, c, n) -> dst --------------------------------------------------
+    pb.func("memset", 3, |f| {
+        let dst = f.param(0);
+        let c = f.param(1);
+        let n = f.param(2);
+        f.for_up(Rhs::Imm(0), Rhs::Reg(n), |f, i| {
+            let dp = f.add(dst, i);
+            f.store1(c, dp, 0);
+        });
+        f.ret(Some(dst));
+    });
+
+    // ---- memcmp(a, b, n) -> -1/0/1 ----------------------------------------------------
+    pb.func("memcmp", 3, |f| {
+        let a = f.param(0);
+        let b = f.param(1);
+        let n = f.param(2);
+        let out = f.iconst(0);
+        f.for_up(Rhs::Imm(0), Rhs::Reg(n), |f, i| {
+            let pa = f.add(a, i);
+            let ca = f.load1(pa, 0);
+            let pb_ = f.add(b, i);
+            let cb = f.load1(pb_, 0);
+            f.if_cmp(CmpRel::Lt, ca, Rhs::Reg(cb), |f| {
+                f.assign_imm(out, -1);
+                f.break_();
+            });
+            f.if_cmp(CmpRel::Gt, ca, Rhs::Reg(cb), |f| {
+                f.assign_imm(out, 1);
+                f.break_();
+            });
+        });
+        f.ret(Some(out));
+    });
+
+    // ---- atoi(s) -> value (unsigned decimal prefix) -----------------------------------
+    pb.func("atoi", 1, |f| {
+        let s = f.param(0);
+        let v = f.iconst(0);
+        let p = f.fresh();
+        f.assign(p, s);
+        f.loop_(|f| {
+            let c = f.load1(p, 0);
+            f.if_cmp(CmpRel::Lt, c, Rhs::Imm('0' as i64), |f| f.break_());
+            f.if_cmp(CmpRel::Gt, c, Rhs::Imm('9' as i64), |f| f.break_());
+            let v10 = f.muli(v, 10);
+            let d = f.addi(c, -('0' as i64));
+            let v1 = f.add(v10, d);
+            f.assign(v, v1);
+            let p1 = f.addi(p, 1);
+            f.assign(p, p1);
+        });
+        f.ret(Some(v));
+    });
+
+    // ---- utoa(value, dst) -> len (unsigned decimal, NUL-terminated) -------------------
+    pb.func("utoa", 2, |f| {
+        digits_fn(f, 10);
+    });
+
+    // ---- utox(value, dst) -> len (lowercase hex, NUL-terminated) ----------------------
+    pb.func("utox", 2, |f| {
+        digits_fn(f, 16);
+    });
+
+    // ---- vformat(dst, fmt, args) -> count ----------------------------------------------
+    //
+    // args points to an array of 8-byte values; `%n` stores the running
+    // count through the next argument pointer — the format-string write
+    // primitive. No bounds check on the argument index, like real varargs.
+    pb.func("vformat", 3, |f| {
+        let dst = f.param(0);
+        let fmt = f.param(1);
+        let args = f.param(2);
+        let fp = f.fresh();
+        f.assign(fp, fmt);
+        let cnt = f.iconst(0); // bytes written
+        let ai = f.iconst(0); // argument index
+        f.loop_(|f| {
+            let c = f.load1(fp, 0);
+            let fp1 = f.addi(fp, 1);
+            f.assign(fp, fp1);
+            f.if_cmp(CmpRel::Eq, c, Rhs::Imm(0), |f| f.break_());
+            f.if_else_cmp(
+                CmpRel::Ne,
+                c,
+                Rhs::Imm('%' as i64),
+                |f| {
+                    // Ordinary character.
+                    let out = f.add(dst, cnt);
+                    f.store1(c, out, 0);
+                    let c1 = f.addi(cnt, 1);
+                    f.assign(cnt, c1);
+                },
+                |f| {
+                    let d = f.load1(fp, 0);
+                    let fp2 = f.addi(fp, 1);
+                    f.assign(fp, fp2);
+                    f.if_cmp(CmpRel::Eq, d, Rhs::Imm(0), |f| f.break_());
+                    // Fetch helper: args[ai], bumping ai.
+                    // (Inlined per directive below.)
+                    f.if_cmp(CmpRel::Eq, d, Rhs::Imm('%' as i64), |f| {
+                        let out = f.add(dst, cnt);
+                        let pc = f.iconst('%' as i64);
+                        f.store1(pc, out, 0);
+                        let c1 = f.addi(cnt, 1);
+                        f.assign(cnt, c1);
+                        f.continue_();
+                    });
+                    f.if_cmp(CmpRel::Eq, d, Rhs::Imm('c' as i64), |f| {
+                        let off = f.shli(ai, 3);
+                        let ap = f.add(args, off);
+                        let v = f.load8(ap, 0);
+                        let ai1 = f.addi(ai, 1);
+                        f.assign(ai, ai1);
+                        let out = f.add(dst, cnt);
+                        f.store1(v, out, 0);
+                        let c1 = f.addi(cnt, 1);
+                        f.assign(cnt, c1);
+                        f.continue_();
+                    });
+                    f.if_cmp(CmpRel::Eq, d, Rhs::Imm('s' as i64), |f| {
+                        let off = f.shli(ai, 3);
+                        let ap = f.add(args, off);
+                        let sp = f.load8(ap, 0);
+                        let ai1 = f.addi(ai, 1);
+                        f.assign(ai, ai1);
+                        let out = f.add(dst, cnt);
+                        f.call_void("strcpy", &[out, sp]);
+                        let n = f.call("strlen", &[sp]);
+                        let c1 = f.add(cnt, n);
+                        f.assign(cnt, c1);
+                        f.continue_();
+                    });
+                    f.if_cmp(CmpRel::Eq, d, Rhs::Imm('d' as i64), |f| {
+                        let off = f.shli(ai, 3);
+                        let ap = f.add(args, off);
+                        let v = f.load8(ap, 0);
+                        let ai1 = f.addi(ai, 1);
+                        f.assign(ai, ai1);
+                        let out = f.add(dst, cnt);
+                        let n = f.call("utoa", &[v, out]);
+                        let c1 = f.add(cnt, n);
+                        f.assign(cnt, c1);
+                        f.continue_();
+                    });
+                    f.if_cmp(CmpRel::Eq, d, Rhs::Imm('x' as i64), |f| {
+                        let off = f.shli(ai, 3);
+                        let ap = f.add(args, off);
+                        let v = f.load8(ap, 0);
+                        let ai1 = f.addi(ai, 1);
+                        f.assign(ai, ai1);
+                        let out = f.add(dst, cnt);
+                        let n = f.call("utox", &[v, out]);
+                        let c1 = f.add(cnt, n);
+                        f.assign(cnt, c1);
+                        f.continue_();
+                    });
+                    f.if_cmp(CmpRel::Eq, d, Rhs::Imm('n' as i64), |f| {
+                        // THE format-string primitive: fetch the next
+                        // argument as a pointer, store the count through it.
+                        let off = f.shli(ai, 3);
+                        let ap = f.add(args, off);
+                        let ptr = f.load8(ap, 0);
+                        let ai1 = f.addi(ai, 1);
+                        f.assign(ai, ai1);
+                        f.store8(cnt, ptr, 0);
+                        f.continue_();
+                    });
+                    // Unknown directive: emit verbatim.
+                    let out = f.add(dst, cnt);
+                    f.store1(d, out, 0);
+                    let c1 = f.addi(cnt, 1);
+                    f.assign(cnt, c1);
+                },
+            );
+        });
+        let end = f.add(dst, cnt);
+        let z = f.iconst(0);
+        f.store1(z, end, 0);
+        f.ret(Some(cnt));
+    });
+
+
+    // ---- memmove(dst, src, n) -> dst  (overlap-safe) -----------------------
+    pb.func("memmove", 3, |f| {
+        let dst = f.param(0);
+        let src = f.param(1);
+        let n = f.param(2);
+        // Copy backwards when dst overlaps the tail of src
+        // (dst > src unsigned ⇔ src <u dst).
+        f.if_else_cmp(
+            CmpRel::Ltu,
+            src,
+            Rhs::Reg(dst),
+            |f| {
+                let i = f.fresh();
+                f.assign(i, n);
+                f.while_cmp(
+                    |f| (CmpRel::Gt, f.use_of(i), Rhs::Imm(0)),
+                    |f| {
+                        let i1 = f.addi(i, -1);
+                        f.assign(i, i1);
+                        let sp = f.add(src, i);
+                        let c = f.load1(sp, 0);
+                        let dp = f.add(dst, i);
+                        f.store1(c, dp, 0);
+                    },
+                );
+            },
+            |f| {
+                f.for_up(Rhs::Imm(0), Rhs::Reg(n), |f, i| {
+                    let sp = f.add(src, i);
+                    let c = f.load1(sp, 0);
+                    let dp = f.add(dst, i);
+                    f.store1(c, dp, 0);
+                });
+            },
+        );
+        f.ret(Some(dst));
+    });
+
+    // ---- strncat(dst, src, n) -> dst ----------------------------------------
+    pb.func("strncat", 3, |f| {
+        let dst = f.param(0);
+        let src = f.param(1);
+        let n = f.param(2);
+        let dlen = f.call("strlen", &[dst]);
+        let tail = f.add(dst, dlen);
+        let i = f.iconst(0);
+        f.while_cmp(
+            |f| (CmpRel::Lt, f.use_of(i), Rhs::Reg(n)),
+            |f| {
+                let sp = f.add(src, i);
+                let c = f.load1(sp, 0);
+                f.if_cmp(CmpRel::Eq, c, Rhs::Imm(0), |f| f.break_());
+                let dp = f.add(tail, i);
+                f.store1(c, dp, 0);
+                let i1 = f.addi(i, 1);
+                f.assign(i, i1);
+            },
+        );
+        let end = f.add(tail, i);
+        let z = f.iconst(0);
+        f.store1(z, end, 0);
+        f.ret(Some(dst));
+    });
+
+    // ---- strrchr(s, c) -> ptr | 0 --------------------------------------------
+    pb.func("strrchr", 2, |f| {
+        let s = f.param(0);
+        let c = f.param(1);
+        let p = f.fresh();
+        f.assign(p, s);
+        let out = f.iconst(0);
+        f.loop_(|f| {
+            let ch = f.load1(p, 0);
+            f.if_cmp(CmpRel::Eq, ch, Rhs::Reg(c), |f| f.assign(out, p));
+            f.if_cmp(CmpRel::Eq, ch, Rhs::Imm(0), |f| f.break_());
+            let p1 = f.addi(p, 1);
+            f.assign(p, p1);
+        });
+        f.ret(Some(out));
+    });
+
+    // ---- __udiv(num, den) -> num / den  (restoring division; den > 0) -----
+    pb.func("__udiv", 2, |f| {
+        let num = f.param(0);
+        let den = f.param(1);
+        let rem = f.fresh();
+        f.assign(rem, num);
+        let q = f.iconst(0);
+        let d = f.fresh();
+        f.assign(d, den);
+        let shift = f.iconst(0);
+        // Scale the divisor up while it still fits under the remainder.
+        f.loop_(|f| {
+            let dbl = f.shli(d, 1);
+            // Overflow of the doubled divisor ends scaling.
+            f.if_cmp(CmpRel::Ltu, dbl, Rhs::Reg(d), |f| f.break_());
+            f.if_else_cmp(
+                CmpRel::Geu,
+                rem,
+                Rhs::Reg(dbl),
+                |f| {
+                    f.assign(d, dbl);
+                    let s1 = f.addi(shift, 1);
+                    f.assign(shift, s1);
+                },
+                |f| f.break_(),
+            );
+        });
+        // Restoring division.
+        f.loop_(|f| {
+            f.if_cmp(CmpRel::Geu, rem, Rhs::Reg(d), |f| {
+                let r2 = f.sub(rem, d);
+                f.assign(rem, r2);
+                let one = f.iconst(1);
+                let bit = f.bin(shift_isa::AluOp::Shl, one, shift);
+                let q2 = f.add(q, bit);
+                f.assign(q, q2);
+            });
+            f.if_cmp(CmpRel::Eq, shift, Rhs::Imm(0), |f| f.break_());
+            let d2 = f.shri(d, 1);
+            f.assign(d, d2);
+            let s2 = f.addi(shift, -1);
+            f.assign(shift, s2);
+        });
+        f.ret(Some(q));
+    });
+
+    pb.build().expect("libc IR is well-formed")
+}
+
+/// Shared body of `utoa`/`utox`: format `param(0)` in the given base into
+/// the buffer at `param(1)`, NUL-terminate, return the length.
+fn digits_fn(f: &mut FnBuilder, base: i64) {
+    let v = f.param(0);
+    let dst = f.param(1);
+    let tmp = f.local(32); // digits in reverse
+    let tp = f.local_addr(tmp);
+    let n = f.iconst(0);
+    let baser = f.iconst(base);
+    let cur = f.fresh();
+    f.assign(cur, v);
+    f.loop_(|f| {
+        // digit = cur % base; cur /= base (the ISA has no divide).
+        let q = f.call("__udiv", &[cur, baser]);
+        let qb = f.muli(q, base);
+        let digit = f.sub(cur, qb);
+        // '0'..'9' then 'a'..'f'
+        f.if_else_cmp(
+            CmpRel::Lt,
+            digit,
+            Rhs::Imm(10),
+            |f| {
+                let ch = f.addi(digit, '0' as i64);
+                let p = f.add(tp, n);
+                f.store1(ch, p, 0);
+            },
+            |f| {
+                let ch = f.addi(digit, 'a' as i64 - 10);
+                let p = f.add(tp, n);
+                f.store1(ch, p, 0);
+            },
+        );
+        let n1 = f.addi(n, 1);
+        f.assign(n, n1);
+        f.assign(cur, q);
+        f.if_cmp(CmpRel::Eq, cur, Rhs::Imm(0), |f| f.break_());
+    });
+    // Reverse into dst.
+    f.for_up(Rhs::Imm(0), Rhs::Reg(n), |f, i| {
+        let nm1 = f.addi(n, -1);
+        let ri = f.sub(nm1, i);
+        let sp = f.add(tp, ri);
+        let c = f.load1(sp, 0);
+        let dp = f.add(dst, i);
+        f.store1(c, dp, 0);
+    });
+    let end = f.add(dst, n);
+    let z = f.iconst(0);
+    f.store1(z, end, 0);
+    f.ret(Some(n));
+}
+
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_ir::interp::Interp;
+
+    #[test]
+    fn libc_builds_and_links() {
+        let libc = libc_program();
+        for name in LIBC_FUNCS {
+            assert!(libc.func(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn strlen_strcpy_in_interpreter() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("src", 16, b"hello\0".to_vec());
+        let d = pb.global_zeroed("dst", 16);
+        pb.func("t", 0, move |f| {
+            let s = f.global_addr(g);
+            let dd = f.global_addr(d);
+            f.call_void("strcpy", &[dd, s]);
+            let n = f.call("strlen", &[dd]);
+            f.ret(Some(n));
+        });
+        let mut p = pb.build().unwrap();
+        p.link(libc_program());
+        let mut i = Interp::new(&p);
+        assert_eq!(i.call("t", &[]).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn strcmp_family_in_interpreter() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.global("a", 8, b"Abc\0".to_vec());
+        let b = pb.global("b", 8, b"abd\0".to_vec());
+        pb.func("cs", 0, move |f| {
+            let pa = f.global_addr(a);
+            let pb_ = f.global_addr(b);
+            let r = f.call("strcasecmp", &[pa, pb_]);
+            f.ret(Some(r));
+        });
+        let mut p = pb.build().unwrap();
+        p.link(libc_program());
+        // "abc" < "abd" case-insensitively.
+        assert_eq!(Interp::new(&p).call("cs", &[]).unwrap(), Some(-1));
+    }
+
+    #[test]
+    fn atoi_and_utoa_round_trip() {
+        let mut pb = ProgramBuilder::new();
+        let buf = pb.global_zeroed("buf", 32);
+        pb.func("t", 1, move |f| {
+            let v = f.param(0);
+            let b = f.global_addr(buf);
+            f.call_void("utoa", &[v, b]);
+            let back = f.call("atoi", &[b]);
+            f.ret(Some(back));
+        });
+        let mut p = pb.build().unwrap();
+        p.link(libc_program());
+        let mut i = Interp::new(&p);
+        for v in [0i64, 7, 10, 123456, 999999999] {
+            assert_eq!(i.call("t", &[v]).unwrap(), Some(v), "round-trip {v}");
+        }
+    }
+
+    #[test]
+    fn vformat_directives() {
+        let mut pb = ProgramBuilder::new();
+        let fmtg = pb.global("fmt", 32, b"x=%d hex=%x s=%s!\0".to_vec());
+        let sg = pb.global("s", 8, b"hi\0".to_vec());
+        let argv = pb.global_zeroed("argv", 32);
+        let out = pb.global_zeroed("out", 64);
+        pb.func("t", 0, move |f| {
+            let fmt = f.global_addr(fmtg);
+            let s = f.global_addr(sg);
+            let av = f.global_addr(argv);
+            let o = f.global_addr(out);
+            let v42 = f.iconst(42);
+            f.store8(v42, av, 0);
+            let v255 = f.iconst(255);
+            f.store8(v255, av, 8);
+            f.store8(s, av, 16);
+            let n = f.call("vformat", &[o, fmt, av]);
+            f.ret(Some(n));
+        });
+        let mut p = pb.build().unwrap();
+        p.link(libc_program());
+        let mut i = Interp::new(&p);
+        let n = i.call("t", &[]).unwrap().unwrap();
+        let (gid, _) = p.global("out").unwrap();
+        let got = i.read_mem(i.global_addr(gid.index()), n as usize);
+        assert_eq!(got, b"x=42 hex=ff s=hi!");
+    }
+
+    #[test]
+    fn vformat_percent_n_writes_count() {
+        let mut pb = ProgramBuilder::new();
+        let fmtg = pb.global("fmt", 16, b"abcd%n\0".to_vec());
+        let argv = pb.global_zeroed("argv", 16);
+        let target = pb.global_zeroed("target", 8);
+        let out = pb.global_zeroed("out", 32);
+        pb.func("t", 0, move |f| {
+            let fmt = f.global_addr(fmtg);
+            let av = f.global_addr(argv);
+            let tgt = f.global_addr(target);
+            let o = f.global_addr(out);
+            f.store8(tgt, av, 0);
+            f.call_void("vformat", &[o, fmt, av]);
+            let v = f.load8(tgt, 0);
+            f.ret(Some(v));
+        });
+        let mut p = pb.build().unwrap();
+        p.link(libc_program());
+        assert_eq!(Interp::new(&p).call("t", &[]).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn memmove_handles_overlap_both_ways() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("buf", 16, b"abcdefgh\0".to_vec());
+        pb.func("t", 1, move |f| {
+            let dir = f.param(0);
+            let b = f.global_addr(g);
+            let n = f.iconst(4);
+            f.if_else_cmp(
+                CmpRel::Eq,
+                dir,
+                Rhs::Imm(0),
+                |f| {
+                    // forward-overlapping: move "abcd" to offset 2.
+                    let d = f.addi(b, 2);
+                    f.call_void("memmove", &[d, b, n]);
+                },
+                |f| {
+                    // backward-overlapping: move "cdef" to offset 0.
+                    let s = f.addi(b, 2);
+                    f.call_void("memmove", &[b, s, n]);
+                },
+            );
+            let v = f.load1(b, 2);
+            let w = f.load1(b, 0);
+            let hi = f.shli(v, 8);
+            let r = f.or(hi, w);
+            f.ret(Some(r));
+        });
+        let mut p = pb.build().unwrap();
+        p.link(libc_program());
+        let mut i = Interp::new(&p);
+        // dir 0: buf becomes "ababcdgh": buf[2]='a', buf[0]='a'.
+        assert_eq!(i.call("t", &[0]).unwrap(), Some((('a' as i64) << 8) | 'a' as i64));
+        let mut i2 = Interp::new(&p);
+        // dir 1: buf becomes "cdefefgh": buf[2]='e', buf[0]='c'.
+        assert_eq!(i2.call("t", &[1]).unwrap(), Some((('e' as i64) << 8) | 'c' as i64));
+    }
+
+    #[test]
+    fn strncat_and_strrchr() {
+        let mut pb = ProgramBuilder::new();
+        let d = pb.global("d", 32, b"path\0".to_vec());
+        let s = pb.global("s", 16, b"/to/file\0".to_vec());
+        pb.func("t", 0, move |f| {
+            let dp = f.global_addr(d);
+            let sp = f.global_addr(s);
+            let n = f.iconst(6);
+            f.call_void("strncat", &[dp, sp, n]); // "path/to/fi"[..10] → "path/to/fi"? capped at 6: "path/to/fi" -> "path" + "/to/fi"
+            let slash = f.iconst('/' as i64);
+            let last = f.call("strrchr", &[dp, slash]);
+            let off = f.sub(last, dp);
+            let len = f.call("strlen", &[dp]);
+            let hi = f.shli(len, 8);
+            let r = f.or(hi, off);
+            f.ret(Some(r));
+        });
+        let mut p = pb.build().unwrap();
+        p.link(libc_program());
+        // d = "path" + "/to/fi" = "path/to/fi" (len 10); last '/' at offset 7.
+        assert_eq!(Interp::new(&p).call("t", &[]).unwrap(), Some((10 << 8) | 7));
+    }
+
+    #[test]
+    fn strstr_and_strchr() {
+        let mut pb = ProgramBuilder::new();
+        let hay = pb.global("hay", 32, b"name=value&x=1\0".to_vec());
+        let ned = pb.global("ned", 8, b"&x=\0".to_vec());
+        pb.func("t", 0, move |f| {
+            let h = f.global_addr(hay);
+            let n = f.global_addr(ned);
+            let at = f.call("strstr", &[h, n]);
+            f.if_cmp(CmpRel::Eq, at, Rhs::Imm(0), |f| {
+                let neg = f.iconst(-1);
+                f.ret(Some(neg));
+            });
+            let off = f.sub(at, h);
+            let eq = f.iconst('=' as i64);
+            let firsteq = f.call("strchr", &[h, eq]);
+            let off2 = f.sub(firsteq, h);
+            let combined = f.shli(off, 8);
+            let r = f.add(combined, off2);
+            f.ret(Some(r));
+        });
+        let mut p = pb.build().unwrap();
+        p.link(libc_program());
+        // strstr at offset 10, strchr '=' at offset 4 → 10<<8 | 4.
+        assert_eq!(Interp::new(&p).call("t", &[]).unwrap(), Some((10 << 8) + 4));
+    }
+}

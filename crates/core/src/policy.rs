@@ -1,0 +1,302 @@
+//! Security policies (the paper's Table 1).
+//!
+//! SHIFT decouples the taint-tracking *mechanism* from the security
+//! *policies*: the same instrumented binary can enforce different policy
+//! sets, assigned in software. High-level policies (H1–H5) run in the
+//! runtime at sink calls, over the per-byte taint of the sink's arguments;
+//! low-level policies (L1–L3) are enforced by the hardware's NaT-consumption
+//! faults and are listed here for reporting and cataloguing.
+
+use shift_machine::NatFaultKind;
+
+/// A security policy from the paper's Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Policy {
+    /// Tainted data cannot be used as an absolute file path.
+    H1,
+    /// Tainted data cannot be used as a file path which traverses out of
+    /// the document root.
+    H2,
+    /// Tainted data cannot contain SQL meta characters when used as part of
+    /// an SQL statement.
+    H3,
+    /// Tainted data cannot contain shell meta characters when used as
+    /// arguments to `system()`.
+    H4,
+    /// No tainted `<script>` tag may reach HTML output (cross-site
+    /// scripting).
+    H5,
+    /// Tainted data cannot be used as a load address (de-referencing a
+    /// tainted pointer). Hardware-enforced.
+    L1,
+    /// Tainted data cannot be used as a store address (format-string style
+    /// overwrites). Hardware-enforced.
+    L2,
+    /// Tainted data cannot be moved into special registers (branch
+    /// registers: control transfer). Hardware-enforced.
+    L3,
+}
+
+impl Policy {
+    /// All policies, Table-1 order.
+    pub const ALL: [Policy; 8] = [
+        Policy::H1,
+        Policy::H2,
+        Policy::H3,
+        Policy::H4,
+        Policy::H5,
+        Policy::L1,
+        Policy::L2,
+        Policy::L3,
+    ];
+
+    /// The paper's identifier ("H1" … "L3").
+    pub const fn name(self) -> &'static str {
+        match self {
+            Policy::H1 => "H1",
+            Policy::H2 => "H2",
+            Policy::H3 => "H3",
+            Policy::H4 => "H4",
+            Policy::H5 => "H5",
+            Policy::L1 => "L1",
+            Policy::L2 => "L2",
+            Policy::L3 => "L3",
+        }
+    }
+
+    /// The paper's one-line description (Table 1).
+    pub const fn description(self) -> &'static str {
+        match self {
+            Policy::H1 => "Tainted data cannot be used as an absolute file path",
+            Policy::H2 => {
+                "Tainted data cannot be used as a file path which traverses out of the document root"
+            }
+            Policy::H3 => {
+                "Tainted data cannot contain SQL meta chars when used as a part of the SQL string"
+            }
+            Policy::H4 => {
+                "Tainted data cannot contain shell meta chars when used as arguments to system()"
+            }
+            Policy::H5 => "No tainted script tag",
+            Policy::L1 => "Tainted data cannot be used as a load address",
+            Policy::L2 => "Tainted data cannot be used as a store address",
+            Policy::L3 => "Tainted data cannot be moved into special registers",
+        }
+    }
+
+    /// The attack class the policy defends against (Table 1).
+    pub const fn attack_class(self) -> &'static str {
+        match self {
+            Policy::H1 | Policy::H2 => "Directory Traversal",
+            Policy::H3 => "SQL Injection",
+            Policy::H4 => "Command Injection",
+            Policy::H5 => "Cross Site Scripting",
+            Policy::L1 => "De-referencing tainted pointer",
+            Policy::L2 => "Format string vulnerability",
+            Policy::L3 => "Modify critical CPU state",
+        }
+    }
+
+    /// `true` for the hardware-enforced low-level policies.
+    pub const fn is_low_level(self) -> bool {
+        matches!(self, Policy::L1 | Policy::L2 | Policy::L3)
+    }
+
+    /// Maps a NaT-consumption fault to the low-level policy it enforces.
+    pub fn from_fault(kind: NatFaultKind) -> Policy {
+        match kind {
+            NatFaultKind::LoadAddress => Policy::L1,
+            NatFaultKind::StoreAddress | NatFaultKind::StoreValue => Policy::L2,
+            NatFaultKind::BranchMove => Policy::L3,
+        }
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A byte string together with its per-byte taint, as seen at a sink.
+#[derive(Clone, Debug)]
+pub struct TaintedBytes {
+    /// The bytes.
+    pub bytes: Vec<u8>,
+    /// One taint flag per byte.
+    pub taint: Vec<bool>,
+}
+
+impl TaintedBytes {
+    /// Builds a fully-untainted value (useful in tests).
+    pub fn clean(bytes: &[u8]) -> TaintedBytes {
+        TaintedBytes { bytes: bytes.to_vec(), taint: vec![false; bytes.len()] }
+    }
+
+    /// Returns `true` if any byte in `range` is tainted.
+    fn any_tainted_in(&self, start: usize, len: usize) -> bool {
+        self.taint[start..start + len].iter().any(|&t| t)
+    }
+}
+
+/// Result of a high-level policy check: `Some(reason)` on violation.
+pub type PolicyVerdict = Option<String>;
+
+/// Checks policy **H1**: the path must not be absolute *via tainted data*.
+pub fn check_h1_absolute_path(path: &TaintedBytes) -> PolicyVerdict {
+    if path.bytes.first() == Some(&b'/') && path.taint.first() == Some(&true) {
+        return Some("tainted absolute path".to_string());
+    }
+    None
+}
+
+/// Checks policy **H2**: tainted `..` components must not escape the
+/// document root (the prefix of the path that is untainted).
+///
+/// The check resolves the path component by component and fires when the
+/// depth goes negative through a *tainted* `..`.
+pub fn check_h2_traversal(path: &TaintedBytes) -> PolicyVerdict {
+    let mut depth: i64 = 0;
+    let mut i = 0;
+    let bytes = &path.bytes;
+    while i < bytes.len() {
+        // Find the next component [i, j).
+        let j = bytes[i..].iter().position(|&b| b == b'/').map(|p| i + p).unwrap_or(bytes.len());
+        let comp = &bytes[i..j];
+        if comp == b".." {
+            depth -= 1;
+            if depth < 0 && path.any_tainted_in(i, 2) {
+                return Some(format!(
+                    "tainted `..` escapes the document root in {:?}",
+                    String::from_utf8_lossy(bytes)
+                ));
+            }
+        } else if !comp.is_empty() && comp != b"." {
+            depth += 1;
+        }
+        i = j + 1;
+    }
+    None
+}
+
+/// Checks policy **H3**: no tainted SQL meta characters in a statement.
+pub fn check_h3_sql(query: &TaintedBytes) -> PolicyVerdict {
+    const META: &[u8] = b"'\";";
+    for (i, &b) in query.bytes.iter().enumerate() {
+        if META.contains(&b) && query.taint[i] {
+            return Some(format!("tainted SQL meta character {:?}", b as char));
+        }
+    }
+    None
+}
+
+/// Checks policy **H4**: no tainted shell meta characters in a command.
+pub fn check_h4_shell(cmd: &TaintedBytes) -> PolicyVerdict {
+    const META: &[u8] = b";|&`$><\n";
+    for (i, &b) in cmd.bytes.iter().enumerate() {
+        if META.contains(&b) && cmd.taint[i] {
+            return Some(format!("tainted shell meta character {:?}", b as char));
+        }
+    }
+    None
+}
+
+/// Checks policy **H5**: no tainted `<script` tag in HTML output.
+pub fn check_h5_xss(html: &TaintedBytes) -> PolicyVerdict {
+    const TAG: &[u8] = b"<script";
+    if html.bytes.len() < TAG.len() {
+        return None;
+    }
+    for i in 0..=html.bytes.len() - TAG.len() {
+        let window = &html.bytes[i..i + TAG.len()];
+        if window.eq_ignore_ascii_case(TAG) && html.any_tainted_in(i, TAG.len()) {
+            return Some("tainted <script> tag in HTML output".to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tainted(bytes: &[u8]) -> TaintedBytes {
+        TaintedBytes { bytes: bytes.to_vec(), taint: vec![true; bytes.len()] }
+    }
+
+    /// Taints only the given byte range.
+    fn tainted_range(bytes: &[u8], range: std::ops::Range<usize>) -> TaintedBytes {
+        let mut t = TaintedBytes::clean(bytes);
+        for i in range {
+            t.taint[i] = true;
+        }
+        t
+    }
+
+    #[test]
+    fn h1_fires_only_on_tainted_leading_slash() {
+        assert!(check_h1_absolute_path(&tainted(b"/etc/passwd")).is_some());
+        // Benign absolute path built by the server itself.
+        assert!(check_h1_absolute_path(&TaintedBytes::clean(b"/var/www/index.html")).is_none());
+        // Tainted file name under an untainted root.
+        assert!(check_h1_absolute_path(&tainted_range(b"/var/www/evil", 9..13)).is_none());
+    }
+
+    #[test]
+    fn h2_fires_when_tainted_dotdot_escapes() {
+        // docroot/<tainted ../../etc/passwd> — one real component, two `..`.
+        let p = tainted_range(b"www/../../etc/passwd", 4..20);
+        assert!(check_h2_traversal(&p).is_some());
+        // A benign, balanced `..` that stays inside the root.
+        let ok = tainted_range(b"www/sub/../index.html", 4..21);
+        assert!(check_h2_traversal(&ok).is_none());
+        // Untainted `..` escaping (the program's own path math) is allowed.
+        assert!(check_h2_traversal(&TaintedBytes::clean(b"../x")).is_none());
+    }
+
+    #[test]
+    fn h3_fires_on_tainted_quote_only() {
+        let q = b"SELECT * FROM t WHERE name = 'bob'";
+        // Quotes written by the program: fine.
+        assert!(check_h3_sql(&TaintedBytes::clean(q)).is_none());
+        // Attacker-supplied quote: violation.
+        let mut inj = TaintedBytes::clean(b"SELECT * FROM t WHERE name = '' OR '1'='1'");
+        for i in 30..inj.bytes.len() {
+            inj.taint[i] = true;
+        }
+        assert!(check_h3_sql(&inj).is_some());
+    }
+
+    #[test]
+    fn h4_fires_on_tainted_shell_metachar() {
+        assert!(check_h4_shell(&tainted(b"ls; rm -rf /")).is_some());
+        assert!(check_h4_shell(&TaintedBytes::clean(b"ls; echo fine")).is_none());
+        assert!(check_h4_shell(&tainted(b"plainword")).is_none());
+    }
+
+    #[test]
+    fn h5_fires_case_insensitively() {
+        assert!(check_h5_xss(&tainted(b"<h1>x</h1><SCRIPT>alert(1)</SCRIPT>")).is_some());
+        assert!(check_h5_xss(&TaintedBytes::clean(b"<script>trusted()</script>")).is_none());
+        assert!(check_h5_xss(&tainted(b"no tags at all")).is_none());
+    }
+
+    #[test]
+    fn catalogue_is_complete() {
+        assert_eq!(Policy::ALL.len(), 8);
+        for p in Policy::ALL {
+            assert!(!p.description().is_empty());
+            assert!(!p.attack_class().is_empty());
+        }
+        assert!(Policy::L2.is_low_level());
+        assert!(!Policy::H3.is_low_level());
+    }
+
+    #[test]
+    fn faults_map_to_low_level_policies() {
+        assert_eq!(Policy::from_fault(NatFaultKind::LoadAddress), Policy::L1);
+        assert_eq!(Policy::from_fault(NatFaultKind::StoreAddress), Policy::L2);
+        assert_eq!(Policy::from_fault(NatFaultKind::StoreValue), Policy::L2);
+        assert_eq!(Policy::from_fault(NatFaultKind::BranchMove), Policy::L3);
+    }
+}

@@ -1,0 +1,691 @@
+//! The host runtime: operating system, taint sources, and policy sinks.
+//!
+//! Implements [`shift_machine::Os`]. The runtime plays three roles from the
+//! paper:
+//!
+//! * the **OS/I-O layer** the guest calls into (network, files, keyboard,
+//!   heap, arguments), with an I/O latency model so server experiments see
+//!   realistic I/O-dominated time;
+//! * the **taint sources** (§3.3.1): configurable channels whose data is
+//!   marked tainted — in both the host's ground-truth shadow map and the
+//!   guest's in-memory bitmap (playing the part of the instrumented read
+//!   wrappers);
+//! * the **policy engine** (§3.3.3, §5.1): sinks (`file_open`, `sql_exec`,
+//!   `system`, `html_out`) evaluate the armed high-level policies over the
+//!   per-byte taint of their arguments — read from the *guest-maintained*
+//!   bitmap, so detection genuinely depends on the instrumentation having
+//!   tracked the flow correctly.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use shift_isa::{sys, Gpr};
+use shift_machine::{layout, Exit, Fault, Machine, MemError, Os, SysResult, Violation};
+use shift_tagmap::{tag_location, Granularity, HostShadow};
+
+use crate::config::{Source, TaintConfig};
+use crate::policy::{self, Policy, TaintedBytes};
+
+/// The external world a guest program runs against.
+#[derive(Clone, Debug, Default)]
+pub struct World {
+    /// Network messages, one per `net_read` call.
+    pub net_input: VecDeque<Vec<u8>>,
+    /// Keyboard lines, one per `kbd_read` call.
+    pub kbd_input: VecDeque<Vec<u8>>,
+    /// The filesystem.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Program arguments.
+    pub args: Vec<Vec<u8>>,
+}
+
+impl World {
+    /// An empty world.
+    pub fn new() -> World {
+        World::default()
+    }
+
+    /// Adds a network message (builder style).
+    pub fn net(mut self, msg: impl Into<Vec<u8>>) -> World {
+        self.net_input.push_back(msg.into());
+        self
+    }
+
+    /// Adds a file (builder style).
+    pub fn file(mut self, name: impl Into<String>, content: impl Into<Vec<u8>>) -> World {
+        self.files.insert(name.into(), content.into());
+        self
+    }
+
+    /// Adds a program argument (builder style).
+    pub fn arg(mut self, a: impl Into<Vec<u8>>) -> World {
+        self.args.push(a.into());
+        self
+    }
+
+    /// Adds a keyboard line (builder style).
+    pub fn kbd(mut self, line: impl Into<Vec<u8>>) -> World {
+        self.kbd_input.push_back(line.into());
+        self
+    }
+}
+
+/// I/O wait-time model, in cycles. Network and disk operations charge
+/// `base + per_byte × n` of *I/O time* (tracked separately from CPU cycles;
+/// see [`shift_machine::Stats::io_cycles`]).
+#[derive(Clone, Copy, Debug)]
+pub struct IoCostModel {
+    /// Fixed cost of a network operation.
+    pub net_base: u64,
+    /// Per-byte cost on the network.
+    pub net_per_byte: u64,
+    /// Fixed cost of a disk operation.
+    pub disk_base: u64,
+    /// Per-byte cost on disk.
+    pub disk_per_byte: u64,
+}
+
+impl IoCostModel {
+    /// A LAN-server flavoured default (used by the Apache experiment).
+    pub const SERVER: IoCostModel =
+        IoCostModel { net_base: 30_000, net_per_byte: 12, disk_base: 60_000, disk_per_byte: 6 };
+
+    /// Free I/O: used by the SPEC experiments, which measure pure CPU
+    /// slowdown.
+    pub const FREE: IoCostModel =
+        IoCostModel { net_base: 0, net_per_byte: 0, disk_base: 0, disk_per_byte: 0 };
+}
+
+#[derive(Clone, Debug)]
+struct OpenFile {
+    name: String,
+    pos: usize,
+    writable: bool,
+}
+
+/// The runtime state (one per guest run).
+#[derive(Clone, Debug)]
+pub struct Runtime {
+    cfg: TaintConfig,
+    world: World,
+    /// Tag granularity of the instrumented guest; `None` for uninstrumented
+    /// runs (no bitmap exists, sinks cannot check anything — the paper's
+    /// "without SHIFT protection, all attacks succeed").
+    gran: Option<Granularity>,
+    /// Host-side ground truth, used by `debug_taint` and the test suite.
+    pub shadow: HostShadow,
+    /// I/O latency model.
+    pub io: IoCostModel,
+    fds: Vec<Option<OpenFile>>,
+    heap_cursor: u64,
+    /// `print` output.
+    pub log: Vec<Vec<u8>>,
+    /// Bytes sent with `net_write`.
+    pub net_output: Vec<u8>,
+    /// Bytes emitted with `html_out` (checked by H5 per call).
+    pub html_output: Vec<u8>,
+    /// Executed SQL statements.
+    pub sql_log: Vec<Vec<u8>>,
+    /// Executed shell commands.
+    pub shell_log: Vec<Vec<u8>>,
+    /// Successfully opened paths (diagnostics for attack assertions).
+    pub opened_paths: Vec<String>,
+    /// The first policy violation, if any.
+    pub violation: Option<Violation>,
+}
+
+impl Runtime {
+    /// Creates a runtime for an instrumented guest tracking at `gran`
+    /// (pass `None` for uninstrumented guests).
+    pub fn new(cfg: TaintConfig, world: World, gran: Option<Granularity>) -> Runtime {
+        Runtime {
+            cfg,
+            world,
+            gran,
+            shadow: HostShadow::new(),
+            io: IoCostModel::FREE,
+            fds: Vec::new(),
+            heap_cursor: layout::HEAP_BASE,
+            log: Vec::new(),
+            net_output: Vec::new(),
+            html_output: Vec::new(),
+            sql_log: Vec::new(),
+            shell_log: Vec::new(),
+            opened_paths: Vec::new(),
+            violation: None,
+        }
+    }
+
+    /// Sets the I/O cost model (builder style).
+    pub fn with_io(mut self, io: IoCostModel) -> Runtime {
+        self.io = io;
+        self
+    }
+
+    /// The filesystem in its current state (files written by the guest
+    /// included) — used by attack assertions and post-run inspection.
+    pub fn world_files(&self) -> &BTreeMap<String, Vec<u8>> {
+        &self.world.files
+    }
+
+    // ---- taint plumbing ---------------------------------------------------
+
+    /// Writes `bytes` into guest memory at `addr` and marks their taint in
+    /// both the host shadow and (when instrumented) the guest bitmap.
+    fn write_guest(
+        &mut self,
+        m: &mut Machine,
+        addr: u64,
+        bytes: &[u8],
+        tainted: bool,
+    ) -> Result<(), MemError> {
+        m.mem.write_bytes(addr, bytes)?;
+        self.shadow.set_range(addr, bytes.len() as u64, tainted);
+        if let Some(gran) = self.gran {
+            for i in 0..bytes.len() as u64 {
+                let loc = tag_location(addr + i, gran)
+                    .expect("guest buffers live in data regions");
+                let byte = m.mem.read_int(loc.byte_addr, 1)?;
+                let new = if tainted {
+                    byte | u64::from(loc.mask)
+                } else {
+                    byte & !u64::from(loc.mask)
+                };
+                m.mem.write_int(loc.byte_addr, 1, new)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads guest bytes plus their taint **as the guest's bitmap records
+    /// it** — this is what policy checks must use.
+    fn read_tainted(
+        &self,
+        m: &mut Machine,
+        addr: u64,
+        len: u64,
+    ) -> Result<TaintedBytes, MemError> {
+        let mut bytes = vec![0u8; len as usize];
+        m.mem.read_bytes(addr, &mut bytes)?;
+        let mut taint = vec![false; bytes.len()];
+        if let Some(gran) = self.gran {
+            for (i, t) in taint.iter_mut().enumerate() {
+                if let Ok(loc) = tag_location(addr + i as u64, gran) {
+                    let byte = m.mem.read_int(loc.byte_addr, 1)?;
+                    *t = byte & u64::from(loc.mask) != 0;
+                }
+            }
+        }
+        Ok(TaintedBytes { bytes, taint })
+    }
+
+    fn read_tainted_cstr(
+        &self,
+        m: &mut Machine,
+        addr: u64,
+        max: usize,
+    ) -> Result<TaintedBytes, MemError> {
+        let bytes = m.mem.read_cstr(addr, max)?;
+        let len = bytes.len() as u64;
+        self.read_tainted(m, addr, len)
+    }
+
+    fn violate(&mut self, m: &Machine, policy: Policy, message: String) -> SysResult {
+        let v = Violation { policy: policy.name().to_string(), message, ip: m.cpu.ip };
+        self.violation = Some(v.clone());
+        SysResult::Stop(Exit::Violation(v))
+    }
+
+    fn check(
+        &mut self,
+        m: &Machine,
+        policy: Policy,
+        verdict: policy::PolicyVerdict,
+    ) -> Option<SysResult> {
+        if !self.cfg.policy_on(policy) {
+            return None;
+        }
+        verdict.map(|msg| self.violate(m, policy, msg))
+    }
+
+    // ---- syscall bodies ---------------------------------------------------
+
+    fn args3(m: &Machine) -> (u64, u64, u64) {
+        (
+            m.cpu.gpr(Gpr::arg(0)).value,
+            m.cpu.gpr(Gpr::arg(1)).value,
+            m.cpu.gpr(Gpr::arg(2)).value,
+        )
+    }
+
+    fn ret(m: &mut Machine, v: i64) {
+        m.cpu.set_gpr_val(Gpr::RET, v as u64);
+    }
+
+    #[allow(clippy::too_many_arguments)] // private helper mirroring the syscall shape
+    fn do_stream_read(
+        &mut self,
+        m: &mut Machine,
+        data: Option<Vec<u8>>,
+        buf: u64,
+        max: u64,
+        source: Source,
+        base: u64,
+        per_byte: u64,
+    ) -> Result<SysResult, MemError> {
+        let tainted = self.cfg.source_on(source);
+        let n = match data {
+            Some(mut msg) => {
+                msg.truncate(max as usize);
+                self.write_guest(m, buf, &msg, tainted)?;
+                msg.len() as u64
+            }
+            None => 0,
+        };
+        m.stats.charge_io(base + per_byte * n);
+        Self::ret(m, n as i64);
+        Ok(SysResult::Continue)
+    }
+}
+
+impl Os for Runtime {
+    fn syscall(&mut self, m: &mut Machine, num: u32) -> SysResult {
+        match self.dispatch(m, num) {
+            Ok(r) => r,
+            Err(e) => {
+                let ip = m.cpu.ip;
+                SysResult::Stop(Exit::Fault(match e {
+                    MemError::Unimplemented { addr } => Fault::Unimplemented { addr, ip },
+                    MemError::Unmapped { addr } => Fault::Unmapped { addr, ip },
+                    MemError::Unaligned { addr, size } => Fault::Unaligned { addr, size, ip },
+                }))
+            }
+        }
+    }
+}
+
+impl Runtime {
+    fn dispatch(&mut self, m: &mut Machine, num: u32) -> Result<SysResult, MemError> {
+        let (a0, a1, a2) = Self::args3(m);
+        match num {
+            sys::EXIT => Ok(SysResult::Stop(Exit::Halted(a0 as i64))),
+            sys::PRINT => {
+                let mut bytes = vec![0u8; a1 as usize];
+                m.mem.read_bytes(a0, &mut bytes)?;
+                self.log.push(bytes);
+                Self::ret(m, 0);
+                Ok(SysResult::Continue)
+            }
+            sys::NET_READ => {
+                let msg = self.world.net_input.pop_front();
+                let (b, p) = (self.io.net_base, self.io.net_per_byte);
+                self.do_stream_read(m, msg, a0, a1, Source::Network, b, p)
+            }
+            sys::KBD_READ => {
+                let msg = self.world.kbd_input.pop_front();
+                self.do_stream_read(m, msg, a0, a1, Source::Keyboard, 0, 0)
+            }
+            sys::NET_WRITE => {
+                let mut bytes = vec![0u8; a1 as usize];
+                m.mem.read_bytes(a0, &mut bytes)?;
+                m.stats.charge_io(self.io.net_base + self.io.net_per_byte * a1);
+                self.net_output.extend_from_slice(&bytes);
+                Self::ret(m, a1 as i64);
+                Ok(SysResult::Continue)
+            }
+            sys::FILE_OPEN => {
+                let path = self.read_tainted_cstr(m, a0, 4096)?;
+                if let Some(stop) =
+                    self.check(m, Policy::H1, policy::check_h1_absolute_path(&path))
+                {
+                    return Ok(stop);
+                }
+                if let Some(stop) = self.check(m, Policy::H2, policy::check_h2_traversal(&path))
+                {
+                    return Ok(stop);
+                }
+                let name = String::from_utf8_lossy(&path.bytes).into_owned();
+                let writable = a1 == 1;
+                if writable {
+                    self.world.files.entry(name.clone()).or_default();
+                } else if !self.world.files.contains_key(&name) {
+                    Self::ret(m, -1);
+                    return Ok(SysResult::Continue);
+                }
+                self.opened_paths.push(name.clone());
+                let fd = self.fds.len() as i64;
+                self.fds.push(Some(OpenFile { name, pos: 0, writable }));
+                m.stats.charge_io(self.io.disk_base);
+                Self::ret(m, fd);
+                Ok(SysResult::Continue)
+            }
+            sys::FILE_READ => {
+                let Some(Some(f)) = self.fds.get(a0 as usize).cloned() else {
+                    Self::ret(m, -1);
+                    return Ok(SysResult::Continue);
+                };
+                let content = self.world.files.get(&f.name).cloned().unwrap_or_default();
+                let end = (f.pos + a2 as usize).min(content.len());
+                let chunk = content[f.pos.min(content.len())..end].to_vec();
+                if let Some(Some(f)) = self.fds.get_mut(a0 as usize) {
+                    f.pos = end;
+                }
+                let tainted = self.cfg.source_on(Source::Disk);
+                self.write_guest(m, a1, &chunk, tainted)?;
+                m.stats.charge_io(self.io.disk_base + self.io.disk_per_byte * chunk.len() as u64);
+                Self::ret(m, chunk.len() as i64);
+                Ok(SysResult::Continue)
+            }
+            sys::FILE_WRITE => {
+                let Some(Some(f)) = self.fds.get(a0 as usize).cloned() else {
+                    Self::ret(m, -1);
+                    return Ok(SysResult::Continue);
+                };
+                if !f.writable {
+                    Self::ret(m, -1);
+                    return Ok(SysResult::Continue);
+                }
+                let mut bytes = vec![0u8; a2 as usize];
+                m.mem.read_bytes(a1, &mut bytes)?;
+                let n = bytes.len() as u64;
+                self.world.files.entry(f.name.clone()).or_default().extend_from_slice(&bytes);
+                m.stats.charge_io(self.io.disk_base + self.io.disk_per_byte * n);
+                Self::ret(m, n as i64);
+                Ok(SysResult::Continue)
+            }
+            sys::FILE_CLOSE => {
+                if let Some(slot) = self.fds.get_mut(a0 as usize) {
+                    *slot = None;
+                }
+                Self::ret(m, 0);
+                Ok(SysResult::Continue)
+            }
+            sys::FILE_STAT => {
+                let path = m.mem.read_cstr(a0, 4096)?;
+                let name = String::from_utf8_lossy(&path).into_owned();
+                let size = self.world.files.get(&name).map(|c| c.len() as i64).unwrap_or(-1);
+                m.stats.charge_io(self.io.disk_base / 2);
+                Self::ret(m, size);
+                Ok(SysResult::Continue)
+            }
+            sys::SQL_EXEC => {
+                let q = self.read_tainted(m, a0, a1)?;
+                if let Some(stop) = self.check(m, Policy::H3, policy::check_h3_sql(&q)) {
+                    return Ok(stop);
+                }
+                self.sql_log.push(q.bytes);
+                Self::ret(m, 0);
+                Ok(SysResult::Continue)
+            }
+            sys::SYSTEM => {
+                let c = self.read_tainted(m, a0, a1)?;
+                if let Some(stop) = self.check(m, Policy::H4, policy::check_h4_shell(&c)) {
+                    return Ok(stop);
+                }
+                self.shell_log.push(c.bytes);
+                Self::ret(m, 0);
+                Ok(SysResult::Continue)
+            }
+            sys::HTML_OUT => {
+                let h = self.read_tainted(m, a0, a1)?;
+                if let Some(stop) = self.check(m, Policy::H5, policy::check_h5_xss(&h)) {
+                    return Ok(stop);
+                }
+                self.html_output.extend_from_slice(&h.bytes);
+                m.stats.charge_io(self.io.net_base / 4 + self.io.net_per_byte * a1);
+                Self::ret(m, a1 as i64);
+                Ok(SysResult::Continue)
+            }
+            sys::BRK => {
+                let size = a0.div_ceil(16) * 16;
+                let base = self.heap_cursor;
+                m.mem.map_range(base, size.max(16));
+                self.heap_cursor += size.max(16);
+                Self::ret(m, base as i64);
+                Ok(SysResult::Continue)
+            }
+            sys::GET_ARG => {
+                match self.world.args.get(a0 as usize).cloned() {
+                    Some(arg) => {
+                        let n = arg.len().min(a2 as usize);
+                        let chunk = arg[..n].to_vec();
+                        let tainted = self.cfg.source_on(Source::Args);
+                        self.write_guest(m, a1, &chunk, tainted)?;
+                        Self::ret(m, n as i64);
+                    }
+                    None => Self::ret(m, -1),
+                }
+                Ok(SysResult::Continue)
+            }
+            sys::DEBUG_TAINT => {
+                let any = self.shadow.any_tainted(a0, a1);
+                Self::ret(m, i64::from(any));
+                Ok(SysResult::Continue)
+            }
+            sys::ALERT => {
+                let v = Violation {
+                    policy: "GUARD".to_string(),
+                    message: "chk.s guard: tainted value reached critical use".to_string(),
+                    ip: m.cpu.ip,
+                };
+                self.violation = Some(v.clone());
+                Ok(SysResult::Stop(Exit::Violation(v)))
+            }
+            sys::CLOCK => {
+                Self::ret(m, m.stats.cycles as i64);
+                Ok(SysResult::Continue)
+            }
+            other => {
+                Ok(SysResult::Stop(Exit::Fault(Fault::BadSyscall { num: other, ip: m.cpu.ip })))
+            }
+        }
+    }
+
+    /// Cross-checks the guest bitmap against the host shadow over a byte
+    /// range; returns the first disagreeing address. Test-suite helper for
+    /// detecting taint drift (false positives/negatives in the §5.2 sense).
+    pub fn shadow_mismatch(&self, m: &mut Machine, addr: u64, len: u64) -> Option<u64> {
+        let gran = self.gran?;
+        for i in 0..len {
+            let a = addr + i;
+            let Ok(loc) = tag_location(a, gran) else { continue };
+            let Ok(byte) = m.mem.read_int(loc.byte_addr, 1) else { continue };
+            let guest = byte & u64::from(loc.mask) != 0;
+            let host = match gran {
+                Granularity::Byte => self.shadow.is_tainted(a),
+                // One word-level bit covers 8 bytes: the guest bit should be
+                // set iff any byte of the word is tainted in ground truth.
+                Granularity::Word => self.shadow.any_tainted(a & !7, 8),
+            };
+            if guest != host {
+                return Some(a);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_machine::Image;
+
+    fn machine() -> Machine {
+        let image = Image::builder()
+            .code(vec![shift_isa::Insn::new(shift_isa::Op::Halt)])
+            .map(layout::DATA_BASE, 0x10000)
+            .build();
+        Machine::new(&image)
+    }
+
+    fn rt(world: World) -> Runtime {
+        Runtime::new(TaintConfig::default_secure(), world, Some(Granularity::Byte))
+    }
+
+    #[test]
+    fn write_guest_sets_bitmap_and_shadow() {
+        let mut m = machine();
+        let mut r = rt(World::new());
+        let addr = layout::GLOBALS_BASE;
+        r.write_guest(&mut m, addr, b"evil", true).unwrap();
+        assert!(r.shadow.all_tainted(addr, 4));
+        assert_eq!(r.shadow_mismatch(&mut m, addr, 4), None);
+        let t = r.read_tainted(&mut m, addr, 4).unwrap();
+        assert_eq!(t.bytes, b"evil");
+        assert!(t.taint.iter().all(|&b| b));
+        // Overwrite with clean data: taint must clear.
+        r.write_guest(&mut m, addr, b"ok", false).unwrap();
+        let t2 = r.read_tainted(&mut m, addr, 2).unwrap();
+        assert!(t2.taint.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn uninstrumented_runtime_sees_no_taint() {
+        let mut m = machine();
+        let mut r = Runtime::new(TaintConfig::default_secure(), World::new(), None);
+        let addr = layout::GLOBALS_BASE;
+        r.write_guest(&mut m, addr, b"evil", true).unwrap();
+        let t = r.read_tainted(&mut m, addr, 4).unwrap();
+        assert!(t.taint.iter().all(|&b| !b), "no bitmap ⇒ sinks are blind");
+        // …but ground truth still knows.
+        assert!(r.shadow.all_tainted(addr, 4));
+    }
+
+    #[test]
+    fn word_granularity_shadow_check_is_word_coarse() {
+        let mut m = machine();
+        let mut r =
+            Runtime::new(TaintConfig::default_secure(), World::new(), Some(Granularity::Word));
+        let addr = layout::GLOBALS_BASE;
+        // Taint one byte: the word bit covers all 8.
+        r.write_guest(&mut m, addr, b"x", true).unwrap();
+        assert_eq!(r.shadow_mismatch(&mut m, addr, 8), None);
+        let t = r.read_tainted(&mut m, addr, 8).unwrap();
+        assert!(t.taint.iter().all(|&b| b), "word-level tags are coarse");
+    }
+
+    #[test]
+    fn syscall_net_read_taints_buffer() {
+        let mut m = machine();
+        let mut r = rt(World::new().net("GET /x")).with_io(IoCostModel::SERVER);
+        let buf = layout::GLOBALS_BASE;
+        m.cpu.set_gpr_val(Gpr::arg(0), buf);
+        m.cpu.set_gpr_val(Gpr::arg(1), 64);
+        let res = r.syscall(&mut m, sys::NET_READ);
+        assert_eq!(res, SysResult::Continue);
+        assert_eq!(m.cpu.gpr(Gpr::RET).value, 6);
+        assert!(r.shadow.all_tainted(buf, 6));
+        assert!(m.stats.io_cycles > 0);
+    }
+
+    #[test]
+    fn file_round_trip_and_stat() {
+        let mut m = machine();
+        let mut r = rt(World::new().file("data.txt", b"hello".to_vec()));
+        let path = layout::GLOBALS_BASE;
+        let buf = layout::GLOBALS_BASE + 256;
+        m.mem.write_bytes(path, b"data.txt\0").unwrap();
+
+        m.cpu.set_gpr_val(Gpr::arg(0), path);
+        m.cpu.set_gpr_val(Gpr::arg(1), 0);
+        assert_eq!(r.syscall(&mut m, sys::FILE_OPEN), SysResult::Continue);
+        let fd = m.cpu.gpr(Gpr::RET).value;
+
+        m.cpu.set_gpr_val(Gpr::arg(0), fd);
+        m.cpu.set_gpr_val(Gpr::arg(1), buf);
+        m.cpu.set_gpr_val(Gpr::arg(2), 64);
+        assert_eq!(r.syscall(&mut m, sys::FILE_READ), SysResult::Continue);
+        assert_eq!(m.cpu.gpr(Gpr::RET).value, 5);
+        let mut got = [0u8; 5];
+        m.mem.read_bytes(buf, &mut got).unwrap();
+        assert_eq!(&got, b"hello");
+        assert!(r.shadow.all_tainted(buf, 5), "disk is a taint source by default");
+
+        m.cpu.set_gpr_val(Gpr::arg(0), path);
+        assert_eq!(r.syscall(&mut m, sys::FILE_STAT), SysResult::Continue);
+        assert_eq!(m.cpu.gpr(Gpr::RET).value, 5);
+    }
+
+    #[test]
+    fn sql_sink_fires_on_tainted_quote() {
+        let mut m = machine();
+        let mut r = rt(World::new());
+        let q = layout::GLOBALS_BASE;
+        r.write_guest(&mut m, q, b"SELECT 1 OR '1'='1'", true).unwrap();
+        m.cpu.set_gpr_val(Gpr::arg(0), q);
+        m.cpu.set_gpr_val(Gpr::arg(1), 19);
+        let res = r.syscall(&mut m, sys::SQL_EXEC);
+        match res {
+            SysResult::Stop(Exit::Violation(v)) => assert_eq!(v.policy, "H3"),
+            other => panic!("expected H3 violation, got {other:?}"),
+        }
+        assert!(r.sql_log.is_empty(), "the statement must not execute");
+    }
+
+    #[test]
+    fn sql_sink_allows_clean_query() {
+        let mut m = machine();
+        let mut r = rt(World::new());
+        let q = layout::GLOBALS_BASE;
+        r.write_guest(&mut m, q, b"SELECT 'safe'", false).unwrap();
+        m.cpu.set_gpr_val(Gpr::arg(0), q);
+        m.cpu.set_gpr_val(Gpr::arg(1), 13);
+        assert_eq!(r.syscall(&mut m, sys::SQL_EXEC), SysResult::Continue);
+        assert_eq!(r.sql_log.len(), 1);
+    }
+
+    #[test]
+    fn disarmed_policy_does_not_fire() {
+        let mut m = machine();
+        let mut cfg = TaintConfig::default_secure();
+        cfg.set_policy(Policy::H3, false);
+        let mut r = Runtime::new(cfg, World::new(), Some(Granularity::Byte));
+        let q = layout::GLOBALS_BASE;
+        r.write_guest(&mut m, q, b"x';DROP TABLE t;--", true).unwrap();
+        m.cpu.set_gpr_val(Gpr::arg(0), q);
+        m.cpu.set_gpr_val(Gpr::arg(1), 18);
+        assert_eq!(r.syscall(&mut m, sys::SQL_EXEC), SysResult::Continue);
+    }
+
+    #[test]
+    fn brk_grows_heap() {
+        let mut m = machine();
+        let mut r = rt(World::new());
+        m.cpu.set_gpr_val(Gpr::arg(0), 100);
+        assert_eq!(r.syscall(&mut m, sys::BRK), SysResult::Continue);
+        let p1 = m.cpu.gpr(Gpr::RET).value;
+        m.cpu.set_gpr_val(Gpr::arg(0), 100);
+        assert_eq!(r.syscall(&mut m, sys::BRK), SysResult::Continue);
+        let p2 = m.cpu.gpr(Gpr::RET).value;
+        assert!(p2 >= p1 + 100);
+        // Memory is usable.
+        m.mem.write_int(p1, 8, 42).unwrap();
+        assert_eq!(m.mem.read_int(p1, 8).unwrap(), 42);
+    }
+
+    #[test]
+    fn get_arg_taints_when_configured() {
+        let mut m = machine();
+        let mut r = rt(World::new().arg("--file=../../etc/passwd"));
+        let buf = layout::GLOBALS_BASE;
+        m.cpu.set_gpr_val(Gpr::arg(0), 0);
+        m.cpu.set_gpr_val(Gpr::arg(1), buf);
+        m.cpu.set_gpr_val(Gpr::arg(2), 256);
+        assert_eq!(r.syscall(&mut m, sys::GET_ARG), SysResult::Continue);
+        assert!(m.cpu.gpr(Gpr::RET).value > 0);
+        assert!(r.shadow.any_tainted(buf, 5));
+        // Missing arg returns -1.
+        m.cpu.set_gpr_val(Gpr::arg(0), 9);
+        assert_eq!(r.syscall(&mut m, sys::GET_ARG), SysResult::Continue);
+        assert_eq!(m.cpu.gpr(Gpr::RET).value as i64, -1);
+    }
+
+    #[test]
+    fn unknown_syscall_faults() {
+        let mut m = machine();
+        let mut r = rt(World::new());
+        match r.syscall(&mut m, 9999) {
+            SysResult::Stop(Exit::Fault(Fault::BadSyscall { num: 9999, .. })) => {}
+            other => panic!("expected BadSyscall, got {other:?}"),
+        }
+    }
+}

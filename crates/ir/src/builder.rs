@@ -1,0 +1,667 @@
+//! Structured program/function builders.
+//!
+//! Guest programs (workloads, attacks, the guest libc) are written in Rust
+//! against these builders rather than through a textual frontend. The
+//! builders emit plain CFG IR; all structure (`if`, `while`, `for`,
+//! `break`/`continue`) is desugared immediately.
+
+use shift_isa::{AluOp, CmpRel, ExtKind, MemSize};
+
+use crate::inst::{Inst, Rhs, Terminator};
+use crate::program::{Block, BlockId, Function, Global, GlobalId, Local, LocalId, Program, VReg};
+use crate::validate::{validate, ValidateError};
+
+/// A mutable variable handle. It is simply a virtual register that the
+/// builder re-assigns with `Mov`; the register allocator keeps hot variables
+/// in machine registers, like GCC pseudos at `-O3`.
+pub type Var = VReg;
+
+/// Builds a [`Program`]: globals plus functions.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    globals: Vec<Global>,
+    funcs: Vec<Function>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Adds a global of `size` bytes initialized with `init` (zero-padded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` is longer than `size`.
+    pub fn global(&mut self, name: impl Into<String>, size: u64, init: Vec<u8>) -> GlobalId {
+        assert!(init.len() as u64 <= size, "initializer longer than global");
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global { name: name.into(), size, init });
+        id
+    }
+
+    /// Adds a NUL-terminated string global.
+    pub fn global_str(&mut self, name: impl Into<String>, s: &str) -> GlobalId {
+        let mut bytes = s.as_bytes().to_vec();
+        bytes.push(0);
+        let size = bytes.len() as u64;
+        self.global(name, size, bytes)
+    }
+
+    /// Adds a zero-initialized global.
+    pub fn global_zeroed(&mut self, name: impl Into<String>, size: u64) -> GlobalId {
+        self.global(name, size, Vec::new())
+    }
+
+    /// Defines a function with `params` parameters; parameter `i` is
+    /// available as `VReg(i)` (see [`FnBuilder::param`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params > 8` (the ABI passes up to 8 register arguments).
+    pub fn func(
+        &mut self,
+        name: impl Into<String>,
+        params: usize,
+        build: impl FnOnce(&mut FnBuilder),
+    ) {
+        assert!(params <= 8, "at most 8 register parameters");
+        let mut fb = FnBuilder {
+            blocks: vec![Block::default()],
+            cur: BlockId(0),
+            vregs: params as u32,
+            locals: Vec::new(),
+            params,
+            loops: Vec::new(),
+        };
+        build(&mut fb);
+        // Fall off the end of the body ⇒ implicit `ret void`.
+        if fb.blocks[fb.cur.index()].term.is_none() {
+            fb.blocks[fb.cur.index()].term = Some(Terminator::Ret(None));
+        }
+        self.funcs.push(Function {
+            name: name.into(),
+            params,
+            blocks: fb.blocks,
+            locals: fb.locals,
+            vregs: fb.vregs,
+        });
+    }
+
+    /// Finalizes and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] describing the first structural problem.
+    pub fn build(self) -> Result<Program, ValidateError> {
+        let program = Program { funcs: self.funcs, globals: self.globals };
+        validate(&program)?;
+        Ok(program)
+    }
+}
+
+/// Builds one function body. Obtained through [`ProgramBuilder::func`].
+#[derive(Debug)]
+pub struct FnBuilder {
+    blocks: Vec<Block>,
+    cur: BlockId,
+    vregs: u32,
+    locals: Vec<Local>,
+    params: usize,
+    /// `(continue_target, break_target)` for each enclosing loop.
+    loops: Vec<(BlockId, BlockId)>,
+}
+
+impl FnBuilder {
+    /// The `i`-th parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: usize) -> VReg {
+        assert!(i < self.params, "parameter index out of range");
+        VReg(i as u32)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh(&mut self) -> VReg {
+        let v = VReg(self.vregs);
+        self.vregs += 1;
+        v
+    }
+
+    /// Identity helper: makes closures that must *return* a register read
+    /// naturally (`f.use_of(i)`).
+    pub fn use_of(&self, v: VReg) -> VReg {
+        v
+    }
+
+    fn ensure_open(&mut self) {
+        if self.blocks[self.cur.index()].term.is_some() {
+            // Code after ret/break: give it an (unreachable) home.
+            self.cur = self.new_block();
+        }
+    }
+
+    /// Appends a raw instruction to the current block.
+    pub fn emit(&mut self, inst: Inst) {
+        self.ensure_open();
+        self.blocks[self.cur.index()].insts.push(inst);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        self.ensure_open();
+        self.blocks[self.cur.index()].term = Some(term);
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::default());
+        id
+    }
+
+    fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    fn seal_jmp(&mut self, target: BlockId) {
+        if self.blocks[self.cur.index()].term.is_none() {
+            self.blocks[self.cur.index()].term = Some(Terminator::Jmp(target));
+        }
+    }
+
+    // ----- values ---------------------------------------------------------
+
+    /// `dst = value` into a fresh register.
+    pub fn iconst(&mut self, value: i64) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::Const { dst, value });
+        dst
+    }
+
+    /// Re-assigns an existing register: `dst = src`.
+    pub fn assign(&mut self, dst: VReg, src: VReg) {
+        self.emit(Inst::Mov { dst, src });
+    }
+
+    /// Re-assigns an existing register with a constant.
+    pub fn assign_imm(&mut self, dst: VReg, value: i64) {
+        self.emit(Inst::Const { dst, value });
+    }
+
+    /// `fresh = a op b`.
+    pub fn bin(&mut self, op: AluOp, a: VReg, b: VReg) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::Bin { op, dst, a, b });
+        dst
+    }
+
+    /// `fresh = a op imm`.
+    pub fn bini(&mut self, op: AluOp, a: VReg, imm: i64) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::BinI { op, dst, a, imm });
+        dst
+    }
+
+    /// `fresh = src` with the taint tag cleared — marks a value as
+    /// bounds-checked so it may be used as a table index without tripping
+    /// policy L1 (see [`Inst::Sanitize`]).
+    pub fn sanitize(&mut self, src: VReg) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::Sanitize { dst, src });
+        dst
+    }
+
+    /// Guards a critical value: if its taint tag is set at runtime, a
+    /// user-level alert fires (compiles to `chk.s`; see [`Inst::Guard`]).
+    pub fn guard(&mut self, src: VReg) {
+        self.emit(Inst::Guard { src });
+    }
+
+    /// `fresh = (a rel rhs) ? 1 : 0`.
+    pub fn set_cmp(&mut self, rel: CmpRel, a: VReg, rhs: Rhs) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::SetCmp { rel, dst, a, rhs });
+        dst
+    }
+
+    // ----- memory ---------------------------------------------------------
+
+    /// Typed load with explicit size/extension.
+    pub fn load(&mut self, size: MemSize, ext: ExtKind, addr: VReg, offset: i64) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::Load { size, ext, dst, addr, offset });
+        dst
+    }
+
+    /// Typed store.
+    pub fn store(&mut self, size: MemSize, src: VReg, addr: VReg, offset: i64) {
+        self.emit(Inst::Store { size, src, addr, offset });
+    }
+
+    /// Stack slot of `size` bytes.
+    pub fn local(&mut self, size: u64) -> LocalId {
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(Local { size });
+        id
+    }
+
+    /// `fresh = &local`.
+    pub fn local_addr(&mut self, local: LocalId) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::LocalAddr { dst, local });
+        dst
+    }
+
+    /// `fresh = &global`.
+    pub fn global_addr(&mut self, global: GlobalId) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::GlobalAddr { dst, global });
+        dst
+    }
+
+    // ----- calls ----------------------------------------------------------
+
+    /// Calls `callee` and captures its return value.
+    pub fn call(&mut self, callee: impl Into<String>, args: &[VReg]) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::Call { dst: Some(dst), callee: callee.into(), args: args.to_vec() });
+        dst
+    }
+
+    /// Calls `callee`, discarding any return value.
+    pub fn call_void(&mut self, callee: impl Into<String>, args: &[VReg]) {
+        self.emit(Inst::Call { dst: None, callee: callee.into(), args: args.to_vec() });
+    }
+
+    /// Runtime call capturing the result.
+    pub fn syscall(&mut self, num: u32, args: &[VReg]) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::Syscall { dst: Some(dst), num, args: args.to_vec() });
+        dst
+    }
+
+    /// Runtime call, result discarded.
+    pub fn syscall_void(&mut self, num: u32, args: &[VReg]) {
+        self.emit(Inst::Syscall { dst: None, num, args: args.to_vec() });
+    }
+
+    // ----- control flow ---------------------------------------------------
+
+    /// Returns from the function.
+    pub fn ret(&mut self, val: Option<VReg>) {
+        self.terminate(Terminator::Ret(val));
+    }
+
+    /// `if (a rel rhs) { then_ }`.
+    pub fn if_cmp(&mut self, rel: CmpRel, a: VReg, rhs: Rhs, then_: impl FnOnce(&mut Self)) {
+        let then_b = self.new_block();
+        let cont = self.new_block();
+        self.terminate(Terminator::Br { rel, a, rhs, then_bb: then_b, else_bb: cont });
+        self.switch_to(then_b);
+        then_(self);
+        self.seal_jmp(cont);
+        self.switch_to(cont);
+    }
+
+    /// `if (a rel rhs) { then_ } else { else_ }`.
+    pub fn if_else_cmp(
+        &mut self,
+        rel: CmpRel,
+        a: VReg,
+        rhs: Rhs,
+        then_: impl FnOnce(&mut Self),
+        else_: impl FnOnce(&mut Self),
+    ) {
+        let then_b = self.new_block();
+        let else_b = self.new_block();
+        let cont = self.new_block();
+        self.terminate(Terminator::Br { rel, a, rhs, then_bb: then_b, else_bb: else_b });
+        self.switch_to(then_b);
+        then_(self);
+        self.seal_jmp(cont);
+        self.switch_to(else_b);
+        else_(self);
+        self.seal_jmp(cont);
+        self.switch_to(cont);
+    }
+
+    /// `while (cond) { body }`. The condition closure runs once to *emit*
+    /// the condition code into the loop header (it executes every
+    /// iteration). `break`/`continue` inside `body` target this loop.
+    pub fn while_cmp(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> (CmpRel, VReg, Rhs),
+        body: impl FnOnce(&mut Self),
+    ) {
+        let header = self.new_block();
+        let body_b = self.new_block();
+        let exit = self.new_block();
+        self.seal_jmp(header);
+        self.switch_to(header);
+        let (rel, a, rhs) = cond(self);
+        self.terminate(Terminator::Br { rel, a, rhs, then_bb: body_b, else_bb: exit });
+        self.loops.push((header, exit));
+        self.switch_to(body_b);
+        body(self);
+        self.seal_jmp(header);
+        self.loops.pop();
+        self.switch_to(exit);
+    }
+
+    /// An infinite loop; exit with [`FnBuilder::break_`].
+    pub fn loop_(&mut self, body: impl FnOnce(&mut Self)) {
+        let header = self.new_block();
+        let exit = self.new_block();
+        self.seal_jmp(header);
+        self.loops.push((header, exit));
+        self.switch_to(header);
+        body(self);
+        self.seal_jmp(header);
+        self.loops.pop();
+        self.switch_to(exit);
+    }
+
+    /// Counted loop: `for (i = start; i < end; i += 1) body(i)`.
+    ///
+    /// `continue` inside the body jumps to the *increment*, like C.
+    pub fn for_up(&mut self, start: Rhs, end: Rhs, body: impl FnOnce(&mut Self, VReg)) {
+        let i = self.fresh();
+        match start {
+            Rhs::Imm(v) => self.assign_imm(i, v),
+            Rhs::Reg(r) => self.assign(i, r),
+        }
+        let header = self.new_block();
+        let body_b = self.new_block();
+        let step_b = self.new_block();
+        let exit = self.new_block();
+        self.seal_jmp(header);
+        self.switch_to(header);
+        self.terminate(Terminator::Br { rel: CmpRel::Lt, a: i, rhs: end, then_bb: body_b, else_bb: exit });
+        self.loops.push((step_b, exit));
+        self.switch_to(body_b);
+        body(self, i);
+        self.seal_jmp(step_b);
+        self.loops.pop();
+        self.switch_to(step_b);
+        let n = self.bini(AluOp::Add, i, 1);
+        self.assign(i, n);
+        self.seal_jmp(header);
+        self.switch_to(exit);
+    }
+
+    /// Jumps to the innermost loop's exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside of a loop.
+    pub fn break_(&mut self) {
+        let (_, exit) = *self.loops.last().expect("break outside of a loop");
+        self.terminate(Terminator::Jmp(exit));
+    }
+
+    /// Jumps to the innermost loop's continue point (header or step block).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside of a loop.
+    pub fn continue_(&mut self) {
+        let (cont, _) = *self.loops.last().expect("continue outside of a loop");
+        self.terminate(Terminator::Jmp(cont));
+    }
+
+    // ----- op shorthands --------------------------------------------------
+
+    /// `a + b`.
+    pub fn add(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(AluOp::Add, a, b)
+    }
+    /// `a + imm`.
+    pub fn addi(&mut self, a: VReg, imm: i64) -> VReg {
+        self.bini(AluOp::Add, a, imm)
+    }
+    /// `a - b`.
+    pub fn sub(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(AluOp::Sub, a, b)
+    }
+    /// `a & b`.
+    pub fn and(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(AluOp::And, a, b)
+    }
+    /// `a & imm`.
+    pub fn andi(&mut self, a: VReg, imm: i64) -> VReg {
+        self.bini(AluOp::And, a, imm)
+    }
+    /// `a | b`.
+    pub fn or(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(AluOp::Or, a, b)
+    }
+    /// `a ^ b`.
+    pub fn xor(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(AluOp::Xor, a, b)
+    }
+    /// `a << imm`.
+    pub fn shli(&mut self, a: VReg, imm: i64) -> VReg {
+        self.bini(AluOp::Shl, a, imm)
+    }
+    /// `a >> imm` (logical).
+    pub fn shri(&mut self, a: VReg, imm: i64) -> VReg {
+        self.bini(AluOp::Shr, a, imm)
+    }
+    /// `a * b`.
+    pub fn mul(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(AluOp::Mul, a, b)
+    }
+    /// `a * imm`.
+    pub fn muli(&mut self, a: VReg, imm: i64) -> VReg {
+        self.bini(AluOp::Mul, a, imm)
+    }
+
+    /// 8-byte load.
+    pub fn load8(&mut self, addr: VReg, offset: i64) -> VReg {
+        self.load(MemSize::B8, ExtKind::Zero, addr, offset)
+    }
+    /// 4-byte zero-extending load.
+    pub fn load4(&mut self, addr: VReg, offset: i64) -> VReg {
+        self.load(MemSize::B4, ExtKind::Zero, addr, offset)
+    }
+    /// 1-byte zero-extending load.
+    pub fn load1(&mut self, addr: VReg, offset: i64) -> VReg {
+        self.load(MemSize::B1, ExtKind::Zero, addr, offset)
+    }
+    /// 8-byte store.
+    pub fn store8(&mut self, src: VReg, addr: VReg, offset: i64) {
+        self.store(MemSize::B8, src, addr, offset)
+    }
+    /// 4-byte store.
+    pub fn store4(&mut self, src: VReg, addr: VReg, offset: i64) {
+        self.store(MemSize::B4, src, addr, offset)
+    }
+    /// 1-byte store.
+    pub fn store1(&mut self, src: VReg, addr: VReg, offset: i64) {
+        self.store(MemSize::B1, src, addr, offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let a = f.iconst(6);
+            let b = f.iconst(7);
+            let c = f.mul(a, b);
+            f.ret(Some(c));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(interp::run_func(&p, "main", &[]).unwrap(), Some(42));
+    }
+
+    #[test]
+    fn if_else_both_arms() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("sign", 1, |f| {
+            let x = f.param(0);
+            let out = f.iconst(0);
+            f.if_else_cmp(
+                CmpRel::Lt,
+                x,
+                Rhs::Imm(0),
+                |f| f.assign_imm(out, -1),
+                |f| f.assign_imm(out, 1),
+            );
+            f.ret(Some(out));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(interp::run_func(&p, "sign", &[-5]).unwrap(), Some(-1));
+        assert_eq!(interp::run_func(&p, "sign", &[5]).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn while_with_break_and_continue() {
+        // Sum odd numbers below 10, stopping at 7: 1+3+5+7 = 16.
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let sum = f.iconst(0);
+            let i = f.iconst(0);
+            f.while_cmp(
+                |f| (CmpRel::Lt, f.use_of(i), Rhs::Imm(10)),
+                |f| {
+                    let n = f.addi(i, 1);
+                    f.assign(i, n);
+                    let even = f.andi(i, 1);
+                    f.if_cmp(CmpRel::Eq, even, Rhs::Imm(0), |f| f.continue_());
+                    let s = f.add(sum, i);
+                    f.assign(sum, s);
+                    f.if_cmp(CmpRel::Eq, i, Rhs::Imm(7), |f| f.break_());
+                },
+            );
+            f.ret(Some(sum));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(interp::run_func(&p, "main", &[]).unwrap(), Some(16));
+    }
+
+    #[test]
+    fn for_up_counts() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let acc = f.iconst(0);
+            f.for_up(Rhs::Imm(0), Rhs::Imm(5), |f, i| {
+                let s = f.add(acc, i);
+                f.assign(acc, s);
+            });
+            f.ret(Some(acc));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(interp::run_func(&p, "main", &[]).unwrap(), Some(10));
+    }
+
+    #[test]
+    fn locals_round_trip_through_memory() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let slot = f.local(16);
+            let p = f.local_addr(slot);
+            let v = f.iconst(0x1122);
+            f.store8(v, p, 8);
+            let got = f.load8(p, 8);
+            f.ret(Some(got));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(interp::run_func(&p, "main", &[]).unwrap(), Some(0x1122));
+    }
+
+    #[test]
+    fn globals_and_calls() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("table", 16, vec![9, 0, 0, 0, 0, 0, 0, 0, 5]);
+        pb.func("get", 1, move |f| {
+            let idx = f.param(0);
+            let base = f.global_addr(g);
+            let off = f.shli(idx, 3);
+            let addr = f.add(base, off);
+            let v = f.load8(addr, 0);
+            f.ret(Some(v));
+        });
+        pb.func("main", 0, |f| {
+            let one = f.iconst(1);
+            let v = f.call("get", &[one]);
+            f.ret(Some(v));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(interp::run_func(&p, "main", &[]).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn implicit_ret_void() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("noop", 0, |_f| {});
+        let p = pb.build().unwrap();
+        assert_eq!(interp::run_func(&p, "noop", &[]).unwrap(), None);
+    }
+
+    #[test]
+    fn code_after_ret_is_tolerated() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let v = f.iconst(1);
+            f.ret(Some(v));
+            // Unreachable but must not panic or invalidate the program.
+            let w = f.iconst(2);
+            f.ret(Some(w));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(interp::run_func(&p, "main", &[]).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn deeply_nested_control_flow() {
+        // loop { if { loop { if { break inner } } break outer } } — checks
+        // that break/continue always target the *innermost* loop.
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let outer = f.iconst(0);
+            let total = f.iconst(0);
+            f.loop_(|f| {
+                let o1 = f.addi(outer, 1);
+                f.assign(outer, o1);
+                f.if_cmp(CmpRel::Le, outer, Rhs::Imm(3), |f| {
+                    let inner = f.iconst(0);
+                    f.loop_(|f| {
+                        let i1 = f.addi(inner, 1);
+                        f.assign(inner, i1);
+                        f.if_cmp(CmpRel::Ge, inner, Rhs::Imm(5), |f| f.break_());
+                    });
+                    let t = f.add(total, inner);
+                    f.assign(total, t);
+                });
+                f.if_cmp(CmpRel::Ge, outer, Rhs::Imm(4), |f| f.break_());
+            });
+            f.ret(Some(total));
+        });
+        let p = pb.build().unwrap();
+        // Outer runs 4 times; the inner loop (to 5) runs on the first 3.
+        assert_eq!(interp::run_func(&p, "main", &[]).unwrap(), Some(15));
+    }
+
+    #[test]
+    fn sub_word_store_truncates() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let slot = f.local(8);
+            let p = f.local_addr(slot);
+            let big = f.iconst(0x1ff);
+            f.store1(big, p, 0);
+            let got = f.load1(p, 0);
+            f.ret(Some(got));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(interp::run_func(&p, "main", &[]).unwrap(), Some(0xff));
+    }
+}

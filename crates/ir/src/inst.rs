@@ -1,0 +1,259 @@
+//! IR instructions and terminators.
+
+use shift_isa::{AluOp, CmpRel, ExtKind, MemSize};
+
+use crate::program::{BlockId, GlobalId, LocalId, VReg};
+
+/// Right-hand side of a compare: a register or a small immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rhs {
+    /// A virtual register.
+    Reg(VReg),
+    /// An immediate value.
+    Imm(i64),
+}
+
+/// A non-terminator IR instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Inst {
+    /// `dst = value`.
+    Const {
+        /// Destination.
+        dst: VReg,
+        /// The constant.
+        value: i64,
+    },
+    /// `dst = src` (used to update loop-carried virtual registers).
+    Mov {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: VReg,
+    },
+    /// `dst = a op b`.
+    Bin {
+        /// ALU operation.
+        op: AluOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// `dst = a op imm`.
+    BinI {
+        /// ALU operation.
+        op: AluOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Immediate right operand.
+        imm: i64,
+    },
+    /// `dst = (a rel rhs) ? 1 : 0` — materializes a boolean.
+    SetCmp {
+        /// Relation.
+        rel: CmpRel,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        rhs: Rhs,
+    },
+    /// `dst = ext(*(addr + offset))` — the instruction class SHIFT
+    /// instruments on the load side.
+    Load {
+        /// Access width.
+        size: MemSize,
+        /// Sub-word extension.
+        ext: ExtKind,
+        /// Destination.
+        dst: VReg,
+        /// Base address register.
+        addr: VReg,
+        /// Constant byte offset (folded into an add during lowering; IA-64
+        /// has no base+displacement addressing).
+        offset: i64,
+    },
+    /// `*(addr + offset) = src` — the instruction class SHIFT instruments on
+    /// the store side.
+    Store {
+        /// Access width.
+        size: MemSize,
+        /// Value stored.
+        src: VReg,
+        /// Base address register.
+        addr: VReg,
+        /// Constant byte offset.
+        offset: i64,
+    },
+    /// `dst = src` with the taint tag *cleared*: the paper's hook for
+    /// "application-specific rules" that mark a value as bounds-checked so it
+    /// may legitimately be used as an address (§3.3.2's discussion of bounds
+    /// checking and translation tables). Lowers to `tclr` under the
+    /// enhancement modes and to a spill/plain-reload launder on baseline
+    /// hardware.
+    Sanitize {
+        /// Destination.
+        dst: VReg,
+        /// Source (value preserved, taint dropped).
+        src: VReg,
+    },
+    /// Check the taint tag of `src` before a critical use: compiles to a
+    /// `chk.s` that branches to a recovery stub raising a user-level alert
+    /// when the tag is set (§3.3.3: "SHIFT can insert instructions checking
+    /// for exception token (chk.s) before the use of critical data").
+    Guard {
+        /// Register whose tag is checked.
+        src: VReg,
+    },
+    /// `dst = &local` (frame address).
+    LocalAddr {
+        /// Destination.
+        dst: VReg,
+        /// Stack slot.
+        local: LocalId,
+    },
+    /// `dst = &global`.
+    GlobalAddr {
+        /// Destination.
+        dst: VReg,
+        /// The global.
+        global: GlobalId,
+    },
+    /// Direct call by symbol name; up to 8 arguments.
+    Call {
+        /// Destination for the return value, if used.
+        dst: Option<VReg>,
+        /// Callee symbol (resolved at link time).
+        callee: String,
+        /// Argument registers.
+        args: Vec<VReg>,
+    },
+    /// Runtime call (see [`shift_isa::sys`]); up to 8 arguments.
+    Syscall {
+        /// Destination for the result, if used.
+        dst: Option<VReg>,
+        /// Call number.
+        num: u32,
+        /// Argument registers.
+        args: Vec<VReg>,
+    },
+}
+
+impl Inst {
+    /// The virtual register defined by this instruction, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            Inst::Const { dst, .. }
+            | Inst::Mov { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::BinI { dst, .. }
+            | Inst::SetCmp { dst, .. }
+            | Inst::Sanitize { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::LocalAddr { dst, .. }
+            | Inst::GlobalAddr { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } | Inst::Syscall { dst, .. } => *dst,
+            Inst::Store { .. } | Inst::Guard { .. } => None,
+        }
+    }
+
+    /// Virtual registers read by this instruction.
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            Inst::Const { .. } | Inst::LocalAddr { .. } | Inst::GlobalAddr { .. } => vec![],
+            Inst::Mov { src, .. } | Inst::Sanitize { src, .. } => vec![*src],
+            Inst::Bin { a, b, .. } => vec![*a, *b],
+            Inst::BinI { a, .. } => vec![*a],
+            Inst::SetCmp { a, rhs, .. } => match rhs {
+                Rhs::Reg(b) => vec![*a, *b],
+                Rhs::Imm(_) => vec![*a],
+            },
+            Inst::Load { addr, .. } => vec![*addr],
+            Inst::Guard { src } => vec![*src],
+            Inst::Store { src, addr, .. } => vec![*src, *addr],
+            Inst::Call { args, .. } | Inst::Syscall { args, .. } => args.clone(),
+        }
+    }
+}
+
+/// A block terminator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Fused compare-and-branch: `if a rel rhs goto then_bb else else_bb`.
+    /// Lowers to an IA-64 `cmp` + predicated branch — the NaT-sensitive
+    /// pattern SHIFT must relax (§4.1).
+    Br {
+        /// Relation.
+        rel: CmpRel,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        rhs: Rhs,
+        /// Target when the relation holds.
+        then_bb: BlockId,
+        /// Target otherwise.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret(Option<VReg>),
+}
+
+impl Terminator {
+    /// Virtual registers read by this terminator.
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            Terminator::Jmp(_) => vec![],
+            Terminator::Br { a, rhs, .. } => match rhs {
+                Rhs::Reg(b) => vec![*a, *b],
+                Rhs::Imm(_) => vec![*a],
+            },
+            Terminator::Ret(Some(v)) => vec![*v],
+            Terminator::Ret(None) => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_use_cover_all_shapes() {
+        let st = Inst::Store {
+            size: MemSize::B1,
+            src: VReg(1),
+            addr: VReg(2),
+            offset: 4,
+        };
+        assert_eq!(st.def(), None);
+        assert_eq!(st.uses(), vec![VReg(1), VReg(2)]);
+
+        let call = Inst::Call { dst: Some(VReg(5)), callee: "f".into(), args: vec![VReg(3)] };
+        assert_eq!(call.def(), Some(VReg(5)));
+        assert_eq!(call.uses(), vec![VReg(3)]);
+
+        let cmp = Inst::SetCmp { rel: CmpRel::Lt, dst: VReg(0), a: VReg(1), rhs: Rhs::Imm(3) };
+        assert_eq!(cmp.uses(), vec![VReg(1)]);
+    }
+
+    #[test]
+    fn terminator_uses() {
+        let br = Terminator::Br {
+            rel: CmpRel::Eq,
+            a: VReg(1),
+            rhs: Rhs::Reg(VReg(2)),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(br.uses(), vec![VReg(1), VReg(2)]);
+        assert_eq!(Terminator::Ret(Some(VReg(7))).uses(), vec![VReg(7)]);
+        assert!(Terminator::Jmp(BlockId(0)).uses().is_empty());
+    }
+}

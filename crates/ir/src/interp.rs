@@ -1,0 +1,373 @@
+//! A reference interpreter for the IR.
+//!
+//! Executes IR directly (no lowering, no register allocation, no taint),
+//! serving as a *differential oracle*: the compiler test-suite runs the same
+//! program here and on the simulated machine and demands identical results.
+//! Runtime calls are out of scope — programs under differential test are
+//! pure computations over locals/globals.
+
+use std::collections::HashMap;
+
+use shift_isa::{AluOp, ExtKind, MemSize};
+
+use crate::inst::{Inst, Rhs, Terminator};
+use crate::program::{Function, Program};
+
+/// Base address at which globals are laid out.
+const GLOBAL_BASE: u64 = 0x1000_0000;
+/// Initial stack pointer (frames grow down).
+const STACK_BASE: u64 = 0x8000_0000;
+/// Default execution budget.
+const DEFAULT_STEP_LIMIT: u64 = 50_000_000;
+
+/// Interpreter failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InterpError {
+    /// Call to a function that is not in the program.
+    UnknownFunction(String),
+    /// The IR used a runtime call, which the oracle does not model.
+    SyscallUnsupported(u32),
+    /// The step budget was exhausted (probable infinite loop).
+    StepLimit,
+    /// Argument count didn't match the function's parameter count.
+    BadArity {
+        /// The function called.
+        func: String,
+    },
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            InterpError::SyscallUnsupported(n) => {
+                write!(f, "syscall {n} is not supported by the reference interpreter")
+            }
+            InterpError::StepLimit => f.write_str("step limit exhausted"),
+            InterpError::BadArity { func } => write!(f, "bad arity calling `{func}`"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The interpreter state (memory persists across calls so tests can inspect
+/// globals afterwards).
+#[derive(Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    mem: HashMap<u64, u8>,
+    global_addrs: Vec<u64>,
+    sp: u64,
+    steps_left: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter and lays out the program's globals.
+    pub fn new(program: &'p Program) -> Interp<'p> {
+        let mut mem = HashMap::new();
+        let mut global_addrs = Vec::with_capacity(program.globals.len());
+        let mut cursor = GLOBAL_BASE;
+        for g in &program.globals {
+            global_addrs.push(cursor);
+            for (i, &b) in g.init.iter().enumerate() {
+                mem.insert(cursor + i as u64, b);
+            }
+            cursor += g.size.div_ceil(16) * 16;
+        }
+        Interp { program, mem, global_addrs, sp: STACK_BASE, steps_left: DEFAULT_STEP_LIMIT }
+    }
+
+    /// Overrides the execution budget.
+    pub fn with_step_limit(mut self, limit: u64) -> Interp<'p> {
+        self.steps_left = limit;
+        self
+    }
+
+    /// Address assigned to a global (for post-run inspection).
+    pub fn global_addr(&self, index: usize) -> u64 {
+        self.global_addrs[index]
+    }
+
+    /// Reads `len` bytes of interpreter memory (unset bytes read as zero).
+    pub fn read_mem(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| *self.mem.get(&(addr + i)).unwrap_or(&0)).collect()
+    }
+
+    /// Calls a function by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] for unknown functions, arity mismatches,
+    /// runtime calls, or step-budget exhaustion.
+    pub fn call(&mut self, name: &str, args: &[i64]) -> Result<Option<i64>, InterpError> {
+        let func = self
+            .program
+            .func(name)
+            .ok_or_else(|| InterpError::UnknownFunction(name.to_string()))?;
+        if args.len() != func.params {
+            return Err(InterpError::BadArity { func: name.to_string() });
+        }
+        self.exec(func, args)
+    }
+
+    fn exec(&mut self, func: &'p Function, args: &[i64]) -> Result<Option<i64>, InterpError> {
+        let mut regs = vec![0i64; func.vregs as usize];
+        regs[..args.len()].copy_from_slice(args);
+
+        // Frame: allocate 8-aligned slots below sp, restore on exit.
+        let saved_sp = self.sp;
+        let mut local_addrs = Vec::with_capacity(func.locals.len());
+        for local in &func.locals {
+            self.sp -= local.size.div_ceil(8) * 8;
+            local_addrs.push(self.sp);
+        }
+
+        let mut block = 0usize;
+        let result = 'run: loop {
+            let b = &func.blocks[block];
+            for inst in &b.insts {
+                if self.steps_left == 0 {
+                    break 'run Err(InterpError::StepLimit);
+                }
+                self.steps_left -= 1;
+                match inst {
+                    Inst::Const { dst, value } => regs[dst.index()] = *value,
+                    Inst::Mov { dst, src } | Inst::Sanitize { dst, src } => {
+                        regs[dst.index()] = regs[src.index()]
+                    }
+                    Inst::Bin { op, dst, a, b } => {
+                        regs[dst.index()] = eval_alu(*op, regs[a.index()], regs[b.index()]);
+                    }
+                    Inst::BinI { op, dst, a, imm } => {
+                        regs[dst.index()] = eval_alu(*op, regs[a.index()], *imm);
+                    }
+                    Inst::SetCmp { rel, dst, a, rhs } => {
+                        let rv = self.rhs(&regs, rhs);
+                        regs[dst.index()] =
+                            i64::from(rel.eval(regs[a.index()] as u64, rv as u64));
+                    }
+                    Inst::Load { size, ext, dst, addr, offset } => {
+                        let a = (regs[addr.index()].wrapping_add(*offset)) as u64;
+                        regs[dst.index()] = self.load(a, *size, *ext);
+                    }
+                    Inst::Store { size, src, addr, offset } => {
+                        let a = (regs[addr.index()].wrapping_add(*offset)) as u64;
+                        self.store(a, *size, regs[src.index()]);
+                    }
+                    Inst::LocalAddr { dst, local } => {
+                        regs[dst.index()] = local_addrs[local.index()] as i64;
+                    }
+                    Inst::GlobalAddr { dst, global } => {
+                        regs[dst.index()] = self.global_addrs[global.index()] as i64;
+                    }
+                    Inst::Call { dst, callee, args } => {
+                        let vals: Vec<i64> = args.iter().map(|v| regs[v.index()]).collect();
+                        let r = match self.call(callee, &vals) {
+                            Ok(r) => r,
+                            Err(e) => break 'run Err(e),
+                        };
+                        if let Some(d) = dst {
+                            regs[d.index()] = r.unwrap_or(0);
+                        }
+                    }
+                    Inst::Guard { .. } => {}
+                    Inst::Syscall { num, .. } => {
+                        break 'run Err(InterpError::SyscallUnsupported(*num));
+                    }
+                }
+            }
+            if self.steps_left == 0 {
+                break 'run Err(InterpError::StepLimit);
+            }
+            self.steps_left -= 1;
+            match b.term.as_ref().expect("validated IR has terminators") {
+                Terminator::Jmp(t) => block = t.index(),
+                Terminator::Br { rel, a, rhs, then_bb, else_bb } => {
+                    let rv = self.rhs(&regs, rhs);
+                    block = if rel.eval(regs[a.index()] as u64, rv as u64) {
+                        then_bb.index()
+                    } else {
+                        else_bb.index()
+                    };
+                }
+                Terminator::Ret(v) => break 'run Ok(v.map(|v| regs[v.index()])),
+            }
+        };
+
+        self.sp = saved_sp;
+        result
+    }
+
+    fn rhs(&self, regs: &[i64], rhs: &Rhs) -> i64 {
+        match rhs {
+            Rhs::Reg(r) => regs[r.index()],
+            Rhs::Imm(v) => *v,
+        }
+    }
+
+    fn load(&self, addr: u64, size: MemSize, ext: ExtKind) -> i64 {
+        let mut v = 0u64;
+        for i in (0..size.bytes()).rev() {
+            v = (v << 8) | u64::from(*self.mem.get(&(addr + i)).unwrap_or(&0));
+        }
+        let bits = size.bytes() * 8;
+        let v = if bits == 64 {
+            v
+        } else {
+            match ext {
+                ExtKind::Zero => v,
+                ExtKind::Sign => {
+                    let sign = 1u64 << (bits - 1);
+                    if v & sign != 0 {
+                        v | !((1u64 << bits) - 1)
+                    } else {
+                        v
+                    }
+                }
+            }
+        };
+        v as i64
+    }
+
+    fn store(&mut self, addr: u64, size: MemSize, value: i64) {
+        for i in 0..size.bytes() {
+            self.mem.insert(addr + i, (value as u64 >> (8 * i)) as u8);
+        }
+    }
+}
+
+/// One-shot convenience: interpret `name(args)` in a fresh interpreter.
+///
+/// # Errors
+///
+/// See [`Interp::call`].
+pub fn run_func(program: &Program, name: &str, args: &[i64]) -> Result<Option<i64>, InterpError> {
+    Interp::new(program).call(name, args)
+}
+
+fn eval_alu(op: AluOp, a: i64, b: i64) -> i64 {
+    let (ua, ub) = (a as u64, b as u64);
+    (match op {
+        AluOp::Add => ua.wrapping_add(ub),
+        AluOp::Sub => ua.wrapping_sub(ub),
+        AluOp::And => ua & ub,
+        AluOp::Or => ua | ub,
+        AluOp::Xor => ua ^ ub,
+        AluOp::Shl => ua.wrapping_shl(ub as u32),
+        AluOp::Shr => ua.wrapping_shr(ub as u32),
+        AluOp::Sar => (a.wrapping_shr(ub as u32)) as u64,
+        AluOp::Mul => ua.wrapping_mul(ub),
+    }) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+    use shift_isa::CmpRel;
+
+    #[test]
+    fn recursion_works() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("fact", 1, |f| {
+            let n = f.param(0);
+            f.if_cmp(CmpRel::Le, n, Rhs::Imm(1), |f| {
+                let one = f.iconst(1);
+                f.ret(Some(one));
+            });
+            let nm1 = f.addi(n, -1);
+            let sub = f.call("fact", &[nm1]);
+            let r = f.mul(n, sub);
+            f.ret(Some(r));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(run_func(&p, "fact", &[6]).unwrap(), Some(720));
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loops() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("spin", 0, |f| {
+            f.loop_(|_f| {});
+            f.ret(None);
+        });
+        let p = pb.build().unwrap();
+        let mut i = Interp::new(&p).with_step_limit(1000);
+        assert_eq!(i.call("spin", &[]), Err(InterpError::StepLimit));
+    }
+
+    #[test]
+    fn syscalls_are_rejected() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            f.syscall_void(shift_isa::sys::PRINT, &[]);
+            f.ret(None);
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(
+            run_func(&p, "main", &[]),
+            Err(InterpError::SyscallUnsupported(shift_isa::sys::PRINT))
+        );
+    }
+
+    #[test]
+    fn globals_persist_across_calls() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global_zeroed("counter", 8);
+        pb.func("bump", 0, move |f| {
+            let a = f.global_addr(g);
+            let v = f.load8(a, 0);
+            let v1 = f.addi(v, 1);
+            f.store8(v1, a, 0);
+            f.ret(Some(v1));
+        });
+        let p = pb.build().unwrap();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.call("bump", &[]).unwrap(), Some(1));
+        assert_eq!(i.call("bump", &[]).unwrap(), Some(2));
+        let addr = i.global_addr(0);
+        assert_eq!(i.read_mem(addr, 1)[0], 2);
+    }
+
+    #[test]
+    fn sign_extension_on_loads() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let slot = f.local(8);
+            let p = f.local_addr(slot);
+            let v = f.iconst(0xfe);
+            f.store1(v, p, 0);
+            let got = f.load(MemSize::B1, ExtKind::Sign, p, 0);
+            f.ret(Some(got));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(run_func(&p, "main", &[]).unwrap(), Some(-2));
+    }
+
+    #[test]
+    fn nested_calls_restore_stack() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("writes_local", 0, |f| {
+            let slot = f.local(8);
+            let p = f.local_addr(slot);
+            let v = f.iconst(0xaa);
+            f.store8(v, p, 0);
+            let got = f.load8(p, 0);
+            f.ret(Some(got));
+        });
+        pb.func("main", 0, |f| {
+            let slot = f.local(8);
+            let p = f.local_addr(slot);
+            let v = f.iconst(7);
+            f.store8(v, p, 0);
+            f.call_void("writes_local", &[]);
+            // Our local must be untouched even though the callee used the
+            // stack below us.
+            let got = f.load8(p, 0);
+            f.ret(Some(got));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(run_func(&p, "main", &[]).unwrap(), Some(7));
+    }
+}

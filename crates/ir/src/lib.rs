@@ -1,0 +1,69 @@
+//! # shift-ir — the compiler's intermediate representation
+//!
+//! A small three-address IR over unlimited virtual registers, organized as a
+//! control-flow graph of basic blocks. The SHIFT paper instruments at GCC's
+//! low-level RTL, "between `pass_leaf_regs` and `pass_sched2`" (§4.2); our
+//! pipeline mirrors that: guest programs are written against this IR (there
+//! is no C frontend in scope), `shift-compiler` lowers it, allocates
+//! registers, and only *then* runs the instrumentation pass on physical
+//! machine code.
+//!
+//! The IR is deliberately C-compiler-shaped:
+//!
+//! * virtual registers are 64-bit integers (the only scalar type);
+//! * mutable state that never has its address taken lives in virtual
+//!   registers across blocks (like GCC pseudos after `-O3`), so loop
+//!   counters do **not** become memory traffic — this matters because the
+//!   paper's overhead is proportional to *genuine* load/store density;
+//! * address-taken variables (buffers, structs) live in [`Function`] locals
+//!   (stack slots) and are accessed through explicit [`Inst::Load`] /
+//!   [`Inst::Store`] with a size and extension, exactly the instructions the
+//!   SHIFT pass instruments;
+//! * control flow uses fused compare-and-branch terminators, which lower to
+//!   IA-64 `cmp`+predicated-branch pairs — the NaT-sensitive instructions
+//!   that need relaxation (§4.1).
+//!
+//! [`FnBuilder`] provides structured helpers (`if_cmp`, `while_cmp`, loops
+//! with `break`/`continue`) so the workload and attack crates can express
+//! realistic programs compactly, and [`interp`] is a reference interpreter
+//! used as a differential oracle for compiler correctness tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use shift_ir::{ProgramBuilder, Rhs};
+//! use shift_isa::CmpRel;
+//!
+//! let mut pb = ProgramBuilder::new();
+//! pb.func("main", 0, |f| {
+//!     // sum = 0; for i in 0..10 { sum += i }
+//!     let sum = f.iconst(0);
+//!     let i = f.iconst(0);
+//!     f.while_cmp(
+//!         |f| (CmpRel::Lt, f.use_of(i), Rhs::Imm(10)),
+//!         |f| {
+//!             let s = f.add(sum, i);
+//!             f.assign(sum, s);
+//!             let n = f.addi(i, 1);
+//!             f.assign(i, n);
+//!         },
+//!     );
+//!     f.ret(Some(sum));
+//! });
+//! let program = pb.build().unwrap();
+//! assert_eq!(shift_ir::interp::run_func(&program, "main", &[]).unwrap(), Some(45));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod inst;
+pub mod interp;
+mod program;
+mod validate;
+
+pub use builder::{FnBuilder, ProgramBuilder, Var};
+pub use inst::{Inst, Rhs, Terminator};
+pub use program::{Block, BlockId, Function, Global, GlobalId, LocalId, Program, VReg};
+pub use validate::{validate, validate_linked, ValidateError};

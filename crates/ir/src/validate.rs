@@ -1,0 +1,316 @@
+//! Structural validation of IR programs.
+
+use std::collections::HashSet;
+
+use crate::inst::{Inst, Rhs, Terminator};
+use crate::program::{Program, VReg};
+
+/// A structural problem in an IR program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidateError {
+    /// A block has no terminator.
+    MissingTerminator {
+        /// Function name.
+        func: String,
+        /// Block index.
+        block: usize,
+    },
+    /// A branch targets a nonexistent block.
+    BadBlockTarget {
+        /// Function name.
+        func: String,
+        /// The bogus target index.
+        target: usize,
+    },
+    /// A virtual register index is out of the function's declared range.
+    BadVReg {
+        /// Function name.
+        func: String,
+        /// The bogus register.
+        vreg: VReg,
+    },
+    /// A local or global id is out of range.
+    BadSlot {
+        /// Function name.
+        func: String,
+        /// Description of the bad reference.
+        what: String,
+    },
+    /// A call references an unknown function (checked only for calls whose
+    /// target exists nowhere in the program — cross-crate linking resolves
+    /// names later, so this is only reported by [`validate_linked`]).
+    UnknownCallee {
+        /// Function name.
+        func: String,
+        /// The missing callee.
+        callee: String,
+    },
+    /// A call passes a different number of arguments than the callee takes.
+    ArityMismatch {
+        /// Calling function.
+        func: String,
+        /// Callee name.
+        callee: String,
+        /// Arguments passed.
+        passed: usize,
+        /// Parameters expected.
+        expected: usize,
+    },
+    /// Two functions or globals share a name.
+    DuplicateSymbol {
+        /// The duplicated name.
+        name: String,
+    },
+    /// More than 8 call/syscall arguments.
+    TooManyArgs {
+        /// Function name.
+        func: String,
+    },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::MissingTerminator { func, block } => {
+                write!(f, "function `{func}` block {block} lacks a terminator")
+            }
+            ValidateError::BadBlockTarget { func, target } => {
+                write!(f, "function `{func}` branches to nonexistent block {target}")
+            }
+            ValidateError::BadVReg { func, vreg } => {
+                write!(f, "function `{func}` references undeclared register {vreg}")
+            }
+            ValidateError::BadSlot { func, what } => {
+                write!(f, "function `{func}` references {what}")
+            }
+            ValidateError::UnknownCallee { func, callee } => {
+                write!(f, "function `{func}` calls unknown function `{callee}`")
+            }
+            ValidateError::ArityMismatch { func, callee, passed, expected } => write!(
+                f,
+                "function `{func}` calls `{callee}` with {passed} args (expects {expected})"
+            ),
+            ValidateError::DuplicateSymbol { name } => {
+                write!(f, "duplicate symbol `{name}`")
+            }
+            ValidateError::TooManyArgs { func } => {
+                write!(f, "function `{func}` passes more than 8 arguments")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validates intra-function structure (terminators, register/slot/block
+/// ranges) and symbol uniqueness. Call targets may be unresolved.
+///
+/// # Errors
+///
+/// Returns the first problem found.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    let mut names = HashSet::new();
+    for f in &program.funcs {
+        if !names.insert(f.name.as_str()) {
+            return Err(ValidateError::DuplicateSymbol { name: f.name.clone() });
+        }
+    }
+    let mut gnames = HashSet::new();
+    for g in &program.globals {
+        if !gnames.insert(g.name.as_str()) {
+            return Err(ValidateError::DuplicateSymbol { name: g.name.clone() });
+        }
+    }
+
+    for f in &program.funcs {
+        let check_vreg = |v: VReg| -> Result<(), ValidateError> {
+            if v.0 < f.vregs {
+                Ok(())
+            } else {
+                Err(ValidateError::BadVReg { func: f.name.clone(), vreg: v })
+            }
+        };
+        for (bi, block) in f.blocks.iter().enumerate() {
+            for inst in &block.insts {
+                if let Some(d) = inst.def() {
+                    check_vreg(d)?;
+                }
+                for u in inst.uses() {
+                    check_vreg(u)?;
+                }
+                match inst {
+                    Inst::LocalAddr { local, .. } if local.index() >= f.locals.len() => {
+                        return Err(ValidateError::BadSlot {
+                            func: f.name.clone(),
+                            what: format!("nonexistent local {local}"),
+                        });
+                    }
+                    Inst::GlobalAddr { global, .. }
+                        if global.index() >= program.globals.len() =>
+                    {
+                        return Err(ValidateError::BadSlot {
+                            func: f.name.clone(),
+                            what: format!("nonexistent global {global}"),
+                        });
+                    }
+                    Inst::Call { args, .. } | Inst::Syscall { args, .. } if args.len() > 8 => {
+                        return Err(ValidateError::TooManyArgs { func: f.name.clone() });
+                    }
+                    _ => {}
+                }
+            }
+            let Some(term) = &block.term else {
+                return Err(ValidateError::MissingTerminator { func: f.name.clone(), block: bi });
+            };
+            for u in term.uses() {
+                check_vreg(u)?;
+            }
+            if let Terminator::Br { rhs: Rhs::Reg(r), .. } = term {
+                check_vreg(*r)?;
+            }
+            for succ in block.successors() {
+                if succ.index() >= f.blocks.len() {
+                    return Err(ValidateError::BadBlockTarget {
+                        func: f.name.clone(),
+                        target: succ.index(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a *linked* program: everything [`validate`] checks, plus call
+/// resolution and arity.
+///
+/// # Errors
+///
+/// Returns the first problem found.
+pub fn validate_linked(program: &Program) -> Result<(), ValidateError> {
+    validate(program)?;
+    for f in &program.funcs {
+        for block in &f.blocks {
+            for inst in &block.insts {
+                if let Inst::Call { callee, args, .. } = inst {
+                    let Some(target) = program.func(callee) else {
+                        return Err(ValidateError::UnknownCallee {
+                            func: f.name.clone(),
+                            callee: callee.clone(),
+                        });
+                    };
+                    if target.params != args.len() {
+                        return Err(ValidateError::ArityMismatch {
+                            func: f.name.clone(),
+                            callee: callee.clone(),
+                            passed: args.len(),
+                            expected: target.params,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Block, BlockId, Function};
+    use crate::ProgramBuilder;
+
+    fn func_with_block(block: Block) -> Program {
+        Program {
+            funcs: vec![Function {
+                name: "f".into(),
+                params: 0,
+                blocks: vec![block],
+                locals: vec![],
+                vregs: 1,
+            }],
+            globals: vec![],
+        }
+    }
+
+    #[test]
+    fn missing_terminator_detected() {
+        let p = func_with_block(Block { insts: vec![], term: None });
+        assert_eq!(
+            validate(&p),
+            Err(ValidateError::MissingTerminator { func: "f".into(), block: 0 })
+        );
+    }
+
+    #[test]
+    fn bad_branch_target_detected() {
+        let p = func_with_block(Block {
+            insts: vec![],
+            term: Some(Terminator::Jmp(BlockId(7))),
+        });
+        assert!(matches!(validate(&p), Err(ValidateError::BadBlockTarget { target: 7, .. })));
+    }
+
+    #[test]
+    fn bad_vreg_detected() {
+        let p = func_with_block(Block {
+            insts: vec![Inst::Const { dst: VReg(5), value: 0 }],
+            term: Some(Terminator::Ret(None)),
+        });
+        assert!(matches!(validate(&p), Err(ValidateError::BadVReg { .. })));
+    }
+
+    #[test]
+    fn unknown_callee_only_fails_linked_validation() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            f.call_void("does_not_exist", &[]);
+            f.ret(None);
+        });
+        let p = pb.build().expect("unlinked validation tolerates unresolved calls");
+        assert!(matches!(
+            validate_linked(&p),
+            Err(ValidateError::UnknownCallee { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("two", 2, |f| f.ret(None));
+        pb.func("main", 0, |f| {
+            let x = f.iconst(0);
+            f.call_void("two", &[x]);
+            f.ret(None);
+        });
+        let p = pb.build().unwrap();
+        assert!(matches!(
+            validate_linked(&p),
+            Err(ValidateError::ArityMismatch { passed: 1, expected: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_symbols_detected() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("f", 0, |f| f.ret(None));
+        pb.func("f", 0, |f| f.ret(None));
+        assert!(matches!(pb.build(), Err(ValidateError::DuplicateSymbol { .. })));
+    }
+
+    #[test]
+    fn valid_program_passes_both() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("leaf", 1, |f| {
+            let v = f.param(0);
+            f.ret(Some(v));
+        });
+        pb.func("main", 0, |f| {
+            let x = f.iconst(3);
+            let r = f.call("leaf", &[x]);
+            f.ret(Some(r));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(validate_linked(&p), Ok(()));
+    }
+}

@@ -1,0 +1,162 @@
+//! Textual disassembly of instructions, in an IA-64-flavoured syntax.
+//!
+//! The format intentionally mirrors the paper's listings: speculative loads
+//! print as `ld8.s`, spills as `st8.spill`, checks as `chk.s`, and a
+//! non-`p0` qualifying predicate prints as an IA-64 guard: `(p3) st8 …`.
+
+use core::fmt;
+
+use crate::insn::{ExtKind, Insn, MemSize, Op};
+use crate::reg::Pr;
+
+impl fmt::Display for MemSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bytes())
+    }
+}
+
+impl<R: fmt::Display> fmt::Display for Op<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Alu { op, dst, src1, src2 } => {
+                write!(f, "{} {dst} = {src1}, {src2}", op.mnemonic())
+            }
+            Op::AluI { op, dst, src1, imm } => {
+                write!(f, "{} {dst} = {src1}, {imm}", op.mnemonic())
+            }
+            Op::MovI { dst, imm } => write!(f, "movl {dst} = {imm:#x}"),
+            Op::Mov { dst, src } => write!(f, "mov {dst} = {src}"),
+            Op::Ext { kind, size, dst, src } => {
+                let m = match kind {
+                    ExtKind::Sign => "sxt",
+                    ExtKind::Zero => "zxt",
+                };
+                write!(f, "{m}{size} {dst} = {src}")
+            }
+            Op::Cmp { rel, pt, pf, src1, src2, nat_aware } => {
+                let nat = if *nat_aware { ".nat" } else { "" };
+                write!(f, "cmp.{}{nat} {pt}, {pf} = {src1}, {src2}", rel.mnemonic())
+            }
+            Op::CmpI { rel, pt, pf, src1, imm, nat_aware } => {
+                let nat = if *nat_aware { ".nat" } else { "" };
+                write!(f, "cmp.{}{nat} {pt}, {pf} = {src1}, {imm}", rel.mnemonic())
+            }
+            Op::Ld { size, ext, dst, addr, spec } => {
+                let s = if *spec { ".s" } else { "" };
+                let e = match (size, ext) {
+                    (MemSize::B8, _) => "",
+                    (_, ExtKind::Sign) => ".sx",
+                    (_, ExtKind::Zero) => "",
+                };
+                write!(f, "ld{size}{e}{s} {dst} = [{addr}]")
+            }
+            Op::St { size, src, addr } => write!(f, "st{size} [{addr}] = {src}"),
+            Op::StSpill { src, addr } => write!(f, "st8.spill [{addr}] = {src}"),
+            Op::LdFill { dst, addr } => write!(f, "ld8.fill {dst} = [{addr}]"),
+            Op::ChkS { src, target } => write!(f, "chk.s {src}, L{target}"),
+            Op::Jmp { target } => write!(f, "br L{target}"),
+            Op::Call { link, target } => write!(f, "br.call {link} = L{target}"),
+            Op::JmpBr { br } => write!(f, "br {br}"),
+            Op::MovToBr { br, src } => write!(f, "mov {br} = {src}"),
+            Op::MovFromBr { dst, br } => write!(f, "mov {dst} = {br}"),
+            Op::Tnat { pt, pf, src } => write!(f, "tnat.nz {pt}, {pf} = {src}"),
+            Op::Tset { dst } => write!(f, "tset {dst}"),
+            Op::Tclr { dst } => write!(f, "tclr {dst}"),
+            Op::Syscall { num } => write!(f, "syscall {num}"),
+            Op::Nop => write!(f, "nop"),
+            Op::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.qp != Pr::P0 {
+            write!(f, "({}) {}", self.qp, self.op)
+        } else {
+            write!(f, "{}", self.op)
+        }
+    }
+}
+
+/// Formats a code range as an address-annotated listing, one instruction per
+/// line, with provenance shown for instrumented instructions.
+///
+/// ```
+/// use shift_isa::{disasm_listing, Insn, Op};
+/// let code = [Insn::new(Op::Nop), Insn::new(Op::Halt)];
+/// let text = disasm_listing(&code, 0);
+/// assert!(text.contains("0000:  nop"));
+/// ```
+pub fn disasm_listing(code: &[Insn], base: usize) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    for (i, insn) in code.iter().enumerate() {
+        let _ = write!(out, "{:04}:  {insn}", base + i);
+        if insn.prov.is_instrumentation() {
+            let _ = write!(out, "    ; [{}]", insn.prov);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{AluOp, CmpRel};
+    use crate::provenance::Provenance;
+    use crate::reg::Gpr;
+
+    #[test]
+    fn paper_style_mnemonics() {
+        let ld = Insn::new(Op::Ld {
+            size: MemSize::B8,
+            ext: ExtKind::Zero,
+            dst: Gpr::R14,
+            addr: Gpr::R13,
+            spec: true,
+        });
+        assert_eq!(ld.to_string(), "ld8.s r14 = [r13]");
+
+        let spill = Insn::new(Op::StSpill { src: Gpr::R15, addr: Gpr::R12 });
+        assert_eq!(spill.to_string(), "st8.spill [r12] = r15");
+
+        let chk = Insn::new(Op::ChkS { src: Gpr::R15, target: 42 });
+        assert_eq!(chk.to_string(), "chk.s r15, L42");
+    }
+
+    #[test]
+    fn predicated_form() {
+        let st = Insn::new(Op::St { size: MemSize::B1, src: Gpr::R2, addr: Gpr::R3 })
+            .under(Pr::P6);
+        assert_eq!(st.to_string(), "(p6) st1 [r3] = r2");
+    }
+
+    #[test]
+    fn nat_aware_compare_prints_suffix() {
+        let cmp = Insn::new(Op::Cmp {
+            rel: CmpRel::Eq,
+            pt: Pr::P1,
+            pf: Pr::P2,
+            src1: Gpr::R4,
+            src2: Gpr::R5,
+            nat_aware: true,
+        });
+        assert_eq!(cmp.to_string(), "cmp.eq.nat p1, p2 = r4, r5");
+    }
+
+    #[test]
+    fn listing_shows_provenance() {
+        let code = [
+            Insn::new(Op::Nop),
+            Insn::tagged(
+                Op::AluI { op: AluOp::Shr, dst: Gpr::R30, src1: Gpr::R13, imm: 3 },
+                Provenance::LdTagCompute,
+            ),
+        ];
+        let text = disasm_listing(&code, 100);
+        assert!(text.contains("0100:  nop"));
+        assert!(text.contains("[ld-compute]"));
+    }
+}

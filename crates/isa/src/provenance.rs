@@ -1,0 +1,120 @@
+//! Instruction provenance labels.
+//!
+//! Every instruction in a compiled image records *who emitted it*. The
+//! simulator accumulates cycles per label, which regenerates the paper's
+//! Figure 9 ("breakdown of the performance slowdown among computation and
+//! memory access in load and store instructions") exactly instead of
+//! estimating it from samples.
+
+use core::fmt;
+
+/// Origin of an emitted instruction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Provenance {
+    /// Application code (including compiler-inserted spills and frame setup —
+    /// those exist in the uninstrumented baseline too).
+    Original,
+    /// Tag-address **computation** inserted for a *load*: region folding,
+    /// shifting, masking, bit extraction (Figure 9's "ld-compute").
+    LdTagCompute,
+    /// Bitmap **memory access** inserted for a *load* (Figure 9's "ld-mem").
+    LdTagMemory,
+    /// Tag-address computation inserted for a *store*.
+    StTagCompute,
+    /// Bitmap memory access (read-modify-write) inserted for a *store*.
+    StTagMemory,
+    /// Relaxation code around NaT-sensitive instructions (compare spill/fill,
+    /// address-register laundering) — removed by the `cmp.nat` enhancement.
+    Relax,
+    /// Taint-source material: manufacturing a NaT'd register from a faked
+    /// speculative load, or tagging syscall results.
+    TaintSource,
+    /// Policy checks (`chk.s` insertion and violation dispatch).
+    Check,
+}
+
+impl Provenance {
+    /// All labels in display order.
+    pub const ALL: [Provenance; 8] = [
+        Provenance::Original,
+        Provenance::LdTagCompute,
+        Provenance::LdTagMemory,
+        Provenance::StTagCompute,
+        Provenance::StTagMemory,
+        Provenance::Relax,
+        Provenance::TaintSource,
+        Provenance::Check,
+    ];
+
+    /// Returns `true` for any label other than [`Provenance::Original`].
+    #[inline]
+    pub fn is_instrumentation(self) -> bool {
+        self != Provenance::Original
+    }
+
+    /// Short, stable name used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Provenance::Original => "original",
+            Provenance::LdTagCompute => "ld-compute",
+            Provenance::LdTagMemory => "ld-mem",
+            Provenance::StTagCompute => "st-compute",
+            Provenance::StTagMemory => "st-mem",
+            Provenance::Relax => "relax",
+            Provenance::TaintSource => "taint-src",
+            Provenance::Check => "check",
+        }
+    }
+
+    /// Dense index for per-label accounting arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Provenance::Original => 0,
+            Provenance::LdTagCompute => 1,
+            Provenance::LdTagMemory => 2,
+            Provenance::StTagCompute => 3,
+            Provenance::StTagMemory => 4,
+            Provenance::Relax => 5,
+            Provenance::TaintSource => 6,
+            Provenance::Check => 7,
+        }
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; Provenance::ALL.len()];
+        for p in Provenance::ALL {
+            assert!(!seen[p.index()], "duplicate index for {p}");
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn instrumentation_classification() {
+        assert!(!Provenance::Original.is_instrumentation());
+        for p in Provenance::ALL.into_iter().skip(1) {
+            assert!(p.is_instrumentation(), "{p} should be instrumentation");
+        }
+    }
+
+    #[test]
+    fn names_are_nonempty_and_unique() {
+        let mut names: Vec<_> = Provenance::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Provenance::ALL.len());
+    }
+}

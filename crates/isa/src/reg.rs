@@ -1,0 +1,157 @@
+//! Register names: general-purpose, predicate, and branch registers.
+
+use core::fmt;
+
+macro_rules! register_enum {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $prefix:literal, $count:literal, [$($variant:ident = $idx:literal),+ $(,)?]
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        #[repr(u8)]
+        #[allow(missing_docs)]
+        pub enum $name {
+            $($variant = $idx),+
+        }
+
+        impl $name {
+            /// Total number of architected registers of this class.
+            pub const COUNT: usize = $count;
+
+            /// All registers of this class, in index order.
+            pub const ALL: [$name; $count] = [$($name::$variant),+];
+
+            /// Returns the register's architectural index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self as usize
+            }
+
+            /// Returns the register with the given architectural index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `idx >= Self::COUNT`.
+            #[inline]
+            pub fn from_index(idx: usize) -> Self {
+                Self::ALL[idx]
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.index())
+            }
+        }
+    };
+}
+
+register_enum! {
+    /// A general-purpose register.
+    ///
+    /// 32 architected GPRs, each 64 bits wide **plus a NaT bit**. `r0` reads
+    /// as zero and ignores writes (like IA-64). By software convention:
+    ///
+    /// * `r12` is the stack pointer,
+    /// * `r8` holds function / syscall return values,
+    /// * `r16`–`r23` hold outgoing arguments,
+    /// * `r28`–`r31` are reserved for SHIFT instrumentation scratch — the
+    ///   register allocator never hands them out, so instrumented sequences
+    ///   can be inserted between any two instructions without live-range
+    ///   interference (the paper reserves scratch the same way inside GCC's
+    ///   post-allocation phase).
+    Gpr, "r", 32, [
+        R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+        R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+        R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22, R23 = 23,
+        R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+    ]
+}
+
+register_enum! {
+    /// A predicate register (1 bit). `p0` is hardwired to `true`, so using it
+    /// as a qualifying predicate means "always execute".
+    Pr, "p", 8, [
+        P0 = 0, P1 = 1, P2 = 2, P3 = 3, P4 = 4, P5 = 5, P6 = 6, P7 = 7,
+    ]
+}
+
+register_enum! {
+    /// A branch register. `b0` conventionally holds the return address.
+    Br, "b", 8, [
+        B0 = 0, B1 = 1, B2 = 2, B3 = 3, B4 = 4, B5 = 5, B6 = 6, B7 = 7,
+    ]
+}
+
+impl Gpr {
+    /// The stack pointer by software convention.
+    pub const SP: Gpr = Gpr::R12;
+    /// Function and syscall return-value register.
+    pub const RET: Gpr = Gpr::R8;
+    /// First outgoing-argument register (`r16`); arguments occupy `r16..=r23`.
+    pub const ARG0: Gpr = Gpr::R16;
+    /// Number of argument registers.
+    pub const ARG_COUNT: usize = 8;
+    /// First instrumentation scratch register; scratch is `r28..=r31`.
+    pub const SCRATCH0: Gpr = Gpr::R28;
+    /// Registers reserved for the SHIFT instrumentation pass.
+    pub const SCRATCH: [Gpr; 4] = [Gpr::R28, Gpr::R29, Gpr::R30, Gpr::R31];
+
+    /// Returns the `n`-th argument register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= Self::ARG_COUNT`.
+    #[inline]
+    pub fn arg(n: usize) -> Gpr {
+        assert!(n < Self::ARG_COUNT, "argument register index out of range");
+        Gpr::from_index(Gpr::ARG0.index() + n)
+    }
+
+    /// Returns `true` if this register is reserved for instrumentation.
+    #[inline]
+    pub fn is_scratch(self) -> bool {
+        self.index() >= Gpr::SCRATCH0.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for r in Gpr::ALL {
+            assert_eq!(Gpr::from_index(r.index()), r);
+        }
+        for p in Pr::ALL {
+            assert_eq!(Pr::from_index(p.index()), p);
+        }
+        for b in Br::ALL {
+            assert_eq!(Br::from_index(b.index()), b);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Gpr::R12.to_string(), "r12");
+        assert_eq!(Pr::P0.to_string(), "p0");
+        assert_eq!(Br::B7.to_string(), "b7");
+    }
+
+    #[test]
+    fn conventions() {
+        assert_eq!(Gpr::SP, Gpr::R12);
+        assert_eq!(Gpr::arg(0), Gpr::R16);
+        assert_eq!(Gpr::arg(7), Gpr::R23);
+        assert!(Gpr::R28.is_scratch());
+        assert!(!Gpr::R27.is_scratch());
+    }
+
+    #[test]
+    #[should_panic(expected = "argument register index out of range")]
+    fn arg_out_of_range_panics() {
+        let _ = Gpr::arg(8);
+    }
+}

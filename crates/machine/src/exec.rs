@@ -1,0 +1,935 @@
+//! The in-order executor: fetch, predicate check, execute, account.
+
+use shift_isa::{AluOp, CostModel, ExtKind, Insn, MemSize, Op, Provenance};
+
+use crate::cache::CacheHierarchy;
+use crate::cpu::{Cpu, RegVal};
+use crate::fault::{Fault, NatFaultKind};
+use crate::image::Image;
+use crate::mem::{MemError, Memory};
+use crate::stats::{Exit, Stats};
+
+/// Host runtime interface: handles `syscall` traps.
+///
+/// The runtime receives the whole machine so it can read argument registers,
+/// move data in and out of guest memory, maintain the taint bitmap for
+/// sources, run policy checks for sinks, and charge I/O wait time.
+pub trait Os {
+    /// Handles runtime call `num` (arguments in `r16..`, result in `r8`).
+    fn syscall(&mut self, machine: &mut Machine, num: u32) -> SysResult;
+}
+
+/// Outcome of a runtime call.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SysResult {
+    /// Continue executing the guest.
+    Continue,
+    /// Stop the run with the given exit (guest `exit`, policy violation, …).
+    Stop(Exit),
+}
+
+/// An [`Os`] that rejects every runtime call — sufficient for pure-compute
+/// programs that end with `halt`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullOs;
+
+impl Os for NullOs {
+    fn syscall(&mut self, machine: &mut Machine, num: u32) -> SysResult {
+        SysResult::Stop(Exit::Fault(Fault::BadSyscall { num, ip: machine.cpu.ip }))
+    }
+}
+
+/// The simulated processor plus its memory and accounting state.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Architected register state.
+    pub cpu: Cpu,
+    /// Guest memory.
+    pub mem: Memory,
+    /// Data-cache hierarchy (stall model).
+    pub cache: CacheHierarchy,
+    /// Cycle/event accounting.
+    pub stats: Stats,
+    /// Instruction latency table.
+    pub cost: CostModel,
+    code: Vec<Insn>,
+    trace: Option<std::collections::VecDeque<usize>>,
+    trace_cap: usize,
+}
+
+impl Machine {
+    /// Loads an image: maps its segments, copies initialized data, maps the
+    /// stack and sets `sp`/`ip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initialized data segment fails to load (a malformed
+    /// image is a programming error, not a guest-visible fault).
+    pub fn new(image: &Image) -> Machine {
+        let mut mem = Memory::new();
+        for &(vaddr, len) in &image.maps {
+            mem.map_range(vaddr, len);
+        }
+        for (vaddr, bytes) in &image.data {
+            mem.map_range(*vaddr, bytes.len() as u64);
+            mem.write_bytes(*vaddr, bytes).expect("image data segment failed to load");
+        }
+        mem.map_range(image.stack_top - image.stack_size, image.stack_size);
+        let mut cpu = Cpu::new(image.entry);
+        cpu.set_gpr_val(shift_isa::Gpr::SP, image.stack_top);
+        Machine {
+            cpu,
+            mem,
+            cache: CacheHierarchy::itanium2(),
+            stats: Stats::new(),
+            cost: CostModel::ITANIUM2,
+            code: image.code.clone(),
+            trace: None,
+            trace_cap: 0,
+        }
+    }
+
+    /// Keeps a ring buffer of the last `n` executed instruction addresses
+    /// for post-mortem inspection (see [`Machine::trace_listing`]). Tracing
+    /// costs a deque push per instruction; leave it off for experiments.
+    pub fn enable_trace(&mut self, n: usize) {
+        self.trace = Some(std::collections::VecDeque::with_capacity(n + 1));
+        self.trace_cap = n;
+    }
+
+    /// The traced instruction addresses, oldest first (empty when tracing
+    /// is off).
+    pub fn trace(&self) -> Vec<usize> {
+        self.trace.as_ref().map(|t| t.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Formats the trace as a disassembly listing, annotating each line
+    /// with its address; the faulting/last instruction comes last.
+    pub fn trace_listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for &ip in self.trace().iter() {
+            if let Some(insn) = self.code.get(ip) {
+                let _ = writeln!(out, "{ip:6}:  {insn}");
+            }
+        }
+        out
+    }
+
+    /// The loaded code (read-only).
+    pub fn code(&self) -> &[Insn] {
+        &self.code
+    }
+
+    /// Runs until the guest stops or `max_insns` instructions retire.
+    pub fn run<O: Os>(&mut self, os: &mut O, max_insns: u64) -> Exit {
+        let budget = self.stats.instructions.saturating_add(max_insns);
+        loop {
+            if self.stats.instructions >= budget {
+                return Exit::InsnLimit;
+            }
+            if let Some(exit) = self.step(os) {
+                return exit;
+            }
+        }
+    }
+
+    /// Executes one instruction; returns `Some(exit)` when the run stops.
+    pub fn step<O: Os>(&mut self, os: &mut O) -> Option<Exit> {
+        let ip = self.cpu.ip;
+        let Some(&insn) = self.code.get(ip) else {
+            return Some(Exit::Fault(Fault::BadIp { ip }));
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.push_back(ip);
+            if trace.len() > self.trace_cap {
+                trace.pop_front();
+            }
+        }
+
+        // Predicated-off instructions are squashed; on the 6-wide machine
+        // their slot is effectively free (see CostModel::pred_off).
+        if !self.cpu.pr(insn.qp) {
+            self.stats.retire(insn.prov, self.cost.pred_off);
+            self.cpu.ip = ip + 1;
+            return None;
+        }
+
+        let base = self.cost.base(&insn.op);
+        let mut cycles = base;
+        let mut next_ip = ip + 1;
+
+        macro_rules! fault {
+            ($f:expr) => {{
+                self.stats.retire(insn.prov, cycles);
+                return Some(Exit::Fault($f));
+            }};
+        }
+
+        match insn.op {
+            Op::Alu { op, dst, src1, src2 } => {
+                let a = self.cpu.gpr(src1);
+                let b = self.cpu.gpr(src2);
+                let v = alu(op, a.value, b.value);
+                // xor r,r,r / sub r,r,r are the architectural clear idioms
+                // (§3.2: "SHIFT handles corner cases such as xor r15=r15,r15
+                // … by clearing the taint tag").
+                let self_cancel = src1 == src2 && matches!(op, AluOp::Xor | AluOp::Sub);
+                let nat = if self_cancel { false } else { a.nat || b.nat };
+                self.cpu.set_gpr(dst, RegVal { value: v, nat });
+            }
+            Op::AluI { op, dst, src1, imm } => {
+                let a = self.cpu.gpr(src1);
+                let v = alu(op, a.value, imm as u64);
+                self.cpu.set_gpr(dst, RegVal { value: v, nat: a.nat });
+            }
+            Op::MovI { dst, imm } => self.cpu.set_gpr_val(dst, imm as u64),
+            Op::Mov { dst, src } => {
+                let v = self.cpu.gpr(src);
+                self.cpu.set_gpr(dst, v);
+            }
+            Op::Ext { kind, size, dst, src } => {
+                let a = self.cpu.gpr(src);
+                let v = extend(kind, size, a.value);
+                self.cpu.set_gpr(dst, RegVal { value: v, nat: a.nat });
+            }
+            Op::Cmp { rel, pt, pf, src1, src2, nat_aware } => {
+                let a = self.cpu.gpr(src1);
+                let b = self.cpu.gpr(src2);
+                self.do_cmp(rel, pt, pf, a, b, nat_aware);
+            }
+            Op::CmpI { rel, pt, pf, src1, imm, nat_aware } => {
+                let a = self.cpu.gpr(src1);
+                self.do_cmp(rel, pt, pf, a, RegVal::of(imm as u64), nat_aware);
+            }
+            Op::Ld { size, ext, dst, addr, spec } => {
+                let a = self.cpu.gpr(addr);
+                if a.nat {
+                    if spec {
+                        // NaT address: deferral propagates to the target
+                        // directly (no translation attempted).
+                        self.stats.deferred_loads += 1;
+                        self.cpu.set_gpr(dst, RegVal::NAT);
+                    } else {
+                        fault!(Fault::NatConsumption { kind: NatFaultKind::LoadAddress, ip });
+                    }
+                } else {
+                    match self.mem.read_int(a.value, size.bytes()) {
+                        Ok(raw) => {
+                            cycles += self.cache.access(a.value, size.bytes());
+                            let v = extend(ext, size, raw);
+                            self.cpu.set_gpr(dst, RegVal::of(v));
+                            if insn.prov == Provenance::Original {
+                                self.stats.loads += 1;
+                            }
+                        }
+                        Err(_) if spec => {
+                            // Invalid address under speculation: the access
+                            // walks the TLB/VHPT, fails translation, and
+                            // defers — a full memory-latency stall. This is
+                            // why SHIFT generates its NaT-source register
+                            // once and keeps it (§4.4: per-function
+                            // generation costs 3×).
+                            cycles += self.cache.mem_latency;
+                            self.stats.deferred_loads += 1;
+                            self.cpu.set_gpr(dst, RegVal::NAT);
+                        }
+                        Err(e) => fault!(mem_fault(e, ip)),
+                    }
+                }
+            }
+            Op::St { size, src, addr } => {
+                let a = self.cpu.gpr(addr);
+                let v = self.cpu.gpr(src);
+                if a.nat {
+                    fault!(Fault::NatConsumption { kind: NatFaultKind::StoreAddress, ip });
+                }
+                if v.nat {
+                    fault!(Fault::NatConsumption { kind: NatFaultKind::StoreValue, ip });
+                }
+                match self.mem.write_int(a.value, size.bytes(), v.value) {
+                    Ok(()) => {
+                        cycles += self.cache.access(a.value, size.bytes());
+                        if insn.prov == Provenance::Original {
+                            self.stats.stores += 1;
+                        }
+                    }
+                    Err(e) => fault!(mem_fault(e, ip)),
+                }
+            }
+            Op::StSpill { src, addr } => {
+                let a = self.cpu.gpr(addr);
+                let v = self.cpu.gpr(src);
+                if a.nat {
+                    fault!(Fault::NatConsumption { kind: NatFaultKind::StoreAddress, ip });
+                }
+                match self.mem.write_int(a.value, 8, v.value) {
+                    Ok(()) => {
+                        cycles += self.cache.access(a.value, 8);
+                        // Bank the NaT bit (UNAT slot + compiler-managed
+                        // UNAT save/restore, modelled as a per-slot bit).
+                        self.cpu.unat = set_unat_bit(self.cpu.unat, a.value, v.nat);
+                        self.mem.set_spill_nat(a.value, v.nat);
+                        if insn.prov == Provenance::Original {
+                            self.stats.stores += 1;
+                        }
+                    }
+                    Err(e) => fault!(mem_fault(e, ip)),
+                }
+            }
+            Op::LdFill { dst, addr } => {
+                let a = self.cpu.gpr(addr);
+                if a.nat {
+                    fault!(Fault::NatConsumption { kind: NatFaultKind::LoadAddress, ip });
+                }
+                match self.mem.read_int(a.value, 8) {
+                    Ok(raw) => {
+                        cycles += self.cache.access(a.value, 8);
+                        let nat = self.mem.spill_nat(a.value);
+                        self.cpu.set_gpr(dst, RegVal { value: raw, nat });
+                        if insn.prov == Provenance::Original {
+                            self.stats.loads += 1;
+                        }
+                    }
+                    Err(e) => fault!(mem_fault(e, ip)),
+                }
+            }
+            Op::ChkS { src, target } => {
+                if self.cpu.gpr(src).nat {
+                    cycles = self.cost.chk_set;
+                    self.stats.chk_taken += 1;
+                    next_ip = target;
+                }
+            }
+            Op::Jmp { target } => {
+                cycles = self.cost.branch_taken;
+                next_ip = target;
+            }
+            Op::Call { link, target } => {
+                cycles = self.cost.branch_taken;
+                self.cpu.set_br(link, (ip + 1) as u64);
+                next_ip = target;
+            }
+            Op::JmpBr { br } => {
+                cycles = self.cost.branch_taken;
+                next_ip = self.cpu.br(br) as usize;
+            }
+            Op::MovToBr { br, src } => {
+                let v = self.cpu.gpr(src);
+                if v.nat {
+                    fault!(Fault::NatConsumption { kind: NatFaultKind::BranchMove, ip });
+                }
+                self.cpu.set_br(br, v.value);
+            }
+            Op::MovFromBr { dst, br } => {
+                let v = self.cpu.br(br);
+                self.cpu.set_gpr_val(dst, v);
+            }
+            Op::Tnat { pt, pf, src } => {
+                let nat = self.cpu.gpr(src).nat;
+                self.cpu.set_pr(pt, nat);
+                self.cpu.set_pr(pf, !nat);
+            }
+            Op::Tset { dst } => {
+                let v = self.cpu.gpr(dst);
+                self.cpu.set_gpr(dst, RegVal { value: v.value, nat: true });
+            }
+            Op::Tclr { dst } => {
+                let v = self.cpu.gpr(dst);
+                self.cpu.set_gpr(dst, RegVal::of(v.value));
+            }
+            Op::Syscall { num } => {
+                self.stats.syscalls += 1;
+                self.stats.retire(insn.prov, cycles);
+                self.cpu.ip = next_ip;
+                return match os.syscall(self, num) {
+                    SysResult::Continue => None,
+                    SysResult::Stop(exit) => Some(exit),
+                };
+            }
+            Op::Nop => {}
+            Op::Halt => {
+                self.stats.retire(insn.prov, cycles);
+                return Some(Exit::Halted(self.cpu.gpr(shift_isa::Gpr::RET).value as i64));
+            }
+        }
+
+        self.stats.retire(insn.prov, cycles);
+        self.cpu.ip = next_ip;
+        None
+    }
+
+    fn do_cmp(
+        &mut self,
+        rel: shift_isa::CmpRel,
+        pt: shift_isa::Pr,
+        pf: shift_isa::Pr,
+        a: RegVal,
+        b: RegVal,
+        nat_aware: bool,
+    ) {
+        if (a.nat || b.nat) && !nat_aware {
+            // Deferred-exception semantics: both targets cleared so that
+            // mis-speculated code takes neither side (§2.2). This is what
+            // breaks DIFT and forces SHIFT's relaxation (§3.1).
+            self.cpu.set_pr(pt, false);
+            self.cpu.set_pr(pf, false);
+        } else {
+            let r = rel.eval(a.value, b.value);
+            self.cpu.set_pr(pt, r);
+            self.cpu.set_pr(pf, !r);
+        }
+    }
+}
+
+fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32),
+        AluOp::Shr => a.wrapping_shr(b as u32),
+        AluOp::Sar => (a as i64).wrapping_shr(b as u32) as u64,
+        AluOp::Mul => a.wrapping_mul(b),
+    }
+}
+
+fn extend(kind: ExtKind, size: MemSize, v: u64) -> u64 {
+    let bits = size.bytes() * 8;
+    if bits == 64 {
+        return v;
+    }
+    let mask = (1u64 << bits) - 1;
+    let v = v & mask;
+    match kind {
+        ExtKind::Zero => v,
+        ExtKind::Sign => {
+            let sign = 1u64 << (bits - 1);
+            if v & sign != 0 {
+                v | !mask
+            } else {
+                v
+            }
+        }
+    }
+}
+
+fn set_unat_bit(unat: u64, addr: u64, nat: bool) -> u64 {
+    let slot = Cpu::unat_slot(addr);
+    if nat {
+        unat | (1 << slot)
+    } else {
+        unat & !(1 << slot)
+    }
+}
+
+fn mem_fault(e: MemError, ip: usize) -> Fault {
+    match e {
+        MemError::Unimplemented { addr } => Fault::Unimplemented { addr, ip },
+        MemError::Unmapped { addr } => Fault::Unmapped { addr, ip },
+        MemError::Unaligned { addr, size } => Fault::Unaligned { addr, size, ip },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout;
+    use shift_isa::{CmpRel, Gpr, Pr};
+
+    fn run_code(code: Vec<Insn>) -> (Machine, Exit) {
+        let image = Image::builder().code(code).map(layout::DATA_BASE, 0x1000).build();
+        let mut m = Machine::new(&image);
+        let exit = m.run(&mut NullOs, 100_000);
+        (m, exit)
+    }
+
+    fn data_addr(off: u64) -> u64 {
+        layout::DATA_BASE + off
+    }
+
+    #[test]
+    fn halt_returns_r8() {
+        let (_, exit) =
+            run_code(vec![Insn::new(Op::MovI { dst: Gpr::R8, imm: 7 }), Insn::new(Op::Halt)]);
+        assert_eq!(exit, Exit::Halted(7));
+    }
+
+    #[test]
+    fn alu_nat_or_propagation() {
+        // r1 = NaT (tset), r2 = 5, r3 = r1 + r2 → NaT; store r3 must fault.
+        let (m, exit) = run_code(vec![
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            Insn::new(Op::MovI { dst: Gpr::R2, imm: 5 }),
+            Insn::new(Op::Alu { op: AluOp::Add, dst: Gpr::R3, src1: Gpr::R1, src2: Gpr::R2 }),
+            Insn::new(Op::MovI { dst: Gpr::R4, imm: layout::DATA_BASE as i64 }),
+            Insn::new(Op::St { size: MemSize::B8, src: Gpr::R3, addr: Gpr::R4 }),
+            Insn::new(Op::Halt),
+        ]);
+        assert!(m.cpu.gpr(Gpr::R3).nat);
+        assert_eq!(
+            exit,
+            Exit::Fault(Fault::NatConsumption { kind: NatFaultKind::StoreValue, ip: 4 })
+        );
+    }
+
+    #[test]
+    fn xor_self_clears_nat() {
+        let (m, exit) = run_code(vec![
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            Insn::new(Op::Alu { op: AluOp::Xor, dst: Gpr::R1, src1: Gpr::R1, src2: Gpr::R1 }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(exit, Exit::Halted(0));
+        assert_eq!(m.cpu.gpr(Gpr::R1), RegVal::of(0));
+    }
+
+    #[test]
+    fn spec_load_from_bad_address_defers() {
+        // The paper's NaT-manufacturing trick: ld8.s from a faked invalid
+        // address sets NaT instead of faulting (Figure 5 ①–②).
+        let (m, exit) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R2, imm: 1 }), // address 1: unmapped
+            Insn::new(Op::Ld {
+                size: MemSize::B8,
+                ext: ExtKind::Zero,
+                dst: Gpr::R1,
+                addr: Gpr::R2,
+                spec: true,
+            }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(exit, Exit::Halted(0));
+        assert!(m.cpu.gpr(Gpr::R1).nat);
+        assert_eq!(m.stats.deferred_loads, 1);
+    }
+
+    #[test]
+    fn nonspec_load_from_bad_address_faults() {
+        let (_, exit) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R2, imm: 1 }),
+            Insn::new(Op::Ld {
+                size: MemSize::B8,
+                ext: ExtKind::Zero,
+                dst: Gpr::R1,
+                addr: Gpr::R2,
+                spec: false,
+            }),
+            Insn::new(Op::Halt),
+        ]);
+        assert!(matches!(exit, Exit::Fault(Fault::Unaligned { .. } | Fault::Unmapped { .. })));
+    }
+
+    #[test]
+    fn load_through_nat_address_faults_l1_style() {
+        let (_, exit) = run_code(vec![
+            Insn::new(Op::Tset { dst: Gpr::R2 }),
+            Insn::new(Op::Ld {
+                size: MemSize::B8,
+                ext: ExtKind::Zero,
+                dst: Gpr::R1,
+                addr: Gpr::R2,
+                spec: false,
+            }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(
+            exit,
+            Exit::Fault(Fault::NatConsumption { kind: NatFaultKind::LoadAddress, ip: 1 })
+        );
+    }
+
+    #[test]
+    fn cmp_with_nat_clears_both_predicates() {
+        let (m, exit) = run_code(vec![
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            // Make both predicates true first so the clearing is observable.
+            Insn::new(Op::CmpI {
+                rel: CmpRel::Eq,
+                pt: Pr::P1,
+                pf: Pr::P2,
+                src1: Gpr::R0,
+                imm: 0,
+                nat_aware: false,
+            }),
+            Insn::new(Op::CmpI {
+                rel: CmpRel::Eq,
+                pt: Pr::P1,
+                pf: Pr::P2,
+                src1: Gpr::R1,
+                imm: 0,
+                nat_aware: false,
+            }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(exit, Exit::Halted(0));
+        assert!(!m.cpu.pr(Pr::P1));
+        assert!(!m.cpu.pr(Pr::P2));
+    }
+
+    #[test]
+    fn nat_aware_cmp_proceeds() {
+        let (m, _) = run_code(vec![
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            // tset preserves the value (0 here), so r1 == 0 compares true.
+            Insn::new(Op::CmpI {
+                rel: CmpRel::Eq,
+                pt: Pr::P1,
+                pf: Pr::P2,
+                src1: Gpr::R1,
+                imm: 0,
+                nat_aware: true,
+            }),
+            Insn::new(Op::Halt),
+        ]);
+        assert!(m.cpu.pr(Pr::P1));
+        assert!(!m.cpu.pr(Pr::P2));
+    }
+
+    #[test]
+    fn chk_s_branches_on_nat() {
+        let (m, exit) = run_code(vec![
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            Insn::new(Op::ChkS { src: Gpr::R1, target: 4 }),
+            Insn::new(Op::MovI { dst: Gpr::R8, imm: 1 }), // skipped
+            Insn::new(Op::Halt),
+            Insn::new(Op::MovI { dst: Gpr::R8, imm: 99 }), // recovery
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(exit, Exit::Halted(99));
+        assert_eq!(m.stats.chk_taken, 1);
+    }
+
+    #[test]
+    fn chk_s_falls_through_when_clear() {
+        let (m, exit) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R1, imm: 3 }),
+            Insn::new(Op::ChkS { src: Gpr::R1, target: 4 }),
+            Insn::new(Op::MovI { dst: Gpr::R8, imm: 1 }),
+            Insn::new(Op::Halt),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(exit, Exit::Halted(1));
+        assert_eq!(m.stats.chk_taken, 0);
+    }
+
+    #[test]
+    fn spill_fill_round_trips_nat() {
+        let sp_slot = data_addr(0x100);
+        let (m, exit) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R2, imm: sp_slot as i64 }),
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            Insn::new(Op::AluI { op: AluOp::Add, dst: Gpr::R1, src1: Gpr::R1, imm: 42 }),
+            Insn::new(Op::StSpill { src: Gpr::R1, addr: Gpr::R2 }),
+            Insn::new(Op::LdFill { dst: Gpr::R3, addr: Gpr::R2 }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(exit, Exit::Halted(0));
+        let r3 = m.cpu.gpr(Gpr::R3);
+        assert!(r3.nat, "NaT must survive spill/fill");
+        assert_eq!(r3.value, 42);
+    }
+
+    #[test]
+    fn plain_load_clears_nat_even_after_spill() {
+        // The paper's baseline "clear NaT" trick: spill then plain ld8 (not
+        // fill) — value comes back, NaT does not (§4.1).
+        let slot = data_addr(0x200);
+        let (m, exit) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R2, imm: slot as i64 }),
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            Insn::new(Op::AluI { op: AluOp::Add, dst: Gpr::R1, src1: Gpr::R1, imm: 9 }),
+            Insn::new(Op::StSpill { src: Gpr::R1, addr: Gpr::R2 }),
+            Insn::new(Op::Ld {
+                size: MemSize::B8,
+                ext: ExtKind::Zero,
+                dst: Gpr::R1,
+                addr: Gpr::R2,
+                spec: false,
+            }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(exit, Exit::Halted(0));
+        assert_eq!(m.cpu.gpr(Gpr::R1), RegVal::of(9));
+    }
+
+    #[test]
+    fn mov_to_br_with_nat_faults_l3_style() {
+        let (_, exit) = run_code(vec![
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            Insn::new(Op::MovToBr { br: shift_isa::Br::B1, src: Gpr::R1 }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(
+            exit,
+            Exit::Fault(Fault::NatConsumption { kind: NatFaultKind::BranchMove, ip: 1 })
+        );
+    }
+
+    #[test]
+    fn call_and_return() {
+        let (_, exit) = run_code(vec![
+            // main:
+            Insn::new(Op::Call { link: shift_isa::Br::B0, target: 3 }),
+            Insn::new(Op::MovI { dst: Gpr::R8, imm: 5 }),
+            Insn::new(Op::Halt),
+            // callee: return immediately
+            Insn::new(Op::JmpBr { br: shift_isa::Br::B0 }),
+        ]);
+        assert_eq!(exit, Exit::Halted(5));
+    }
+
+    #[test]
+    fn predicated_off_instruction_is_skipped_but_costs_a_slot() {
+        let (m, exit) = run_code(vec![
+            // p1 is false initially.
+            Insn::new(Op::MovI { dst: Gpr::R8, imm: 1 }).under(Pr::P1),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(exit, Exit::Halted(0), "predicated-off mov must not execute");
+        assert_eq!(m.stats.instructions, 2);
+    }
+
+    #[test]
+    fn tclr_keeps_value() {
+        let (m, _) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R1, imm: 77 }),
+            Insn::new(Op::Tset { dst: Gpr::R2 }),
+            Insn::new(Op::AluI { op: AluOp::Add, dst: Gpr::R1, src1: Gpr::R1, imm: 0 }),
+            Insn::new(Op::Alu { op: AluOp::Add, dst: Gpr::R1, src1: Gpr::R1, src2: Gpr::R2 }),
+            Insn::new(Op::Tclr { dst: Gpr::R1 }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(m.cpu.gpr(Gpr::R1), RegVal::of(77));
+    }
+
+    #[test]
+    fn sign_extension_on_loads() {
+        let addr = data_addr(0x300);
+        let image = Image::builder()
+            .code(vec![
+                Insn::new(Op::MovI { dst: Gpr::R2, imm: addr as i64 }),
+                Insn::new(Op::Ld {
+                    size: MemSize::B1,
+                    ext: ExtKind::Sign,
+                    dst: Gpr::R1,
+                    addr: Gpr::R2,
+                    spec: false,
+                }),
+                Insn::new(Op::Halt),
+            ])
+            .data(addr, vec![0xfe])
+            .build();
+        let mut m = Machine::new(&image);
+        m.run(&mut NullOs, 100).is_clean();
+        assert_eq!(m.cpu.gpr(Gpr::R1).value as i64, -2);
+    }
+
+    #[test]
+    fn stats_attribute_instrumentation_cycles() {
+        let (m, _) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R1, imm: 1 }),
+            Insn::tagged(
+                Op::AluI { op: AluOp::Shr, dst: Gpr::R30, src1: Gpr::R1, imm: 3 },
+                Provenance::LdTagCompute,
+            ),
+            Insn::new(Op::Halt),
+        ]);
+        assert!(m.stats.cycles_for(Provenance::LdTagCompute) > 0);
+        assert_eq!(m.stats.insns_for(Provenance::LdTagCompute), 1);
+        assert!(m.stats.instrumentation_cycles() > 0);
+    }
+
+    #[test]
+    fn tnat_tests_without_consuming() {
+        let (m, exit) = run_code(vec![
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            Insn::new(Op::Tnat { pt: Pr::P1, pf: Pr::P2, src: Gpr::R1 }),
+            Insn::new(Op::Tnat { pt: Pr::P3, pf: Pr::P4, src: Gpr::R2 }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(exit, Exit::Halted(0), "tnat must not fault on NaT");
+        assert!(m.cpu.pr(Pr::P1) && !m.cpu.pr(Pr::P2));
+        assert!(!m.cpu.pr(Pr::P3) && m.cpu.pr(Pr::P4));
+        assert!(m.cpu.gpr(Gpr::R1).nat, "tnat leaves the NaT bit in place");
+    }
+
+    #[test]
+    fn tset_preserves_value() {
+        let (m, _) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R1, imm: 123 }),
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(m.cpu.gpr(Gpr::R1), RegVal { value: 123, nat: true });
+    }
+
+    #[test]
+    fn plain_store_invalidates_banked_spill_nat() {
+        // Spill a NaT'd register, overwrite one byte of the slot with a
+        // plain store, then fill: the NaT bit must be gone (the spilled
+        // value no longer exists).
+        let slot = data_addr(0x400);
+        let (m, exit) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R2, imm: slot as i64 }),
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            Insn::new(Op::StSpill { src: Gpr::R1, addr: Gpr::R2 }),
+            Insn::new(Op::MovI { dst: Gpr::R3, imm: 0x55 }),
+            Insn::new(Op::St { size: MemSize::B1, src: Gpr::R3, addr: Gpr::R2 }),
+            Insn::new(Op::LdFill { dst: Gpr::R4, addr: Gpr::R2 }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(exit, Exit::Halted(0));
+        assert!(!m.cpu.gpr(Gpr::R4).nat);
+        assert_eq!(m.cpu.gpr(Gpr::R4).value & 0xff, 0x55);
+    }
+
+    #[test]
+    fn trace_keeps_the_last_n_addresses() {
+        let image = Image::builder()
+            .code(vec![
+                Insn::new(Op::MovI { dst: Gpr::R1, imm: 1 }),
+                Insn::new(Op::MovI { dst: Gpr::R2, imm: 2 }),
+                Insn::new(Op::MovI { dst: Gpr::R3, imm: 3 }),
+                Insn::new(Op::Halt),
+            ])
+            .build();
+        let mut m = Machine::new(&image);
+        m.enable_trace(2);
+        let _ = m.run(&mut NullOs, 100);
+        assert_eq!(m.trace(), vec![2, 3], "ring buffer keeps the newest entries");
+        let listing = m.trace_listing();
+        assert!(listing.contains("movl r3"));
+        assert!(listing.contains("halt"));
+        assert!(!listing.contains("movl r1"), "old entries evicted");
+    }
+
+    #[test]
+    fn trace_off_by_default() {
+        let (m, _) = run_code(vec![Insn::new(Op::Halt)]);
+        assert!(m.trace().is_empty());
+        assert!(m.trace_listing().is_empty());
+    }
+
+    #[test]
+    fn predicated_off_memory_op_cannot_fault() {
+        // A predicated-off store through a NaT address must be squashed
+        // before any NaT-consumption check — this is what makes SHIFT's
+        // (p6)-guarded instrumentation sequences safe on clean data.
+        let (_, exit) = run_code(vec![
+            Insn::new(Op::Tset { dst: Gpr::R2 }),
+            // p1 is false: the store is squashed.
+            Insn::new(Op::St { size: MemSize::B8, src: Gpr::R1, addr: Gpr::R2 }).under(Pr::P1),
+            Insn::new(Op::Ld {
+                size: MemSize::B8,
+                ext: ExtKind::Zero,
+                dst: Gpr::R3,
+                addr: Gpr::R2,
+                spec: false,
+            })
+            .under(Pr::P1),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(exit, Exit::Halted(0), "squashed ops must not fault: {exit:?}");
+    }
+
+    #[test]
+    fn mov_from_br_is_always_clean() {
+        let (m, _) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R1, imm: 9 }),
+            Insn::new(Op::MovToBr { br: shift_isa::Br::B2, src: Gpr::R1 }),
+            Insn::new(Op::MovFromBr { dst: Gpr::R2, br: shift_isa::Br::B2 }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(m.cpu.gpr(Gpr::R2), RegVal::of(9));
+    }
+
+    #[test]
+    fn ext_propagates_nat() {
+        let (m, _) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R1, imm: 0x1ff }),
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            Insn::new(Op::Ext { kind: ExtKind::Zero, size: MemSize::B1, dst: Gpr::R2, src: Gpr::R1 }),
+            Insn::new(Op::Halt),
+        ]);
+        let r2 = m.cpu.gpr(Gpr::R2);
+        assert_eq!(r2.value, 0xff, "zero-extension truncates");
+        assert!(r2.nat, "extension must carry the taint");
+    }
+
+    #[test]
+    fn jmp_br_to_garbage_is_a_bad_ip() {
+        let (_, exit) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R1, imm: 99_999 }),
+            Insn::new(Op::MovToBr { br: shift_isa::Br::B3, src: Gpr::R1 }),
+            Insn::new(Op::JmpBr { br: shift_isa::Br::B3 }),
+        ]);
+        assert_eq!(exit, Exit::Fault(Fault::BadIp { ip: 99_999 }));
+    }
+
+    #[test]
+    fn sub_self_also_clears_nat() {
+        let (m, exit) = run_code(vec![
+            Insn::new(Op::Tset { dst: Gpr::R1 }),
+            Insn::new(Op::Alu { op: AluOp::Sub, dst: Gpr::R1, src1: Gpr::R1, src2: Gpr::R1 }),
+            Insn::new(Op::Mov { dst: Gpr::R8, src: Gpr::R1 }),
+            Insn::new(Op::Halt),
+        ]);
+        assert_eq!(exit, Exit::Halted(0));
+        assert!(!m.cpu.gpr(Gpr::R1).nat);
+    }
+
+    #[test]
+    fn spec_load_from_valid_address_succeeds_without_nat() {
+        let addr = data_addr(0x500);
+        let image = Image::builder()
+            .code(vec![
+                Insn::new(Op::MovI { dst: Gpr::R2, imm: addr as i64 }),
+                Insn::new(Op::Ld {
+                    size: MemSize::B8,
+                    ext: ExtKind::Zero,
+                    dst: Gpr::R1,
+                    addr: Gpr::R2,
+                    spec: true,
+                }),
+                Insn::new(Op::Mov { dst: Gpr::R8, src: Gpr::R1 }),
+                Insn::new(Op::Halt),
+            ])
+            .data(addr, 77i64.to_le_bytes().to_vec())
+            .build();
+        let mut m = Machine::new(&image);
+        assert_eq!(m.run(&mut NullOs, 100), Exit::Halted(77));
+        assert!(!m.cpu.gpr(Gpr::R1).nat);
+        assert_eq!(m.stats.deferred_loads, 0);
+    }
+
+    #[test]
+    fn deferred_spec_load_costs_a_memory_latency() {
+        // §4.4's cost: the failed translation stalls before deferring.
+        let (m, _) = run_code(vec![
+            Insn::new(Op::MovI { dst: Gpr::R2, imm: 1 << 45 }), // unimplemented
+            Insn::new(Op::Ld {
+                size: MemSize::B8,
+                ext: ExtKind::Zero,
+                dst: Gpr::R1,
+                addr: Gpr::R2,
+                spec: true,
+            }),
+            Insn::new(Op::Halt),
+        ]);
+        assert!(m.cpu.gpr(Gpr::R1).nat);
+        assert!(
+            m.stats.cycles >= m.cache.mem_latency,
+            "deferral must cost a translation walk: {} cycles",
+            m.stats.cycles
+        );
+    }
+
+    #[test]
+    fn insn_limit_stops_infinite_loop() {
+        let (_, exit) = run_code(vec![Insn::new(Op::Jmp { target: 0 })]);
+        assert_eq!(exit, Exit::InsnLimit);
+    }
+}

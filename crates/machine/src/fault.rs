@@ -1,0 +1,150 @@
+//! Architectural faults.
+
+use core::fmt;
+
+/// What kind of NaT-consumption fault occurred.
+///
+/// Deferred exceptions may only flow through computation; when a NaT'd
+/// register reaches a side-effecting use the processor must fault (§2.2:
+/// "Registers with exception tokens cannot be used by non-speculative
+/// operations which may cause possible side effects").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NatFaultKind {
+    /// A NaT'd register was stored with a plain `st` (only `st8.spill` may
+    /// store NaT'd data). Under SHIFT this doubles as a low-level policy
+    /// backstop: tainted data cannot silently escape to memory untracked.
+    StoreValue,
+    /// A NaT'd register was used as the address of a non-speculative load —
+    /// the hardware half of policy **L1** (tainted data cannot be used as a
+    /// load address).
+    LoadAddress,
+    /// A NaT'd register was used as the address of a store — the hardware
+    /// half of policy **L2** (tainted data cannot be used as a store
+    /// address; format-string overwrites).
+    StoreAddress,
+    /// A NaT'd register was moved into a branch register — the hardware half
+    /// of policy **L3** (tainted data cannot reach CPU control state).
+    BranchMove,
+}
+
+impl NatFaultKind {
+    /// Stable short name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            NatFaultKind::StoreValue => "store-value",
+            NatFaultKind::LoadAddress => "load-address",
+            NatFaultKind::StoreAddress => "store-address",
+            NatFaultKind::BranchMove => "branch-move",
+        }
+    }
+}
+
+/// An architectural fault that terminates execution.
+///
+/// The simulator has no guest-visible trap handlers: any fault stops the run
+/// and is reported in the [`crate::Exit`]. The SHIFT runtime interprets
+/// NaT-consumption faults as detected low-level attacks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// NaT bit consumed by a non-deferrable use.
+    NatConsumption {
+        /// Which use consumed it.
+        kind: NatFaultKind,
+        /// Instruction index that faulted.
+        ip: usize,
+    },
+    /// Access to an unmapped page.
+    Unmapped {
+        /// Faulting data address.
+        addr: u64,
+        /// Instruction index that faulted.
+        ip: usize,
+    },
+    /// Access through an address with unimplemented bits set.
+    Unimplemented {
+        /// Faulting data address.
+        addr: u64,
+        /// Instruction index that faulted.
+        ip: usize,
+    },
+    /// Naturally-unaligned access (the machine requires natural alignment,
+    /// like Itanium without `ua` prefixes).
+    Unaligned {
+        /// Faulting data address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+        /// Instruction index that faulted.
+        ip: usize,
+    },
+    /// Instruction fetch outside the code image.
+    BadIp {
+        /// The out-of-range instruction index.
+        ip: usize,
+    },
+    /// The [`crate::Os`] did not recognize a syscall number.
+    BadSyscall {
+        /// The unknown call number.
+        num: u32,
+        /// Instruction index of the `syscall`.
+        ip: usize,
+    },
+}
+
+impl Fault {
+    /// Instruction index at which the fault fired.
+    pub fn ip(&self) -> usize {
+        match *self {
+            Fault::NatConsumption { ip, .. }
+            | Fault::Unmapped { ip, .. }
+            | Fault::Unimplemented { ip, .. }
+            | Fault::Unaligned { ip, .. }
+            | Fault::BadIp { ip }
+            | Fault::BadSyscall { ip, .. } => ip,
+        }
+    }
+
+    /// Returns `true` if this is a NaT-consumption fault (SHIFT's low-level
+    /// detection events).
+    pub fn is_nat_consumption(&self) -> bool {
+        matches!(self, Fault::NatConsumption { .. })
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Fault::NatConsumption { kind, ip } => {
+                write!(f, "NaT consumption ({}) at ip {ip}", kind.name())
+            }
+            Fault::Unmapped { addr, ip } => write!(f, "unmapped address {addr:#x} at ip {ip}"),
+            Fault::Unimplemented { addr, ip } => {
+                write!(f, "unimplemented address bits in {addr:#x} at ip {ip}")
+            }
+            Fault::Unaligned { addr, size, ip } => {
+                write!(f, "unaligned {size}-byte access to {addr:#x} at ip {ip}")
+            }
+            Fault::BadIp { ip } => write!(f, "instruction fetch outside image at ip {ip}"),
+            Fault::BadSyscall { num, ip } => write!(f, "unknown syscall {num} at ip {ip}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let f = Fault::NatConsumption { kind: NatFaultKind::BranchMove, ip: 7 };
+        assert!(f.to_string().contains("branch-move"));
+        assert!(f.is_nat_consumption());
+        assert_eq!(f.ip(), 7);
+
+        let u = Fault::Unaligned { addr: 0x1001, size: 8, ip: 3 };
+        assert!(u.to_string().contains("0x1001"));
+        assert!(!u.is_nat_consumption());
+    }
+}

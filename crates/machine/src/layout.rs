@@ -1,0 +1,77 @@
+//! Memory-layout conventions for guest programs.
+//!
+//! The 64-bit virtual address space is split into 8 regions by its top three
+//! bits (paper §4.1). Region 0 is reserved — real Itanium uses it for IA-32
+//! compatibility, which is why SHIFT can claim it for the tag space. The
+//! loader and runtime place guest segments as follows:
+//!
+//! | Region | Use                          |
+//! |--------|------------------------------|
+//! | 0      | taint-tag bitmap (lazily backed) |
+//! | 1      | globals / static data        |
+//! | 2      | heap (`brk` bump allocator)  |
+//! | 3      | stack (grows down)           |
+//! | 4–7    | unused                       |
+
+use shift_isa::make_vaddr;
+
+/// Region number of the taint-tag space.
+pub const TAG_REGION: u8 = 0;
+/// Region number of the static-data segment.
+pub const DATA_REGION: u8 = 1;
+/// Region number of the heap.
+pub const HEAP_REGION: u8 = 2;
+/// Region number of the stack.
+pub const STACK_REGION: u8 = 3;
+
+/// Base virtual address of static data.
+pub const DATA_BASE: u64 = (DATA_REGION as u64) << 61;
+
+/// First 8-byte *launder slot*: scratch memory the instrumentation uses to
+/// clear NaT bits on baseline hardware (spill + plain reload, §4.1). The
+/// first data page is reserved for these slots; globals start at
+/// [`GLOBALS_BASE`].
+pub const LAUNDER0: u64 = DATA_BASE;
+/// Second launder slot (two compare operands may need laundering at once).
+pub const LAUNDER1: u64 = DATA_BASE + 8;
+/// Base virtual address where the compiler lays out program globals.
+pub const GLOBALS_BASE: u64 = DATA_BASE + 4096;
+/// Base virtual address of the heap.
+pub const HEAP_BASE: u64 = (HEAP_REGION as u64) << 61;
+
+/// Default stack size in bytes (1 MiB).
+pub const STACK_SIZE: u64 = 1 << 20;
+
+/// Initial stack pointer: near the top of the stack region, 16-byte aligned,
+/// with a small red zone below the highest implemented address.
+pub fn stack_top() -> u64 {
+    // Leave one page unmapped at the very top as a guard.
+    make_vaddr(STACK_REGION, (1 << 24) - 4096)
+}
+
+/// Lowest mapped stack address for the default stack size.
+pub fn stack_limit() -> u64 {
+    stack_top() - STACK_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_isa::{is_implemented, region_of};
+
+    #[test]
+    fn layout_addresses_are_canonical() {
+        for addr in [DATA_BASE, HEAP_BASE, stack_top(), stack_limit()] {
+            assert!(is_implemented(addr), "{addr:#x} must be implemented");
+        }
+        assert_eq!(region_of(DATA_BASE), DATA_REGION);
+        assert_eq!(region_of(HEAP_BASE), HEAP_REGION);
+        assert_eq!(region_of(stack_top()), STACK_REGION);
+    }
+
+    #[test]
+    fn stack_is_aligned_and_nonempty() {
+        assert_eq!(stack_top() % 16, 0);
+        assert!(stack_top() > stack_limit());
+    }
+}

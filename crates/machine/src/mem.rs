@@ -1,0 +1,332 @@
+//! Sparse paged guest memory.
+//!
+//! Pages are allocated on demand for *mapped* ranges; region 0 (the tag
+//! space) is lazily zero-backed on first touch, modelling a kernel that
+//! demand-faults the bitmap in, so instrumented code can touch the tag of any
+//! mapped data address without explicit setup (§3.2).
+
+use std::collections::HashMap;
+
+use shift_isa::{is_implemented, region_of};
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Error from a raw memory access (converted to a [`crate::Fault`] by the
+/// executor, which adds the faulting `ip`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemError {
+    /// Address has unimplemented bits set.
+    Unimplemented {
+        /// The offending address.
+        addr: u64,
+    },
+    /// Address is not mapped.
+    Unmapped {
+        /// The offending address.
+        addr: u64,
+    },
+    /// Access is not naturally aligned.
+    Unaligned {
+        /// The offending address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+    },
+}
+
+impl MemError {
+    /// The address involved in the error.
+    pub fn addr(&self) -> u64 {
+        match *self {
+            MemError::Unimplemented { addr }
+            | MemError::Unmapped { addr }
+            | MemError::Unaligned { addr, .. } => addr,
+        }
+    }
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            MemError::Unimplemented { addr } => write!(f, "unimplemented bits in {addr:#x}"),
+            MemError::Unmapped { addr } => write!(f, "unmapped address {addr:#x}"),
+            MemError::Unaligned { addr, size } => {
+                write!(f, "unaligned {size}-byte access at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Sparse paged memory with explicit mappings (plus lazily-backed region 0).
+///
+/// Besides byte contents, the memory tracks one NaT bit per 8-byte slot for
+/// `st8.spill`/`ld8.fill`. Real Itanium banks these bits in the 64-bit `UNAT`
+/// register and relies on the compiler to save/restore `UNAT` around spill
+/// areas; modelling the bits as a per-slot side table is equivalent to a
+/// compiler that manages `UNAT` correctly, without emitting the bookkeeping
+/// code. Ordinary stores *clear* the slot's NaT bit (the spilled value is
+/// gone), and ordinary loads never see it — only `ld8.fill` does.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    mapped: HashMap<u64, ()>,
+    spill_nat: HashMap<u64, ()>,
+}
+
+impl Memory {
+    /// Creates an empty address space.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Maps (zero-fills) the pages covering `[addr, addr+len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range touches unimplemented address bits — mappings are
+    /// made by the loader/runtime, which must use canonical addresses.
+    pub fn map_range(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let end = addr.checked_add(len - 1).expect("mapping wraps the address space");
+        assert!(
+            is_implemented(addr) && is_implemented(end),
+            "mapping {addr:#x}+{len:#x} touches unimplemented bits"
+        );
+        let first = addr / PAGE_SIZE;
+        let last = end / PAGE_SIZE;
+        for page in first..=last {
+            self.mapped.insert(page, ());
+        }
+    }
+
+    /// Returns `true` if the byte at `addr` is mapped (or lazily mappable —
+    /// i.e. an implemented region-0 tag address).
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        is_implemented(addr)
+            && (self.mapped.contains_key(&(addr / PAGE_SIZE)) || region_of(addr) == 0)
+    }
+
+    fn check(&self, addr: u64, size: u64, aligned: bool) -> Result<(), MemError> {
+        if !is_implemented(addr) {
+            return Err(MemError::Unimplemented { addr });
+        }
+        if aligned && !addr.is_multiple_of(size) {
+            return Err(MemError::Unaligned { addr, size });
+        }
+        // A naturally-aligned access never crosses a page boundary, so the
+        // first byte's page decides.
+        if !self.is_mapped(addr) {
+            return Err(MemError::Unmapped { addr });
+        }
+        Ok(())
+    }
+
+    fn page(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages.entry(addr / PAGE_SIZE).or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
+    /// Reads a naturally-aligned little-endian integer of `size` ∈ {1,2,4,8}
+    /// bytes, zero-extended to `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError`] on unimplemented, unmapped, or unaligned access.
+    pub fn read_int(&mut self, addr: u64, size: u64) -> Result<u64, MemError> {
+        self.check(addr, size, true)?;
+        let page = self.page(addr);
+        let off = (addr % PAGE_SIZE) as usize;
+        let mut v = 0u64;
+        for i in (0..size as usize).rev() {
+            v = (v << 8) | u64::from(page[off + i]);
+        }
+        Ok(v)
+    }
+
+    /// Writes a naturally-aligned little-endian integer of `size` ∈ {1,2,4,8}
+    /// bytes (value truncated to `size`).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError`] on unimplemented, unmapped, or unaligned access.
+    pub fn write_int(&mut self, addr: u64, size: u64, value: u64) -> Result<(), MemError> {
+        self.check(addr, size, true)?;
+        let page = self.page(addr);
+        let off = (addr % PAGE_SIZE) as usize;
+        for i in 0..size as usize {
+            page[off + i] = (value >> (8 * i)) as u8;
+        }
+        // Overwriting any part of a spill slot invalidates its banked NaT.
+        self.spill_nat.remove(&(addr & !7));
+        Ok(())
+    }
+
+    /// Sets or clears the banked NaT bit of the 8-byte spill slot at `addr`
+    /// (callers must have just written the slot with `write_int`).
+    pub fn set_spill_nat(&mut self, addr: u64, nat: bool) {
+        if nat {
+            self.spill_nat.insert(addr & !7, ());
+        } else {
+            self.spill_nat.remove(&(addr & !7));
+        }
+    }
+
+    /// Reads the banked NaT bit of the 8-byte spill slot at `addr`
+    /// (non-destructive, like `ld8.fill`).
+    pub fn spill_nat(&self, addr: u64) -> bool {
+        self.spill_nat.contains_key(&(addr & !7))
+    }
+
+    /// Reads `out.len()` bytes starting at `addr` (no alignment requirement).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError`] if any byte is unimplemented or unmapped.
+    pub fn read_bytes(&mut self, addr: u64, out: &mut [u8]) -> Result<(), MemError> {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let a = addr.wrapping_add(i as u64);
+            self.check(a, 1, false)?;
+            let page = self.page(a);
+            *slot = page[(a % PAGE_SIZE) as usize];
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at `addr` (no alignment requirement).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError`] if any byte is unimplemented or unmapped.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
+        for (i, &b) in data.iter().enumerate() {
+            let a = addr.wrapping_add(i as u64);
+            self.check(a, 1, false)?;
+            let page = self.page(a);
+            page[(a % PAGE_SIZE) as usize] = b;
+            self.spill_nat.remove(&(a & !7));
+        }
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated string starting at `addr`, up to `max` bytes
+    /// (NUL not included in the result).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError`] if the string runs off mapped memory before a NUL or
+    /// before `max` bytes.
+    pub fn read_cstr(&mut self, addr: u64, max: usize) -> Result<Vec<u8>, MemError> {
+        let mut out = Vec::new();
+        for i in 0..max as u64 {
+            let mut b = [0u8];
+            self.read_bytes(addr.wrapping_add(i), &mut b)?;
+            if b[0] == 0 {
+                break;
+            }
+            out.push(b[0]);
+        }
+        Ok(out)
+    }
+
+    /// Number of distinct pages that have been touched (diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_isa::make_vaddr;
+
+    fn mapped() -> (Memory, u64) {
+        let mut m = Memory::new();
+        let base = make_vaddr(1, 0x10000);
+        m.map_range(base, 0x2000);
+        (m, base)
+    }
+
+    #[test]
+    fn int_round_trip_all_sizes() {
+        let (mut m, base) = mapped();
+        for (size, val) in [(1u64, 0xab), (2, 0xbeef), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)]
+        {
+            m.write_int(base, size, val).unwrap();
+            assert_eq!(m.read_int(base, size).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let (mut m, base) = mapped();
+        m.write_int(base, 8, 0x0102_0304_0506_0708).unwrap();
+        let mut bytes = [0u8; 8];
+        m.read_bytes(base, &mut bytes).unwrap();
+        assert_eq!(bytes, [8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn unaligned_int_access_rejected() {
+        let (mut m, base) = mapped();
+        assert_eq!(
+            m.read_int(base + 1, 8),
+            Err(MemError::Unaligned { addr: base + 1, size: 8 })
+        );
+        // …but byte-granularity accessors don't require alignment.
+        m.write_bytes(base + 1, &[9]).unwrap();
+    }
+
+    #[test]
+    fn unmapped_access_rejected() {
+        let mut m = Memory::new();
+        let a = make_vaddr(1, 0);
+        assert_eq!(m.read_int(a, 8), Err(MemError::Unmapped { addr: a }));
+    }
+
+    #[test]
+    fn unimplemented_bits_rejected() {
+        let mut m = Memory::new();
+        let bad = (1u64 << 61) | (1 << 55);
+        assert_eq!(m.read_int(bad, 8), Err(MemError::Unimplemented { addr: bad }));
+    }
+
+    #[test]
+    fn region_zero_is_lazily_backed() {
+        let mut m = Memory::new();
+        // No explicit mapping: tag space reads as zero and accepts writes.
+        let tag = make_vaddr(0, 0x1234 * 8);
+        assert_eq!(m.read_int(tag, 1).unwrap(), 0);
+        m.write_int(tag, 1, 0xff).unwrap();
+        assert_eq!(m.read_int(tag, 1).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let (mut m, base) = mapped();
+        m.write_bytes(base, b"hello\0world").unwrap();
+        assert_eq!(m.read_cstr(base, 64).unwrap(), b"hello");
+        // max cap respected when no NUL found in range
+        assert_eq!(m.read_cstr(base, 3).unwrap(), b"hel");
+    }
+
+    #[test]
+    fn map_range_page_granularity() {
+        let mut m = Memory::new();
+        let base = make_vaddr(2, 0x5000);
+        m.map_range(base + 10, 1);
+        // Whole containing page becomes mapped.
+        assert!(m.is_mapped(base));
+        assert!(!m.is_mapped(base + PAGE_SIZE));
+    }
+
+    #[test]
+    #[should_panic(expected = "unimplemented bits")]
+    fn map_range_rejects_noncanonical() {
+        let mut m = Memory::new();
+        m.map_range((1u64 << 61) | (1 << 50), 8);
+    }
+}

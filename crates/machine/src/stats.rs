@@ -1,0 +1,212 @@
+//! Cycle and event accounting, attributed by instruction provenance.
+
+use shift_isa::Provenance;
+
+use crate::fault::Fault;
+
+/// A policy violation reported by the runtime (the software half of SHIFT's
+/// detection: sinks and `chk.s` recovery handlers).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// Policy identifier (e.g. `"H1"`, `"L2"`).
+    pub policy: String,
+    /// Human-readable description of what tripped.
+    pub message: String,
+    /// Instruction index of the offending runtime call or check.
+    pub ip: usize,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "policy {} violated at ip {}: {}", self.policy, self.ip, self.message)
+    }
+}
+
+/// Why a run stopped.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Exit {
+    /// The guest executed `halt`/`exit`; payload is the exit status.
+    Halted(i64),
+    /// An architectural fault (NaT consumption, segfault, …). Under SHIFT a
+    /// NaT-consumption fault is a *detected low-level attack*.
+    Fault(Fault),
+    /// The runtime's policy engine detected an attack.
+    Violation(Violation),
+    /// The instruction budget given to [`crate::Machine::run`] ran out.
+    InsnLimit,
+}
+
+impl Exit {
+    /// Returns `true` if the run ended with a detection event (fault caused
+    /// by NaT consumption, or a policy violation).
+    pub fn is_detection(&self) -> bool {
+        match self {
+            Exit::Violation(_) => true,
+            Exit::Fault(f) => f.is_nat_consumption(),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` for a clean `Halted(0)` exit.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, Exit::Halted(0))
+    }
+}
+
+impl std::fmt::Display for Exit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exit::Halted(code) => write!(f, "halted with status {code}"),
+            Exit::Fault(fault) => write!(f, "fault: {fault}"),
+            Exit::Violation(v) => write!(f, "violation: {v}"),
+            Exit::InsnLimit => f.write_str("instruction limit reached"),
+        }
+    }
+}
+
+const NPROV: usize = Provenance::ALL.len();
+
+/// Execution statistics for one run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Retired instructions (includes predicated-off slots).
+    pub instructions: u64,
+    /// CPU cycles (base latencies + memory stalls + branch penalties).
+    pub cycles: u64,
+    /// I/O wait cycles charged by the runtime (network/disk latency). Kept
+    /// separate from `cycles` so experiments can report CPU-only slowdown
+    /// (SPEC) and end-to-end time (Apache) from the same run.
+    pub io_cycles: u64,
+    /// Cycles per provenance label.
+    pub cycles_by_prov: [u64; NPROV],
+    /// Instructions per provenance label.
+    pub insns_by_prov: [u64; NPROV],
+    /// Dynamic loads executed (original code only).
+    pub loads: u64,
+    /// Dynamic stores executed (original code only).
+    pub stores: u64,
+    /// Speculative loads whose deferral fired (NaT set instead of a value).
+    pub deferred_loads: u64,
+    /// `chk.s` checks that branched to recovery.
+    pub chk_taken: u64,
+    /// Runtime calls executed.
+    pub syscalls: u64,
+}
+
+impl Stats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Records a retired instruction of provenance `prov` costing `cycles`.
+    #[inline]
+    pub fn retire(&mut self, prov: Provenance, cycles: u64) {
+        self.instructions += 1;
+        self.cycles += cycles;
+        self.cycles_by_prov[prov.index()] += cycles;
+        self.insns_by_prov[prov.index()] += 1;
+    }
+
+    /// Adds I/O wait time (charged by the runtime for network/disk calls).
+    #[inline]
+    pub fn charge_io(&mut self, cycles: u64) {
+        self.io_cycles += cycles;
+    }
+
+    /// Adds CPU time spent inside the runtime (kernel copy loops, intrinsic
+    /// bodies). Attributed to [`Provenance::Original`] — the uninstrumented
+    /// baseline pays it too.
+    #[inline]
+    pub fn charge_runtime(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.cycles_by_prov[Provenance::Original.index()] += cycles;
+    }
+
+    /// Total modelled time: CPU cycles plus I/O waits.
+    pub fn total_time(&self) -> u64 {
+        self.cycles + self.io_cycles
+    }
+
+    /// Cycles attributed to instrumentation (everything except
+    /// [`Provenance::Original`]).
+    pub fn instrumentation_cycles(&self) -> u64 {
+        self.cycles - self.cycles_by_prov[Provenance::Original.index()]
+    }
+
+    /// Cycles for one provenance label.
+    pub fn cycles_for(&self, prov: Provenance) -> u64 {
+        self.cycles_by_prov[prov.index()]
+    }
+
+    /// Instruction count for one provenance label.
+    pub fn insns_for(&self, prov: Provenance) -> u64 {
+        self.insns_by_prov[prov.index()]
+    }
+
+    /// Formats a per-provenance cycle table (diagnostics).
+    pub fn provenance_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<12} {:>14} {:>14}", "provenance", "insns", "cycles");
+        for p in Provenance::ALL {
+            let (i, c) = (self.insns_for(p), self.cycles_for(p));
+            if i > 0 {
+                let _ = writeln!(out, "{:<12} {:>14} {:>14}", p.name(), i, c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Fault, NatFaultKind};
+
+    #[test]
+    fn retire_accumulates_by_provenance() {
+        let mut s = Stats::new();
+        s.retire(Provenance::Original, 3);
+        s.retire(Provenance::LdTagCompute, 2);
+        s.retire(Provenance::LdTagCompute, 2);
+        assert_eq!(s.instructions, 3);
+        assert_eq!(s.cycles, 7);
+        assert_eq!(s.cycles_for(Provenance::LdTagCompute), 4);
+        assert_eq!(s.insns_for(Provenance::LdTagCompute), 2);
+        assert_eq!(s.instrumentation_cycles(), 4);
+    }
+
+    #[test]
+    fn io_time_is_separate() {
+        let mut s = Stats::new();
+        s.retire(Provenance::Original, 10);
+        s.charge_io(90);
+        assert_eq!(s.cycles, 10);
+        assert_eq!(s.total_time(), 100);
+    }
+
+    #[test]
+    fn exit_detection_classification() {
+        assert!(Exit::Violation(Violation {
+            policy: "H1".into(),
+            message: "absolute path".into(),
+            ip: 0
+        })
+        .is_detection());
+        assert!(Exit::Fault(Fault::NatConsumption { kind: NatFaultKind::LoadAddress, ip: 1 })
+            .is_detection());
+        assert!(!Exit::Fault(Fault::BadIp { ip: 0 }).is_detection());
+        assert!(Exit::Halted(0).is_clean());
+        assert!(!Exit::Halted(1).is_clean());
+    }
+
+    #[test]
+    fn provenance_report_lists_nonzero_rows() {
+        let mut s = Stats::new();
+        s.retire(Provenance::Relax, 5);
+        let rep = s.provenance_report();
+        assert!(rep.contains("relax"));
+        assert!(!rep.contains("st-mem"));
+    }
+}

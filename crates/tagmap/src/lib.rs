@@ -1,0 +1,402 @@
+//! # shift-tagmap — the in-memory taint tag space
+//!
+//! SHIFT keeps register taint in NaT bits, but NaT bits never reach memory:
+//! a bitmap in a reserved part of the virtual address space records, for
+//! every memory location, whether it is tainted (§3.2). This crate defines:
+//!
+//! * [`Granularity`] — byte-level (one tag bit per byte) or word-level (one
+//!   tag bit per 8-byte word) tracking, the two configurations the paper
+//!   evaluates throughout §6;
+//! * [`tag_location`] — the virtual-address → tag-address translation of
+//!   Figure 4. Itanium's *unimplemented bits* leave a hole between the
+//!   40 implemented offset bits and the 3 region-select bits, so the
+//!   translation cannot be a single shift: the region number is folded down
+//!   next to the shifted offset, landing every tag in region 0 (which the
+//!   paper reuses because it is reserved for IA-32 code);
+//! * [`HostShadow`] — a host-side, byte-granularity reference taint map.
+//!   The *instrumented guest code* maintains the real bitmap in simulated
+//!   memory; the shadow is the oracle the test-suite (and the `debug_taint`
+//!   runtime call) uses to check that guest-maintained tags never drift from
+//!   ground truth.
+//!
+//! ## Example
+//!
+//! ```
+//! use shift_tagmap::{tag_location, Granularity};
+//! use shift_isa::make_vaddr;
+//!
+//! // A byte in region 3 (the stack region)…
+//! let va = make_vaddr(3, 0x1234);
+//! let loc = tag_location(va, Granularity::Byte).unwrap();
+//! // …maps to a tag bit in region 0.
+//! assert_eq!(shift_isa::region_of(loc.byte_addr), 0);
+//! assert_eq!(loc.bit(), (0x1234 % 8) as u8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use shift_isa::{is_implemented, offset_of, region_of, IMPL_BITS};
+
+/// Tag-tracking granularity (paper §6 evaluates both).
+///
+/// Both granularities use one tag *byte* per 8 data bytes (so the
+/// Figure-4 address translation is the same `offset >> 3` fold for both):
+///
+/// * **byte-level** packs 8 independent bits into that byte — one per data
+///   byte — so sub-word accesses must extract and read-modify-write
+///   individual bits;
+/// * **word-level** treats the whole tag byte as a single flag for the
+///   8-byte word. That trades an 8×-sparser encoding it could have used
+///   for the elimination of all bit extraction and read-modify-write —
+///   the engineering choice that makes word-level tracking cheaper, as the
+///   paper measures (§6.2, §6.5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Granularity {
+    /// One tag bit per byte of memory: precise, more instrumentation code.
+    #[default]
+    Byte,
+    /// One whole tag byte per 8-byte word: coarser, cheaper (the paper's
+    /// "word" is 8 bytes, footnote 2).
+    Word,
+}
+
+impl Granularity {
+    /// log2 of the number of data bytes covered by one tag *byte*
+    /// (identical for both granularities; see the type-level docs).
+    #[inline]
+    pub const fn byte_shift(self) -> u32 {
+        3
+    }
+
+    /// Whether sub-word accesses need per-bit extraction within the tag
+    /// byte (byte-level only).
+    #[inline]
+    pub const fn needs_bit_extraction(self) -> bool {
+        matches!(self, Granularity::Byte)
+    }
+
+    /// Short name used in reports ("byte" / "word").
+    pub const fn name(self) -> &'static str {
+        match self {
+            Granularity::Byte => "byte",
+            Granularity::Word => "word",
+        }
+    }
+
+    /// Both granularities, in the order the paper's figures list them.
+    pub const ALL: [Granularity; 2] = [Granularity::Byte, Granularity::Word];
+}
+
+impl std::fmt::Display for Granularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// log2 of the per-region stride in the tag space.
+///
+/// Each data region holds at most 2^40 bytes, whose byte-level tags occupy
+/// 2^37 bytes; regions 1–7 are laid out back to back in region 0, so the
+/// whole tag space spans 7·2^37 < 2^40 bytes and itself stays implemented.
+pub const REGION_STRIDE_BITS: u32 = IMPL_BITS - 3;
+
+/// Location of one location's tag inside the region-0 tag space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TagLocation {
+    /// Full virtual address (region 0) of the tag byte.
+    pub byte_addr: u64,
+    /// Mask selecting this location's tag within the byte: a single bit at
+    /// byte granularity, the whole byte (`0xff`) at word granularity.
+    pub mask: u8,
+}
+
+impl TagLocation {
+    /// Bit index of the lowest set mask bit (0 for word granularity).
+    #[inline]
+    pub const fn bit(self) -> u8 {
+        self.mask.trailing_zeros() as u8
+    }
+}
+
+/// Error translating a data address to its tag address.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TagAddrError {
+    /// The address has unimplemented bits set and would fault on access.
+    Unimplemented,
+    /// The address lies in region 0, which holds the tag space itself (and
+    /// is reserved for IA-32 on real Itanium); it has no tags of its own.
+    RegionZero,
+}
+
+impl std::fmt::Display for TagAddrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TagAddrError::Unimplemented => f.write_str("address touches unimplemented bits"),
+            TagAddrError::RegionZero => f.write_str("region 0 holds the tag space itself"),
+        }
+    }
+}
+
+impl std::error::Error for TagAddrError {}
+
+/// Translates a data virtual address to the location of its tag bit
+/// (Figure 4 of the paper).
+///
+/// The translation the instrumented guest code performs is:
+///
+/// ```text
+/// region   = vaddr >> 61                        // top 3 bits
+/// offset   = vaddr & ((1 << 40) - 1)            // implemented bits
+/// tag_byte = ((region - 1) << 37) | (offset >> 3)
+/// mask     = byte level: 1 << (offset & 7); word level: 0xff
+/// ```
+///
+/// This function is the host-side mirror of that sequence; tests assert that
+/// the guest instruction sequence computes exactly this value.
+///
+/// # Errors
+///
+/// Returns [`TagAddrError`] for unimplemented addresses and region-0
+/// addresses (the tag space does not tag itself).
+pub fn tag_location(vaddr: u64, gran: Granularity) -> Result<TagLocation, TagAddrError> {
+    if !is_implemented(vaddr) {
+        return Err(TagAddrError::Unimplemented);
+    }
+    let region = region_of(vaddr);
+    if region == 0 {
+        return Err(TagAddrError::RegionZero);
+    }
+    let offset = offset_of(vaddr);
+    let byte_addr =
+        (u64::from(region - 1) << REGION_STRIDE_BITS) | (offset >> gran.byte_shift());
+    let mask = match gran {
+        Granularity::Byte => 1u8 << (offset & 7),
+        Granularity::Word => 0xff,
+    };
+    Ok(TagLocation { byte_addr, mask })
+}
+
+/// Number of bytes of tag space needed to cover `len` data bytes starting at
+/// `vaddr` (used to pre-reserve bitmap pages).
+pub fn tag_span(vaddr: u64, len: u64, gran: Granularity) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = offset_of(vaddr) >> gran.byte_shift();
+    let last = offset_of(vaddr + len - 1) >> gran.byte_shift();
+    last - first + 1
+}
+
+/// Host-side reference taint map at byte granularity.
+///
+/// Backed by sparse 4 KiB-span bit pages. This is *ground truth*: runtime
+/// taint sources mark it directly, and tests compare the guest-maintained
+/// bitmap against it to detect tag drift (false positives / negatives in the
+/// sense of §5.2).
+#[derive(Clone, Debug, Default)]
+pub struct HostShadow {
+    pages: HashMap<u64, Box<[u8; 512]>>,
+    tainted_bytes: u64,
+}
+
+const SPAN: u64 = 4096;
+
+impl HostShadow {
+    /// Creates an empty shadow map.
+    pub fn new() -> HostShadow {
+        HostShadow::default()
+    }
+
+    /// Number of currently tainted bytes.
+    pub fn tainted_bytes(&self) -> u64 {
+        self.tainted_bytes
+    }
+
+    /// Returns `true` if the byte at `addr` is tainted.
+    pub fn is_tainted(&self, addr: u64) -> bool {
+        match self.pages.get(&(addr / SPAN)) {
+            Some(page) => {
+                let off = (addr % SPAN) as usize;
+                page[off / 8] & (1 << (off % 8)) != 0
+            }
+            None => false,
+        }
+    }
+
+    /// Returns `true` if any of the `len` bytes starting at `addr` are
+    /// tainted.
+    pub fn any_tainted(&self, addr: u64, len: u64) -> bool {
+        (0..len).any(|i| self.is_tainted(addr.wrapping_add(i)))
+    }
+
+    /// Returns `true` if **all** of the `len` bytes starting at `addr` are
+    /// tainted (`len == 0` returns `true`).
+    pub fn all_tainted(&self, addr: u64, len: u64) -> bool {
+        (0..len).all(|i| self.is_tainted(addr.wrapping_add(i)))
+    }
+
+    /// Marks or clears taint for `len` bytes starting at `addr`.
+    pub fn set_range(&mut self, addr: u64, len: u64, tainted: bool) {
+        for i in 0..len {
+            self.set(addr.wrapping_add(i), tainted);
+        }
+    }
+
+    /// Marks or clears taint for a single byte.
+    pub fn set(&mut self, addr: u64, tainted: bool) {
+        let off = (addr % SPAN) as usize;
+        let (idx, mask) = (off / 8, 1u8 << (off % 8));
+        if tainted {
+            let page = self.pages.entry(addr / SPAN).or_insert_with(|| Box::new([0u8; 512]));
+            if page[idx] & mask == 0 {
+                page[idx] |= mask;
+                self.tainted_bytes += 1;
+            }
+        } else if let Some(page) = self.pages.get_mut(&(addr / SPAN)) {
+            if page[idx] & mask != 0 {
+                page[idx] &= !mask;
+                self.tainted_bytes -= 1;
+            }
+        }
+    }
+
+    /// Propagates taint for a memory-to-memory copy of `len` bytes
+    /// (used by wrap functions that summarize host-implemented helpers).
+    pub fn copy_taint(&mut self, dst: u64, src: u64, len: u64) {
+        // Collect first: src and dst may overlap.
+        let bits: Vec<bool> = (0..len).map(|i| self.is_tainted(src.wrapping_add(i))).collect();
+        for (i, b) in bits.into_iter().enumerate() {
+            self.set(dst.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Clears the entire map.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.tainted_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_isa::make_vaddr;
+
+    #[test]
+    fn byte_granularity_maps_adjacent_bytes_to_adjacent_bits() {
+        let base = make_vaddr(1, 0x1000);
+        let a = tag_location(base, Granularity::Byte).unwrap();
+        let b = tag_location(base + 1, Granularity::Byte).unwrap();
+        assert_eq!(a.byte_addr, b.byte_addr);
+        assert_eq!(a.bit() + 1, b.bit());
+        let ninth = tag_location(base + 8, Granularity::Byte).unwrap();
+        assert_eq!(ninth.byte_addr, a.byte_addr + 1);
+        assert_eq!(ninth.bit(), 0);
+    }
+
+    #[test]
+    fn word_granularity_shares_the_whole_tag_byte() {
+        let base = make_vaddr(2, 0x40);
+        let loc0 = tag_location(base, Granularity::Word).unwrap();
+        assert_eq!(loc0.mask, 0xff);
+        for i in 0..8 {
+            let loc = tag_location(base + i, Granularity::Word).unwrap();
+            assert_eq!(loc, loc0, "byte {i} of a word shares its tag byte");
+        }
+        let next = tag_location(base + 8, Granularity::Word).unwrap();
+        assert_eq!(next.byte_addr, loc0.byte_addr + 1, "next word, next tag byte");
+    }
+
+    #[test]
+    fn regions_do_not_collide() {
+        // The same offset in different regions must land on different tag
+        // bytes (the Figure-4 fold keeps regions apart).
+        let off = 0x1234_5678;
+        let mut addrs = Vec::new();
+        for region in 1..8u8 {
+            let loc = tag_location(make_vaddr(region, off), Granularity::Byte).unwrap();
+            addrs.push(loc.byte_addr);
+        }
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 7);
+    }
+
+    #[test]
+    fn tag_space_lands_in_region_zero_and_is_implemented() {
+        // Even the highest address of the highest region must map to an
+        // implemented region-0 address.
+        let top = make_vaddr(7, shift_isa::IMPL_MASK);
+        let loc = tag_location(top, Granularity::Byte).unwrap();
+        assert_eq!(region_of(loc.byte_addr), 0);
+        assert!(is_implemented(loc.byte_addr));
+    }
+
+    #[test]
+    fn region_zero_and_unimplemented_are_rejected() {
+        assert_eq!(tag_location(0x10, Granularity::Byte), Err(TagAddrError::RegionZero));
+        let hole = (1u64 << 61) | (1 << 50);
+        assert_eq!(tag_location(hole, Granularity::Byte), Err(TagAddrError::Unimplemented));
+    }
+
+    #[test]
+    fn tag_span_counts_touched_tag_bytes() {
+        let base = make_vaddr(1, 0);
+        assert_eq!(tag_span(base, 0, Granularity::Byte), 0);
+        assert_eq!(tag_span(base, 1, Granularity::Byte), 1);
+        assert_eq!(tag_span(base, 8, Granularity::Byte), 1);
+        assert_eq!(tag_span(base, 9, Granularity::Byte), 2);
+        assert_eq!(tag_span(base, 8, Granularity::Word), 1);
+        assert_eq!(tag_span(base, 9, Granularity::Word), 2);
+    }
+
+    #[test]
+    fn shadow_set_and_query() {
+        let mut s = HostShadow::new();
+        assert!(!s.is_tainted(100));
+        s.set_range(100, 10, true);
+        assert!(s.all_tainted(100, 10));
+        assert!(!s.is_tainted(99));
+        assert!(!s.is_tainted(110));
+        assert_eq!(s.tainted_bytes(), 10);
+        s.set(105, false);
+        assert!(!s.is_tainted(105));
+        assert!(s.any_tainted(100, 10));
+        assert!(!s.all_tainted(100, 10));
+        assert_eq!(s.tainted_bytes(), 9);
+    }
+
+    #[test]
+    fn shadow_copy_taint_handles_overlap() {
+        let mut s = HostShadow::new();
+        s.set_range(0x1000, 4, true); // bytes 0x1000..0x1004 tainted
+        // Overlapping forward copy: dst = src + 2.
+        s.copy_taint(0x1002, 0x1000, 4);
+        // Source bits were [1,1,1,1]; after copy dst 0x1002..0x1006 = [1,1,1,1].
+        assert!(s.all_tainted(0x1000, 6));
+        assert_eq!(s.tainted_bytes(), 6);
+    }
+
+    #[test]
+    fn shadow_idempotent_set() {
+        let mut s = HostShadow::new();
+        s.set(42, true);
+        s.set(42, true);
+        assert_eq!(s.tainted_bytes(), 1);
+        s.set(42, false);
+        s.set(42, false);
+        assert_eq!(s.tainted_bytes(), 0);
+    }
+
+    #[test]
+    fn shadow_clear() {
+        let mut s = HostShadow::new();
+        s.set_range(0, 100, true);
+        s.clear();
+        assert_eq!(s.tainted_bytes(), 0);
+        assert!(!s.any_tainted(0, 100));
+    }
+}

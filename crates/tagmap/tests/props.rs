@@ -1,0 +1,108 @@
+//! Property tests for the tag-address translation and the host shadow map.
+
+use proptest::prelude::*;
+
+use shift_isa::{make_vaddr, region_of, IMPL_MASK};
+use shift_tagmap::{tag_location, tag_span, Granularity, HostShadow};
+
+fn data_addr() -> impl Strategy<Value = u64> {
+    // Any implemented address in regions 1–7.
+    (1u8..8, 0u64..=IMPL_MASK).prop_map(|(r, off)| make_vaddr(r, off))
+}
+
+proptest! {
+    /// Distinct bytes never share a tag bit at byte granularity.
+    #[test]
+    fn byte_tags_are_injective(a in data_addr(), b in data_addr()) {
+        prop_assume!(a != b);
+        let la = tag_location(a, Granularity::Byte).unwrap();
+        let lb = tag_location(b, Granularity::Byte).unwrap();
+        prop_assert!(
+            la.byte_addr != lb.byte_addr || la.mask != lb.mask,
+            "{a:#x} and {b:#x} collide at ({:#x}, {:#x})",
+            la.byte_addr,
+            la.mask
+        );
+    }
+
+    /// The tag space always lands in region 0 and stays implemented, for
+    /// both granularities.
+    #[test]
+    fn tags_live_in_region_zero(addr in data_addr()) {
+        for gran in Granularity::ALL {
+            let loc = tag_location(addr, gran).unwrap();
+            prop_assert_eq!(region_of(loc.byte_addr), 0);
+            prop_assert!(shift_isa::is_implemented(loc.byte_addr));
+        }
+    }
+
+    /// Two addresses in the same 8-byte word share one word-level tag byte;
+    /// addresses in different words never do.
+    #[test]
+    fn word_tags_partition_by_word(a in data_addr(), delta in 0u64..64) {
+        let b_off = (shift_isa::offset_of(a) + delta).min(IMPL_MASK);
+        let b = make_vaddr(region_of(a), b_off);
+        let la = tag_location(a, Granularity::Word).unwrap();
+        let lb = tag_location(b, Granularity::Word).unwrap();
+        let same_word = shift_isa::offset_of(a) / 8 == b_off / 8;
+        prop_assert_eq!(la.byte_addr == lb.byte_addr, same_word);
+    }
+
+    /// `tag_span` covers exactly the tag bytes the per-byte translation
+    /// touches.
+    #[test]
+    fn span_matches_pointwise_translation(addr in data_addr(), len in 1u64..256) {
+        prop_assume!(shift_isa::offset_of(addr) + len <= IMPL_MASK);
+        for gran in Granularity::ALL {
+            let span = tag_span(addr, len, gran);
+            let first = tag_location(addr, gran).unwrap().byte_addr;
+            let last = tag_location(addr + len - 1, gran).unwrap().byte_addr;
+            prop_assert_eq!(span, last - first + 1);
+        }
+    }
+
+    /// The shadow map's taint count is exactly the number of set bytes,
+    /// under any interleaving of set/clear ranges.
+    #[test]
+    fn shadow_count_is_consistent(
+        ops in prop::collection::vec((0u64..2048, 1u64..64, any::<bool>()), 1..32)
+    ) {
+        let mut shadow = HostShadow::new();
+        let mut model = vec![false; 4096];
+        for (addr, len, tainted) in ops {
+            shadow.set_range(addr, len.min(4096 - addr), tainted);
+            for i in addr..addr + len.min(4096 - addr) {
+                model[i as usize] = tainted;
+            }
+        }
+        let expect = model.iter().filter(|&&t| t).count() as u64;
+        prop_assert_eq!(shadow.tainted_bytes(), expect);
+        for (i, &t) in model.iter().enumerate() {
+            prop_assert_eq!(shadow.is_tainted(i as u64), t);
+        }
+    }
+
+    /// `copy_taint` behaves like a byte-wise copy even with overlap.
+    #[test]
+    fn copy_taint_is_bytewise(
+        init in prop::collection::vec(any::<bool>(), 128),
+        dst in 0u64..96,
+        src in 0u64..96,
+        len in 0u64..32,
+    ) {
+        let mut shadow = HostShadow::new();
+        let mut model: Vec<bool> = init.clone();
+        for (i, &t) in init.iter().enumerate() {
+            shadow.set(i as u64, t);
+        }
+        shadow.copy_taint(dst, src, len);
+        let snapshot: Vec<bool> =
+            (0..len).map(|i| model[(src + i) as usize]).collect();
+        for (i, t) in snapshot.into_iter().enumerate() {
+            model[dst as usize + i] = t;
+        }
+        for (i, &t) in model.iter().enumerate() {
+            prop_assert_eq!(shadow.is_tainted(i as u64), t, "byte {}", i);
+        }
+    }
+}

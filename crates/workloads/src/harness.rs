@@ -1,0 +1,111 @@
+//! Shared IR fragments for guest workloads.
+
+use shift_ir::{FnBuilder, ProgramBuilder, Rhs, VReg};
+use shift_isa::{sys, CmpRel};
+
+/// The file every SPEC-like kernel reads its input from.
+pub const INPUT_FILE: &str = "input";
+
+/// Adds a `read_input()` function to the program: opens [`INPUT_FILE`],
+/// allocates a heap buffer with `brk`, reads the whole file, and returns the
+/// buffer address; the byte count is left in the `input_len` global.
+///
+/// Returns the `GlobalId` of `input_len` so callers can load it.
+pub fn input_reader(pb: &mut ProgramBuilder) -> shift_ir::GlobalId {
+    let path = pb.global_str("__input_path", INPUT_FILE);
+    let len_g = pb.global_zeroed("input_len", 8);
+    pb.func("read_input", 0, move |f| {
+        let p = f.global_addr(path);
+        let size = f.syscall(sys::FILE_STAT, &[p]);
+        f.if_cmp(CmpRel::Lt, size, Rhs::Imm(0), |f| {
+            let z = f.iconst(0);
+            f.ret(Some(z));
+        });
+        let padded = f.addi(size, 16);
+        let buf = f.syscall(sys::BRK, &[padded]);
+        let zero = f.iconst(0);
+        let fd = f.syscall(sys::FILE_OPEN, &[p, zero]);
+        let got = f.iconst(0);
+        f.loop_(|f| {
+            let dst = f.add(buf, got);
+            let remaining = f.sub(size, got);
+            f.if_cmp(CmpRel::Le, remaining, Rhs::Imm(0), |f| f.break_());
+            let n = f.syscall(sys::FILE_READ, &[fd, dst, remaining]);
+            f.if_cmp(CmpRel::Le, n, Rhs::Imm(0), |f| f.break_());
+            let g2 = f.add(got, n);
+            f.assign(got, g2);
+        });
+        f.syscall_void(sys::FILE_CLOSE, &[fd]);
+        let lg = f.global_addr(len_g);
+        f.store8(got, lg, 0);
+        f.ret(Some(buf));
+    });
+    len_g
+}
+
+/// Emits one xorshift64 step in guest code: updates `state` in place and
+/// returns it. Used by kernels whose namesakes are driven by internal
+/// pseudo-randomness (vpr, twolf) rather than by their input bytes.
+pub fn rng_step(f: &mut FnBuilder, state: VReg) -> VReg {
+    let a = f.shli(state, 13);
+    let s1 = f.xor(state, a);
+    let b = f.shri(s1, 7);
+    let s2 = f.xor(s1, b);
+    let c = f.shli(s2, 17);
+    let s3 = f.xor(s2, c);
+    f.assign(state, s3);
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_core::{Mode, Shift, World};
+
+    #[test]
+    fn read_input_returns_buffer_and_length() {
+        let mut pb = ProgramBuilder::new();
+        let len_g = input_reader(&mut pb);
+        pb.func("main", 0, move |f| {
+            let buf = f.call("read_input", &[]);
+            let lg = f.global_addr(len_g);
+            let n = f.load8(lg, 0);
+            // checksum = len + first + last byte
+            let first = f.load1(buf, 0);
+            let nm1 = f.addi(n, -1);
+            let lastp = f.add(buf, nm1);
+            let last = f.load1(lastp, 0);
+            let s1 = f.add(n, first);
+            let s2 = f.add(s1, last);
+            f.ret(Some(s2));
+        });
+        let app = pb.build().unwrap();
+        let report = Shift::new(Mode::Uninstrumented)
+            .run(&app, World::new().file(INPUT_FILE, b"abcz".to_vec()))
+            .unwrap();
+        assert_eq!(report.exit, shift_core::Exit::Halted(4 + 97 + 122));
+    }
+
+    #[test]
+    fn rng_step_matches_host_xorshift() {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let s = f.iconst(0x1234_5678);
+            for _ in 0..3 {
+                rng_step(f, s);
+            }
+            let folded = f.andi(s, 0x7fff_ffff);
+            f.ret(Some(folded));
+        });
+        let app = pb.build().unwrap();
+        let report =
+            Shift::new(Mode::Uninstrumented).run(&app, World::new()).unwrap();
+        let mut s = 0x1234_5678u64;
+        for _ in 0..3 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+        }
+        assert_eq!(report.exit, shift_core::Exit::Halted((s & 0x7fff_ffff) as i64));
+    }
+}

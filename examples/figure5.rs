@@ -1,0 +1,62 @@
+//! The paper's Figure 5, live: disassemble the instrumentation the SHIFT
+//! pass wraps around one load and one store, in each configuration.
+//!
+//! ```sh
+//! cargo run --example figure5
+//! ```
+
+use shift_compiler::{Compiler, Mode, ShiftOptions};
+use shift_core::Granularity;
+use shift_ir::ProgramBuilder;
+use shift_isa::disasm_listing;
+
+/// One 8-byte load, one 1-byte store — the two template families.
+fn snippet() -> shift_ir::Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.global_zeroed("cell", 16);
+    pb.func("main", 0, move |f| {
+        let p = f.global_addr(g);
+        let v = f.load8(p, 0); // ld8  r? = [r?]
+        let b = f.andi(v, 0xff);
+        f.store1(b, p, 8); // st1  [r?] = r?
+        f.ret(Some(b));
+    });
+    pb.build().unwrap()
+}
+
+fn show(title: &str, mode: Mode) {
+    let compiled = Compiler::new(mode).compile(&snippet()).expect("snippet compiles");
+    let (start, end) = compiled.func_ranges["main"];
+    println!("── {title} ({} instructions) {}", end - start, "─".repeat(46 - title.len()));
+    println!("{}", disasm_listing(&compiled.image.code[start..end], start));
+}
+
+fn main() {
+    println!("The Figure-5 templates, as this compiler emits them.\n");
+    println!("Scratch registers r28–r30 hold the tag address / bit index / mask;");
+    println!("r31 is the kept NaT-source register; p6/p7 are the instrumentation");
+    println!("predicates. Provenance labels on the right feed Figure 9.\n");
+
+    show("uninstrumented baseline", Mode::Uninstrumented);
+    show(
+        "SHIFT, byte-level, stock Itanium",
+        Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
+    );
+    show(
+        "SHIFT, word-level, stock Itanium",
+        Mode::Shift(ShiftOptions::baseline(Granularity::Word)),
+    );
+    show(
+        "SHIFT, byte-level, both proposed enhancements",
+        Mode::Shift(ShiftOptions::enhanced(Granularity::Byte)),
+    );
+    show("software-only shadow registers (the ablation)", Mode::Shadow(Granularity::Byte));
+
+    println!("Things to spot:");
+    println!(" • the region fold (shr 61 / add -1 / shl 37) before every tag access —");
+    println!("   Itanium's unimplemented bits make this cost real (Figure 4);");
+    println!(" • the byte-level st1 path laundering its source: st8.spill + plain ld8");
+    println!("   on stock hardware, tclr/tset with the enhancements;");
+    println!(" • the shadow mode dragging taint bitmask updates behind every ALU op —");
+    println!("   what SHIFT's NaT reuse makes unnecessary.");
+}

@@ -1,0 +1,89 @@
+//! Policy lab: the same instrumented binary under different software
+//! policies — SHIFT's mechanism/policy decoupling in action (§3, §5.1).
+//!
+//! One guest program handles a request that (a) opens a file from a user
+//! path and (b) runs a SQL query built from user input. Depending on which
+//! policies are armed — set through the paper-style configuration file —
+//! the very same binary detects different things or nothing at all.
+//!
+//! ```sh
+//! cargo run --example policy_lab
+//! ```
+
+use shift_core::{Granularity, Mode, Shift, ShiftOptions, TaintConfig, World};
+use shift_ir::{ProgramBuilder, Rhs};
+use shift_isa::{sys, CmpRel};
+
+fn app() -> shift_ir::Program {
+    let mut pb = ProgramBuilder::new();
+    let prefix = pb.global_str("sql_prefix", "SELECT doc FROM files WHERE name='");
+    let suffix = pb.global_str("sql_suffix", "'");
+
+    pb.func("main", 0, move |f| {
+        let req = f.local(256);
+        let reqp = f.local_addr(req);
+        let cap = f.iconst(250);
+        let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+        let end = f.add(reqp, n);
+        let z = f.iconst(0);
+        f.store1(z, end, 0);
+
+        // (a) open the user-named file
+        let zero = f.iconst(0);
+        let fd = f.syscall(sys::FILE_OPEN, &[reqp, zero]);
+        f.if_cmp(CmpRel::Ge, fd, Rhs::Imm(0), |f| {
+            f.syscall_void(sys::FILE_CLOSE, &[fd]);
+        });
+
+        // (b) run a query mentioning it
+        let q = f.local(512);
+        let qp = f.local_addr(q);
+        let p = f.global_addr(prefix);
+        f.call_void("strcpy", &[qp, p]);
+        f.call_void("strcat", &[qp, reqp]);
+        let sfx = f.global_addr(suffix);
+        f.call_void("strcat", &[qp, sfx]);
+        let qlen = f.call("strlen", &[qp]);
+        f.syscall_void(sys::SQL_EXEC, &[qp, qlen]);
+
+        let ok = f.iconst(0);
+        f.ret(Some(ok));
+    });
+    pb.build().expect("valid IR")
+}
+
+fn run(config_text: &str, input: &[u8]) -> String {
+    let cfg = TaintConfig::parse(config_text).expect("valid configuration");
+    let shift = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+        .with_config(cfg);
+    let report = shift.run(&app(), World::new().net(input.to_vec())).expect("compiles");
+    match report.detected_policy() {
+        Some(p) => format!("DETECTED by {p}: {}", p.description()),
+        None => format!("no alarm ({})", report.exit),
+    }
+}
+
+fn main() {
+    let hostile = b"/etc/passwd' OR '1'='1";
+    println!("input: {:?}\n", String::from_utf8_lossy(hostile));
+
+    println!("config A (everything armed):");
+    let a = "source network on\npolicy H1 on\npolicy H3 on\n";
+    println!("  {}\n", run(a, hostile));
+
+    println!("config B (only SQL injection armed — H1 off lets the open through):");
+    let b = "source network on\npolicy H3 on\n";
+    println!("  {}\n", run(b, hostile));
+
+    println!("config C (policies armed but network is not a taint source):");
+    let c = "source network off\npolicy H1 on\npolicy H3 on\n";
+    println!("  {}\n", run(c, hostile));
+
+    println!("config A with a benign input:");
+    println!("  {}", run(a, b"report-2026.txt"));
+
+    // The mechanism never changed — only the policy configuration did.
+    assert!(run(a, hostile).contains("H1"));
+    assert!(run(b, hostile).contains("H3"));
+    assert!(run(c, hostile).contains("no alarm"));
+}

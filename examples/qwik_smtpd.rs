@@ -1,0 +1,101 @@
+//! The paper's Figure 1, end to end: the qwik-smtpd 0.3 buffer-overflow
+//! vulnerability and how SHIFT defeats it.
+//!
+//! The SMTP server checks the client's IP against its own to decide whether
+//! to relay mail. `clientHELO[32]` sits next to `localip[64]` on the stack;
+//! `strcpy(clientHELO, arg2)` has no length check, so a long HELO argument
+//! overwrites `localip` — after which `strcasecmp(clientip, localip)`
+//! compares two attacker-controlled strings and the relay check passes.
+//!
+//! SHIFT taints the network input, tracks it through `strcpy` into
+//! `localip`, and a `chk.s` guard on the critical comparison input (§3.3.3)
+//! raises a user-level alert before the trust decision is made.
+//!
+//! ```sh
+//! cargo run --example qwik_smtpd
+//! ```
+
+use shift_core::{Granularity, Mode, Shift, ShiftOptions, World};
+use shift_ir::{ProgramBuilder, Rhs};
+use shift_isa::{sys, CmpRel};
+
+/// Builds the vulnerable SMTP server. `guarded` arms the chk.s check on the
+/// relay decision's critical input.
+fn qwik_smtpd(guarded: bool) -> shift_ir::Program {
+    let mut pb = ProgramBuilder::new();
+    let localip_init = pb.global_str("localip_init", "192.168.7.1");
+    let clientip_val = pb.global_str("clientip", "10.0.0.99");
+
+    pb.func("main", 0, move |f| {
+        // #1 char clientHELO[32];
+        // #2 char localip[64];        (adjacent on the frame, like Figure 1)
+        let client_helo = f.local(32);
+        let localip = f.local(64);
+        let arg2 = f.local(256);
+
+        // The server's own address lives in localip.
+        let lip = f.local_addr(localip);
+        let init = f.global_addr(localip_init);
+        f.call_void("strcpy", &[lip, init]);
+
+        // HELO argument straight off the network (tainted).
+        let a2 = f.local_addr(arg2);
+        let cap = f.iconst(250);
+        let n = f.syscall(sys::NET_READ, &[a2, cap]);
+        let end = f.add(a2, n);
+        let z = f.iconst(0);
+        f.store1(z, end, 0);
+
+        // #5 strcpy(clientHELO, arg2);   /* no check for length of arg2! */
+        let helo = f.local_addr(client_helo);
+        f.call_void("strcpy", &[helo, a2]);
+
+        // #6 if (!strcasecmp(clientip, localip)) { relay }
+        let cip = f.global_addr(clientip_val);
+        if guarded {
+            // SHIFT policy: the relay decision's input is critical data —
+            // check its tag before using it (chk.s insertion, §3.3.3).
+            let probe = f.load1(lip, 0);
+            f.guard(probe);
+        }
+        let same = f.call("strcasecmp", &[cip, lip]);
+        let relayed = f.iconst(0);
+        f.if_cmp(CmpRel::Eq, same, Rhs::Imm(0), |f| {
+            f.assign_imm(relayed, 1);
+        });
+        f.ret(Some(relayed));
+    });
+    pb.build().expect("valid IR")
+}
+
+fn main() {
+    let shift = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)));
+
+    // A normal HELO: fits the buffer, no relay (IPs differ), no alert.
+    let benign = shift
+        .run(&qwik_smtpd(true), World::new().net(&b"mail.example.com"[..]))
+        .expect("compiles");
+    println!("benign HELO    : {} (relayed = {:?})", benign.exit, benign.exit);
+    assert!(!benign.exit.is_detection());
+
+    // The exploit: 32 bytes of padding to fill clientHELO, then the
+    // attacker's IP overwriting localip so the comparison passes.
+    let mut payload = vec![b'A'; 32];
+    payload.extend_from_slice(b"10.0.0.99");
+
+    // Without the guard (and without tracking): the relay check is fooled.
+    let fooled = Shift::new(Mode::Uninstrumented)
+        .run(&qwik_smtpd(false), World::new().net(payload.clone()))
+        .expect("compiles");
+    println!("unprotected    : {} ← relay granted to the attacker", fooled.exit);
+    assert_eq!(fooled.exit, shift_core::Exit::Halted(1), "exploit must work unprotected");
+
+    // With SHIFT: localip is tainted after the overflow; the guard fires
+    // before the trust decision.
+    let caught = shift
+        .run(&qwik_smtpd(true), World::new().net(payload))
+        .expect("compiles");
+    println!("with SHIFT     : {}", caught.exit);
+    assert!(caught.exit.is_detection(), "the overflow must be detected");
+    println!("\nFigure 1 reproduced: the tainted overwrite of localip is caught before the relay decision.");
+}

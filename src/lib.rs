@@ -1,0 +1,32 @@
+//! # shift-suite — umbrella package for the SHIFT reproduction
+//!
+//! This package hosts the repository-level `examples/` and cross-crate
+//! integration `tests/`; the actual functionality lives in the member crates:
+//!
+//! * [`shift_isa`] — the Itanium-inspired ISA with NaT (deferred-exception)
+//!   bits, speculative loads, `chk.s`, spill/fill, and the paper's proposed
+//!   enhancement instructions;
+//! * [`shift_machine`] — the in-order functional simulator and cycle model;
+//! * [`shift_tagmap`] — the in-memory taint bitmap and the Figure-4 tag
+//!   address translation;
+//! * [`shift_ir`] — the compiler's three-address intermediate representation;
+//! * [`shift_compiler`] — lowering, register allocation, and the SHIFT
+//!   instrumentation pass;
+//! * [`shift_core`] — policies, taint-source configuration, the host runtime
+//!   (taint sources/sinks), the guest libc, and the end-to-end [`shift_core::Shift`]
+//!   session API;
+//! * [`shift_workloads`] — SPEC-INT2000-like kernels and the Apache-like
+//!   server used by the performance experiments;
+//! * [`shift_attacks`] — the Table-2 attack corpus.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use shift_attacks;
+pub use shift_compiler;
+pub use shift_core;
+pub use shift_ir;
+pub use shift_isa;
+pub use shift_machine;
+pub use shift_tagmap;
+pub use shift_workloads;

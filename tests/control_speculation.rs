@@ -1,0 +1,118 @@
+//! §3.3.4: SHIFT coexists with control speculation.
+//!
+//! The exception token is shared: a `chk.s` cannot tell whether the NaT bit
+//! it sees came from a *deferred exception* (genuine speculation failure) or
+//! from a *taint tag*. The paper's answer: always take the recovery path —
+//! the speculatively executed fragment had no committed memory operations,
+//! so re-executing the non-speculative version (with its normal tracking
+//! code) is correct either way; taint merely adds false-positive recoveries.
+//!
+//! These tests build the paper's Figure-2 shape by hand (the compiler does
+//! not hoist loads; this is the machine-level contract the design rests on).
+
+use shift_isa::{AluOp, ExtKind, Gpr, Insn, MemSize, Op};
+use shift_machine::{layout, Exit, Image, Machine, NullOs};
+
+const DATA: u64 = layout::DATA_BASE + 0x100;
+const OUT: u64 = layout::DATA_BASE + 0x200;
+
+/// Figure-2-shaped code: a load hoisted above its guarding branch, a
+/// speculative computation, `chk.s` at the original site, and recovery code
+/// that re-executes non-speculatively.
+///
+/// `r4` plays the role of a register tainted by earlier instrumented code
+/// (`tset`), and the speculative computation consumes it.
+fn spec_image() -> Image {
+    let code = vec![
+        /* 0 */ Insn::new(Op::MovI { dst: Gpr::R2, imm: DATA as i64 }),
+        /* 1 */ Insn::new(Op::MovI { dst: Gpr::R6, imm: OUT as i64 }),
+        /* 2 */ Insn::new(Op::Tset { dst: Gpr::R4 }), // tainted input
+        /* 3 */ Insn::new(Op::AluI { op: AluOp::Add, dst: Gpr::R4, src1: Gpr::R4, imm: 5 }),
+        // --- speculative fragment (hoisted above the "branch") ---
+        /* 4 */
+        Insn::new(Op::Ld {
+            size: MemSize::B8,
+            ext: ExtKind::Zero,
+            dst: Gpr::R3,
+            addr: Gpr::R2,
+            spec: true,
+        }),
+        /* 5 */ Insn::new(Op::Alu { op: AluOp::Add, dst: Gpr::R5, src1: Gpr::R3, src2: Gpr::R4 }),
+        // --- original location: the check ---
+        /* 6 */ Insn::new(Op::ChkS { src: Gpr::R5, target: 10 }),
+        // Speculation success path (requires r5 clean): plain store.
+        /* 7 */ Insn::new(Op::St { size: MemSize::B8, src: Gpr::R5, addr: Gpr::R6 }),
+        /* 8 */ Insn::new(Op::Mov { dst: Gpr::R8, src: Gpr::R5 }),
+        /* 9 */ Insn::new(Op::Halt),
+        // --- recovery: the non-speculative version with tracking ---
+        /* 10 */
+        Insn::new(Op::Ld {
+            size: MemSize::B8,
+            ext: ExtKind::Zero,
+            dst: Gpr::R3,
+            addr: Gpr::R2,
+            spec: false,
+        }),
+        /* 11 */
+        Insn::new(Op::Alu { op: AluOp::Add, dst: Gpr::R5, src1: Gpr::R3, src2: Gpr::R4 }),
+        // Tracked store: st8.spill tolerates (and banks) the taint.
+        /* 12 */ Insn::new(Op::StSpill { src: Gpr::R5, addr: Gpr::R6 }),
+        /* 13 */ Insn::new(Op::Mov { dst: Gpr::R8, src: Gpr::R5 }),
+        /* 14 */ Insn::new(Op::Halt),
+    ];
+    Image::builder()
+        .code(code)
+        .data(DATA, 37i64.to_le_bytes().to_vec())
+        .map(OUT, 8)
+        .build()
+}
+
+/// A tainted operand in the speculative fragment forces the recovery path —
+/// the "false positive for control speculation" the paper accepts — and the
+/// program still computes the right value with the right taint.
+#[test]
+fn tainted_speculation_takes_recovery_and_stays_correct() {
+    let mut m = Machine::new(&spec_image());
+    let exit = m.run(&mut NullOs, 10_000);
+    // 37 + (0 + 5) = 42, computed by the *recovery* path.
+    assert_eq!(exit, Exit::Halted(42));
+    assert_eq!(m.stats.chk_taken, 1, "chk.s must have vectored to recovery");
+    // The result in memory is there, and its taint was banked by the spill.
+    assert_eq!(m.mem.read_int(OUT, 8).unwrap(), 42);
+    assert!(m.mem.spill_nat(OUT), "the tracked store preserved the taint");
+}
+
+/// With no taint in the fragment, speculation succeeds: the check falls
+/// through and the fast path commits. (Replace the taint with a clean
+/// constant.)
+#[test]
+fn clean_speculation_commits_on_the_fast_path() {
+    let mut image = spec_image();
+    image.code[2] = Insn::new(Op::MovI { dst: Gpr::R4, imm: 0 });
+    let mut m = Machine::new(&image);
+    let exit = m.run(&mut NullOs, 10_000);
+    assert_eq!(exit, Exit::Halted(42));
+    assert_eq!(m.stats.chk_taken, 0, "no recovery needed");
+    assert_eq!(m.stats.deferred_loads, 0);
+}
+
+/// A genuine deferred exception (the speculative load's address turns out
+/// invalid) takes the *same* recovery path — the shared-token design.
+#[test]
+fn genuine_deferral_takes_the_same_recovery() {
+    let mut image = spec_image();
+    // Point the hoisted load at an unmapped address; keep r4 clean. The
+    // recovery's non-speculative load then faults for real — exactly what
+    // should happen when mis-speculated code turns out to be needed with a
+    // bad address.
+    image.code[0] = Insn::new(Op::MovI { dst: Gpr::R2, imm: (layout::DATA_BASE + 0x8000) as i64 });
+    image.code[2] = Insn::new(Op::MovI { dst: Gpr::R4, imm: 0 });
+    let mut m = Machine::new(&image);
+    let exit = m.run(&mut NullOs, 10_000);
+    assert_eq!(m.stats.deferred_loads, 1, "the hoisted load must defer");
+    assert_eq!(m.stats.chk_taken, 1, "the deferral must reach the check");
+    assert!(
+        matches!(exit, Exit::Fault(shift_machine::Fault::Unmapped { .. })),
+        "recovery re-executes non-speculatively and faults precisely: {exit:?}"
+    );
+}

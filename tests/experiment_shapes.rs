@@ -1,0 +1,79 @@
+//! Shape tests over the experiment harnesses themselves: the qualitative
+//! claims of every paper figure, asserted at test scale so `cargo test`
+//! guards them without the cost of the reference runs.
+
+use shift_bench::{
+    ablation_nat_vs_shadow, fig6_apache, fig7_spec_slowdowns, fig8_enhancements, fig9_breakdown,
+    geomean,
+};
+use shift_workloads::Scale;
+
+/// Figure 7's claims: instrumentation costs real factors, byte ≥ word on
+/// average, safe ≤ unsafe everywhere.
+#[test]
+fn fig7_shape() {
+    let rows = fig7_spec_slowdowns(Scale::Test);
+    assert_eq!(rows.len(), 8);
+    let byte = geomean(&rows.iter().map(|r| r.byte_unsafe).collect::<Vec<_>>());
+    let word = geomean(&rows.iter().map(|r| r.word_unsafe).collect::<Vec<_>>());
+    assert!(byte > 1.5 && byte < 6.0, "byte slowdown out of plausible range: {byte:.2}");
+    assert!(byte > word, "byte {byte:.2} must exceed word {word:.2}");
+    for r in &rows {
+        assert!(r.byte_safe <= r.byte_unsafe + 1e-9, "{}", r.name);
+        assert!(r.word_safe <= r.word_unsafe + 1e-9, "{}", r.name);
+    }
+}
+
+/// Figure 8's claims: each enhancement step strictly helps, on every
+/// benchmark, at both granularities.
+#[test]
+fn fig8_shape() {
+    for r in fig8_enhancements(Scale::Test) {
+        assert!(r.byte_set_clr <= r.byte_unsafe, "{}: set/clr must help (byte)", r.name);
+        assert!(r.byte_both <= r.byte_set_clr, "{}: nat-cmp must help (byte)", r.name);
+        assert!(r.word_set_clr <= r.word_unsafe, "{}: set/clr must help (word)", r.name);
+        assert!(r.word_both <= r.word_set_clr, "{}: nat-cmp must help (word)", r.name);
+        assert!(r.reduction_byte_both() > 0.0, "{}", r.name);
+        assert!(r.reduction_word_both() > 0.0, "{}", r.name);
+    }
+}
+
+/// Figure 9's claims: tag-address computation dominates bitmap memory
+/// access, and the load side dominates the store side, in aggregate.
+#[test]
+fn fig9_shape() {
+    let rows = fig9_breakdown(Scale::Test);
+    let comp: f64 = rows.iter().map(|r| r.ld_compute + r.st_compute).sum();
+    let mem: f64 = rows.iter().map(|r| r.ld_memory + r.st_memory).sum();
+    let ld: f64 = rows.iter().map(|r| r.ld_compute + r.ld_memory).sum();
+    let st: f64 = rows.iter().map(|r| r.st_compute + r.st_memory).sum();
+    assert!(comp > 2.0 * mem, "computation must dominate: {comp:.2} vs {mem:.2}");
+    assert!(ld > st, "loads must dominate: {ld:.2} vs {st:.2}");
+}
+
+/// Figure 6's claims: end-to-end server overhead is I/O-masked and largest
+/// for the smallest files.
+#[test]
+fn fig6_shape() {
+    let rows = fig6_apache(&[4 << 10, 64 << 10], 3);
+    assert!(rows[0].byte_latency >= rows[1].byte_latency, "small files cost more");
+    for r in &rows {
+        assert!(r.byte_latency < 1.15, "{} B: overhead not I/O-masked", r.file_size);
+        assert!(r.word_latency <= r.byte_latency + 0.02);
+    }
+}
+
+/// The headline ablation's claim: software-only tracking costs a multiple
+/// of SHIFT, for every benchmark.
+#[test]
+fn nat_vs_shadow_shape() {
+    for r in ablation_nat_vs_shadow(Scale::Test) {
+        assert!(
+            r.shadow_byte > r.shift_byte * 1.3,
+            "{}: shadow {:.2} vs shift {:.2}",
+            r.name,
+            r.shadow_byte,
+            r.shift_byte
+        );
+    }
+}
