@@ -152,10 +152,7 @@ mod tests {
     fn benign_status_formats_the_real_arguments() {
         let report = Shift::new(Mode::Uninstrumented).run(&build(), benign()).unwrap();
         let out = String::from_utf8_lossy(&report.runtime.net_output).into_owned();
-        assert!(
-            out.contains("transferred 21 files in 4 s (code 1999)"),
-            "{out}"
-        );
+        assert!(out.contains("transferred 21 files in 4 s (code 1999)"), "{out}");
         assert!(!out.contains("230 admin"));
     }
 

@@ -138,8 +138,7 @@ mod tests {
             }
 
             // Without SHIFT, the attack succeeds.
-            let unprotected =
-                shift(Mode::Uninstrumented).run(&app, (atk.exploit)()).unwrap();
+            let unprotected = shift(Mode::Uninstrumented).run(&app, (atk.exploit)()).unwrap();
             assert!(
                 !unprotected.exit.is_detection(),
                 "{}: uninstrumented run cannot detect anything",
@@ -196,9 +195,8 @@ mod tests {
             .run(&app, short.clone())
             .unwrap();
         assert!(byte.exit.is_detection(), "byte level still catches it: {:?}", byte.exit);
-        let word = shift(Mode::Shift(ShiftOptions::baseline(Granularity::Word)))
-            .run(&app, short)
-            .unwrap();
+        let word =
+            shift(Mode::Shift(ShiftOptions::baseline(Granularity::Word))).run(&app, short).unwrap();
         assert!(
             !word.exit.is_detection(),
             "expected the documented word-level false negative, got {:?}",
@@ -228,6 +226,35 @@ mod tests {
                 "{}: shadow-mode false positive: {:?}",
                 atk.program,
                 benign.exit
+            );
+        }
+    }
+
+    /// Recovery must not weaken detection: with every policy set to
+    /// `AbortTransaction`, each Table-2 exploit is still caught — recorded
+    /// in the shared violation log and rolled back rather than fail-stopped.
+    #[test]
+    fn table2_still_detected_under_abort_transaction() {
+        use shift_core::ViolationAction;
+        for atk in all_attacks() {
+            let app = (atk.build)();
+            let mut cfg = shift_core::TaintConfig::default_secure();
+            cfg.set_default_action(ViolationAction::AbortTransaction);
+            let report = shift(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+                .with_config(cfg)
+                .serve(&app, (atk.exploit)())
+                .unwrap();
+            assert!(
+                !report.violations.is_empty(),
+                "{}: exploit not detected under recovery: {:?}",
+                atk.program,
+                report.exit
+            );
+            assert!(
+                report.recovered >= 1 || matches!(report.exit, shift_core::Exit::Violation(_)),
+                "{}: detection neither recovered nor fail-stopped: {:?}",
+                atk.program,
+                report.exit
             );
         }
     }

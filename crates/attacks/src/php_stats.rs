@@ -157,11 +157,7 @@ pub fn attack() -> Attack {
         benign,
         exploit,
         succeeded: |report| {
-            report
-                .runtime
-                .html_output
-                .windows(7)
-                .any(|w| w.eq_ignore_ascii_case(b"<script"))
+            report.runtime.html_output.windows(7).any(|w| w.eq_ignore_ascii_case(b"<script"))
         },
         word_smears: false,
     }

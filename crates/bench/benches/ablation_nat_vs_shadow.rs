@@ -35,11 +35,7 @@ fn main() {
     let (sw, hw) = (gm(|r| r.shift_word), gm(|r| r.shadow_word));
     println!("{:<10} {:>10.2}x {:>11.2}x {:>10.2}x {:>11.2}x", "geomean", sb, hb, sw, hw);
     println!();
-    println!(
-        "NaT reuse is worth {:.1}x at byte level and {:.1}x at word level.",
-        hb / sb,
-        hw / sw
-    );
+    println!("NaT reuse is worth {:.1}x at byte level and {:.1}x at word level.", hb / sb, hw / sw);
     println!(
         "paper framing: software DIFT costs 4.6X–37X (LIFT & friends); \
          SHIFT brings it to 2.27X–2.81X by making register taint free."

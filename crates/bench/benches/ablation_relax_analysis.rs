@@ -20,9 +20,8 @@ fn main() {
         );
     }
     println!("{:-<76}", "");
-    let gm = |f: fn(&shift_bench::AblationRow) -> f64| {
-        geomean(&rows.iter().map(f).collect::<Vec<_>>())
-    };
+    let gm =
+        |f: fn(&shift_bench::AblationRow) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
     let (d, na, npf, npu) = (
         gm(|r| r.default),
         gm(|r| r.no_analysis),
@@ -40,10 +39,7 @@ fn main() {
         npf / d,
         npu / d
     );
-    assert!(
-        npf >= d,
-        "per-function generation must not beat keeping the register"
-    );
+    assert!(npf >= d, "per-function generation must not beat keeping the register");
     // Our kernels are main-dominated (few dynamic function entries), so the
     // per-function strawman shows up mostly on call-heavy code; per-use makes
     // the paper's point unambiguously.

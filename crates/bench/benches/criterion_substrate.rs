@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use shift_compiler::{Compiler, Mode, ShiftOptions};
-use shift_core::{Granularity, libc_program};
+use shift_core::{libc_program, Granularity};
 use shift_ir::{ProgramBuilder, Rhs};
 use shift_isa::make_vaddr;
 use shift_machine::{Machine, NullOs};

@@ -24,10 +24,7 @@ fn main() {
     let gm = |f: fn(&shift_bench::SpecRow) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
     let (bu, bs) = (gm(|r| r.byte_unsafe), gm(|r| r.byte_safe));
     let (wu, ws) = (gm(|r| r.word_unsafe), gm(|r| r.word_safe));
-    println!(
-        "{:<10} {:>12.2}x {:>12.2}x {:>12.2}x {:>12.2}x",
-        "geomean", bu, bs, wu, ws
-    );
+    println!("{:<10} {:>12.2}x {:>12.2}x {:>12.2}x {:>12.2}x", "geomean", bu, bs, wu, ws);
     let min_max = |f: fn(&shift_bench::SpecRow) -> f64| {
         let v: Vec<f64> = rows.iter().map(f).collect();
         (v.iter().cloned().fold(f64::MAX, f64::min), v.iter().cloned().fold(0.0, f64::max))

@@ -9,20 +9,31 @@ fn main() {
     println!("{:-<100}", "");
     println!(
         "{:<10} {:>11} {:>13} {:>10} | {:>11} {:>13} {:>10}",
-        "bench", "byte-unsafe", "byte-set/clr", "byte-both", "word-unsafe", "word-set/clr", "word-both"
+        "bench",
+        "byte-unsafe",
+        "byte-set/clr",
+        "byte-both",
+        "word-unsafe",
+        "word-set/clr",
+        "word-both"
     );
     println!("{:-<100}", "");
     let rows = fig8_enhancements(Scale::Reference);
     for r in &rows {
         println!(
             "{:<10} {:>10.2}x {:>12.2}x {:>9.2}x | {:>10.2}x {:>12.2}x {:>9.2}x",
-            r.name, r.byte_unsafe, r.byte_set_clr, r.byte_both, r.word_unsafe, r.word_set_clr, r.word_both
+            r.name,
+            r.byte_unsafe,
+            r.byte_set_clr,
+            r.byte_both,
+            r.word_unsafe,
+            r.word_set_clr,
+            r.word_both
         );
     }
     println!("{:-<100}", "");
-    let gm = |f: fn(&shift_bench::EnhanceRow) -> f64| {
-        geomean(&rows.iter().map(f).collect::<Vec<_>>())
-    };
+    let gm =
+        |f: fn(&shift_bench::EnhanceRow) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
     let (bu, bsc, bb) = (gm(|r| r.byte_unsafe), gm(|r| r.byte_set_clr), gm(|r| r.byte_both));
     let (wu, wsc, wb) = (gm(|r| r.word_unsafe), gm(|r| r.word_set_clr), gm(|r| r.word_both));
     println!(
@@ -37,10 +48,13 @@ fn main() {
         bu - bb,
         wu - wb
     );
-    let per_bench_byte: Vec<f64> = rows.iter().map(|r| (r.byte_unsafe - r.byte_both) * 100.0).collect();
+    let per_bench_byte: Vec<f64> =
+        rows.iter().map(|r| (r.byte_unsafe - r.byte_both) * 100.0).collect();
     let pmin = per_bench_byte.iter().cloned().fold(f64::MAX, f64::min);
     let pmax = per_bench_byte.iter().cloned().fold(0.0f64, f64::max);
-    println!("per-bench byte-level reduction range: {pmin:.0}% – {pmax:.0}% (slowdown points ×100)");
+    println!(
+        "per-bench byte-level reduction range: {pmin:.0}% – {pmax:.0}% (slowdown points ×100)"
+    );
     println!("paper: set/clear alone ≈16% reduction; both: 49% (byte), 47% (word); per-app range 2%–173%");
     assert!(bsc < bu && wsc < wu, "set/clear must reduce the slowdown");
     assert!(bb < bsc && wb < wsc, "adding NaT-aware compares must reduce it further");

@@ -20,7 +20,14 @@ fn main() {
     for r in &rows {
         println!(
             "{:<10} {:<5} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9.3} {:>10.3}",
-            r.name, r.granularity.name(), r.ld_compute, r.ld_memory, r.st_compute, r.st_memory, r.relax, r.taint_src
+            r.name,
+            r.granularity.name(),
+            r.ld_compute,
+            r.ld_memory,
+            r.st_compute,
+            r.st_memory,
+            r.relax,
+            r.taint_src
         );
         comp_total += r.ld_compute + r.st_compute;
         mem_total += r.ld_memory + r.st_memory;
@@ -37,9 +44,6 @@ fn main() {
         "paper: computation incurs much more overhead than memory access \
          (unimplemented-bit folding); loads contribute much more than stores"
     );
-    assert!(
-        comp_total > mem_total,
-        "tag-address computation must dominate bitmap access"
-    );
+    assert!(comp_total > mem_total, "tag-address computation must dominate bitmap access");
     assert!(ld_total > st_total, "load instrumentation must dominate store instrumentation");
 }

@@ -9,16 +9,21 @@ fn main() {
     println!("{:-<118}", "");
     println!(
         "{:<15} {:<22} {:<6} {:<24} {:<28} {:<9} {:<8}",
-        "CVE#", "Program (Version)", "Lang", "Attack Type", "Detection Policies", "Detected?", "Benign?"
+        "CVE#",
+        "Program (Version)",
+        "Lang",
+        "Attack Type",
+        "Detection Policies",
+        "Detected?",
+        "Benign?"
     );
     println!("{:-<118}", "");
 
     let mut all_detected = true;
     for atk in all_attacks() {
         let app = (atk.build)();
-        let shift =
-            Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
-                .with_insn_limit(500_000_000);
+        let shift = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+            .with_insn_limit(500_000_000);
 
         let hit = shift.run(&app, (atk.exploit)()).expect("attack app compiles");
         let detected = hit.exit.is_detection();
@@ -43,7 +48,11 @@ fn main() {
             atk.attack_type,
             atk.policies,
             if detected {
-                if policy_ok { "Yes" } else { "Yes(*)" }
+                if policy_ok {
+                    "Yes"
+                } else {
+                    "Yes(*)"
+                }
             } else {
                 "NO"
             },

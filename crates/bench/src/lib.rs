@@ -154,16 +154,15 @@ pub fn fig9_breakdown(scale: Scale) -> Vec<BreakdownRow> {
 fn run_suite<T: Send>(scale: Scale, f: impl Fn(&SpecBench, u64) -> T + Sync) -> Vec<T> {
     let benches = all_benches();
     let mut out: Vec<Option<T>> = (0..benches.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, bench) in out.iter_mut().zip(&benches) {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let baseline = run_spec(bench, Mode::Uninstrumented, scale, true).stats.cycles;
                 *slot = Some(f(bench, baseline));
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
     out.into_iter().map(|t| t.expect("worker filled its slot")).collect()
 }
 
@@ -193,16 +192,10 @@ pub fn fig6_apache(file_sizes: &[usize], requests: usize) -> Vec<ApacheRow> {
         .iter()
         .map(|&size| {
             let base = run_apache(Mode::Uninstrumented, size, requests);
-            let byte = run_apache(
-                Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
-                size,
-                requests,
-            );
-            let word = run_apache(
-                Mode::Shift(ShiftOptions::baseline(Granularity::Word)),
-                size,
-                requests,
-            );
+            let byte =
+                run_apache(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)), size, requests);
+            let word =
+                run_apache(Mode::Shift(ShiftOptions::baseline(Granularity::Word)), size, requests);
             ApacheRow {
                 file_size: size,
                 byte_latency: byte.latency() / base.latency(),
@@ -357,10 +350,7 @@ pub fn ablation_design_choices(scale: Scale) -> Vec<AblationRow> {
             name: bench.name,
             default: slowdown(base),
             no_analysis: slowdown(ShiftOptions { relax_analysis: false, ..base }),
-            natgen_per_function: slowdown(ShiftOptions {
-                nat_gen: NatGen::PerFunction,
-                ..base
-            }),
+            natgen_per_function: slowdown(ShiftOptions { nat_gen: NatGen::PerFunction, ..base }),
             natgen_per_use: slowdown(ShiftOptions { nat_gen: NatGen::PerUse, ..base }),
         }
     })

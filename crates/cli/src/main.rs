@@ -11,11 +11,58 @@
 //!
 //! Modes: `plain`, `byte` (default), `word`, `byte-enhanced`,
 //! `word-enhanced`, `shadow-byte`, `shadow-word`.
+//!
+//! Process exit codes distinguish how the guest ended, so scripts can tell
+//! a detection from a crash from a wedged guest:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | clean `Halted(0)` exit (or a successful report command) |
+//! | 1    | usage error, or a corpus scan found a missed detection |
+//! | 2    | guest program failed to compile |
+//! | 3    | guest halted with a nonzero status |
+//! | 10   | policy violation detected (H1–H5 sink policies) |
+//! | 11   | architectural fault (incl. NaT consumption = L1–L3) |
+//! | 12   | per-transaction watchdog fuel exhausted |
+//! | 13   | whole-run instruction limit reached |
 
 use std::process::ExitCode;
 
-use shift_core::{Granularity, Mode, Shift, ShiftOptions};
+use shift_core::{CompileError, Exit, Granularity, Mode, Shift, ShiftOptions};
 use shift_workloads::{run_spec, Scale};
+
+/// Usage errors and missed-detection corpus scans.
+const EXIT_USAGE: u8 = 1;
+/// The guest program failed to compile.
+const EXIT_COMPILE: u8 = 2;
+/// The guest halted with a nonzero status.
+const EXIT_GUEST_STATUS: u8 = 3;
+/// The run ended in a policy violation.
+const EXIT_VIOLATION: u8 = 10;
+/// The run ended in an architectural fault.
+const EXIT_FAULT: u8 = 11;
+/// The per-transaction watchdog ran dry.
+const EXIT_FUEL: u8 = 12;
+/// The whole-run instruction budget ran out.
+const EXIT_INSN_LIMIT: u8 = 13;
+
+/// Maps a guest [`Exit`] to the process exit code documented above.
+fn exit_code_for(exit: &Exit) -> ExitCode {
+    match exit {
+        Exit::Halted(0) => ExitCode::SUCCESS,
+        Exit::Halted(_) => ExitCode::from(EXIT_GUEST_STATUS),
+        Exit::Violation(_) => ExitCode::from(EXIT_VIOLATION),
+        Exit::Fault(_) => ExitCode::from(EXIT_FAULT),
+        Exit::FuelExhausted => ExitCode::from(EXIT_FUEL),
+        Exit::InsnLimit => ExitCode::from(EXIT_INSN_LIMIT),
+    }
+}
+
+/// Reports a compile failure and yields its dedicated exit code.
+fn compile_failed(e: &CompileError) -> ExitCode {
+    eprintln!("compile error: {e}");
+    ExitCode::from(EXIT_COMPILE)
+}
 
 fn parse_mode(name: &str) -> Option<Mode> {
     Some(match name {
@@ -81,16 +128,19 @@ fn cmd_modes() {
 }
 
 fn cmd_attacks(mode: Mode) -> ExitCode {
-    println!(
-        "{:<22} {:<24} {:>10} {:>8}",
-        "program", "attack", "verdict", "benign"
-    );
+    println!("{:<22} {:<24} {:>10} {:>8}", "program", "attack", "verdict", "benign");
     let mut all_ok = true;
     for atk in shift_attacks::all_attacks() {
         let app = (atk.build)();
         let shift = Shift::new(mode);
-        let hit = shift.run(&app, (atk.exploit)()).expect("corpus app compiles");
-        let benign = shift.run(&app, (atk.benign)()).expect("corpus app compiles");
+        let hit = match shift.run(&app, (atk.exploit)()) {
+            Ok(r) => r,
+            Err(e) => return compile_failed(&e),
+        };
+        let benign = match shift.run(&app, (atk.benign)()) {
+            Ok(r) => r,
+            Err(e) => return compile_failed(&e),
+        };
         let verdict = match (mode, hit.exit.is_detection()) {
             (Mode::Uninstrumented, false) => "unseen".to_string(),
             (_, true) => hit
@@ -113,7 +163,7 @@ fn cmd_attacks(mode: Mode) -> ExitCode {
     if all_ok {
         ExitCode::SUCCESS
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_USAGE)
     }
 }
 
@@ -126,7 +176,7 @@ fn cmd_attack(name: &str, mode: Mode, benign: bool, trace: bool) -> ExitCode {
         for a in shift_attacks::all_attacks() {
             eprintln!("  {}", a.program);
         }
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
     let app = (atk.build)();
     let world = if benign { (atk.benign)() } else { (atk.exploit)() };
@@ -135,7 +185,10 @@ fn cmd_attack(name: &str, mode: Mode, benign: bool, trace: bool) -> ExitCode {
         // Drive the machine by hand so the last instructions before the
         // detection are visible.
         use shift_core::{Runtime, TaintConfig};
-        let compiled = shift.compile(&app).expect("corpus app compiles");
+        let compiled = match shift.compile(&app) {
+            Ok(c) => c,
+            Err(e) => return compile_failed(&e),
+        };
         let mut machine = shift_machine::Machine::new(&compiled.image);
         machine.enable_trace(16);
         let mut rt = Runtime::new(TaintConfig::default_secure(), world, shift.granularity());
@@ -145,7 +198,10 @@ fn cmd_attack(name: &str, mode: Mode, benign: bool, trace: bool) -> ExitCode {
         println!();
         shift_core::RunReport { exit, stats: machine.stats.clone(), runtime: rt, machine }
     } else {
-        shift.run(&app, world).expect("corpus app compiles")
+        match shift.run(&app, world) {
+            Ok(r) => r,
+            Err(e) => return compile_failed(&e),
+        }
     };
     println!("program : {} ({})", atk.program, atk.cve);
     println!("mode    : {}", mode_name(mode));
@@ -159,7 +215,7 @@ fn cmd_attack(name: &str, mode: Mode, benign: bool, trace: bool) -> ExitCode {
         report.stats.cycles,
         report.stats.instrumentation_cycles()
     );
-    ExitCode::SUCCESS
+    exit_code_for(&report.exit)
 }
 
 fn cmd_spec(name: &str, mode: Mode, scale: Scale, tainted: bool) -> ExitCode {
@@ -170,13 +226,12 @@ fn cmd_spec(name: &str, mode: Mode, scale: Scale, tainted: bool) -> ExitCode {
         benches.into_iter().filter(|b| b.name == name).collect()
     };
     if selected.is_empty() {
-        eprintln!("no benchmark `{name}`; try: all, gzip, gcc, crafty, bzip2, vpr, mcf, parser, twolf");
+        eprintln!(
+            "no benchmark `{name}`; try: all, gzip, gcc, crafty, bzip2, vpr, mcf, parser, twolf"
+        );
         return ExitCode::FAILURE;
     }
-    println!(
-        "{:<10} {:>14} {:>14} {:>10}",
-        "bench", "cycles", "instructions", "slowdown"
-    );
+    println!("{:<10} {:>14} {:>14} {:>10}", "bench", "cycles", "instructions", "slowdown");
     for bench in selected {
         let run = run_spec(&bench, mode, scale, tainted);
         let base = run_spec(&bench, Mode::Uninstrumented, scale, tainted);
@@ -218,7 +273,10 @@ fn cmd_disasm(mode: Mode) -> ExitCode {
         f.ret(Some(b));
     });
     let program = pb.build().unwrap();
-    let compiled = shift_compiler::Compiler::new(mode).compile(&program).unwrap();
+    let compiled = match shift_compiler::Compiler::new(mode).compile(&program) {
+        Ok(c) => c,
+        Err(e) => return compile_failed(&e),
+    };
     let (start, end) = compiled.func_ranges["main"];
     println!("mode: {} — one ld8 + one st1, instrumented:", mode_name(mode));
     println!("{}", shift_isa::disasm_listing(&compiled.image.code[start..end], start));
@@ -235,7 +293,7 @@ fn usage() -> ExitCode {
          shift disasm [--mode M]\n  \
          shift modes"
     );
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn main() -> ExitCode {
@@ -248,7 +306,7 @@ fn main() -> ExitCode {
         Ok(m) => m,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     match cmd.as_str() {
@@ -336,6 +394,27 @@ mod tests {
         assert!(take_flag(&mut a, "--benign"));
         assert!(!take_flag(&mut a, "--benign"));
         assert_eq!(a, args(&["attack", "tar"]));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_per_outcome() {
+        use shift_core::{Fault, Violation};
+        let codes = [
+            exit_code_for(&Exit::Halted(0)),
+            exit_code_for(&Exit::Halted(4)),
+            exit_code_for(&Exit::Violation(Violation {
+                policy: "H3".into(),
+                message: "test".into(),
+                ip: 0,
+            })),
+            exit_code_for(&Exit::Fault(Fault::Unmapped { addr: 0, ip: 0 })),
+            exit_code_for(&Exit::FuelExhausted),
+            exit_code_for(&Exit::InsnLimit),
+        ];
+        let mut uniq: Vec<String> = codes.iter().map(|c| format!("{c:?}")).collect();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), codes.len(), "{codes:?}");
     }
 
     #[test]

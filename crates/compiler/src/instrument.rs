@@ -160,10 +160,9 @@ impl CleanSet {
                     self.set(dst, c);
                 }
                 Op::Alu { dst, src1, src2, op } => {
-                    let self_cancel =
-                        src1 == src2 && matches!(op, AluOp::Xor | AluOp::Sub);
-                    let c = (self_cancel || (self.get(src1) && self.get(src2)))
-                        && insn.qp == Pr::P0;
+                    let self_cancel = src1 == src2 && matches!(op, AluOp::Xor | AluOp::Sub);
+                    let c =
+                        (self_cancel || (self.get(src1) && self.get(src2))) && insn.qp == Pr::P0;
                     self.set(dst, c);
                 }
                 Op::Ld { dst, .. } | Op::LdFill { dst, .. } => self.set(dst, false),
@@ -207,8 +206,7 @@ pub fn instrument(code: &[CInsn<Gpr>], opts: &ShiftOptions) -> (Vec<CInsn<Gpr>>,
             COp::Isa(Op::St { size, src, addr }) if insn.prov == Provenance::Original => {
                 stats.stores += 1;
                 let src_clean = opts.relax_analysis && clean.get(*src);
-                let laundered =
-                    emit_store(&mut out, opts, *size, *src, *addr, src_clean, insn);
+                let laundered = emit_store(&mut out, opts, *size, *src, *addr, src_clean, insn);
                 if laundered {
                     stats.stores_laundered += 1;
                 }
@@ -268,10 +266,7 @@ pub fn instrument(code: &[CInsn<Gpr>], opts: &ShiftOptions) -> (Vec<CInsn<Gpr>>,
                 if opts.set_clr {
                     out.push(insn.clone());
                 } else {
-                    out.push(isa(
-                        Op::Tnat { pt: PT, pf: PF, src: *dst },
-                        Provenance::Relax,
-                    ));
+                    out.push(isa(Op::Tnat { pt: PT, pf: PF, src: *dst }, Provenance::Relax));
                     launder_baseline(&mut out, *dst, layout::LAUNDER0, PT);
                 }
                 clean.step(insn);
@@ -291,7 +286,13 @@ fn isa(op: Op<Gpr>, prov: Provenance) -> CInsn<Gpr> {
 
 /// Emits the Figure-4 tag-address computation: `T0` ← tag byte address, and
 /// (when `need_bit`) `T1` ← bit index within the tag byte (byte level only).
-fn tag_addr(out: &mut Vec<CInsn<Gpr>>, gran: Granularity, addr: Gpr, need_bit: bool, prov: Provenance) {
+fn tag_addr(
+    out: &mut Vec<CInsn<Gpr>>,
+    gran: Granularity,
+    addr: Gpr,
+    need_bit: bool,
+    prov: Provenance,
+) {
     out.push(isa(Op::AluI { op: AluOp::Shr, dst: T0, src1: addr, imm: 61 }, prov));
     out.push(isa(Op::AluI { op: AluOp::Add, dst: T0, src1: T0, imm: -1 }, prov));
     out.push(isa(
@@ -346,7 +347,7 @@ fn emit_load(
     // The original load, unchanged.
     out.push(orig.clone());
     let _ = ext; // extension is carried by the original load
-    // Conditionally taint the destination.
+                 // Conditionally taint the destination.
     maybe_regen(out, opts);
     let taint = if opts.set_clr {
         Op::Tset { dst }
@@ -496,7 +497,10 @@ fn retaint(r: Gpr) -> Op<Gpr> {
 /// `r31` NaT with value 0. Used at program entry (`NatGen::Kept`), function
 /// entry (`PerFunction`), or before every use (`PerUse`).
 pub fn emit_nat_gen(out: &mut Vec<CInsn<Gpr>>) {
-    out.push(isa(Op::MovI { dst: NAT_SRC, imm: crate::NAT_GEN_ADDR as i64 }, Provenance::TaintSource));
+    out.push(isa(
+        Op::MovI { dst: NAT_SRC, imm: crate::NAT_GEN_ADDR as i64 },
+        Provenance::TaintSource,
+    ));
     out.push(isa(
         Op::Ld { size: MemSize::B8, ext: ExtKind::Zero, dst: NAT_SRC, addr: NAT_SRC, spec: true },
         Provenance::TaintSource,
@@ -541,21 +545,14 @@ mod tests {
         assert_eq!(stats.loads, 1);
         // tag computation, one tag-byte load, a compare, the original load,
         // one predicated taint.
-        let tag_loads = out
-            .iter()
-            .filter(|i| i.prov == Provenance::LdTagMemory)
-            .count();
+        let tag_loads = out.iter().filter(|i| i.prov == Provenance::LdTagMemory).count();
         assert_eq!(tag_loads, 1);
-        let taints = out
-            .iter()
-            .filter(|i| i.prov == Provenance::TaintSource)
-            .count();
+        let taints = out.iter().filter(|i| i.prov == Provenance::TaintSource).count();
         assert_eq!(taints, 1);
         assert!(out.iter().any(|i| i.prov == Provenance::Original
             && matches!(i.op, COp::Isa(Op::Ld { dst: Gpr::R3, .. }))));
         // Byte-level ld8 needs no bit extraction: compute is exactly 7+1 ops.
-        let computes =
-            out.iter().filter(|i| i.prov == Provenance::LdTagCompute).count();
+        let computes = out.iter().filter(|i| i.prov == Provenance::LdTagCompute).count();
         assert_eq!(computes, 8);
     }
 
@@ -572,7 +569,8 @@ mod tests {
                 addr: Gpr::R4,
                 spec: false,
             });
-            let (b, _) = instrument(std::slice::from_ref(&ld), &ShiftOptions::baseline(Granularity::Byte));
+            let (b, _) =
+                instrument(std::slice::from_ref(&ld), &ShiftOptions::baseline(Granularity::Byte));
             let (w, _) = instrument(&[ld], &ShiftOptions::baseline(Granularity::Word));
             assert!(w.len() <= b.len(), "ld{}: word {} > byte {}", size.bytes(), w.len(), b.len());
             if size != MemSize::B8 {
@@ -580,7 +578,8 @@ mod tests {
             }
 
             let st = CInsn::isa(Op::St { size, src: Gpr::R3, addr: Gpr::R4 });
-            let (b, _) = instrument(std::slice::from_ref(&st), &ShiftOptions::baseline(Granularity::Byte));
+            let (b, _) =
+                instrument(std::slice::from_ref(&st), &ShiftOptions::baseline(Granularity::Byte));
             let (w, _) = instrument(&[st], &ShiftOptions::baseline(Granularity::Word));
             assert!(w.len() <= b.len(), "st{}: word {} > byte {}", size.bytes(), w.len(), b.len());
         }
@@ -597,8 +596,7 @@ mod tests {
             .iter()
             .any(|i| matches!(i.op, COp::Isa(Op::StSpill { src: Gpr::R3, addr: Gpr::R4 }))));
         // Only ONE tag memory access (a store, no read-modify-write).
-        let tagmem: Vec<_> =
-            out.iter().filter(|i| i.prov == Provenance::StTagMemory).collect();
+        let tagmem: Vec<_> = out.iter().filter(|i| i.prov == Provenance::StTagMemory).collect();
         assert_eq!(tagmem.len(), 1);
         assert!(matches!(tagmem[0].op, COp::Isa(Op::St { .. })));
     }
@@ -606,7 +604,8 @@ mod tests {
     #[test]
     fn subword_store_launders_on_baseline_but_not_with_set_clr() {
         let st1 = CInsn::isa(Op::St { size: MemSize::B1, src: Gpr::R3, addr: Gpr::R4 });
-        let (base, s1) = instrument(std::slice::from_ref(&st1), &ShiftOptions::baseline(Granularity::Byte));
+        let (base, s1) =
+            instrument(std::slice::from_ref(&st1), &ShiftOptions::baseline(Granularity::Byte));
         assert_eq!(s1.stores_laundered, 1);
         // Baseline laundering costs memory traffic.
         assert!(base
@@ -643,10 +642,7 @@ mod tests {
         let (enh, s2) = instrument(&code, &ShiftOptions::enhanced(Granularity::Byte));
         assert_eq!(s2.cmps_nat_aware, 1);
         assert!(enh.iter().all(|i| i.prov != Provenance::Relax));
-        assert!(enh.iter().any(|i| matches!(
-            i.op,
-            COp::Isa(Op::Cmp { nat_aware: true, .. })
-        )));
+        assert!(enh.iter().any(|i| matches!(i.op, COp::Isa(Op::Cmp { nat_aware: true, .. }))));
     }
 
     #[test]
@@ -671,17 +667,13 @@ mod tests {
 
     #[test]
     fn clean_store_avoids_tnat() {
-        let code = vec![
-            CInsn::isa(Op::MovI { dst: Gpr::R3, imm: 5 }),
-            st8(Gpr::R3, Gpr::R4),
-        ];
+        let code = vec![CInsn::isa(Op::MovI { dst: Gpr::R3, imm: 5 }), st8(Gpr::R3, Gpr::R4)];
         let (out, _) = instrument(&code, &ShiftOptions::baseline(Granularity::Byte));
         assert!(!out.iter().any(|i| matches!(i.op, COp::Isa(Op::Tnat { .. }))));
         // Clean 8-byte store keeps the plain st8 form.
-        assert!(out.iter().any(|i| matches!(
-            i.op,
-            COp::Isa(Op::St { size: MemSize::B8, src: Gpr::R3, .. })
-        )));
+        assert!(out
+            .iter()
+            .any(|i| matches!(i.op, COp::Isa(Op::St { size: MemSize::B8, src: Gpr::R3, .. }))));
     }
 
     #[test]

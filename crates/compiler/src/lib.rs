@@ -62,6 +62,7 @@ use shift_tagmap::Granularity;
 
 pub use instrument::{InstrumentStats, NatGen, ShiftOptions, NAT_SRC};
 pub use link::LinkError;
+pub use lower::LowerError;
 pub use vcode::{CInsn, COp, Label, VR};
 
 /// An address guaranteed to be invalid (unimplemented bits set), used by the
@@ -88,6 +89,8 @@ pub enum Mode {
 pub enum CompileError {
     /// The IR program is structurally invalid or has unresolved calls.
     Validate(ValidateError),
+    /// Lowering failed.
+    Lower(LowerError),
     /// Linking failed.
     Link(LinkError),
 }
@@ -96,6 +99,7 @@ impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CompileError::Validate(e) => write!(f, "invalid program: {e}"),
+            CompileError::Lower(e) => write!(f, "lowering error: {e}"),
             CompileError::Link(e) => write!(f, "link error: {e}"),
         }
     }
@@ -106,6 +110,12 @@ impl std::error::Error for CompileError {}
 impl From<ValidateError> for CompileError {
     fn from(e: ValidateError) -> Self {
         CompileError::Validate(e)
+    }
+}
+
+impl From<LowerError> for CompileError {
+    fn from(e: LowerError) -> Self {
+        CompileError::Lower(e)
     }
 }
 
@@ -168,7 +178,8 @@ impl Compiler {
     ///
     /// # Errors
     ///
-    /// [`CompileError`] on invalid IR or unresolved calls.
+    /// [`CompileError`] on invalid IR, failed lowering, or unresolved
+    /// symbols.
     pub fn compile(&self, program: &Program) -> Result<CompiledProgram, CompileError> {
         validate_linked(program)?;
 
@@ -192,7 +203,7 @@ impl Compiler {
         funcs.push(("_start".into(), self.entry_stub()));
         let mut stats = InstrumentStats::default();
         for f in &program.funcs {
-            let lowered = lower::lower_fn(f, &global_addrs_by_id);
+            let lowered = lower::lower_fn(f, &global_addrs_by_id)?;
             let allocated = regalloc::allocate(&lowered);
             let code = match &self.mode {
                 Mode::Uninstrumented => strip_sanitize_cost(allocated.code),

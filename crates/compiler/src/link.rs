@@ -16,6 +16,14 @@ pub enum LinkError {
         /// The missing callee.
         callee: String,
     },
+    /// A branch or `chk.s` recovery edge targets a label that was never
+    /// bound in its function.
+    UnboundLabel {
+        /// The function containing the dangling reference.
+        func: String,
+        /// The label that has no `Bind`.
+        label: Label,
+    },
 }
 
 impl std::fmt::Display for LinkError {
@@ -23,6 +31,9 @@ impl std::fmt::Display for LinkError {
         match self {
             LinkError::UnresolvedCall { from, callee } => {
                 write!(f, "`{from}` calls `{callee}`, which was not compiled")
+            }
+            LinkError::UnboundLabel { func, label } => {
+                write!(f, "unbound label {label} in `{func}`")
             }
         }
     }
@@ -48,13 +59,8 @@ pub struct Linked {
 ///
 /// # Errors
 ///
-/// Returns [`LinkError`] for calls to functions not in `funcs`.
-///
-/// # Panics
-///
-/// Panics if a branch references an unbound label (a compiler bug, not a
-/// user error) or if raw absolute-target ISA control ops appear before
-/// linking.
+/// Returns [`LinkError`] for calls to functions not in `funcs` and for
+/// branch or `chk.s` targets whose label was never bound.
 pub fn link(funcs: &[(String, Vec<CInsn<Gpr>>)]) -> Result<Linked, LinkError> {
     // Pass 1: assign addresses (Bind emits no code).
     let mut entries = HashMap::new();
@@ -93,7 +99,7 @@ pub fn link(funcs: &[(String, Vec<CInsn<Gpr>>)]) -> Result<Linked, LinkError> {
                 COp::Jmp(l) => Op::Jmp {
                     target: *labels
                         .get(&(fi, *l))
-                        .unwrap_or_else(|| panic!("unbound label {l} in `{name}`")),
+                        .ok_or_else(|| LinkError::UnboundLabel { func: name.clone(), label: *l })?,
                 },
                 COp::Call(callee) => Op::Call {
                     link: Br::B0,
@@ -106,7 +112,7 @@ pub fn link(funcs: &[(String, Vec<CInsn<Gpr>>)]) -> Result<Linked, LinkError> {
                     src: *r,
                     target: *labels
                         .get(&(fi, *l))
-                        .unwrap_or_else(|| panic!("unbound label {l} in `{name}`")),
+                        .ok_or_else(|| LinkError::UnboundLabel { func: name.clone(), label: *l })?,
                 },
             };
             out.push(Insn { qp: insn.qp, op, prov: insn.prov });
@@ -170,10 +176,19 @@ mod tests {
     fn unresolved_call_is_an_error() {
         let a = ("a".to_string(), vec![CInsn::new(COp::Call("ghost".into()))]);
         let err = link(&[a]).unwrap_err();
-        assert_eq!(
-            err,
-            LinkError::UnresolvedCall { from: "a".into(), callee: "ghost".into() }
-        );
+        assert_eq!(err, LinkError::UnresolvedCall { from: "a".into(), callee: "ghost".into() });
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let a = ("a".to_string(), vec![jmp(Label(7))]);
+        let err = link(&[a]).unwrap_err();
+        assert_eq!(err, LinkError::UnboundLabel { func: "a".into(), label: Label(7) });
+        assert_eq!(err.to_string(), "unbound label .L7 in `a`");
+
+        let b = ("b".to_string(), vec![CInsn::new(COp::ChkS(Gpr::R5, Label(3)))]);
+        let err = link(&[b]).unwrap_err();
+        assert_eq!(err, LinkError::UnboundLabel { func: "b".into(), label: Label(3) });
     }
 
     #[test]

@@ -9,8 +9,8 @@
 
 use std::collections::HashMap;
 
-use shift_isa::{AluOp, Gpr, Op, Pr};
 use shift_ir::{Function, GlobalId, Inst, Rhs, Terminator, VReg};
+use shift_isa::{AluOp, Gpr, Op, Pr};
 
 use crate::vcode::{CInsn, COp, Label, LoweredFn, VR};
 
@@ -20,7 +20,32 @@ pub const APP_PT: Pr = Pr::P1;
 /// See [`APP_PT`].
 pub const APP_PF: Pr = Pr::P2;
 
+/// Error produced while lowering.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LowerError {
+    /// The function references a global the layout pass never placed.
+    NoGlobalAddress {
+        /// The function containing the reference.
+        func: String,
+        /// The unplaced global.
+        global: GlobalId,
+    },
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::NoGlobalAddress { func, global } => {
+                write!(f, "global {global} in `{func}` has no layout address")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
 struct LowerCtx<'a> {
+    func: &'a str,
     global_addrs: &'a HashMap<GlobalId, u64>,
     next_vreg: u32,
     out: Vec<CInsn<VR>>,
@@ -59,7 +84,15 @@ impl LowerCtx<'_> {
 ///
 /// `global_addrs` maps global ids to their final virtual addresses (the
 /// compiler lays globals out before lowering).
-pub fn lower_fn(func: &Function, global_addrs: &HashMap<GlobalId, u64>) -> LoweredFn {
+///
+/// # Errors
+///
+/// Returns [`LowerError`] when the function references a global missing
+/// from `global_addrs`.
+pub fn lower_fn(
+    func: &Function,
+    global_addrs: &HashMap<GlobalId, u64>,
+) -> Result<LoweredFn, LowerError> {
     // Stack-slot layout: IR locals first, 8-aligned, at sp + [0, locals_size).
     let mut local_offs = Vec::with_capacity(func.locals.len());
     let mut cursor = 0u64;
@@ -80,8 +113,14 @@ pub fn lower_fn(func: &Function, global_addrs: &HashMap<GlobalId, u64>) -> Lower
     let guard = Label(func.blocks.len() as u32 + 1);
     let mut uses_guard = false;
     for (bi, block) in func.blocks.iter().enumerate() {
-        let mut ctx =
-            LowerCtx { global_addrs, next_vreg, out: Vec::new(), guard, uses_guard: false };
+        let mut ctx = LowerCtx {
+            func: &func.name,
+            global_addrs,
+            next_vreg,
+            out: Vec::new(),
+            guard,
+            uses_guard: false,
+        };
 
         if bi == 0 {
             // Copy incoming arguments out of the ABI registers.
@@ -91,7 +130,7 @@ pub fn lower_fn(func: &Function, global_addrs: &HashMap<GlobalId, u64>) -> Lower
         }
 
         for inst in &block.insts {
-            lower_inst(&mut ctx, inst, &local_offs);
+            lower_inst(&mut ctx, inst, &local_offs)?;
         }
 
         let term = block.term.as_ref().expect("validated IR has terminators");
@@ -145,7 +184,7 @@ pub fn lower_fn(func: &Function, global_addrs: &HashMap<GlobalId, u64>) -> Lower
         succs.push(func.blocks[bi].successors().iter().map(|b| b.index()).collect());
     }
 
-    LoweredFn {
+    Ok(LoweredFn {
         name: func.name.clone(),
         blocks,
         succs,
@@ -153,10 +192,10 @@ pub fn lower_fn(func: &Function, global_addrs: &HashMap<GlobalId, u64>) -> Lower
         locals_size,
         has_calls,
         uses_guard,
-    }
+    })
 }
 
-fn lower_inst(ctx: &mut LowerCtx<'_>, inst: &Inst, local_offs: &[u64]) {
+fn lower_inst(ctx: &mut LowerCtx<'_>, inst: &Inst, local_offs: &[u64]) -> Result<(), LowerError> {
     match inst {
         Inst::Const { dst, value } => ctx.isa(Op::MovI { dst: VR::V(*dst), imm: *value }),
         Inst::Mov { dst, src } => ctx.isa(Op::Mov { dst: VR::V(*dst), src: VR::V(*src) }),
@@ -202,8 +241,7 @@ fn lower_inst(ctx: &mut LowerCtx<'_>, inst: &Inst, local_offs: &[u64]) {
             ctx.uses_guard = true;
             let guard = ctx.guard;
             ctx.push(
-                CInsn::new(COp::ChkS(VR::V(*src), guard))
-                    .with_prov(shift_isa::Provenance::Check),
+                CInsn::new(COp::ChkS(VR::V(*src), guard)).with_prov(shift_isa::Provenance::Check),
             );
         }
         Inst::Sanitize { dst, src } => {
@@ -225,10 +263,9 @@ fn lower_inst(ctx: &mut LowerCtx<'_>, inst: &Inst, local_offs: &[u64]) {
             });
         }
         Inst::GlobalAddr { dst, global } => {
-            let addr = *ctx
-                .global_addrs
-                .get(global)
-                .unwrap_or_else(|| panic!("global {global} has no layout address"));
+            let addr = *ctx.global_addrs.get(global).ok_or_else(|| {
+                LowerError::NoGlobalAddress { func: ctx.func.to_string(), global: *global }
+            })?;
             ctx.isa(Op::MovI { dst: VR::V(*dst), imm: addr as i64 });
         }
         Inst::Call { dst, callee, args } => {
@@ -250,6 +287,7 @@ fn lower_inst(ctx: &mut LowerCtx<'_>, inst: &Inst, local_offs: &[u64]) {
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -262,7 +300,7 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         pb.func(name, 0, build);
         let p = pb.build().unwrap();
-        lower_fn(p.func(name).unwrap(), &HashMap::new())
+        lower_fn(p.func(name).unwrap(), &HashMap::new()).unwrap()
     }
 
     #[test]
@@ -295,8 +333,7 @@ mod tests {
         // Entry block ends with cmp + a single predicated jump (then-block is
         // next in layout, so the taken path falls through under (p2)).
         let entry = &f.blocks[0];
-        let jumps: Vec<_> =
-            entry.iter().filter(|i| matches!(i.op, COp::Jmp(_))).collect();
+        let jumps: Vec<_> = entry.iter().filter(|i| matches!(i.op, COp::Jmp(_))).collect();
         assert_eq!(jumps.len(), 1, "one fall-through branch expected:\n{entry:#?}");
         assert_eq!(jumps[0].qp, APP_PF);
     }
@@ -312,21 +349,12 @@ mod tests {
             f.ret(Some(r));
         });
         let p = pb.build().unwrap();
-        let f = lower_fn(p.func("main").unwrap(), &HashMap::new());
+        let f = lower_fn(p.func("main").unwrap(), &HashMap::new()).unwrap();
         let code = &f.blocks[0];
         let call_pos = code.iter().position(|i| matches!(i.op, COp::Call(_))).unwrap();
-        assert!(matches!(
-            code[call_pos - 1].op,
-            COp::Isa(Op::Mov { dst: VR::P(Gpr::R17), .. })
-        ));
-        assert!(matches!(
-            code[call_pos - 2].op,
-            COp::Isa(Op::Mov { dst: VR::P(Gpr::R16), .. })
-        ));
-        assert!(matches!(
-            code[call_pos + 1].op,
-            COp::Isa(Op::Mov { src: VR::P(Gpr::R8), .. })
-        ));
+        assert!(matches!(code[call_pos - 1].op, COp::Isa(Op::Mov { dst: VR::P(Gpr::R17), .. })));
+        assert!(matches!(code[call_pos - 2].op, COp::Isa(Op::Mov { dst: VR::P(Gpr::R16), .. })));
+        assert!(matches!(code[call_pos + 1].op, COp::Isa(Op::Mov { src: VR::P(Gpr::R8), .. })));
         assert!(f.has_calls);
     }
 
@@ -352,6 +380,22 @@ mod tests {
     }
 
     #[test]
+    fn missing_global_address_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global_str("greeting", "hi");
+        pb.func("f", 0, |f| {
+            let p = f.global_addr(g);
+            f.ret(Some(p));
+        });
+        let p = pb.build().unwrap();
+        // An empty layout map models the compiler bug the error guards
+        // against: lowering a global the layout pass never placed.
+        let err = lower_fn(p.func("f").unwrap(), &HashMap::new()).unwrap_err();
+        assert_eq!(err, LowerError::NoGlobalAddress { func: "f".into(), global: g });
+        assert_eq!(err.to_string(), "global g0 in `f` has no layout address");
+    }
+
+    #[test]
     fn params_copied_from_abi_registers() {
         let mut pb = ProgramBuilder::new();
         pb.func("f", 2, |f| {
@@ -361,7 +405,7 @@ mod tests {
             f.ret(Some(s));
         });
         let p = pb.build().unwrap();
-        let f = lower_fn(p.func("f").unwrap(), &HashMap::new());
+        let f = lower_fn(p.func("f").unwrap(), &HashMap::new()).unwrap();
         assert!(matches!(
             f.blocks[0][0].op,
             COp::Isa(Op::Mov { dst: VR::V(VReg(0)), src: VR::P(Gpr::R16) })

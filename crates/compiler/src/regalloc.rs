@@ -15,8 +15,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use shift_isa::{AluOp, Br, Gpr, MemSize, Op, Pr};
 use shift_ir::VReg;
+use shift_isa::{AluOp, Br, Gpr, MemSize, Op, Pr};
 
 use crate::vcode::{epilogue_label, guard_label, CInsn, COp, LoweredFn, VR};
 
@@ -243,9 +243,7 @@ pub fn allocate(f: &LoweredFn) -> AllocatedFn {
             })
             .glued(),
         );
-        code.push(
-            CInsn::isa(Op::St { size: MemSize::B8, src: USE_TMP0, addr: ADDR_TMP }).glued(),
-        );
+        code.push(CInsn::isa(Op::St { size: MemSize::B8, src: USE_TMP0, addr: ADDR_TMP }).glued());
     }
 
     let map_reg = |vr: VR, use_tmps: &mut Vec<Gpr>, spilled_uses: &mut Vec<(Gpr, usize)>| -> Gpr {
@@ -332,9 +330,7 @@ pub fn allocate(f: &LoweredFn) -> AllocatedFn {
                     .glued(),
                 );
                 code.push(
-                    CInsn::isa(Op::StSpill { src: DEF_TMP, addr: ADDR_TMP })
-                        .under(insn.qp)
-                        .glued(),
+                    CInsn::isa(Op::StSpill { src: DEF_TMP, addr: ADDR_TMP }).under(insn.qp).glued(),
                 );
             }
         }
@@ -420,14 +416,9 @@ fn map_op<A: Copy, B>(op: &Op<A>, mut m: impl FnMut(A, bool) -> B) -> Op<B> {
             let s = m(src, false);
             Op::Ext { kind, size, dst: m(dst, true), src: s }
         }
-        Op::Cmp { rel, pt, pf, src1, src2, nat_aware } => Op::Cmp {
-            rel,
-            pt,
-            pf,
-            src1: m(src1, false),
-            src2: m(src2, false),
-            nat_aware,
-        },
+        Op::Cmp { rel, pt, pf, src1, src2, nat_aware } => {
+            Op::Cmp { rel, pt, pf, src1: m(src1, false), src2: m(src2, false), nat_aware }
+        }
         Op::CmpI { rel, pt, pf, src1, imm, nat_aware } => {
             Op::CmpI { rel, pt, pf, src1: m(src1, false), imm, nat_aware }
         }
@@ -469,7 +460,7 @@ mod tests {
         pb.func("f", 0, build);
         pb.func("callee", 1, |f| f.ret(None));
         let p = pb.build().unwrap();
-        allocate(&lower_fn(p.func("f").unwrap(), &Map::new()))
+        allocate(&lower_fn(p.func("f").unwrap(), &Map::new()).unwrap())
     }
 
     fn physical_regs(f: &AllocatedFn) -> Vec<Gpr> {
@@ -493,10 +484,7 @@ mod tests {
         });
         assert_eq!(f.spill_count, 0);
         for r in physical_regs(&f) {
-            assert!(
-                !r.is_scratch(),
-                "instrumentation scratch {r} must never be allocated"
-            );
+            assert!(!r.is_scratch(), "instrumentation scratch {r} must never be allocated");
         }
     }
 
@@ -530,16 +518,10 @@ mod tests {
         assert!(f.spill_count >= 1);
         assert!(f.frame_size >= 16);
         // b0 must be saved and restored.
-        let saves = f
-            .code
-            .iter()
-            .filter(|i| matches!(i.op, COp::Isa(Op::MovFromBr { .. })))
-            .count();
-        let restores = f
-            .code
-            .iter()
-            .filter(|i| matches!(i.op, COp::Isa(Op::MovToBr { .. })))
-            .count();
+        let saves =
+            f.code.iter().filter(|i| matches!(i.op, COp::Isa(Op::MovFromBr { .. }))).count();
+        let restores =
+            f.code.iter().filter(|i| matches!(i.op, COp::Isa(Op::MovToBr { .. }))).count();
         assert_eq!((saves, restores), (1, 1));
     }
 

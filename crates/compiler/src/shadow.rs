@@ -44,46 +44,37 @@ fn isa(op: Op<Gpr>, prov: Provenance) -> CInsn<Gpr> {
 
 /// Emits `T0 = taint bit of r` (0 or 1).
 fn extract_bit(out: &mut Vec<CInsn<Gpr>>, r: Gpr, dst: Gpr, prov: Provenance) {
-    out.push(isa(
-        Op::AluI { op: AluOp::Shr, dst, src1: TAINT_MASK, imm: r.index() as i64 },
-        prov,
-    ));
+    out.push(isa(Op::AluI { op: AluOp::Shr, dst, src1: TAINT_MASK, imm: r.index() as i64 }, prov));
     out.push(isa(Op::AluI { op: AluOp::And, dst, src1: dst, imm: 1 }, prov));
 }
 
 /// Emits `taint(dst_reg) = (T0 != 0)`, assuming `T0` holds 0/1.
 fn install_bit(out: &mut Vec<CInsn<Gpr>>, dst_reg: Gpr, prov: Provenance) {
     // Clear the bit, then OR in the (possibly zero) shifted value.
-    out.push(isa(
-        Op::MovI { dst: T1, imm: !(1i64 << dst_reg.index()) },
-        prov,
-    ));
-    out.push(isa(
-        Op::Alu { op: AluOp::And, dst: TAINT_MASK, src1: TAINT_MASK, src2: T1 },
-        prov,
-    ));
+    out.push(isa(Op::MovI { dst: T1, imm: !(1i64 << dst_reg.index()) }, prov));
+    out.push(isa(Op::Alu { op: AluOp::And, dst: TAINT_MASK, src1: TAINT_MASK, src2: T1 }, prov));
     out.push(isa(
         Op::AluI { op: AluOp::Shl, dst: T0, src1: T0, imm: dst_reg.index() as i64 },
         prov,
     ));
-    out.push(isa(
-        Op::Alu { op: AluOp::Or, dst: TAINT_MASK, src1: TAINT_MASK, src2: T0 },
-        prov,
-    ));
+    out.push(isa(Op::Alu { op: AluOp::Or, dst: TAINT_MASK, src1: TAINT_MASK, src2: T0 }, prov));
 }
 
 /// Emits `taint(dst_reg) = 0`.
 fn clear_bit(out: &mut Vec<CInsn<Gpr>>, dst_reg: Gpr, prov: Provenance) {
     out.push(isa(Op::MovI { dst: T1, imm: !(1i64 << dst_reg.index()) }, prov));
-    out.push(isa(
-        Op::Alu { op: AluOp::And, dst: TAINT_MASK, src1: TAINT_MASK, src2: T1 },
-        prov,
-    ));
+    out.push(isa(Op::Alu { op: AluOp::And, dst: TAINT_MASK, src1: TAINT_MASK, src2: T1 }, prov));
 }
 
 /// Tag-address computation shared with the SHIFT pass (Figure 4): `T0` ←
 /// tag byte address, optionally `T1` ← bit index.
-fn tag_addr(out: &mut Vec<CInsn<Gpr>>, gran: Granularity, addr: Gpr, need_bit: bool, prov: Provenance) {
+fn tag_addr(
+    out: &mut Vec<CInsn<Gpr>>,
+    gran: Granularity,
+    addr: Gpr,
+    need_bit: bool,
+    prov: Provenance,
+) {
     out.push(isa(Op::AluI { op: AluOp::Shr, dst: T0, src1: addr, imm: 61 }, prov));
     out.push(isa(Op::AluI { op: AluOp::Add, dst: T0, src1: T0, imm: -1 }, prov));
     out.push(isa(
@@ -116,10 +107,7 @@ fn check_addr(out: &mut Vec<CInsn<Gpr>>, addr: Gpr, alert: Label) {
 }
 
 /// Runs the software-only pass over one function's allocated code.
-pub fn instrument_shadow(
-    code: &[CInsn<Gpr>],
-    gran: Granularity,
-) -> Vec<CInsn<Gpr>> {
+pub fn instrument_shadow(code: &[CInsn<Gpr>], gran: Granularity) -> Vec<CInsn<Gpr>> {
     // Fresh label for the alert stub, beyond anything the function binds.
     let max_label = code
         .iter()
@@ -175,10 +163,7 @@ pub fn instrument_shadow(
                     emit_load_tag(&mut out, gran, size, addr);
                     out.push(insn.clone());
                     // T2 holds the extracted tag (0/1).
-                    out.push(isa(
-                        Op::Mov { dst: T0, src: T2 },
-                        Provenance::TaintSource,
-                    ));
+                    out.push(isa(Op::Mov { dst: T0, src: T2 }, Provenance::TaintSource));
                     install_bit(&mut out, dst, Provenance::TaintSource);
                 }
                 Op::St { size, src, addr } => {
@@ -212,12 +197,17 @@ pub fn instrument_shadow(
             COp::ChkS(r, target) => {
                 extract_bit(&mut out, *r, T0, Provenance::Check);
                 out.push(isa(
-                    Op::CmpI { rel: CmpRel::Ne, pt: PT, pf: PF, src1: T0, imm: 0, nat_aware: false },
+                    Op::CmpI {
+                        rel: CmpRel::Ne,
+                        pt: PT,
+                        pf: PF,
+                        src1: T0,
+                        imm: 0,
+                        nat_aware: false,
+                    },
                     Provenance::Check,
                 ));
-                out.push(
-                    CInsn::new(COp::Jmp(*target)).under(PT).with_prov(Provenance::Check),
-                );
+                out.push(CInsn::new(COp::Jmp(*target)).under(PT).with_prov(Provenance::Check));
             }
             _ => out.push(insn.clone()),
         }
@@ -225,11 +215,7 @@ pub fn instrument_shadow(
 
     // The alert stub (software L1/L2 handler).
     out.push(CInsn::new(COp::Bind(alert)));
-    out.push(
-        CInsn::isa(Op::Syscall { num: sys::ALERT })
-            .with_prov(Provenance::Check)
-            .glued(),
-    );
+    out.push(CInsn::isa(Op::Syscall { num: sys::ALERT }).with_prov(Provenance::Check).glued());
     out.push(CInsn::isa(Op::Halt).glued());
     out
 }
@@ -266,7 +252,13 @@ fn emit_load_tag(out: &mut Vec<CInsn<Gpr>>, gran: Granularity, size: MemSize, ad
 
 /// Updates the tag for `[addr]` from `src`'s shadow bit, then leaves the
 /// data store to the caller.
-fn emit_store_tag(out: &mut Vec<CInsn<Gpr>>, gran: Granularity, size: MemSize, src: Gpr, addr: Gpr) {
+fn emit_store_tag(
+    out: &mut Vec<CInsn<Gpr>>,
+    gran: Granularity,
+    size: MemSize,
+    src: Gpr,
+    addr: Gpr,
+) {
     let sub_word = gran.needs_bit_extraction() && size != MemSize::B8;
     tag_addr(out, gran, addr, sub_word, Provenance::StTagCompute);
     // PT = src tainted?
@@ -343,10 +335,7 @@ mod tests {
         })];
         let out = instrument_shadow(&code, Granularity::Byte);
         // The clear idiom avoids the full extract/or/install dance.
-        let props = out
-            .iter()
-            .filter(|i| i.prov == Provenance::TaintSource)
-            .count();
+        let props = out.iter().filter(|i| i.prov == Provenance::TaintSource).count();
         assert!(props <= 2, "clear idiom should be cheap, got {props}");
     }
 

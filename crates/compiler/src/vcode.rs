@@ -8,8 +8,8 @@
 
 use core::fmt;
 
-use shift_isa::{Gpr, Op, Pr, Provenance};
 use shift_ir::VReg;
+use shift_isa::{Gpr, Op, Pr, Provenance};
 
 /// A symbolic, function-local code label.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 
 use shift_compiler::instrument::{instrument, NatGen, ShiftOptions};
 use shift_compiler::{CInsn, COp};
-use shift_tagmap::Granularity;
 use shift_isa::{AluOp, CmpRel, ExtKind, Gpr, MemSize, Op, Pr, Provenance};
+use shift_tagmap::Granularity;
 
 /// Application registers only (never the reserved r24–r31).
 fn app_reg() -> impl Strategy<Value = Gpr> {
@@ -25,15 +25,13 @@ fn app_insn() -> impl Strategy<Value = CInsn<Gpr>> {
         (app_reg(), app_reg(), app_reg()).prop_map(|(d, a, b)| {
             CInsn::isa(Op::Alu { op: AluOp::Add, dst: d, src1: a, src2: b })
         }),
-        (app_reg(), any::<i16>()).prop_map(|(d, imm)| {
-            CInsn::isa(Op::MovI { dst: d, imm: i64::from(imm) })
-        }),
+        (app_reg(), any::<i16>())
+            .prop_map(|(d, imm)| { CInsn::isa(Op::MovI { dst: d, imm: i64::from(imm) }) }),
         (mem_size(), app_reg(), app_reg()).prop_map(|(size, d, a)| {
             CInsn::isa(Op::Ld { size, ext: ExtKind::Zero, dst: d, addr: a, spec: false })
         }),
-        (mem_size(), app_reg(), app_reg()).prop_map(|(size, s, a)| {
-            CInsn::isa(Op::St { size, src: s, addr: a })
-        }),
+        (mem_size(), app_reg(), app_reg())
+            .prop_map(|(size, s, a)| { CInsn::isa(Op::St { size, src: s, addr: a }) }),
         (app_reg(), app_reg()).prop_map(|(a, b)| {
             CInsn::isa(Op::Cmp {
                 rel: CmpRel::Lt,

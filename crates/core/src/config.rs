@@ -15,9 +15,14 @@
 //! # policies
 //! policy H1 on
 //! policy H3 off
+//!
+//! # violation handling (user-level recovery)
+//! action default terminate
+//! action H3 abort-transaction
+//! action H5 log-and-continue
 //! ```
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::policy::Policy;
 
@@ -49,11 +54,54 @@ impl Source {
     }
 }
 
-/// Which channels taint data and which policies are armed.
+/// What the user-level violation handler does when a policy fires.
+///
+/// The paper's SHIFT delivers detection events to a *user-level* handler
+/// (§3.3.3), which means policy response is a per-deployment decision rather
+/// than a hardwired kill: a production server can log and keep serving, or
+/// roll the offending transaction back, where a development box fails stop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ViolationAction {
+    /// Fail-stop: the run ends with [`shift_machine::Exit::Violation`].
+    /// This is the default and matches the pre-recovery behaviour.
+    #[default]
+    Terminate,
+    /// Record the violation in the runtime's log, suppress the dangerous
+    /// sink effect (the sink returns `-1` to the guest), and resume.
+    LogAndContinue,
+    /// Record the violation, roll machine and runtime back to the
+    /// checkpoint taken at the start of the current transaction (request),
+    /// and resume with the next transaction. Falls back to `Terminate`
+    /// when no checkpoint is armed.
+    AbortTransaction,
+}
+
+impl ViolationAction {
+    /// All actions.
+    pub const ALL: [ViolationAction; 3] = [
+        ViolationAction::Terminate,
+        ViolationAction::LogAndContinue,
+        ViolationAction::AbortTransaction,
+    ];
+
+    /// Configuration-file keyword.
+    pub const fn keyword(self) -> &'static str {
+        match self {
+            ViolationAction::Terminate => "terminate",
+            ViolationAction::LogAndContinue => "log-and-continue",
+            ViolationAction::AbortTransaction => "abort-transaction",
+        }
+    }
+}
+
+/// Which channels taint data, which policies are armed, and how the
+/// user-level handler responds when each policy fires.
 #[derive(Clone, Debug)]
 pub struct TaintConfig {
     sources: HashSet<Source>,
     policies: HashSet<Policy>,
+    actions: HashMap<Policy, ViolationAction>,
+    default_action: ViolationAction,
 }
 
 impl TaintConfig {
@@ -64,13 +112,20 @@ impl TaintConfig {
         TaintConfig {
             sources: Source::ALL.into_iter().collect(),
             policies: Policy::ALL.into_iter().collect(),
+            actions: HashMap::new(),
+            default_action: ViolationAction::Terminate,
         }
     }
 
     /// No sources, no policies: the configuration used for pure performance
     /// baselines with untainted input ("-safe" bars in Figure 7).
     pub fn off() -> TaintConfig {
-        TaintConfig { sources: HashSet::new(), policies: HashSet::new() }
+        TaintConfig {
+            sources: HashSet::new(),
+            policies: HashSet::new(),
+            actions: HashMap::new(),
+            default_action: ViolationAction::Terminate,
+        }
     }
 
     /// Enables or disables a source channel.
@@ -103,6 +158,31 @@ impl TaintConfig {
         self.policies.contains(&p)
     }
 
+    /// Sets the response to violations of one specific policy.
+    pub fn set_action(&mut self, p: Policy, a: ViolationAction) -> &mut Self {
+        self.actions.insert(p, a);
+        self
+    }
+
+    /// Sets the response for every policy without a per-policy override
+    /// (including the `chk.s` guard alarm, which has no [`Policy`] value).
+    pub fn set_default_action(&mut self, a: ViolationAction) -> &mut Self {
+        self.default_action = a;
+        self
+    }
+
+    /// The handler's response when `p` fires: the per-policy override if one
+    /// was set, the configured default otherwise.
+    pub fn action_for(&self, p: Policy) -> ViolationAction {
+        self.actions.get(&p).copied().unwrap_or(self.default_action)
+    }
+
+    /// The default response (used for violations that carry no [`Policy`],
+    /// such as `chk.s` guard alarms).
+    pub fn default_action(&self) -> ViolationAction {
+        self.default_action
+    }
+
     /// Parses the paper-style configuration format. Unknown lines are
     /// errors; `#` starts a comment.
     ///
@@ -118,6 +198,36 @@ impl TaintConfig {
             }
             let mut parts = line.split_whitespace();
             let (kind, name, state) = (parts.next(), parts.next(), parts.next());
+            if kind == Some("action") {
+                let a = state
+                    .and_then(|s| ViolationAction::ALL.into_iter().find(|a| a.keyword() == s))
+                    .ok_or_else(|| {
+                        format!(
+                            "line {}: expected `terminate`, `log-and-continue` or \
+                             `abort-transaction`",
+                            ln + 1
+                        )
+                    })?;
+                match name {
+                    Some("default") => {
+                        cfg.set_default_action(a);
+                    }
+                    Some(n) => {
+                        let p = Policy::ALL
+                            .into_iter()
+                            .find(|p| p.name() == n)
+                            .ok_or_else(|| format!("line {}: unknown policy `{n}`", ln + 1))?;
+                        cfg.set_action(p, a);
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {}: expected `action <policy|default> <response>`",
+                            ln + 1
+                        ))
+                    }
+                }
+                continue;
+            }
             let on = match state {
                 Some("on") => true,
                 Some("off") => false,
@@ -138,7 +248,9 @@ impl TaintConfig {
                         .ok_or_else(|| format!("line {}: unknown policy `{n}`", ln + 1))?;
                     cfg.set_policy(p, on);
                 }
-                _ => return Err(format!("line {}: expected `source` or `policy`", ln + 1)),
+                _ => {
+                    return Err(format!("line {}: expected `source`, `policy` or `action`", ln + 1))
+                }
             }
         }
         Ok(cfg)
@@ -190,6 +302,45 @@ mod tests {
         assert!(TaintConfig::parse("source floppy on").is_err());
         assert!(TaintConfig::parse("policy H9 on").is_err());
         assert!(TaintConfig::parse("frobnicate all the things").is_err());
+    }
+
+    #[test]
+    fn actions_default_to_terminate() {
+        let cfg = TaintConfig::default();
+        for p in Policy::ALL {
+            assert_eq!(cfg.action_for(p), ViolationAction::Terminate);
+        }
+        assert_eq!(cfg.default_action(), ViolationAction::Terminate);
+    }
+
+    #[test]
+    fn parse_actions() {
+        let cfg = TaintConfig::parse(
+            "policy H3 on\n\
+             action default log-and-continue\n\
+             action H3 abort-transaction  # roll the request back\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.action_for(Policy::H3), ViolationAction::AbortTransaction);
+        assert_eq!(cfg.action_for(Policy::H4), ViolationAction::LogAndContinue);
+        assert_eq!(cfg.default_action(), ViolationAction::LogAndContinue);
+    }
+
+    #[test]
+    fn parse_rejects_bad_actions() {
+        assert!(TaintConfig::parse("action H3 explode").is_err());
+        assert!(TaintConfig::parse("action H9 terminate").is_err());
+        assert!(TaintConfig::parse("action default").is_err());
+        assert!(TaintConfig::parse("action").is_err());
+    }
+
+    #[test]
+    fn per_policy_override_beats_default() {
+        let mut cfg = TaintConfig::default_secure();
+        cfg.set_default_action(ViolationAction::AbortTransaction);
+        cfg.set_action(Policy::H5, ViolationAction::LogAndContinue);
+        assert_eq!(cfg.action_for(Policy::H5), ViolationAction::LogAndContinue);
+        assert_eq!(cfg.action_for(Policy::H1), ViolationAction::AbortTransaction);
     }
 
     #[test]

@@ -60,7 +60,7 @@ mod libc;
 pub mod policy;
 mod runtime;
 
-pub use config::{Source, TaintConfig};
+pub use config::{Source, TaintConfig, ViolationAction};
 pub use libc::{libc_program, LIBC_FUNCS};
 pub use policy::Policy;
 pub use runtime::{IoCostModel, Runtime, World};
@@ -80,6 +80,7 @@ pub struct Shift {
     config: TaintConfig,
     io: IoCostModel,
     insn_limit: u64,
+    fuel: u64,
 }
 
 /// Everything observable about one guest run.
@@ -121,6 +122,7 @@ impl Shift {
             config: TaintConfig::default_secure(),
             io: IoCostModel::FREE,
             insn_limit: 500_000_000,
+            fuel: 50_000_000,
         }
     }
 
@@ -139,6 +141,14 @@ impl Shift {
     /// Overrides the instruction budget per run.
     pub fn with_insn_limit(mut self, limit: u64) -> Shift {
         self.insn_limit = limit;
+        self
+    }
+
+    /// Overrides the per-transaction watchdog fuel budget used by
+    /// [`Shift::serve`]: a request that executes this many instructions
+    /// without finishing is aborted and rolled back.
+    pub fn with_fuel(mut self, fuel: u64) -> Shift {
+        self.fuel = fuel;
         self
     }
 
@@ -185,6 +195,118 @@ impl Shift {
             Runtime::new(self.config.clone(), world, self.granularity()).with_io(self.io);
         let exit = machine.run(&mut runtime, self.insn_limit);
         RunReport { exit, stats: machine.stats.clone(), runtime, machine }
+    }
+
+    /// Compiles (with libc) and serves `world`'s request stream resiliently:
+    /// per-request transactions, watchdog fuel, rollback on faults and on
+    /// violations whose [`ViolationAction`] permits recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] on invalid IR or unresolved symbols.
+    pub fn serve(&self, app: &Program, world: World) -> Result<ServeReport, CompileError> {
+        let compiled = self.compile(app)?;
+        Ok(self.serve_compiled(&compiled, world))
+    }
+
+    /// Serves an already-compiled program resiliently (see [`Shift::serve`]).
+    ///
+    /// The session loop is the outermost layer of the user-level handler: it
+    /// catches what the in-syscall handler cannot — NaT-consumption faults
+    /// (detections raised by the machine, disposed per their L-policy's
+    /// action), other architectural faults (crash containment: always rolled
+    /// back), and watchdog exhaustion (runaway requests) — rolls the
+    /// transaction back, and keeps serving. It stops on a clean halt, on the
+    /// session instruction ceiling, on fail-stop (`Terminate`) detections,
+    /// and whenever no checkpoint is armed to recover to.
+    pub fn serve_compiled(&self, compiled: &CompiledProgram, world: World) -> ServeReport {
+        let mut machine = Machine::new(&compiled.image);
+        machine.arm_watchdog(self.fuel);
+        let mut runtime = Runtime::new(self.config.clone(), world, self.granularity())
+            .with_io(self.io)
+            .with_transactions();
+        let exit = loop {
+            let exit = machine.run(&mut runtime, self.insn_limit);
+            let recoverable = match &exit {
+                // Clean finish, session ceiling, or a violation the
+                // in-syscall handler already chose to fail-stop on.
+                Exit::Halted(_) | Exit::InsnLimit | Exit::Violation(_) => false,
+                // Runaway request: abort it.
+                Exit::FuelExhausted => true,
+                Exit::Fault(f) => match f {
+                    // A machine-level detection: dispose per the matching
+                    // low-level policy's configured action.
+                    Fault::NatConsumption { kind, .. } => {
+                        let p = Policy::from_fault(*kind);
+                        runtime.record_violation(Violation {
+                            policy: p.name().to_string(),
+                            message: format!("detected by hardware: {f}"),
+                            ip: machine.cpu.ip,
+                        });
+                        // A faulting instruction cannot be stepped over, so
+                        // `LogAndContinue` degrades to a rollback too.
+                        runtime.config().action_for(p) != ViolationAction::Terminate
+                    }
+                    // A plain crash (unmapped access, bad syscall, …):
+                    // contain it and keep the server up.
+                    _ => true,
+                },
+            };
+            if recoverable && runtime.recover(&mut machine) {
+                continue;
+            }
+            break exit;
+        };
+        // A transaction open at an unrecoverable stop is a lost request.
+        let in_flight = u64::from(!matches!(exit, Exit::Halted(_)) && runtime.has_checkpoint());
+        let served = runtime.requests_delivered.saturating_sub(runtime.recoveries + in_flight);
+        let dropped = in_flight + runtime.pending_requests() as u64;
+        ServeReport {
+            exit,
+            served,
+            recovered: runtime.recoveries,
+            dropped,
+            recovery_cycles: runtime.recovery_cycles,
+            violations: runtime.violations.clone(),
+            stats: machine.stats.clone(),
+            runtime,
+            machine,
+        }
+    }
+}
+
+/// Outcome of a resilient [`Shift::serve`] session: the graceful-degradation
+/// counters plus everything a [`RunReport`] carries.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// How the session finally ended, after all recoveries.
+    pub exit: Exit,
+    /// Requests delivered and completed without a rollback.
+    pub served: u64,
+    /// Requests rolled back (violation, fault, or watchdog) with service
+    /// continuing afterwards.
+    pub recovered: u64,
+    /// Requests lost: in flight at an unrecoverable stop, plus any never
+    /// delivered.
+    pub dropped: u64,
+    /// CPU cycles spent on transactions that were thrown away — the price
+    /// of recovery.
+    pub recovery_cycles: u64,
+    /// Every violation observed across the session, in order.
+    pub violations: Vec<Violation>,
+    /// Cycle/instruction accounting (cloned out of the machine).
+    pub stats: Stats,
+    /// The runtime, with its logs, outputs, filesystem, and shadow map.
+    pub runtime: Runtime,
+    /// The machine in its final state.
+    pub machine: Machine,
+}
+
+impl ServeReport {
+    /// `true` when every queued request was either served or recovered —
+    /// nothing was silently lost.
+    pub fn nothing_dropped(&self) -> bool {
+        self.dropped == 0
     }
 }
 
@@ -257,8 +379,7 @@ mod tests {
             f.ret(Some(zero));
         });
         let app = pb.build().unwrap();
-        let report =
-            byte_shift().run(&app, World::new().net(&b"x' OR '1'='1"[..])).unwrap();
+        let report = byte_shift().run(&app, World::new().net(&b"x' OR '1'='1"[..])).unwrap();
         assert_eq!(report.detected_policy(), Some(Policy::H3), "{:?}", report.exit);
     }
 
@@ -304,7 +425,7 @@ mod tests {
             f.store1(z, end, 0);
             let smallp = f.local_addr(small);
             f.call_void("strcpy", &[smallp, reqp]); // may overflow into fnptr
-            // Use the pointer as a load address (tainted ⇒ L1 fault).
+                                                    // Use the pointer as a load address (tainted ⇒ L1 fault).
             let v = f.load8(fpp, 0);
             let t = f.load1(v, 0);
             let folded = f.andi(t, 0);
@@ -380,11 +501,172 @@ mod tests {
             Mode::Shift(ShiftOptions::baseline(Granularity::Word)),
             Mode::Shift(ShiftOptions::enhanced(Granularity::Byte)),
         ] {
-            let report = Shift::new(mode)
-                .run(&app, World::new().net(&b"payload bytes"[..]))
-                .unwrap();
+            let report =
+                Shift::new(mode).run(&app, World::new().net(&b"payload bytes"[..])).unwrap();
             assert!(report.exit.is_clean(), "{mode:?}: {:?}", report.exit);
         }
+    }
+
+    /// SQL server: read requests in a loop, execute each as a query, count
+    /// the ones the sink accepted.
+    fn sql_server_app() -> shift_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let req = f.local(256);
+            let reqp = f.local_addr(req);
+            let served = f.iconst(0);
+            f.loop_(|f| {
+                let cap = f.iconst(255);
+                let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+                f.if_cmp(CmpRel::Le, n, Rhs::Imm(0), |f| f.break_());
+                let r = f.syscall(sys::SQL_EXEC, &[reqp, n]);
+                f.if_cmp(CmpRel::Lt, r, Rhs::Imm(0), |f| f.continue_());
+                let s1 = f.addi(served, 1);
+                f.assign(served, s1);
+            });
+            f.ret(Some(served));
+        });
+        pb.build().unwrap()
+    }
+
+    fn sql_stream() -> World {
+        World::new()
+            .net(&b"SELECT a FROM t"[..])
+            .net(&b"x' OR '1'='1"[..])
+            .net(&b"SELECT b FROM t"[..])
+    }
+
+    #[test]
+    fn serve_terminate_fail_stops_mid_stream() {
+        // Default actions: the exploit kills the session, dropping requests.
+        let report = byte_shift().serve(&sql_server_app(), sql_stream()).unwrap();
+        assert!(matches!(report.exit, Exit::Violation(_)), "{:?}", report.exit);
+        assert_eq!(report.served, 1);
+        assert_eq!(report.recovered, 0);
+        assert!(report.dropped >= 1, "the in-flight exploit request is lost");
+    }
+
+    #[test]
+    fn serve_abort_transaction_rolls_back_and_keeps_serving() {
+        let mut cfg = TaintConfig::default_secure();
+        cfg.set_action(Policy::H3, ViolationAction::AbortTransaction);
+        let report = byte_shift().with_config(cfg).serve(&sql_server_app(), sql_stream()).unwrap();
+        // Both benign queries executed; the injection was detected, logged,
+        // and its transaction rolled back.
+        assert_eq!(report.exit, Exit::Halted(2), "{:?}", report.exit);
+        assert_eq!(report.served, 2);
+        assert_eq!(report.recovered, 1);
+        assert!(report.nothing_dropped());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].policy, "H3");
+        assert_eq!(report.runtime.sql_log.len(), 2, "the injection never executed");
+        assert!(report.recovery_cycles > 0);
+    }
+
+    #[test]
+    fn serve_log_and_continue_suppresses_the_sink_only() {
+        let mut cfg = TaintConfig::default_secure();
+        cfg.set_action(Policy::H3, ViolationAction::LogAndContinue);
+        let report = byte_shift().with_config(cfg).serve(&sql_server_app(), sql_stream()).unwrap();
+        // The guest saw `-1` from the refused sink and moved on: no rollback.
+        assert_eq!(report.exit, Exit::Halted(2), "{:?}", report.exit);
+        assert_eq!(report.served, 3, "all requests completed, one degraded");
+        assert_eq!(report.recovered, 0);
+        assert_eq!(report.runtime.suppressed_sinks, 1);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.runtime.sql_log.len(), 2);
+    }
+
+    /// Server whose `!`-prefixed requests dereference attacker-controlled
+    /// bytes as a pointer: a low-level (L1) detection, raised by the machine
+    /// as a NaT-consumption fault rather than by a sink.
+    fn pointer_server_app() -> shift_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let req = f.local(64);
+            let reqp = f.local_addr(req);
+            let served = f.iconst(0);
+            f.loop_(|f| {
+                let cap = f.iconst(63);
+                let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+                f.if_cmp(CmpRel::Le, n, Rhs::Imm(0), |f| f.break_());
+                let c = f.load1(reqp, 0);
+                f.if_cmp(CmpRel::Eq, c, Rhs::Imm(b'!' as i64), |f| {
+                    let p = f.load8(reqp, 8);
+                    let v = f.load1(p, 0); // tainted address ⇒ L1
+                    f.assign(served, v);
+                });
+                let s1 = f.addi(served, 1);
+                f.assign(served, s1);
+            });
+            f.ret(Some(served));
+        });
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn serve_recovers_from_nat_consumption_faults() {
+        let mut cfg = TaintConfig::default_secure();
+        cfg.set_default_action(ViolationAction::AbortTransaction);
+        let world = World::new()
+            .net(&b"plain request"[..])
+            .net(b"!AAAAAAA\x10\x20\x30\x40\x50\x60\x70\x80".to_vec())
+            .net(&b"another plain one"[..]);
+        let report = byte_shift().with_config(cfg).serve(&pointer_server_app(), world).unwrap();
+        assert_eq!(report.exit, Exit::Halted(2), "{:?}", report.exit);
+        assert_eq!(report.served, 2);
+        assert_eq!(report.recovered, 1);
+        assert!(report.nothing_dropped());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].policy, "L1");
+    }
+
+    #[test]
+    fn serve_watchdog_aborts_runaway_requests() {
+        // `@`-prefixed requests wedge the server in an infinite loop; the
+        // per-transaction fuel budget converts that into a rollback.
+        let mut pb = ProgramBuilder::new();
+        pb.func("main", 0, |f| {
+            let req = f.local(64);
+            let reqp = f.local_addr(req);
+            let served = f.iconst(0);
+            let sink = f.iconst(0);
+            f.loop_(|f| {
+                let cap = f.iconst(63);
+                let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+                f.if_cmp(CmpRel::Le, n, Rhs::Imm(0), |f| f.break_());
+                let c = f.load1(reqp, 0);
+                f.if_cmp(CmpRel::Eq, c, Rhs::Imm(b'@' as i64), |f| {
+                    f.loop_(|f| {
+                        let s = f.addi(sink, 1);
+                        f.assign(sink, s);
+                    });
+                });
+                let s1 = f.addi(served, 1);
+                f.assign(served, s1);
+            });
+            f.ret(Some(served));
+        });
+        let app = pb.build().unwrap();
+        let world = World::new().net(&b"ok one"[..]).net(&b"@wedge"[..]).net(&b"ok two"[..]);
+        let report = byte_shift().with_fuel(100_000).serve(&app, world).unwrap();
+        assert_eq!(report.exit, Exit::Halted(2), "{:?}", report.exit);
+        assert_eq!(report.served, 2);
+        assert_eq!(report.recovered, 1);
+        assert!(report.nothing_dropped());
+    }
+
+    #[test]
+    fn serve_clean_stream_matches_plain_run() {
+        // With no attacks, the resilient loop must be an exact no-op wrapper.
+        let world = World::new().net(&b"SELECT a FROM t"[..]).net(&b"SELECT b"[..]);
+        let report = byte_shift().serve(&sql_server_app(), world).unwrap();
+        assert_eq!(report.exit, Exit::Halted(2));
+        assert_eq!(report.served, 2);
+        assert_eq!(report.recovered, 0);
+        assert!(report.nothing_dropped());
+        assert!(report.violations.is_empty());
+        assert_eq!(report.recovery_cycles, 0);
     }
 
     #[test]

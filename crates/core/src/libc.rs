@@ -451,7 +451,6 @@ pub fn libc_program() -> Program {
         f.ret(Some(cnt));
     });
 
-
     // ---- memmove(dst, src, n) -> dst  (overlap-safe) -----------------------
     pb.func("memmove", 3, |f| {
         let dst = f.param(0);
@@ -633,8 +632,6 @@ fn digits_fn(f: &mut FnBuilder, base: i64) {
     f.store1(z, end, 0);
     f.ret(Some(n));
 }
-
-
 
 #[cfg(test)]
 mod tests {

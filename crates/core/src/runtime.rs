@@ -19,10 +19,10 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use shift_isa::{sys, Gpr};
-use shift_machine::{layout, Exit, Fault, Machine, MemError, Os, SysResult, Violation};
+use shift_machine::{layout, Exit, Fault, Machine, MemError, Os, Snapshot, SysResult, Violation};
 use shift_tagmap::{tag_location, Granularity, HostShadow};
 
-use crate::config::{Source, TaintConfig};
+use crate::config::{Source, TaintConfig, ViolationAction};
 use crate::policy::{self, Policy, TaintedBytes};
 
 /// The external world a guest program runs against.
@@ -102,6 +102,25 @@ struct OpenFile {
     writable: bool,
 }
 
+/// The runtime half of a transaction checkpoint: everything a rolled-back
+/// request may have changed on the host side. The machine half (registers,
+/// NaT bits, memory) lives in a [`Snapshot`].
+#[derive(Clone, Debug)]
+struct RuntimeCheckpoint {
+    shadow: HostShadow,
+    fds: Vec<Option<OpenFile>>,
+    heap_cursor: u64,
+    files: BTreeMap<String, Vec<u8>>,
+    opened_paths_len: usize,
+    log_len: usize,
+    net_output_len: usize,
+    html_output_len: usize,
+    sql_log_len: usize,
+    shell_log_len: usize,
+    /// CPU cycles at checkpoint time, for attributing rolled-back work.
+    stats_cycles: u64,
+}
+
 /// The runtime state (one per guest run).
 #[derive(Clone, Debug)]
 pub struct Runtime {
@@ -131,6 +150,25 @@ pub struct Runtime {
     pub opened_paths: Vec<String>,
     /// The first policy violation, if any.
     pub violation: Option<Violation>,
+    /// Every violation observed, in order — the shared log the user-level
+    /// handler appends to regardless of the configured [`ViolationAction`].
+    pub violations: Vec<Violation>,
+    /// When `true`, every `net_read` delivery opens a transaction: a machine
+    /// snapshot plus a runtime checkpoint, restorable via
+    /// [`Runtime::recover`].
+    transactional: bool,
+    checkpoint: Option<(Snapshot, RuntimeCheckpoint)>,
+    /// Network requests delivered to the guest (including ones later rolled
+    /// back).
+    pub requests_delivered: u64,
+    /// Transactions rolled back (inline `AbortTransaction` recoveries plus
+    /// [`Runtime::recover`] calls from the session loop).
+    pub recoveries: u64,
+    /// Sink operations suppressed by `LogAndContinue`.
+    pub suppressed_sinks: u64,
+    /// CPU cycles spent in transactions that were later rolled back — the
+    /// work a recovery throws away.
+    pub recovery_cycles: u64,
 }
 
 impl Runtime {
@@ -152,13 +190,43 @@ impl Runtime {
             shell_log: Vec::new(),
             opened_paths: Vec::new(),
             violation: None,
+            violations: Vec::new(),
+            transactional: false,
+            checkpoint: None,
+            requests_delivered: 0,
+            recoveries: 0,
+            suppressed_sinks: 0,
+            recovery_cycles: 0,
         }
+    }
+
+    /// The session's taint/policy configuration.
+    pub fn config(&self) -> &TaintConfig {
+        &self.cfg
     }
 
     /// Sets the I/O cost model (builder style).
     pub fn with_io(mut self, io: IoCostModel) -> Runtime {
         self.io = io;
         self
+    }
+
+    /// Enables per-request transactions (builder style): each `net_read`
+    /// delivery checkpoints machine and runtime, and pets the watchdog if
+    /// one is armed.
+    pub fn with_transactions(mut self) -> Runtime {
+        self.transactional = true;
+        self
+    }
+
+    /// Network requests still queued for delivery.
+    pub fn pending_requests(&self) -> usize {
+        self.world.net_input.len()
+    }
+
+    /// Is a transaction checkpoint currently armed?
+    pub fn has_checkpoint(&self) -> bool {
+        self.checkpoint.is_some()
     }
 
     /// The filesystem in its current state (files written by the guest
@@ -182,14 +250,10 @@ impl Runtime {
         self.shadow.set_range(addr, bytes.len() as u64, tainted);
         if let Some(gran) = self.gran {
             for i in 0..bytes.len() as u64 {
-                let loc = tag_location(addr + i, gran)
-                    .expect("guest buffers live in data regions");
+                let loc = tag_location(addr + i, gran).expect("guest buffers live in data regions");
                 let byte = m.mem.read_int(loc.byte_addr, 1)?;
-                let new = if tainted {
-                    byte | u64::from(loc.mask)
-                } else {
-                    byte & !u64::from(loc.mask)
-                };
+                let new =
+                    if tainted { byte | u64::from(loc.mask) } else { byte & !u64::from(loc.mask) };
                 m.mem.write_int(loc.byte_addr, 1, new)?;
             }
         }
@@ -198,12 +262,7 @@ impl Runtime {
 
     /// Reads guest bytes plus their taint **as the guest's bitmap records
     /// it** — this is what policy checks must use.
-    fn read_tainted(
-        &self,
-        m: &mut Machine,
-        addr: u64,
-        len: u64,
-    ) -> Result<TaintedBytes, MemError> {
+    fn read_tainted(&self, m: &mut Machine, addr: u64, len: u64) -> Result<TaintedBytes, MemError> {
         let mut bytes = vec![0u8; len as usize];
         m.mem.read_bytes(addr, &mut bytes)?;
         let mut taint = vec![false; bytes.len()];
@@ -229,15 +288,118 @@ impl Runtime {
         self.read_tainted(m, addr, len)
     }
 
-    fn violate(&mut self, m: &Machine, policy: Policy, message: String) -> SysResult {
+    // ---- transactions & recovery ------------------------------------------
+
+    /// Opens a transaction: machine snapshot plus runtime checkpoint. Any
+    /// earlier checkpoint is superseded.
+    fn take_checkpoint(&mut self, m: &mut Machine) {
+        let snap = m.snapshot();
+        let rc = RuntimeCheckpoint {
+            shadow: self.shadow.clone(),
+            fds: self.fds.clone(),
+            heap_cursor: self.heap_cursor,
+            files: self.world.files.clone(),
+            opened_paths_len: self.opened_paths.len(),
+            log_len: self.log.len(),
+            net_output_len: self.net_output.len(),
+            html_output_len: self.html_output.len(),
+            sql_log_len: self.sql_log.len(),
+            shell_log_len: self.shell_log.len(),
+            stats_cycles: m.stats.cycles,
+        };
+        self.checkpoint = Some((snap, rc));
+    }
+
+    /// Rolls machine and runtime back to the open transaction's checkpoint
+    /// and resumes the guest by delivering the next queued request at the
+    /// restored `net_read` site (`0` bytes when the queue is drained, which
+    /// lets a well-behaved server loop exit cleanly). The violation log and
+    /// recovery counters deliberately survive the rollback. Returns `false`
+    /// — recovery impossible — when no checkpoint is armed.
+    pub fn recover(&mut self, m: &mut Machine) -> bool {
+        let Some((snap, rc)) = self.checkpoint.clone() else {
+            return false;
+        };
+        m.restore(&snap);
+        self.shadow = rc.shadow;
+        self.fds = rc.fds;
+        self.heap_cursor = rc.heap_cursor;
+        self.world.files = rc.files;
+        self.opened_paths.truncate(rc.opened_paths_len);
+        self.log.truncate(rc.log_len);
+        self.net_output.truncate(rc.net_output_len);
+        self.html_output.truncate(rc.html_output_len);
+        self.sql_log.truncate(rc.sql_log_len);
+        self.shell_log.truncate(rc.shell_log_len);
+        self.recoveries += 1;
+        // Cycles are timing state and are not rolled back: attribute the
+        // aborted transaction's work to recovery overhead, and restart the
+        // attribution window for the transaction that begins now.
+        self.recovery_cycles += m.stats.cycles.saturating_sub(rc.stats_cycles);
+        if let Some((_, rc)) = &mut self.checkpoint {
+            rc.stats_cycles = m.stats.cycles;
+        }
+        m.pet_watchdog();
+        // The restored CPU sits just after the `net_read` syscall that
+        // opened the aborted transaction, argument registers intact:
+        // deliver the next request right there.
+        let (buf, max, _) = Self::args3(m);
+        let msg = self.world.net_input.pop_front();
+        if msg.is_some() {
+            self.requests_delivered += 1;
+        }
+        let (b, p) = (self.io.net_base, self.io.net_per_byte);
+        // Delivery into the restored buffer cannot fault: the same pages
+        // accepted the original request before the rollback.
+        let _ = self.do_stream_read(m, msg, buf, max, Source::Network, b, p);
+        true
+    }
+
+    fn violate(&mut self, m: &mut Machine, policy: Policy, message: String) -> SysResult {
         let v = Violation { policy: policy.name().to_string(), message, ip: m.cpu.ip };
-        self.violation = Some(v.clone());
-        SysResult::Stop(Exit::Violation(v))
+        self.record(v.clone());
+        self.dispose(m, self.cfg.action_for(policy), v)
+    }
+
+    fn record(&mut self, v: Violation) {
+        if self.violation.is_none() {
+            self.violation = Some(v.clone());
+        }
+        self.violations.push(v);
+    }
+
+    /// Appends to the shared violation log. The session loop uses this for
+    /// detections the runtime never sees as syscalls — NaT-consumption
+    /// faults raised by the machine itself.
+    pub fn record_violation(&mut self, v: Violation) {
+        self.record(v);
+    }
+
+    /// Applies the configured user-level response to a recorded violation.
+    fn dispose(&mut self, m: &mut Machine, action: ViolationAction, v: Violation) -> SysResult {
+        match action {
+            ViolationAction::Terminate => SysResult::Stop(Exit::Violation(v)),
+            ViolationAction::LogAndContinue => {
+                // The dangerous sink effect is suppressed; the guest sees an
+                // ordinary `-1` failure and keeps running.
+                self.suppressed_sinks += 1;
+                Self::ret(m, -1);
+                SysResult::Continue
+            }
+            ViolationAction::AbortTransaction => {
+                if self.recover(m) {
+                    SysResult::Continue
+                } else {
+                    // No checkpoint to abort to: fail stop.
+                    SysResult::Stop(Exit::Violation(v))
+                }
+            }
+        }
     }
 
     fn check(
         &mut self,
-        m: &Machine,
+        m: &mut Machine,
         policy: Policy,
         verdict: policy::PolicyVerdict,
     ) -> Option<SysResult> {
@@ -250,11 +412,7 @@ impl Runtime {
     // ---- syscall bodies ---------------------------------------------------
 
     fn args3(m: &Machine) -> (u64, u64, u64) {
-        (
-            m.cpu.gpr(Gpr::arg(0)).value,
-            m.cpu.gpr(Gpr::arg(1)).value,
-            m.cpu.gpr(Gpr::arg(2)).value,
-        )
+        (m.cpu.gpr(Gpr::arg(0)).value, m.cpu.gpr(Gpr::arg(1)).value, m.cpu.gpr(Gpr::arg(2)).value)
     }
 
     fn ret(m: &mut Machine, v: i64) {
@@ -316,7 +474,17 @@ impl Runtime {
                 Ok(SysResult::Continue)
             }
             sys::NET_READ => {
+                if self.transactional {
+                    // Each request is a transaction: checkpoint *before*
+                    // delivery so a rollback lands with the request undelivered,
+                    // and grant the new transaction a full watchdog budget.
+                    self.take_checkpoint(m);
+                    m.pet_watchdog();
+                }
                 let msg = self.world.net_input.pop_front();
+                if msg.is_some() {
+                    self.requests_delivered += 1;
+                }
                 let (b, p) = (self.io.net_base, self.io.net_per_byte);
                 self.do_stream_read(m, msg, a0, a1, Source::Network, b, p)
             }
@@ -334,13 +502,11 @@ impl Runtime {
             }
             sys::FILE_OPEN => {
                 let path = self.read_tainted_cstr(m, a0, 4096)?;
-                if let Some(stop) =
-                    self.check(m, Policy::H1, policy::check_h1_absolute_path(&path))
+                if let Some(stop) = self.check(m, Policy::H1, policy::check_h1_absolute_path(&path))
                 {
                     return Ok(stop);
                 }
-                if let Some(stop) = self.check(m, Policy::H2, policy::check_h2_traversal(&path))
-                {
+                if let Some(stop) = self.check(m, Policy::H2, policy::check_h2_traversal(&path)) {
                     return Ok(stop);
                 }
                 let name = String::from_utf8_lossy(&path.bytes).into_owned();
@@ -467,8 +633,10 @@ impl Runtime {
                     message: "chk.s guard: tainted value reached critical use".to_string(),
                     ip: m.cpu.ip,
                 };
-                self.violation = Some(v.clone());
-                Ok(SysResult::Stop(Exit::Violation(v)))
+                self.record(v.clone());
+                // The guard alarm has no `Policy` value: the default action
+                // governs it.
+                Ok(self.dispose(m, self.cfg.default_action(), v))
             }
             sys::CLOCK => {
                 Self::ret(m, m.stats.cycles as i64);

@@ -378,7 +378,13 @@ impl FnBuilder {
         let exit = self.new_block();
         self.seal_jmp(header);
         self.switch_to(header);
-        self.terminate(Terminator::Br { rel: CmpRel::Lt, a: i, rhs: end, then_bb: body_b, else_bb: exit });
+        self.terminate(Terminator::Br {
+            rel: CmpRel::Lt,
+            a: i,
+            rhs: end,
+            then_bb: body_b,
+            else_bb: exit,
+        });
         self.loops.push((step_b, exit));
         self.switch_to(body_b);
         body(self, i);

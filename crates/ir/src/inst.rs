@@ -226,12 +226,7 @@ mod tests {
 
     #[test]
     fn def_use_cover_all_shapes() {
-        let st = Inst::Store {
-            size: MemSize::B1,
-            src: VReg(1),
-            addr: VReg(2),
-            offset: 4,
-        };
+        let st = Inst::Store { size: MemSize::B1, src: VReg(1), addr: VReg(2), offset: 4 };
         assert_eq!(st.def(), None);
         assert_eq!(st.uses(), vec![VReg(1), VReg(2)]);
 

@@ -144,8 +144,7 @@ impl<'p> Interp<'p> {
                     }
                     Inst::SetCmp { rel, dst, a, rhs } => {
                         let rv = self.rhs(&regs, rhs);
-                        regs[dst.index()] =
-                            i64::from(rel.eval(regs[a.index()] as u64, rv as u64));
+                        regs[dst.index()] = i64::from(rel.eval(regs[a.index()] as u64, rv as u64));
                     }
                     Inst::Load { size, ext, dst, addr, offset } => {
                         let a = (regs[addr.index()].wrapping_add(*offset)) as u64;

@@ -139,11 +139,7 @@ impl Program {
     /// remapped.
     pub fn link(&mut self, other: Program) {
         for f in &other.funcs {
-            assert!(
-                self.func(&f.name).is_none(),
-                "duplicate function `{}` while linking",
-                f.name
-            );
+            assert!(self.func(&f.name).is_none(), "duplicate function `{}` while linking", f.name);
         }
         let offset = self.globals.len() as u32;
         self.globals.extend(other.globals);

@@ -145,9 +145,7 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
                             what: format!("nonexistent local {local}"),
                         });
                     }
-                    Inst::GlobalAddr { global, .. }
-                        if global.index() >= program.globals.len() =>
-                    {
+                    Inst::GlobalAddr { global, .. } if global.index() >= program.globals.len() => {
                         return Err(ValidateError::BadSlot {
                             func: f.name.clone(),
                             what: format!("nonexistent global {global}"),
@@ -244,10 +242,7 @@ mod tests {
 
     #[test]
     fn bad_branch_target_detected() {
-        let p = func_with_block(Block {
-            insts: vec![],
-            term: Some(Terminator::Jmp(BlockId(7))),
-        });
+        let p = func_with_block(Block { insts: vec![], term: Some(Terminator::Jmp(BlockId(7))) });
         assert!(matches!(validate(&p), Err(ValidateError::BadBlockTarget { target: 7, .. })));
     }
 
@@ -268,10 +263,7 @@ mod tests {
             f.ret(None);
         });
         let p = pb.build().expect("unlinked validation tolerates unresolved calls");
-        assert!(matches!(
-            validate_linked(&p),
-            Err(ValidateError::UnknownCallee { .. })
-        ));
+        assert!(matches!(validate_linked(&p), Err(ValidateError::UnknownCallee { .. })));
     }
 
     #[test]

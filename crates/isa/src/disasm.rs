@@ -128,8 +128,7 @@ mod tests {
 
     #[test]
     fn predicated_form() {
-        let st = Insn::new(Op::St { size: MemSize::B1, src: Gpr::R2, addr: Gpr::R3 })
-            .under(Pr::P6);
+        let st = Insn::new(Op::St { size: MemSize::B1, src: Gpr::R2, addr: Gpr::R3 }).under(Pr::P6);
         assert_eq!(st.to_string(), "(p6) st1 [r3] = r2");
     }
 

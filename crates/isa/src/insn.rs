@@ -431,10 +431,7 @@ impl<R: Copy> Op<R> {
 
     /// Returns `true` for instructions that touch data memory.
     pub fn is_memory(&self) -> bool {
-        matches!(
-            self,
-            Op::Ld { .. } | Op::St { .. } | Op::StSpill { .. } | Op::LdFill { .. }
-        )
+        matches!(self, Op::Ld { .. } | Op::St { .. } | Op::StSpill { .. } | Op::LdFill { .. })
     }
 
     /// Returns `true` for control-transfer instructions.

@@ -91,8 +91,24 @@ mod tests {
     #[test]
     fn numbers_are_unique() {
         let nums = [
-            EXIT, PRINT, NET_READ, NET_WRITE, FILE_OPEN, FILE_READ, FILE_WRITE, FILE_CLOSE,
-            KBD_READ, SQL_EXEC, SYSTEM, HTML_OUT, FILE_STAT, BRK, GET_ARG, DEBUG_TAINT, CLOCK, ALERT,
+            EXIT,
+            PRINT,
+            NET_READ,
+            NET_WRITE,
+            FILE_OPEN,
+            FILE_READ,
+            FILE_WRITE,
+            FILE_CLOSE,
+            KBD_READ,
+            SQL_EXEC,
+            SYSTEM,
+            HTML_OUT,
+            FILE_STAT,
+            BRK,
+            GET_ARG,
+            DEBUG_TAINT,
+            CLOCK,
+            ALERT,
         ];
         let mut sorted = nums;
         sorted.sort_unstable();

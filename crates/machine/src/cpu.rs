@@ -113,6 +113,25 @@ impl Cpu {
     pub fn nat_count(&self) -> usize {
         self.nat.iter().filter(|&&n| n).count()
     }
+
+    /// Folds every piece of architected state into `h`, in a fixed order —
+    /// two CPUs digest equal iff their observable state is identical.
+    pub(crate) fn digest_into(&self, h: &mut crate::snapshot::Fnv) {
+        for &g in &self.gpr {
+            h.word(g);
+        }
+        for &n in &self.nat {
+            h.byte(u8::from(n));
+        }
+        for &p in &self.pr {
+            h.byte(u8::from(p));
+        }
+        for &b in &self.br {
+            h.word(b);
+        }
+        h.word(self.unat);
+        h.word(self.ip as u64);
+    }
 }
 
 #[cfg(test)]

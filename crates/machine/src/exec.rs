@@ -7,6 +7,7 @@ use crate::cpu::{Cpu, RegVal};
 use crate::fault::{Fault, NatFaultKind};
 use crate::image::Image;
 use crate::mem::{MemError, Memory};
+use crate::snapshot::{Fnv, Injection, Snapshot};
 use crate::stats::{Exit, Stats};
 
 /// Host runtime interface: handles `syscall` traps.
@@ -55,6 +56,16 @@ pub struct Machine {
     code: Vec<Insn>,
     trace: Option<std::collections::VecDeque<usize>>,
     trace_cap: usize,
+    watchdog: Option<Watchdog>,
+    injections: Vec<(u64, Injection)>,
+}
+
+/// Per-transaction fuel budget: counts instructions retired since the last
+/// [`Machine::pet_watchdog`] and trips when the budget is exceeded.
+#[derive(Clone, Debug)]
+struct Watchdog {
+    budget: u64,
+    used: u64,
 }
 
 impl Machine {
@@ -86,7 +97,118 @@ impl Machine {
             code: image.code.clone(),
             trace: None,
             trace_cap: 0,
+            watchdog: None,
+            injections: Vec::new(),
         }
+    }
+
+    /// Arms (or re-arms) the watchdog: once more than `insns` instructions
+    /// retire without a [`Machine::pet_watchdog`], [`Machine::step`] stops
+    /// with [`Exit::FuelExhausted`] — a runaway or wedged guest terminates
+    /// deterministically instead of spinning to the global budget. The run
+    /// is resumable: pet (or disarm) the watchdog and step again.
+    pub fn arm_watchdog(&mut self, insns: u64) {
+        self.watchdog = Some(Watchdog { budget: insns, used: 0 });
+    }
+
+    /// Resets the watchdog's fuel counter. The recovery runtime calls this
+    /// at every transaction boundary (each request is granted a full
+    /// budget); a no-op when the watchdog is unarmed.
+    pub fn pet_watchdog(&mut self) {
+        if let Some(w) = &mut self.watchdog {
+            w.used = 0;
+        }
+    }
+
+    /// Disarms the watchdog.
+    pub fn disarm_watchdog(&mut self) {
+        self.watchdog = None;
+    }
+
+    /// Captures a restorable [`Snapshot`]: the full architected CPU state
+    /// (GPRs with NaT bits, predicates, branch registers, `UNAT`, `ip`) plus
+    /// a copy-on-write memory checkpoint. Supersedes any earlier snapshot of
+    /// this machine.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let mem_epoch = self.mem.begin_checkpoint();
+        Snapshot { cpu: self.cpu.clone(), mem_epoch }
+    }
+
+    /// Rewinds CPU and memory to `snap`'s point. The checkpoint stays armed,
+    /// so the same snapshot can be restored repeatedly (per-request
+    /// isolation rolls back to one snapshot many times). Timing state
+    /// (cache, statistics) is not rewound — see [`Snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` was superseded by a newer [`Machine::snapshot`] or
+    /// belongs to another machine.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        assert_eq!(
+            self.mem.checkpoint_epoch(),
+            snap.mem_epoch,
+            "snapshot superseded by a newer checkpoint (or from another machine)"
+        );
+        assert!(self.mem.rollback_checkpoint(), "no armed memory checkpoint to restore");
+        self.cpu = snap.cpu.clone();
+    }
+
+    /// Digest of all guest-observable state: every register (values, NaT
+    /// bits, predicates, branch registers, `UNAT`, `ip`) and all memory
+    /// contents, mappings, and banked spill-NaT bits. Two machines with
+    /// equal digests are indistinguishable to the guest; recovery tests use
+    /// this for byte-for-byte restore verification.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        self.cpu.digest_into(&mut h);
+        self.mem.digest_into(&mut h);
+        h.0
+    }
+
+    /// Schedules a fault-injection event: `inj` is applied immediately
+    /// before the instruction that retires after `insns` more steps
+    /// (`0` = before the next instruction). Events are transient — they
+    /// perturb state or raise one fault, then disappear.
+    pub fn inject_after(&mut self, insns: u64, inj: Injection) {
+        self.injections.push((insns, inj));
+    }
+
+    /// Number of scheduled injections that have not fired yet.
+    pub fn pending_injections(&self) -> usize {
+        self.injections.len()
+    }
+
+    fn apply_due_injections(&mut self) -> Option<Exit> {
+        let mut due = Vec::new();
+        self.injections.retain_mut(|(countdown, inj)| {
+            if *countdown == 0 {
+                due.push(inj.clone());
+                false
+            } else {
+                *countdown -= 1;
+                true
+            }
+        });
+        let mut fault = None;
+        for inj in due {
+            self.stats.injected_events += 1;
+            match inj {
+                Injection::FlipNat { reg } => {
+                    let v = self.cpu.gpr(reg);
+                    self.cpu.set_gpr(reg, RegVal { value: v.value, nat: !v.nat });
+                }
+                Injection::CorruptByte { addr, xor } => {
+                    // Unmapped targets are a benign no-op; everything else
+                    // goes through the normal write path so an armed
+                    // checkpoint journals the damage.
+                    if let Ok(old) = self.mem.read_int(addr, 1) {
+                        let _ = self.mem.write_int(addr, 1, old ^ u64::from(xor));
+                    }
+                }
+                Injection::Fault(f) => fault = Some(f),
+            }
+        }
+        fault.map(Exit::Fault)
     }
 
     /// Keeps a ring buffer of the last `n` executed instruction addresses
@@ -135,7 +257,22 @@ impl Machine {
     }
 
     /// Executes one instruction; returns `Some(exit)` when the run stops.
+    ///
+    /// Stopping is never destructive: the machine can keep stepping after
+    /// any exit (the runtime restores a snapshot first when the exit left
+    /// `ip` at a faulting instruction).
     pub fn step<O: Os>(&mut self, os: &mut O) -> Option<Exit> {
+        if let Some(w) = &mut self.watchdog {
+            if w.used >= w.budget {
+                return Some(Exit::FuelExhausted);
+            }
+            w.used += 1;
+        }
+        if !self.injections.is_empty() {
+            if let Some(exit) = self.apply_due_injections() {
+                return Some(exit);
+            }
+        }
         let ip = self.cpu.ip;
         let Some(&insn) = self.code.get(ip) else {
             return Some(Exit::Fault(Fault::BadIp { ip }));
@@ -851,7 +988,12 @@ mod tests {
         let (m, _) = run_code(vec![
             Insn::new(Op::MovI { dst: Gpr::R1, imm: 0x1ff }),
             Insn::new(Op::Tset { dst: Gpr::R1 }),
-            Insn::new(Op::Ext { kind: ExtKind::Zero, size: MemSize::B1, dst: Gpr::R2, src: Gpr::R1 }),
+            Insn::new(Op::Ext {
+                kind: ExtKind::Zero,
+                size: MemSize::B1,
+                dst: Gpr::R2,
+                src: Gpr::R1,
+            }),
             Insn::new(Op::Halt),
         ]);
         let r2 = m.cpu.gpr(Gpr::R2);
@@ -931,5 +1073,130 @@ mod tests {
     fn insn_limit_stops_infinite_loop() {
         let (_, exit) = run_code(vec![Insn::new(Op::Jmp { target: 0 })]);
         assert_eq!(exit, Exit::InsnLimit);
+    }
+
+    #[test]
+    fn watchdog_trips_and_is_resumable() {
+        let image = Image::builder().code(vec![Insn::new(Op::Jmp { target: 0 })]).build();
+        let mut m = Machine::new(&image);
+        m.arm_watchdog(50);
+        assert_eq!(m.run(&mut NullOs, 1_000_000), Exit::FuelExhausted);
+        assert!(m.stats.instructions <= 51, "watchdog must trip early");
+        // The exit is not sticky: petting grants a fresh budget.
+        m.pet_watchdog();
+        assert_eq!(m.run(&mut NullOs, 1_000_000), Exit::FuelExhausted);
+        m.disarm_watchdog();
+        assert_eq!(m.run(&mut NullOs, 100), Exit::InsnLimit);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_cpu_memory_and_nat() {
+        let slot = data_addr(0x600);
+        let image = Image::builder()
+            .code(vec![
+                Insn::new(Op::MovI { dst: Gpr::R2, imm: slot as i64 }),
+                Insn::new(Op::MovI { dst: Gpr::R1, imm: 7 }),
+                Insn::new(Op::Halt),
+                // After restore, execution resumes here (ip was at 3).
+                Insn::new(Op::Tset { dst: Gpr::R3 }),
+                Insn::new(Op::StSpill { src: Gpr::R3, addr: Gpr::R2 }),
+                Insn::new(Op::MovI { dst: Gpr::R1, imm: 99 }),
+                Insn::new(Op::Halt),
+            ])
+            .map(layout::DATA_BASE, 0x1000)
+            .build();
+        let mut m = Machine::new(&image);
+        assert_eq!(m.run(&mut NullOs, 100), Exit::Halted(0));
+
+        let snap = m.snapshot();
+        let digest = m.state_digest();
+        // Run the second fragment: dirties memory, a spill-NaT bit, and CPU.
+        m.cpu.ip = 3;
+        assert_eq!(m.run(&mut NullOs, 100), Exit::Halted(0));
+        assert!(m.mem.spill_nat(slot));
+        assert_ne!(m.state_digest(), digest, "the fragment must change state");
+
+        m.restore(&snap);
+        assert_eq!(m.state_digest(), digest, "restore must be byte-for-byte");
+        assert!(!m.mem.spill_nat(slot), "banked spill NaT must roll back");
+        assert_eq!(m.cpu.gpr(Gpr::R1).value, 7);
+        assert!(!m.cpu.gpr(Gpr::R3).nat);
+
+        // The same snapshot restores repeatedly.
+        m.cpu.ip = 3;
+        assert_eq!(m.run(&mut NullOs, 100), Exit::Halted(0));
+        m.restore(&snap);
+        assert_eq!(m.state_digest(), digest);
+    }
+
+    #[test]
+    #[should_panic(expected = "superseded")]
+    fn superseded_snapshot_is_rejected() {
+        let image = Image::builder().code(vec![Insn::new(Op::Halt)]).build();
+        let mut m = Machine::new(&image);
+        let old = m.snapshot();
+        let _new = m.snapshot();
+        m.restore(&old);
+    }
+
+    #[test]
+    fn injected_nat_flip_is_detected_at_the_sink() {
+        // r1 holds a clean pointer-ish value; the injected NaT flip turns a
+        // later store through it into an L2-style NaT-consumption fault.
+        let slot = data_addr(0x700);
+        let image = Image::builder()
+            .code(vec![
+                Insn::new(Op::MovI { dst: Gpr::R1, imm: slot as i64 }),
+                Insn::new(Op::Nop),
+                Insn::new(Op::Nop),
+                Insn::new(Op::St { size: MemSize::B8, src: Gpr::R2, addr: Gpr::R1 }),
+                Insn::new(Op::Halt),
+            ])
+            .map(layout::DATA_BASE, 0x1000)
+            .build();
+        let mut m = Machine::new(&image);
+        m.inject_after(2, crate::snapshot::Injection::FlipNat { reg: Gpr::R1 });
+        let exit = m.run(&mut NullOs, 100);
+        assert_eq!(
+            exit,
+            Exit::Fault(Fault::NatConsumption { kind: NatFaultKind::StoreAddress, ip: 3 })
+        );
+        assert_eq!(m.stats.injected_events, 1);
+        assert_eq!(m.pending_injections(), 0);
+    }
+
+    #[test]
+    fn injected_byte_corruption_is_journaled() {
+        let slot = data_addr(0x800);
+        let image = Image::builder()
+            .code(vec![Insn::new(Op::Jmp { target: 0 })])
+            .map(layout::DATA_BASE, 0x1000)
+            .build();
+        let mut m = Machine::new(&image);
+        m.mem.write_int(slot, 1, 0x0f).unwrap();
+        let snap = m.snapshot();
+        let digest = m.state_digest();
+        m.inject_after(3, crate::snapshot::Injection::CorruptByte { addr: slot, xor: 0xf0 });
+        assert_eq!(m.run(&mut NullOs, 10), Exit::InsnLimit);
+        assert_eq!(m.mem.read_int(slot, 1).unwrap(), 0xff, "corruption landed");
+        m.restore(&snap);
+        assert_eq!(m.state_digest(), digest, "corruption rolls back with the checkpoint");
+        assert_eq!(m.mem.read_int(slot, 1).unwrap(), 0x0f);
+    }
+
+    #[test]
+    fn injected_transient_fault_stops_without_corrupting_state() {
+        let image = Image::builder()
+            .code(vec![Insn::new(Op::Jmp { target: 0 })])
+            .map(layout::DATA_BASE, 0x1000)
+            .build();
+        let mut m = Machine::new(&image);
+        m.inject_after(
+            5,
+            crate::snapshot::Injection::Fault(Fault::Unmapped { addr: 0x666, ip: 0 }),
+        );
+        assert_eq!(m.run(&mut NullOs, 100), Exit::Fault(Fault::Unmapped { addr: 0x666, ip: 0 }));
+        // The run is resumable right away — the fault was transient.
+        assert_eq!(m.run(&mut NullOs, 10), Exit::InsnLimit);
     }
 }

@@ -74,6 +74,22 @@ pub struct Memory {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
     mapped: HashMap<u64, ()>,
     spill_nat: HashMap<u64, ()>,
+    journal: Option<Journal>,
+    epoch: u64,
+}
+
+/// Copy-on-write undo log for one active checkpoint.
+///
+/// Page *contents* are captured lazily: the first write to a page after the
+/// checkpoint records its pre-image (`None` when the page did not exist
+/// yet). The small bookkeeping maps (`mapped`, `spill_nat`) are captured
+/// eagerly — they hold one unit entry per page / spill slot and cloning them
+/// is far cheaper than intercepting every mutation.
+#[derive(Clone, Debug, Default)]
+struct Journal {
+    pre_pages: HashMap<u64, Option<Box<[u8; PAGE_SIZE as usize]>>>,
+    pre_mapped: HashMap<u64, ()>,
+    pre_spill_nat: HashMap<u64, ()>,
 }
 
 impl Memory {
@@ -130,6 +146,74 @@ impl Memory {
         self.pages.entry(addr / PAGE_SIZE).or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
     }
 
+    /// Records the pre-image of the page containing `addr` before its first
+    /// modification under the active checkpoint (no-op when none is armed).
+    #[inline]
+    fn touch_for_write(&mut self, addr: u64) {
+        if let Some(j) = &mut self.journal {
+            let idx = addr / PAGE_SIZE;
+            j.pre_pages.entry(idx).or_insert_with(|| self.pages.get(&idx).cloned());
+        }
+    }
+
+    /// Arms a copy-on-write checkpoint: subsequent writes record page
+    /// pre-images so [`Memory::rollback_checkpoint`] can undo them. Replaces
+    /// any previous checkpoint. Returns the checkpoint's epoch.
+    pub fn begin_checkpoint(&mut self) -> u64 {
+        self.epoch += 1;
+        self.journal = Some(Journal {
+            pre_pages: HashMap::new(),
+            pre_mapped: self.mapped.clone(),
+            pre_spill_nat: self.spill_nat.clone(),
+        });
+        self.epoch
+    }
+
+    /// Epoch of the active checkpoint (0 when none has ever been armed).
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Returns `true` if a checkpoint is armed.
+    pub fn has_checkpoint(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Undoes every modification since [`Memory::begin_checkpoint`]: dirtied
+    /// pages revert to their pre-images, pages that did not exist are
+    /// dropped, and mappings / banked spill-NaT bits revert wholesale. The
+    /// checkpoint stays armed, so the same point can be rolled back to again.
+    /// Returns `false` (doing nothing) when no checkpoint is armed.
+    pub fn rollback_checkpoint(&mut self) -> bool {
+        let Some(j) = &mut self.journal else {
+            return false;
+        };
+        for (idx, pre) in j.pre_pages.drain() {
+            match pre {
+                Some(page) => {
+                    self.pages.insert(idx, page);
+                }
+                None => {
+                    self.pages.remove(&idx);
+                }
+            }
+        }
+        self.mapped = j.pre_mapped.clone();
+        self.spill_nat = j.pre_spill_nat.clone();
+        true
+    }
+
+    /// Drops the active checkpoint (if any) without undoing anything.
+    pub fn discard_checkpoint(&mut self) {
+        self.journal = None;
+    }
+
+    /// Number of pages dirtied since the active checkpoint was armed (0
+    /// when none is armed) — the copy-on-write footprint of a rollback.
+    pub fn dirty_pages(&self) -> usize {
+        self.journal.as_ref().map_or(0, |j| j.pre_pages.len())
+    }
+
     /// Reads a naturally-aligned little-endian integer of `size` ∈ {1,2,4,8}
     /// bytes, zero-extended to `u64`.
     ///
@@ -155,6 +239,7 @@ impl Memory {
     /// [`MemError`] on unimplemented, unmapped, or unaligned access.
     pub fn write_int(&mut self, addr: u64, size: u64, value: u64) -> Result<(), MemError> {
         self.check(addr, size, true)?;
+        self.touch_for_write(addr);
         let page = self.page(addr);
         let off = (addr % PAGE_SIZE) as usize;
         for i in 0..size as usize {
@@ -205,6 +290,7 @@ impl Memory {
         for (i, &b) in data.iter().enumerate() {
             let a = addr.wrapping_add(i as u64);
             self.check(a, 1, false)?;
+            self.touch_for_write(a);
             let page = self.page(a);
             page[(a % PAGE_SIZE) as usize] = b;
             self.spill_nat.remove(&(a & !7));
@@ -235,6 +321,32 @@ impl Memory {
     /// Number of distinct pages that have been touched (diagnostics).
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Folds the observable memory state into `h`. All-zero pages digest
+    /// identically to absent ones: region 0 is lazily zero-backed, so a page
+    /// a read faulted in is indistinguishable from one never touched.
+    pub(crate) fn digest_into(&self, h: &mut crate::snapshot::Fnv) {
+        let mut page_idxs: Vec<u64> =
+            self.pages.iter().filter(|(_, p)| p.iter().any(|&b| b != 0)).map(|(&i, _)| i).collect();
+        page_idxs.sort_unstable();
+        for idx in page_idxs {
+            h.word(idx);
+            h.bytes(&self.pages[&idx][..]);
+        }
+        // Domain separators keep the variable-length sections unambiguous.
+        h.word(u64::MAX);
+        let mut mapped: Vec<u64> = self.mapped.keys().copied().collect();
+        mapped.sort_unstable();
+        for m in mapped {
+            h.word(m);
+        }
+        h.word(u64::MAX);
+        let mut nats: Vec<u64> = self.spill_nat.keys().copied().collect();
+        nats.sort_unstable();
+        for n in nats {
+            h.word(n);
+        }
     }
 }
 
@@ -272,10 +384,7 @@ mod tests {
     #[test]
     fn unaligned_int_access_rejected() {
         let (mut m, base) = mapped();
-        assert_eq!(
-            m.read_int(base + 1, 8),
-            Err(MemError::Unaligned { addr: base + 1, size: 8 })
-        );
+        assert_eq!(m.read_int(base + 1, 8), Err(MemError::Unaligned { addr: base + 1, size: 8 }));
         // …but byte-granularity accessors don't require alignment.
         m.write_bytes(base + 1, &[9]).unwrap();
     }

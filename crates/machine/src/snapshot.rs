@@ -1,0 +1,87 @@
+//! Guest snapshots, fault injection, and state digests.
+//!
+//! The recovery layer (shift-core) snapshots the machine at request
+//! boundaries and rolls back on a violation or fault, so one malicious or
+//! wedged request cannot take down a long-running server. A [`Snapshot`]
+//! pairs a full copy of the architected CPU state (GPRs with NaT bits,
+//! predicates, branch registers, `UNAT`, `ip`) with a copy-on-write memory
+//! checkpoint armed in [`crate::Memory`]: only pages dirtied after the
+//! snapshot are captured, so per-request checkpoints cost proportional to
+//! the request's write footprint, not the address space.
+//!
+//! [`Injection`] describes the transient events the fault-injection harness
+//! drives through [`crate::Machine::inject_after`]: NaT-bit flips, tag-bitmap
+//! byte corruption, and spurious architectural faults, delivered after a
+//! countdown of retired instructions so they land mid-run deterministically.
+
+use shift_isa::Gpr;
+
+use crate::cpu::Cpu;
+use crate::fault::Fault;
+
+/// A restorable point in a guest's execution.
+///
+/// Created by [`crate::Machine::snapshot`]; restored by
+/// [`crate::Machine::restore`]. Only one snapshot is live per machine at a
+/// time — taking a new one supersedes the old (restoring a superseded
+/// snapshot is rejected). Timing state (cache contents, accumulated
+/// statistics) is deliberately *not* rolled back: recovery rewinds what the
+/// guest can observe, while cycle accounting keeps recording what actually
+/// happened, recovery included.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    pub(crate) cpu: Cpu,
+    pub(crate) mem_epoch: u64,
+}
+
+/// A transient event the fault-injection harness can deliver mid-run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Injection {
+    /// Toggles the NaT bit of a register, leaving its value intact — models
+    /// a bit flip in the register file's NaT bank.
+    FlipNat {
+        /// Register whose NaT bit is toggled.
+        reg: Gpr,
+    },
+    /// XORs one byte of memory — aimed at tag-bitmap bytes in region 0 to
+    /// model corruption of the in-memory taint state. Injection into an
+    /// unmapped address is a no-op (provably benign).
+    CorruptByte {
+        /// Byte address to corrupt.
+        addr: u64,
+        /// Mask XORed into the byte (0 is a no-op).
+        xor: u8,
+    },
+    /// Raises an architectural fault out of thin air — models a transient
+    /// unmapped/unaligned access the guest did not architecturally make.
+    Fault(Fault),
+}
+
+/// Incremental FNV-1a hasher used for byte-for-byte state digests.
+#[derive(Clone, Debug)]
+pub(crate) struct Fnv(pub u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Fnv {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    #[inline]
+    pub(crate) fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x1000_0000_01B3);
+    }
+
+    #[inline]
+    pub(crate) fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    pub(crate) fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+}

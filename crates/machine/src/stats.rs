@@ -34,6 +34,12 @@ pub enum Exit {
     Violation(Violation),
     /// The instruction budget given to [`crate::Machine::run`] ran out.
     InsnLimit,
+    /// The per-transaction watchdog budget ran out (see
+    /// [`crate::Machine::arm_watchdog`]) — a runaway or wedged guest was
+    /// terminated deterministically. Distinct from [`Exit::InsnLimit`]: the
+    /// watchdog is a recoverable, per-request budget the runtime re-arms,
+    /// while `InsnLimit` is the whole run's ceiling.
+    FuelExhausted,
 }
 
 impl Exit {
@@ -60,6 +66,7 @@ impl std::fmt::Display for Exit {
             Exit::Fault(fault) => write!(f, "fault: {fault}"),
             Exit::Violation(v) => write!(f, "violation: {v}"),
             Exit::InsnLimit => f.write_str("instruction limit reached"),
+            Exit::FuelExhausted => f.write_str("watchdog fuel budget exhausted"),
         }
     }
 }
@@ -91,6 +98,8 @@ pub struct Stats {
     pub chk_taken: u64,
     /// Runtime calls executed.
     pub syscalls: u64,
+    /// Fault-injection events applied (see [`crate::Machine::inject_after`]).
+    pub injected_events: u64,
 }
 
 impl Stats {

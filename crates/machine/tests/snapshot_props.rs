@@ -1,0 +1,176 @@
+//! Property tests for snapshot/restore fidelity.
+//!
+//! Random straight-line instruction sequences — ALU traffic, NaT taints,
+//! speculative loads (including NaT-manufacturing loads from invalid
+//! addresses), `st8.spill`/`ld8.fill` pairs exercising `UNAT`, and
+//! NaT-clearing compares — are cut at a random point, snapshotted, run to
+//! completion, and then restored and replayed. The replay must land on the
+//! same exit **and** a bit-identical [`Machine::state_digest`], covering
+//! GPR values, NaT bits, predicates, `UNAT`, `ip`, and every mapped page.
+
+use proptest::prelude::*;
+use shift_isa::{AluOp, CmpRel, ExtKind, Gpr, Insn, MemSize, Op, Pr};
+use shift_machine::{layout, Image, Machine, NullOs};
+
+/// One generated step of guest work (materialized into 1–2 instructions).
+#[derive(Clone, Debug)]
+enum Step {
+    /// `movl dst = imm`.
+    MovI { dst: usize, imm: i64 },
+    /// `add dst = a, b` — propagates NaT by OR.
+    Add { dst: usize, a: usize, b: usize },
+    /// `xor dst = a, imm`.
+    XorI { dst: usize, a: usize, imm: i64 },
+    /// `tset dst` — NaT the register, keeping its value.
+    Taint { dst: usize },
+    /// `ld8.s dst = [addr]`; odd offsets aim at an *invalid* address, so
+    /// the deferral machinery manufactures a NaT instead of faulting.
+    SpecLoad { dst: usize, off: u64 },
+    /// `st8.spill [addr] = src` — banks the NaT bit into `UNAT`.
+    Spill { src: usize, off: u64 },
+    /// `ld8.fill dst = [addr]` — restores the NaT bit from `UNAT`.
+    Fill { dst: usize, off: u64 },
+    /// `cmp.lt p1, p2 = a, b` — NaT sources clear both predicates.
+    CmpLt { a: usize, b: usize },
+    /// `mov dst = src` — NaT travels with the value.
+    Mov { dst: usize, src: usize },
+}
+
+/// Scratch registers `r1..=r11`: clear of `r0`, the ABI/stack registers,
+/// and the `r14` address scratch used by [`materialize`].
+fn reg(i: usize) -> Gpr {
+    Gpr::from_index(1 + i % 11)
+}
+
+/// A valid, 8-aligned data address inside the mapped test page.
+fn data_addr(off: u64) -> u64 {
+    layout::DATA_BASE + (off % 0x1000) / 8 * 8
+}
+
+fn materialize(step: &Step, code: &mut Vec<Insn>) {
+    const ADDR: Gpr = Gpr::R14;
+    let addr_to = |code: &mut Vec<Insn>, a: u64| {
+        code.push(Insn::new(Op::MovI { dst: ADDR, imm: a as i64 }));
+    };
+    match *step {
+        Step::MovI { dst, imm } => code.push(Insn::new(Op::MovI { dst: reg(dst), imm })),
+        Step::Add { dst, a, b } => code.push(Insn::new(Op::Alu {
+            op: AluOp::Add,
+            dst: reg(dst),
+            src1: reg(a),
+            src2: reg(b),
+        })),
+        Step::XorI { dst, a, imm } => {
+            code.push(Insn::new(Op::AluI { op: AluOp::Xor, dst: reg(dst), src1: reg(a), imm }))
+        }
+        Step::Taint { dst } => code.push(Insn::new(Op::Tset { dst: reg(dst) })),
+        Step::SpecLoad { dst, off } => {
+            // Odd offsets: an unmapped address, deferred to a NaT.
+            addr_to(code, if off & 1 == 1 { 1 } else { data_addr(off) });
+            code.push(Insn::new(Op::Ld {
+                size: MemSize::B8,
+                ext: ExtKind::Zero,
+                dst: reg(dst),
+                addr: ADDR,
+                spec: true,
+            }));
+        }
+        Step::Spill { src, off } => {
+            addr_to(code, data_addr(off));
+            code.push(Insn::new(Op::StSpill { src: reg(src), addr: ADDR }));
+        }
+        Step::Fill { dst, off } => {
+            addr_to(code, data_addr(off));
+            code.push(Insn::new(Op::LdFill { dst: reg(dst), addr: ADDR }));
+        }
+        Step::CmpLt { a, b } => code.push(Insn::new(Op::Cmp {
+            rel: CmpRel::Lt,
+            pt: Pr::P1,
+            pf: Pr::P2,
+            src1: reg(a),
+            src2: reg(b),
+            nat_aware: false,
+        })),
+        Step::Mov { dst, src } => code.push(Insn::new(Op::Mov { dst: reg(dst), src: reg(src) })),
+    }
+}
+
+fn step_strategy() -> BoxedStrategy<Step> {
+    let r = || 0usize..11;
+    prop_oneof![
+        (r(), any::<i64>()).prop_map(|(dst, imm)| Step::MovI { dst, imm }),
+        (r(), r(), r()).prop_map(|(dst, a, b)| Step::Add { dst, a, b }),
+        (r(), r(), any::<i64>()).prop_map(|(dst, a, imm)| Step::XorI { dst, a, imm }),
+        r().prop_map(|dst| Step::Taint { dst }),
+        (r(), 0u64..0x2000).prop_map(|(dst, off)| Step::SpecLoad { dst, off }),
+        (r(), 0u64..0x2000).prop_map(|(src, off)| Step::Spill { src, off }),
+        (r(), 0u64..0x2000).prop_map(|(dst, off)| Step::Fill { dst, off }),
+        (r(), r()).prop_map(|(a, b)| Step::CmpLt { a, b }),
+        (r(), r()).prop_map(|(dst, src)| Step::Mov { dst, src }),
+    ]
+    .boxed()
+}
+
+fn build_image(steps: &[Step]) -> Image {
+    let mut code = Vec::new();
+    for s in steps {
+        materialize(s, &mut code);
+    }
+    code.push(Insn::new(Op::MovI { dst: Gpr::R8, imm: 0 }));
+    code.push(Insn::new(Op::Halt));
+    Image::builder().code(code).map(layout::DATA_BASE, 0x1000).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Snapshot mid-run, finish, restore, replay: the restored state must
+    /// equal the snapshot point bit-for-bit, and the replay must reproduce
+    /// the original continuation exactly (same exit, same final digest).
+    #[test]
+    fn snapshot_restore_replays_bit_identically(
+        steps in prop::collection::vec(step_strategy(), 1..40),
+        cut in 0u64..96,
+    ) {
+        let image = build_image(&steps);
+        let mut m = Machine::new(&image);
+
+        // Run to the cut point (or to the end, for large cuts — a snapshot
+        // of a finished guest must round-trip too).
+        let _ = m.run(&mut NullOs, cut);
+        let snap = m.snapshot();
+        let mid = m.state_digest();
+
+        let exit_a = m.run(&mut NullOs, 1_000_000);
+        let end_a = m.state_digest();
+
+        m.restore(&snap);
+        prop_assert_eq!(m.state_digest(), mid, "restore must land on the snapshot");
+
+        let exit_b = m.run(&mut NullOs, 1_000_000);
+        prop_assert_eq!(&exit_a, &exit_b, "replay diverged in exit");
+        prop_assert_eq!(m.state_digest(), end_a, "replay diverged in final state");
+    }
+
+    /// Restoring twice from the same snapshot is idempotent even with more
+    /// execution (and therefore more dirty pages) in between.
+    #[test]
+    fn double_restore_is_idempotent(
+        steps in prop::collection::vec(step_strategy(), 1..24),
+        cut in 0u64..48,
+    ) {
+        let image = build_image(&steps);
+        let mut m = Machine::new(&image);
+        let _ = m.run(&mut NullOs, cut);
+        let snap = m.snapshot();
+        let mid = m.state_digest();
+
+        let _ = m.run(&mut NullOs, 1_000_000);
+        m.restore(&snap);
+        prop_assert_eq!(m.state_digest(), mid);
+
+        let _ = m.run(&mut NullOs, 1_000_000);
+        m.restore(&snap);
+        prop_assert_eq!(m.state_digest(), mid);
+    }
+}

@@ -170,8 +170,7 @@ pub fn tag_location(vaddr: u64, gran: Granularity) -> Result<TagLocation, TagAdd
         return Err(TagAddrError::RegionZero);
     }
     let offset = offset_of(vaddr);
-    let byte_addr =
-        (u64::from(region - 1) << REGION_STRIDE_BITS) | (offset >> gran.byte_shift());
+    let byte_addr = (u64::from(region - 1) << REGION_STRIDE_BITS) | (offset >> gran.byte_shift());
     let mask = match gran {
         Granularity::Byte => 1u8 << (offset & 7),
         Granularity::Word => 0xff,
@@ -373,7 +372,7 @@ mod tests {
     fn shadow_copy_taint_handles_overlap() {
         let mut s = HostShadow::new();
         s.set_range(0x1000, 4, true); // bytes 0x1000..0x1004 tainted
-        // Overlapping forward copy: dst = src + 2.
+                                      // Overlapping forward copy: dst = src + 2.
         s.copy_taint(0x1002, 0x1000, 4);
         // Source bits were [1,1,1,1]; after copy dst 0x1002..0x1006 = [1,1,1,1].
         assert!(s.all_tainted(0x1000, 6));

@@ -12,10 +12,31 @@
 use shift_ir::{Program, ProgramBuilder, Rhs};
 use shift_isa::{sys, CmpRel};
 
-use shift_core::{IoCostModel, Mode, Shift, Stats, TaintConfig, World};
+use shift_core::{
+    Exit, IoCostModel, Mode, Shift, Stats, TaintConfig, Violation, ViolationAction, World,
+};
 
 /// A served file's name in the guest filesystem.
 pub const DOC_PATH: &str = "www/page";
+
+/// Where the directory-traversal exploit escapes the docroot to. The
+/// simulated filesystem does exact-name lookups, so the traversal target
+/// exists under its raw traversed name.
+pub const SECRET_PATH: &str = "www/../../secret";
+
+/// The secret's content — recognisable so tests can assert it never leaks.
+pub const SECRET_BYTES: &[u8] = b"TOP-SECRET-KEY-MATERIAL";
+
+/// A benign request for the standard document.
+pub fn benign_request() -> Vec<u8> {
+    b"GET /page HTTP/1.0\r\n\r\n".to_vec()
+}
+
+/// The qwikiwiki-style traversal exploit aimed at the Apache guest: tainted
+/// `..` path components reaching `file_open` trip policy H2.
+pub fn exploit_request() -> Vec<u8> {
+    b"GET /../../secret HTTP/1.0\r\n\r\n".to_vec()
+}
 
 /// Builds the server guest program.
 pub fn apache_program() -> Program {
@@ -197,6 +218,67 @@ pub fn run_apache_mixed(mode: Mode, requests: usize) -> ApacheRun {
     ApacheRun { served, stats: report.stats, bytes_out: report.runtime.net_output.len() }
 }
 
+/// Result of a resilient (per-request isolated) Apache run: the
+/// graceful-degradation counters the recovery layer exports.
+#[derive(Clone, Debug)]
+pub struct ResilientApacheRun {
+    /// How the session finally ended.
+    pub exit: Exit,
+    /// Requests completed without a rollback.
+    pub served: u64,
+    /// Requests detected or faulted, rolled back, with service continuing.
+    pub recovered: u64,
+    /// Requests lost outright.
+    pub dropped: u64,
+    /// Cycles thrown away rewinding aborted requests.
+    pub recovery_cycles: u64,
+    /// Every violation recorded across the session.
+    pub violations: Vec<Violation>,
+    /// Full accounting.
+    pub stats: Stats,
+    /// Everything that went out on the simulated socket.
+    pub net_output: Vec<u8>,
+}
+
+/// Runs the server under per-request isolation: every request is a
+/// transaction (machine snapshot + runtime checkpoint at `net_read`),
+/// detections and faults roll the offending request back
+/// (`AbortTransaction` for every policy), and a watchdog bounds each
+/// request's instruction budget. The world contains [`DOC_PATH`]
+/// (`file_size` bytes) and the out-of-docroot [`SECRET_PATH`].
+pub fn run_apache_resilient(
+    mode: Mode,
+    file_size: usize,
+    requests: &[Vec<u8>],
+) -> ResilientApacheRun {
+    let program = apache_program();
+    let mut cfg = TaintConfig::default_secure();
+    cfg.set_default_action(ViolationAction::AbortTransaction);
+    let shift = Shift::new(mode)
+        .with_config(cfg)
+        .with_io(IoCostModel::SERVER)
+        .with_insn_limit(4_000_000_000)
+        .with_fuel(20_000_000);
+
+    let mut world = World::new()
+        .file(DOC_PATH, super::spec::prng_bytes(77, file_size))
+        .file(SECRET_PATH, SECRET_BYTES.to_vec());
+    for r in requests {
+        world = world.net(r.clone());
+    }
+    let report = shift.serve(&program, world).expect("apache guest compiles");
+    ResilientApacheRun {
+        exit: report.exit,
+        served: report.served,
+        recovered: report.recovered,
+        dropped: report.dropped,
+        recovery_cycles: report.recovery_cycles,
+        violations: report.violations,
+        stats: report.stats,
+        net_output: report.runtime.net_output.clone(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,22 +304,42 @@ mod tests {
     }
 
     #[test]
+    fn log_and_continue_answers_every_request() {
+        // The README quickstart scenario: under `LogAndContinue` the
+        // traversal exploit is logged and its sink refused, but no request
+        // is dropped and the server never rolls back.
+        let mut cfg = TaintConfig::default_secure();
+        cfg.set_default_action(ViolationAction::LogAndContinue);
+        let world = World::new()
+            .file(DOC_PATH, vec![7u8; 4096])
+            .file(SECRET_PATH, SECRET_BYTES.to_vec())
+            .net(benign_request())
+            .net(exploit_request())
+            .net(benign_request());
+        let report = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+            .with_config(cfg)
+            .serve(&apache_program(), world)
+            .unwrap();
+        assert_eq!(report.violations[0].policy, "H2", "{:?}", report.violations);
+        assert!(report.nothing_dropped(), "dropped = {}", report.dropped);
+        assert_eq!(report.recovered, 0);
+        let out = &report.runtime.net_output;
+        assert!(
+            !out.windows(SECRET_BYTES.len()).any(|w| w == SECRET_BYTES),
+            "refused sink must not leak the secret"
+        );
+    }
+
+    #[test]
     fn overhead_is_io_dominated() {
         // Figure 6's core claim: instrumented vs baseline end-to-end time
         // differs by a few percent at most, even though CPU time differs by
         // 2–4×.
         let base = run_apache(Mode::Uninstrumented, 4096, 4);
-        let inst = run_apache(
-            Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
-            4096,
-            4,
-        );
+        let inst = run_apache(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)), 4096, 4);
         assert_eq!(base.served, inst.served);
         let overhead = inst.total_time() as f64 / base.total_time() as f64;
-        assert!(
-            overhead < 1.25,
-            "server overhead should be I/O-masked, got {overhead:.3}"
-        );
+        assert!(overhead < 1.25, "server overhead should be I/O-masked, got {overhead:.3}");
         let cpu_ratio = inst.stats.cycles as f64 / base.stats.cycles as f64;
         assert!(cpu_ratio > 1.5, "CPU work must still differ, got {cpu_ratio:.2}");
     }
@@ -247,23 +349,72 @@ mod tests {
         // 8 requests: 6 hits (2 per file) + 2 misses.
         let run = run_apache_mixed(Mode::Uninstrumented, 8);
         assert_eq!(run.served, 6);
-        let instrumented = run_apache_mixed(
-            Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
-            8,
-        );
+        let instrumented =
+            run_apache_mixed(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)), 8);
         assert_eq!(instrumented.served, 6, "no false positives under mixed traffic");
         let overhead = instrumented.total_time() as f64 / run.total_time() as f64;
         assert!(overhead < 1.15, "mixed traffic still I/O-masked: {overhead:.3}");
     }
 
+    fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+        haystack.windows(needle.len()).any(|w| w == needle)
+    }
+
+    #[test]
+    fn resilient_server_survives_mixed_exploit_stream() {
+        // 9 requests, every third one a traversal exploit: the server must
+        // detect all 3 attacks, roll each back, and serve all 6 benign
+        // requests — zero dropped.
+        let reqs: Vec<Vec<u8>> =
+            (0..9).map(|i| if i % 3 == 2 { exploit_request() } else { benign_request() }).collect();
+        let run = run_apache_resilient(
+            Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
+            2048,
+            &reqs,
+        );
+        assert_eq!(run.exit, Exit::Halted(6), "{:?}", run.exit);
+        assert_eq!(run.served, 6, "every benign request must be served");
+        assert_eq!(run.recovered, 3, "every exploit must be rolled back");
+        assert_eq!(run.dropped, 0);
+        assert_eq!(run.violations.len(), 3);
+        assert!(run.violations.iter().all(|v| v.policy == "H2"), "{:?}", run.violations);
+        assert!(run.recovery_cycles > 0);
+        assert!(!contains(&run.net_output, SECRET_BYTES), "the secret must never reach the socket");
+        // 6 × (200 header + 2048 body), and nothing from aborted requests.
+        assert!(run.net_output.len() > 6 * 2048);
+    }
+
+    #[test]
+    fn unprotected_server_leaks_the_secret() {
+        // The same exploit against the uninstrumented server demonstrates
+        // the attack is real: the traversal walks out of the docroot.
+        let run = run_apache_resilient(Mode::Uninstrumented, 1024, &[exploit_request()]);
+        assert_eq!(run.exit, Exit::Halted(1));
+        assert!(run.violations.is_empty(), "nothing to detect without tags");
+        assert!(
+            contains(&run.net_output, SECRET_BYTES),
+            "unprotected traversal must leak the secret"
+        );
+    }
+
+    #[test]
+    fn resilient_clean_stream_has_zero_recovery_overhead() {
+        let reqs = vec![benign_request(); 4];
+        let run = run_apache_resilient(
+            Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
+            4096,
+            &reqs,
+        );
+        assert_eq!(run.exit, Exit::Halted(4));
+        assert_eq!((run.served, run.recovered, run.dropped), (4, 0, 0));
+        assert_eq!(run.recovery_cycles, 0);
+        assert!(run.violations.is_empty());
+    }
+
     #[test]
     fn benign_requests_raise_no_alarms() {
         // Full policy set armed; normal traffic must not trip anything.
-        let run = run_apache(
-            Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
-            2048,
-            3,
-        );
+        let run = run_apache(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)), 2048, 3);
         assert_eq!(run.served, 3, "false positive stopped the server");
     }
 }

@@ -98,8 +98,7 @@ mod tests {
             f.ret(Some(folded));
         });
         let app = pb.build().unwrap();
-        let report =
-            Shift::new(Mode::Uninstrumented).run(&app, World::new()).unwrap();
+        let report = Shift::new(Mode::Uninstrumented).run(&app, World::new()).unwrap();
         let mut s = 0x1234_5678u64;
         for _ in 0..3 {
             s ^= s << 13;

@@ -102,12 +102,7 @@ mod tests {
                 Mode::Shadow(Granularity::Byte),
             ] {
                 let run = run_spec(&bench, mode, Scale::Test, true);
-                assert_eq!(
-                    run.checksum(),
-                    expect,
-                    "{}: wrong result under {mode:?}",
-                    bench.name
-                );
+                assert_eq!(run.checksum(), expect, "{}: wrong result under {mode:?}", bench.name);
             }
         }
     }

@@ -180,12 +180,8 @@ mod tests {
     #[test]
     fn byte_level_store_instrumentation_is_heavy_here() {
         let b = bench();
-        let run = run_spec(
-            &b,
-            Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
-            Scale::Test,
-            true,
-        );
+        let run =
+            run_spec(&b, Mode::Shift(ShiftOptions::baseline(Granularity::Byte)), Scale::Test, true);
         let st = run.stats.cycles_for(Provenance::StTagCompute)
             + run.stats.cycles_for(Provenance::StTagMemory);
         let ld = run.stats.cycles_for(Provenance::LdTagCompute)

@@ -166,10 +166,7 @@ mod tests {
         };
         let crafty = slowdown("crafty");
         let gzip = slowdown("gzip");
-        assert!(
-            crafty < gzip,
-            "crafty ({crafty:.2}x) should be lighter than gzip ({gzip:.2}x)"
-        );
+        assert!(crafty < gzip, "crafty ({crafty:.2}x) should be lighter than gzip ({gzip:.2}x)");
         assert!(crafty < 3.0, "register-heavy kernel slowdown too high: {crafty:.2}x");
     }
 
@@ -203,10 +200,7 @@ mod tests {
                 | ((occ << 15) & nothfile)
                 | ((occ >> 17) & nothfile)
                 | ((occ >> 15) & notafile);
-            let king = ((occ << 1) & notafile)
-                | ((occ >> 1) & nothfile)
-                | (occ << 8)
-                | (occ >> 8);
+            let king = ((occ << 1) & notafile) | ((occ >> 1) & nothfile) | (occ << 8) | (occ >> 8);
             let pc = u64::from((knights | king).count_ones());
             total = total.wrapping_add(pc);
             let idx = (it & 63) as usize;

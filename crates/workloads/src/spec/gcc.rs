@@ -60,13 +60,7 @@ fn input(scale: Scale) -> Vec<u8> {
 
 /// Emits "reduce one operator": pops an op and two values, pushes the
 /// result. `vsp`/`osp` are stack depths, `vstk`/`ostk` base addresses.
-fn emit_reduce(
-    f: &mut shift_ir::FnBuilder,
-    vstk: VReg,
-    vsp: VReg,
-    ostk: VReg,
-    osp: VReg,
-) {
+fn emit_reduce(f: &mut shift_ir::FnBuilder, vstk: VReg, vsp: VReg, ostk: VReg, osp: VReg) {
     let o1 = f.addi(osp, -1);
     f.assign(osp, o1);
     let opoff = f.shli(osp, 3);
@@ -264,7 +258,8 @@ mod tests {
     fn host_eval(text: &[u8]) -> i64 {
         let mut total: i64 = 0;
         for stmt in text.split(|&b| b == b';') {
-            let s: String = stmt.iter().map(|&b| b as char).filter(|c| !c.is_whitespace()).collect();
+            let s: String =
+                stmt.iter().map(|&b| b as char).filter(|c| !c.is_whitespace()).collect();
             if s.is_empty() {
                 continue;
             }
@@ -314,12 +309,8 @@ mod tests {
     #[test]
     fn compare_relaxation_dominates_this_kernel() {
         let b = bench();
-        let base = run_spec(
-            &b,
-            Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
-            Scale::Test,
-            true,
-        );
+        let base =
+            run_spec(&b, Mode::Shift(ShiftOptions::baseline(Granularity::Byte)), Scale::Test, true);
         let relax = base.stats.cycles_for(shift_isa::Provenance::Relax);
         assert!(
             relax * 4 > base.stats.instrumentation_cycles(),

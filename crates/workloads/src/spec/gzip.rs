@@ -25,8 +25,18 @@ pub fn bench() -> SpecBench {
 fn input(scale: Scale) -> Vec<u8> {
     // Compressible text: a pool of words stitched pseudo-randomly.
     let words: &[&str] = &[
-        "the", "compression", "of", "redundant", "data", "window", "match", "hash",
-        "distance", "literal", "stream", "deflate",
+        "the",
+        "compression",
+        "of",
+        "redundant",
+        "data",
+        "window",
+        "match",
+        "hash",
+        "distance",
+        "literal",
+        "stream",
+        "deflate",
     ];
     let target = match scale {
         Scale::Test => 600,

@@ -231,9 +231,6 @@ mod tests {
             true,
         );
         let gain = base.stats.cycles as f64 / enh.stats.cycles as f64;
-        assert!(
-            gain < 1.40,
-            "mcf should gain little from the enhancements, got {gain:.3}x"
-        );
+        assert!(gain < 1.40, "mcf should gain little from the enhancements, got {gain:.3}x");
     }
 }

@@ -80,10 +80,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_named_like_the_paper() {
         let names: Vec<_> = all_benches().iter().map(|b| b.name).collect();
-        assert_eq!(
-            names,
-            ["gzip", "gcc", "crafty", "bzip2", "vpr", "mcf", "parser", "twolf"]
-        );
+        assert_eq!(names, ["gzip", "gcc", "crafty", "bzip2", "vpr", "mcf", "parser", "twolf"]);
     }
 
     #[test]

@@ -266,9 +266,6 @@ mod tests {
         let unsafe_run = run_spec(&bench(), mode, Scale::Test, true);
         let safe_run = run_spec(&bench(), mode, Scale::Test, false);
         let ratio = unsafe_run.stats.cycles as f64 / safe_run.stats.cycles as f64;
-        assert!(
-            ratio < 1.10,
-            "vpr should be nearly taint-independent, got {ratio:.3}"
-        );
+        assert!(ratio < 1.10, "vpr should be nearly taint-independent, got {ratio:.3}");
     }
 }

@@ -18,11 +18,8 @@ fn main() {
     println!("{:-<68}", "");
     for size in [4 << 10, 16 << 10, 128 << 10] {
         let base = run_apache(Mode::Uninstrumented, size, requests);
-        let inst = run_apache(
-            Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
-            size,
-            requests,
-        );
+        let inst =
+            run_apache(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)), size, requests);
         assert_eq!(base.served, requests as i64);
         assert_eq!(inst.served, requests as i64);
         println!(

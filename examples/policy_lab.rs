@@ -54,8 +54,7 @@ fn app() -> shift_ir::Program {
 
 fn run(config_text: &str, input: &[u8]) -> String {
     let cfg = TaintConfig::parse(config_text).expect("valid configuration");
-    let shift = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
-        .with_config(cfg);
+    let shift = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte))).with_config(cfg);
     let report = shift.run(&app(), World::new().net(input.to_vec())).expect("compiles");
     match report.detected_policy() {
         Some(p) => format!("DETECTED by {p}: {}", p.description()),

@@ -44,24 +44,25 @@ fn main() {
         .expect("compiles");
     println!("benign request : {}", benign.exit);
     println!("  SQL executed : {}", benign.runtime.sql_log.len());
-    println!("  cycles       : {} ({} instrumentation)",
-        benign.stats.cycles, benign.stats.instrumentation_cycles());
+    println!(
+        "  cycles       : {} ({} instrumentation)",
+        benign.stats.cycles,
+        benign.stats.instrumentation_cycles()
+    );
 
     // 4. An injection: the tainted quote is flagged at the sink.
-    let attack = shift
-        .run(&app, World::new().net(&b"x' OR '1'='1"[..]))
-        .expect("compiles");
+    let attack = shift.run(&app, World::new().net(&b"x' OR '1'='1"[..])).expect("compiles");
     println!("attack request : {}", attack.exit);
     assert_eq!(attack.detected_policy(), Some(Policy::H3));
-    println!("  detected as  : policy {} ({})",
-        Policy::H3,
-        Policy::H3.description());
+    println!("  detected as  : policy {} ({})", Policy::H3, Policy::H3.description());
 
     // 5. The same attack sails through without SHIFT.
     let unprotected = Shift::new(Mode::Uninstrumented)
         .run(&app, World::new().net(&b"x' OR '1'='1"[..]))
         .expect("compiles");
-    println!("without SHIFT  : {} (SQL executed: {})",
+    println!(
+        "without SHIFT  : {} (SQL executed: {})",
         unprotected.exit,
-        unprotected.runtime.sql_log.len());
+        unprotected.runtime.sql_log.len()
+    );
 }

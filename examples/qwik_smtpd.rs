@@ -72,9 +72,8 @@ fn main() {
     let shift = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)));
 
     // A normal HELO: fits the buffer, no relay (IPs differ), no alert.
-    let benign = shift
-        .run(&qwik_smtpd(true), World::new().net(&b"mail.example.com"[..]))
-        .expect("compiles");
+    let benign =
+        shift.run(&qwik_smtpd(true), World::new().net(&b"mail.example.com"[..])).expect("compiles");
     println!("benign HELO    : {} (relayed = {:?})", benign.exit, benign.exit);
     assert!(!benign.exit.is_detection());
 
@@ -92,9 +91,7 @@ fn main() {
 
     // With SHIFT: localip is tainted after the overflow; the guard fires
     // before the trust decision.
-    let caught = shift
-        .run(&qwik_smtpd(true), World::new().net(payload))
-        .expect("compiles");
+    let caught = shift.run(&qwik_smtpd(true), World::new().net(payload)).expect("compiles");
     println!("with SHIFT     : {}", caught.exit);
     assert!(caught.exit.is_detection(), "the overflow must be detected");
     println!("\nFigure 1 reproduced: the tainted overwrite of localip is caught before the relay decision.");

@@ -1,0 +1,53 @@
+//! Recovery quickstart: serve requests through the Apache-like guest with
+//! per-policy violation actions instead of fail-stop.
+//!
+//! The exploit request trips policy H2 (tainted `..` escaping the document
+//! root). Under `LogAndContinue` the sink is refused, the violation is
+//! logged, and the server keeps answering; under `AbortTransaction` the
+//! request is rolled back to its checkpoint and dropped. Either way the
+//! secret never leaves, and the benign requests around it are served.
+//!
+//! ```sh
+//! cargo run --example recovery
+//! ```
+
+use shift_core::{Granularity, Mode, Shift, ShiftOptions, TaintConfig, ViolationAction, World};
+use shift_workloads::apache;
+
+fn serve_with(action: ViolationAction) -> shift_core::ServeReport {
+    let mut cfg = TaintConfig::default_secure();
+    cfg.set_default_action(action);
+
+    let world = World::new()
+        .file(apache::DOC_PATH, vec![7u8; 4096])
+        .file(apache::SECRET_PATH, apache::SECRET_BYTES.to_vec())
+        .net(apache::benign_request())
+        .net(apache::exploit_request())
+        .net(apache::benign_request());
+
+    Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+        .with_config(cfg)
+        .serve(&apache::apache_program(), world)
+        .unwrap()
+}
+
+fn main() {
+    for action in [ViolationAction::LogAndContinue, ViolationAction::AbortTransaction] {
+        let report = serve_with(action);
+        println!("action              : {action:?}");
+        println!(
+            "served / recovered / dropped : {} / {} / {}",
+            report.served, report.recovered, report.dropped
+        );
+        for v in &report.violations {
+            println!("violation           : [{}] {}", v.policy, v.message);
+        }
+        println!("recovery cycles     : {}", report.recovery_cycles);
+        let leaked = apache::SECRET_BYTES
+            .windows(4)
+            .any(|w| report.runtime.net_output.windows(w.len()).any(|o| o == w));
+        println!("secret leaked       : {leaked}\n");
+        assert!(!leaked, "secret bytes must never reach the network");
+        assert_eq!(report.violations[0].policy, "H2");
+    }
+}

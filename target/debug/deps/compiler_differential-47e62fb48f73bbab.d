@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiler_differential-47e62fb48f73bbab.d: tests/compiler_differential.rs
+
+/root/repo/target/debug/deps/compiler_differential-47e62fb48f73bbab: tests/compiler_differential.rs
+
+tests/compiler_differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compiler_differential-4bfce42648b15d35.d: tests/compiler_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiler_differential-4bfce42648b15d35.rmeta: tests/compiler_differential.rs Cargo.toml
+
+tests/compiler_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

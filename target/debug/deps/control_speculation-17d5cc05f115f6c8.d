@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/control_speculation-17d5cc05f115f6c8.d: tests/control_speculation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontrol_speculation-17d5cc05f115f6c8.rmeta: tests/control_speculation.rs Cargo.toml
+
+tests/control_speculation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/control_speculation-2c3caf5927bb8597.d: tests/control_speculation.rs
+
+/root/repo/target/debug/deps/control_speculation-2c3caf5927bb8597: tests/control_speculation.rs
+
+tests/control_speculation.rs:

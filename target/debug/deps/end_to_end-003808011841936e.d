@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-003808011841936e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-003808011841936e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-96e8370c9d7c60e1.d: tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-96e8370c9d7c60e1: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

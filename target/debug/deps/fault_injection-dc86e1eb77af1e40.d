@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-dc86e1eb77af1e40.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-dc86e1eb77af1e40: tests/fault_injection.rs
+
+tests/fault_injection.rs:

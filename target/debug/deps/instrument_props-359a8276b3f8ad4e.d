@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instrument_props-359a8276b3f8ad4e.d: crates/compiler/tests/instrument_props.rs
+
+/root/repo/target/debug/deps/instrument_props-359a8276b3f8ad4e: crates/compiler/tests/instrument_props.rs
+
+crates/compiler/tests/instrument_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-84577a7cb271fa83.d: crates/tagmap/tests/props.rs
+
+/root/repo/target/debug/deps/props-84577a7cb271fa83: crates/tagmap/tests/props.rs
+
+crates/tagmap/tests/props.rs:

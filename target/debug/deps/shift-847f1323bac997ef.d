@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shift-847f1323bac997ef.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/shift-847f1323bac997ef: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shift-d8c5d0361c6908bc.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/shift-d8c5d0361c6908bc: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

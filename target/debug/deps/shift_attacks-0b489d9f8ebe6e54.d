@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shift_attacks-0b489d9f8ebe6e54.d: crates/attacks/src/lib.rs crates/attacks/src/bftpd.rs crates/attacks/src/gzip_n.rs crates/attacks/src/php_stats.rs crates/attacks/src/phpmyfaq.rs crates/attacks/src/phpsysinfo.rs crates/attacks/src/qwikiwiki.rs crates/attacks/src/scry.rs crates/attacks/src/tar.rs crates/attacks/src/web.rs
+
+/root/repo/target/debug/deps/libshift_attacks-0b489d9f8ebe6e54.rlib: crates/attacks/src/lib.rs crates/attacks/src/bftpd.rs crates/attacks/src/gzip_n.rs crates/attacks/src/php_stats.rs crates/attacks/src/phpmyfaq.rs crates/attacks/src/phpsysinfo.rs crates/attacks/src/qwikiwiki.rs crates/attacks/src/scry.rs crates/attacks/src/tar.rs crates/attacks/src/web.rs
+
+/root/repo/target/debug/deps/libshift_attacks-0b489d9f8ebe6e54.rmeta: crates/attacks/src/lib.rs crates/attacks/src/bftpd.rs crates/attacks/src/gzip_n.rs crates/attacks/src/php_stats.rs crates/attacks/src/phpmyfaq.rs crates/attacks/src/phpsysinfo.rs crates/attacks/src/qwikiwiki.rs crates/attacks/src/scry.rs crates/attacks/src/tar.rs crates/attacks/src/web.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/bftpd.rs:
+crates/attacks/src/gzip_n.rs:
+crates/attacks/src/php_stats.rs:
+crates/attacks/src/phpmyfaq.rs:
+crates/attacks/src/phpsysinfo.rs:
+crates/attacks/src/qwikiwiki.rs:
+crates/attacks/src/scry.rs:
+crates/attacks/src/tar.rs:
+crates/attacks/src/web.rs:

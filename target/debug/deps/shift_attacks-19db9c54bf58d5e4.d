@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shift_attacks-19db9c54bf58d5e4.d: crates/attacks/src/lib.rs crates/attacks/src/bftpd.rs crates/attacks/src/gzip_n.rs crates/attacks/src/php_stats.rs crates/attacks/src/phpmyfaq.rs crates/attacks/src/phpsysinfo.rs crates/attacks/src/qwikiwiki.rs crates/attacks/src/scry.rs crates/attacks/src/tar.rs crates/attacks/src/web.rs
+
+/root/repo/target/debug/deps/shift_attacks-19db9c54bf58d5e4: crates/attacks/src/lib.rs crates/attacks/src/bftpd.rs crates/attacks/src/gzip_n.rs crates/attacks/src/php_stats.rs crates/attacks/src/phpmyfaq.rs crates/attacks/src/phpsysinfo.rs crates/attacks/src/qwikiwiki.rs crates/attacks/src/scry.rs crates/attacks/src/tar.rs crates/attacks/src/web.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/bftpd.rs:
+crates/attacks/src/gzip_n.rs:
+crates/attacks/src/php_stats.rs:
+crates/attacks/src/phpmyfaq.rs:
+crates/attacks/src/phpsysinfo.rs:
+crates/attacks/src/qwikiwiki.rs:
+crates/attacks/src/scry.rs:
+crates/attacks/src/tar.rs:
+crates/attacks/src/web.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/shift_attacks-ee28805b0cc75d6a.d: crates/attacks/src/lib.rs crates/attacks/src/bftpd.rs crates/attacks/src/gzip_n.rs crates/attacks/src/php_stats.rs crates/attacks/src/phpmyfaq.rs crates/attacks/src/phpsysinfo.rs crates/attacks/src/qwikiwiki.rs crates/attacks/src/scry.rs crates/attacks/src/tar.rs crates/attacks/src/web.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshift_attacks-ee28805b0cc75d6a.rmeta: crates/attacks/src/lib.rs crates/attacks/src/bftpd.rs crates/attacks/src/gzip_n.rs crates/attacks/src/php_stats.rs crates/attacks/src/phpmyfaq.rs crates/attacks/src/phpsysinfo.rs crates/attacks/src/qwikiwiki.rs crates/attacks/src/scry.rs crates/attacks/src/tar.rs crates/attacks/src/web.rs Cargo.toml
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/bftpd.rs:
+crates/attacks/src/gzip_n.rs:
+crates/attacks/src/php_stats.rs:
+crates/attacks/src/phpmyfaq.rs:
+crates/attacks/src/phpsysinfo.rs:
+crates/attacks/src/qwikiwiki.rs:
+crates/attacks/src/scry.rs:
+crates/attacks/src/tar.rs:
+crates/attacks/src/web.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

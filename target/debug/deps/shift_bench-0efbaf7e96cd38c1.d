@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shift_bench-0efbaf7e96cd38c1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshift_bench-0efbaf7e96cd38c1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

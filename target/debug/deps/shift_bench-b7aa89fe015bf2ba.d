@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shift_bench-b7aa89fe015bf2ba.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshift_bench-b7aa89fe015bf2ba.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshift_bench-b7aa89fe015bf2ba.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shift_bench-c983633671f6f5f8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/shift_bench-c983633671f6f5f8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shift_compiler-24dbb18b938e1e78.d: crates/compiler/src/lib.rs crates/compiler/src/instrument.rs crates/compiler/src/link.rs crates/compiler/src/lower.rs crates/compiler/src/peephole.rs crates/compiler/src/regalloc.rs crates/compiler/src/shadow.rs crates/compiler/src/vcode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshift_compiler-24dbb18b938e1e78.rmeta: crates/compiler/src/lib.rs crates/compiler/src/instrument.rs crates/compiler/src/link.rs crates/compiler/src/lower.rs crates/compiler/src/peephole.rs crates/compiler/src/regalloc.rs crates/compiler/src/shadow.rs crates/compiler/src/vcode.rs Cargo.toml
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/instrument.rs:
+crates/compiler/src/link.rs:
+crates/compiler/src/lower.rs:
+crates/compiler/src/peephole.rs:
+crates/compiler/src/regalloc.rs:
+crates/compiler/src/shadow.rs:
+crates/compiler/src/vcode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shift_compiler-9f340df617134055.d: crates/compiler/src/lib.rs crates/compiler/src/instrument.rs crates/compiler/src/link.rs crates/compiler/src/lower.rs crates/compiler/src/peephole.rs crates/compiler/src/regalloc.rs crates/compiler/src/shadow.rs crates/compiler/src/vcode.rs
+
+/root/repo/target/debug/deps/shift_compiler-9f340df617134055: crates/compiler/src/lib.rs crates/compiler/src/instrument.rs crates/compiler/src/link.rs crates/compiler/src/lower.rs crates/compiler/src/peephole.rs crates/compiler/src/regalloc.rs crates/compiler/src/shadow.rs crates/compiler/src/vcode.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/instrument.rs:
+crates/compiler/src/link.rs:
+crates/compiler/src/lower.rs:
+crates/compiler/src/peephole.rs:
+crates/compiler/src/regalloc.rs:
+crates/compiler/src/shadow.rs:
+crates/compiler/src/vcode.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shift_core-3673141a530cc8af.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/libc.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/libshift_core-3673141a530cc8af.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/libc.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/libshift_core-3673141a530cc8af.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/libc.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/libc.rs:
+crates/core/src/policy.rs:
+crates/core/src/runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shift_core-7a612294e6e0259b.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/libc.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/shift_core-7a612294e6e0259b: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/libc.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/libc.rs:
+crates/core/src/policy.rs:
+crates/core/src/runtime.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shift_core-c1c6916d2beb6e34.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/libc.rs crates/core/src/policy.rs crates/core/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshift_core-c1c6916d2beb6e34.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/libc.rs crates/core/src/policy.rs crates/core/src/runtime.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/libc.rs:
+crates/core/src/policy.rs:
+crates/core/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

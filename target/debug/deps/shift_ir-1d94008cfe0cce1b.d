@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shift_ir-1d94008cfe0cce1b.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/program.rs crates/ir/src/validate.rs
+
+/root/repo/target/debug/deps/shift_ir-1d94008cfe0cce1b: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/program.rs crates/ir/src/validate.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/program.rs:
+crates/ir/src/validate.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shift_ir-24b29adcc619136c.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/program.rs crates/ir/src/validate.rs
+
+/root/repo/target/debug/deps/libshift_ir-24b29adcc619136c.rlib: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/program.rs crates/ir/src/validate.rs
+
+/root/repo/target/debug/deps/libshift_ir-24b29adcc619136c.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/program.rs crates/ir/src/validate.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/program.rs:
+crates/ir/src/validate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shift_ir-78095f44ec2a708e.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/program.rs crates/ir/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshift_ir-78095f44ec2a708e.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/program.rs crates/ir/src/validate.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/program.rs:
+crates/ir/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

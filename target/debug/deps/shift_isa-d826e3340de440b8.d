@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shift_isa-d826e3340de440b8.d: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/disasm.rs crates/isa/src/insn.rs crates/isa/src/provenance.rs crates/isa/src/reg.rs crates/isa/src/sys.rs
+
+/root/repo/target/debug/deps/shift_isa-d826e3340de440b8: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/disasm.rs crates/isa/src/insn.rs crates/isa/src/provenance.rs crates/isa/src/reg.rs crates/isa/src/sys.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/provenance.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/sys.rs:

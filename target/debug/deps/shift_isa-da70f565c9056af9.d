@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shift_isa-da70f565c9056af9.d: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/disasm.rs crates/isa/src/insn.rs crates/isa/src/provenance.rs crates/isa/src/reg.rs crates/isa/src/sys.rs
+
+/root/repo/target/debug/deps/libshift_isa-da70f565c9056af9.rlib: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/disasm.rs crates/isa/src/insn.rs crates/isa/src/provenance.rs crates/isa/src/reg.rs crates/isa/src/sys.rs
+
+/root/repo/target/debug/deps/libshift_isa-da70f565c9056af9.rmeta: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/disasm.rs crates/isa/src/insn.rs crates/isa/src/provenance.rs crates/isa/src/reg.rs crates/isa/src/sys.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/provenance.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/sys.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shift_isa-e12b34fe1acdb6ca.d: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/disasm.rs crates/isa/src/insn.rs crates/isa/src/provenance.rs crates/isa/src/reg.rs crates/isa/src/sys.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshift_isa-e12b34fe1acdb6ca.rmeta: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/disasm.rs crates/isa/src/insn.rs crates/isa/src/provenance.rs crates/isa/src/reg.rs crates/isa/src/sys.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/provenance.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/sys.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shift_machine-077ff2d5dd481ce3.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/cpu.rs crates/machine/src/exec.rs crates/machine/src/fault.rs crates/machine/src/image.rs crates/machine/src/layout.rs crates/machine/src/mem.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs
+
+/root/repo/target/debug/deps/shift_machine-077ff2d5dd481ce3: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/cpu.rs crates/machine/src/exec.rs crates/machine/src/fault.rs crates/machine/src/image.rs crates/machine/src/layout.rs crates/machine/src/mem.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/cpu.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/image.rs:
+crates/machine/src/layout.rs:
+crates/machine/src/mem.rs:
+crates/machine/src/snapshot.rs:
+crates/machine/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shift_machine-3f4a6fa5f63e114c.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/cpu.rs crates/machine/src/exec.rs crates/machine/src/fault.rs crates/machine/src/image.rs crates/machine/src/layout.rs crates/machine/src/mem.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs
+
+/root/repo/target/debug/deps/libshift_machine-3f4a6fa5f63e114c.rlib: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/cpu.rs crates/machine/src/exec.rs crates/machine/src/fault.rs crates/machine/src/image.rs crates/machine/src/layout.rs crates/machine/src/mem.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs
+
+/root/repo/target/debug/deps/libshift_machine-3f4a6fa5f63e114c.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/cpu.rs crates/machine/src/exec.rs crates/machine/src/fault.rs crates/machine/src/image.rs crates/machine/src/layout.rs crates/machine/src/mem.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/cpu.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/image.rs:
+crates/machine/src/layout.rs:
+crates/machine/src/mem.rs:
+crates/machine/src/snapshot.rs:
+crates/machine/src/stats.rs:

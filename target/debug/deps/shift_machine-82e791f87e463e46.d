@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/shift_machine-82e791f87e463e46.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/cpu.rs crates/machine/src/exec.rs crates/machine/src/fault.rs crates/machine/src/image.rs crates/machine/src/layout.rs crates/machine/src/mem.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshift_machine-82e791f87e463e46.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/cpu.rs crates/machine/src/exec.rs crates/machine/src/fault.rs crates/machine/src/image.rs crates/machine/src/layout.rs crates/machine/src/mem.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/cpu.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/image.rs:
+crates/machine/src/layout.rs:
+crates/machine/src/mem.rs:
+crates/machine/src/snapshot.rs:
+crates/machine/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

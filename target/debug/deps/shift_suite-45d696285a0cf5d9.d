@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shift_suite-45d696285a0cf5d9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libshift_suite-45d696285a0cf5d9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libshift_suite-45d696285a0cf5d9.rmeta: src/lib.rs
+
+src/lib.rs:

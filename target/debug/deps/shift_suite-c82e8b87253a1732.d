@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shift_suite-c82e8b87253a1732.d: src/lib.rs
+
+/root/repo/target/debug/deps/shift_suite-c82e8b87253a1732: src/lib.rs
+
+src/lib.rs:

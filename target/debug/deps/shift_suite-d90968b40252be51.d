@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shift_suite-d90968b40252be51.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshift_suite-d90968b40252be51.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shift_tagmap-26f99feb04b09136.d: crates/tagmap/src/lib.rs
+
+/root/repo/target/debug/deps/libshift_tagmap-26f99feb04b09136.rlib: crates/tagmap/src/lib.rs
+
+/root/repo/target/debug/deps/libshift_tagmap-26f99feb04b09136.rmeta: crates/tagmap/src/lib.rs
+
+crates/tagmap/src/lib.rs:

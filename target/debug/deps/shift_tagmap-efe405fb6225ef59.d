@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shift_tagmap-efe405fb6225ef59.d: crates/tagmap/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshift_tagmap-efe405fb6225ef59.rmeta: crates/tagmap/src/lib.rs Cargo.toml
+
+crates/tagmap/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

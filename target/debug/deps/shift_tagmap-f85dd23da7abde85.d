@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shift_tagmap-f85dd23da7abde85.d: crates/tagmap/src/lib.rs
+
+/root/repo/target/debug/deps/shift_tagmap-f85dd23da7abde85: crates/tagmap/src/lib.rs
+
+crates/tagmap/src/lib.rs:

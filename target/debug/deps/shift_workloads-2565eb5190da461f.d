@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/shift_workloads-2565eb5190da461f.d: crates/workloads/src/lib.rs crates/workloads/src/apache.rs crates/workloads/src/harness.rs crates/workloads/src/spec/mod.rs crates/workloads/src/spec/bzip2.rs crates/workloads/src/spec/crafty.rs crates/workloads/src/spec/gcc.rs crates/workloads/src/spec/gzip.rs crates/workloads/src/spec/mcf.rs crates/workloads/src/spec/parser.rs crates/workloads/src/spec/twolf.rs crates/workloads/src/spec/vpr.rs
+
+/root/repo/target/debug/deps/libshift_workloads-2565eb5190da461f.rlib: crates/workloads/src/lib.rs crates/workloads/src/apache.rs crates/workloads/src/harness.rs crates/workloads/src/spec/mod.rs crates/workloads/src/spec/bzip2.rs crates/workloads/src/spec/crafty.rs crates/workloads/src/spec/gcc.rs crates/workloads/src/spec/gzip.rs crates/workloads/src/spec/mcf.rs crates/workloads/src/spec/parser.rs crates/workloads/src/spec/twolf.rs crates/workloads/src/spec/vpr.rs
+
+/root/repo/target/debug/deps/libshift_workloads-2565eb5190da461f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apache.rs crates/workloads/src/harness.rs crates/workloads/src/spec/mod.rs crates/workloads/src/spec/bzip2.rs crates/workloads/src/spec/crafty.rs crates/workloads/src/spec/gcc.rs crates/workloads/src/spec/gzip.rs crates/workloads/src/spec/mcf.rs crates/workloads/src/spec/parser.rs crates/workloads/src/spec/twolf.rs crates/workloads/src/spec/vpr.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apache.rs:
+crates/workloads/src/harness.rs:
+crates/workloads/src/spec/mod.rs:
+crates/workloads/src/spec/bzip2.rs:
+crates/workloads/src/spec/crafty.rs:
+crates/workloads/src/spec/gcc.rs:
+crates/workloads/src/spec/gzip.rs:
+crates/workloads/src/spec/mcf.rs:
+crates/workloads/src/spec/parser.rs:
+crates/workloads/src/spec/twolf.rs:
+crates/workloads/src/spec/vpr.rs:

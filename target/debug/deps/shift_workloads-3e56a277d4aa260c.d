@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shift_workloads-3e56a277d4aa260c.d: crates/workloads/src/lib.rs crates/workloads/src/apache.rs crates/workloads/src/harness.rs crates/workloads/src/spec/mod.rs crates/workloads/src/spec/bzip2.rs crates/workloads/src/spec/crafty.rs crates/workloads/src/spec/gcc.rs crates/workloads/src/spec/gzip.rs crates/workloads/src/spec/mcf.rs crates/workloads/src/spec/parser.rs crates/workloads/src/spec/twolf.rs crates/workloads/src/spec/vpr.rs
+
+/root/repo/target/debug/deps/shift_workloads-3e56a277d4aa260c: crates/workloads/src/lib.rs crates/workloads/src/apache.rs crates/workloads/src/harness.rs crates/workloads/src/spec/mod.rs crates/workloads/src/spec/bzip2.rs crates/workloads/src/spec/crafty.rs crates/workloads/src/spec/gcc.rs crates/workloads/src/spec/gzip.rs crates/workloads/src/spec/mcf.rs crates/workloads/src/spec/parser.rs crates/workloads/src/spec/twolf.rs crates/workloads/src/spec/vpr.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apache.rs:
+crates/workloads/src/harness.rs:
+crates/workloads/src/spec/mod.rs:
+crates/workloads/src/spec/bzip2.rs:
+crates/workloads/src/spec/crafty.rs:
+crates/workloads/src/spec/gcc.rs:
+crates/workloads/src/spec/gzip.rs:
+crates/workloads/src/spec/mcf.rs:
+crates/workloads/src/spec/parser.rs:
+crates/workloads/src/spec/twolf.rs:
+crates/workloads/src/spec/vpr.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/shift_workloads-4cd505538204f784.d: crates/workloads/src/lib.rs crates/workloads/src/apache.rs crates/workloads/src/harness.rs crates/workloads/src/spec/mod.rs crates/workloads/src/spec/bzip2.rs crates/workloads/src/spec/crafty.rs crates/workloads/src/spec/gcc.rs crates/workloads/src/spec/gzip.rs crates/workloads/src/spec/mcf.rs crates/workloads/src/spec/parser.rs crates/workloads/src/spec/twolf.rs crates/workloads/src/spec/vpr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshift_workloads-4cd505538204f784.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apache.rs crates/workloads/src/harness.rs crates/workloads/src/spec/mod.rs crates/workloads/src/spec/bzip2.rs crates/workloads/src/spec/crafty.rs crates/workloads/src/spec/gcc.rs crates/workloads/src/spec/gzip.rs crates/workloads/src/spec/mcf.rs crates/workloads/src/spec/parser.rs crates/workloads/src/spec/twolf.rs crates/workloads/src/spec/vpr.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apache.rs:
+crates/workloads/src/harness.rs:
+crates/workloads/src/spec/mod.rs:
+crates/workloads/src/spec/bzip2.rs:
+crates/workloads/src/spec/crafty.rs:
+crates/workloads/src/spec/gcc.rs:
+crates/workloads/src/spec/gzip.rs:
+crates/workloads/src/spec/mcf.rs:
+crates/workloads/src/spec/parser.rs:
+crates/workloads/src/spec/twolf.rs:
+crates/workloads/src/spec/vpr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshot_props-7362083a2dd1b49d.d: crates/machine/tests/snapshot_props.rs
+
+/root/repo/target/debug/deps/snapshot_props-7362083a2dd1b49d: crates/machine/tests/snapshot_props.rs
+
+crates/machine/tests/snapshot_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/taint_invariants-8415e8687689f493.d: tests/taint_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaint_invariants-8415e8687689f493.rmeta: tests/taint_invariants.rs Cargo.toml
+
+tests/taint_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/taint_invariants-9c404a2a000f173e.d: tests/taint_invariants.rs
+
+/root/repo/target/debug/deps/taint_invariants-9c404a2a000f173e: tests/taint_invariants.rs
+
+tests/taint_invariants.rs:

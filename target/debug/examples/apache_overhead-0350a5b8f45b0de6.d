@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/apache_overhead-0350a5b8f45b0de6.d: examples/apache_overhead.rs
+
+/root/repo/target/debug/examples/apache_overhead-0350a5b8f45b0de6: examples/apache_overhead.rs
+
+examples/apache_overhead.rs:

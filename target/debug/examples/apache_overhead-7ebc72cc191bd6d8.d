@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/apache_overhead-7ebc72cc191bd6d8.d: examples/apache_overhead.rs Cargo.toml
+
+/root/repo/target/debug/examples/libapache_overhead-7ebc72cc191bd6d8.rmeta: examples/apache_overhead.rs Cargo.toml
+
+examples/apache_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure5-a811eaa09792f3e7.d: examples/figure5.rs
+
+/root/repo/target/debug/examples/figure5-a811eaa09792f3e7: examples/figure5.rs
+
+examples/figure5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure5-d82eb2a7ae3ec82f.d: examples/figure5.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure5-d82eb2a7ae3ec82f.rmeta: examples/figure5.rs Cargo.toml
+
+examples/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_lab-a2c43ecc41304611.d: examples/policy_lab.rs
+
+/root/repo/target/debug/examples/policy_lab-a2c43ecc41304611: examples/policy_lab.rs
+
+examples/policy_lab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_lab-d47cee056b075168.d: examples/policy_lab.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_lab-d47cee056b075168.rmeta: examples/policy_lab.rs Cargo.toml
+
+examples/policy_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

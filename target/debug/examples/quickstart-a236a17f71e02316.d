@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a236a17f71e02316.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a236a17f71e02316: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qwik_smtpd-d1f504a1d1b140c3.d: examples/qwik_smtpd.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqwik_smtpd-d1f504a1d1b140c3.rmeta: examples/qwik_smtpd.rs Cargo.toml
+
+examples/qwik_smtpd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qwik_smtpd-dbfb1ca5e301b0cb.d: examples/qwik_smtpd.rs
+
+/root/repo/target/debug/examples/qwik_smtpd-dbfb1ca5e301b0cb: examples/qwik_smtpd.rs
+
+examples/qwik_smtpd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recovery-b46872cf7c508e53.d: examples/recovery.rs
+
+/root/repo/target/debug/examples/recovery-b46872cf7c508e53: examples/recovery.rs
+
+examples/recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recovery-ede97ff930c5a7a3.d: examples/recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecovery-ede97ff930c5a7a3.rmeta: examples/recovery.rs Cargo.toml
+
+examples/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shift-0f06258a518b1a01.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/shift-0f06258a518b1a01: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

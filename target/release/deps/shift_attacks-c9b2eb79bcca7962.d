@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/shift_attacks-c9b2eb79bcca7962.d: crates/attacks/src/lib.rs crates/attacks/src/bftpd.rs crates/attacks/src/gzip_n.rs crates/attacks/src/php_stats.rs crates/attacks/src/phpmyfaq.rs crates/attacks/src/phpsysinfo.rs crates/attacks/src/qwikiwiki.rs crates/attacks/src/scry.rs crates/attacks/src/tar.rs crates/attacks/src/web.rs
+
+/root/repo/target/release/deps/libshift_attacks-c9b2eb79bcca7962.rlib: crates/attacks/src/lib.rs crates/attacks/src/bftpd.rs crates/attacks/src/gzip_n.rs crates/attacks/src/php_stats.rs crates/attacks/src/phpmyfaq.rs crates/attacks/src/phpsysinfo.rs crates/attacks/src/qwikiwiki.rs crates/attacks/src/scry.rs crates/attacks/src/tar.rs crates/attacks/src/web.rs
+
+/root/repo/target/release/deps/libshift_attacks-c9b2eb79bcca7962.rmeta: crates/attacks/src/lib.rs crates/attacks/src/bftpd.rs crates/attacks/src/gzip_n.rs crates/attacks/src/php_stats.rs crates/attacks/src/phpmyfaq.rs crates/attacks/src/phpsysinfo.rs crates/attacks/src/qwikiwiki.rs crates/attacks/src/scry.rs crates/attacks/src/tar.rs crates/attacks/src/web.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/bftpd.rs:
+crates/attacks/src/gzip_n.rs:
+crates/attacks/src/php_stats.rs:
+crates/attacks/src/phpmyfaq.rs:
+crates/attacks/src/phpsysinfo.rs:
+crates/attacks/src/qwikiwiki.rs:
+crates/attacks/src/scry.rs:
+crates/attacks/src/tar.rs:
+crates/attacks/src/web.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/shift_compiler-e50a86767dcb4c0e.d: crates/compiler/src/lib.rs crates/compiler/src/instrument.rs crates/compiler/src/link.rs crates/compiler/src/lower.rs crates/compiler/src/peephole.rs crates/compiler/src/regalloc.rs crates/compiler/src/shadow.rs crates/compiler/src/vcode.rs
+
+/root/repo/target/release/deps/libshift_compiler-e50a86767dcb4c0e.rlib: crates/compiler/src/lib.rs crates/compiler/src/instrument.rs crates/compiler/src/link.rs crates/compiler/src/lower.rs crates/compiler/src/peephole.rs crates/compiler/src/regalloc.rs crates/compiler/src/shadow.rs crates/compiler/src/vcode.rs
+
+/root/repo/target/release/deps/libshift_compiler-e50a86767dcb4c0e.rmeta: crates/compiler/src/lib.rs crates/compiler/src/instrument.rs crates/compiler/src/link.rs crates/compiler/src/lower.rs crates/compiler/src/peephole.rs crates/compiler/src/regalloc.rs crates/compiler/src/shadow.rs crates/compiler/src/vcode.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/instrument.rs:
+crates/compiler/src/link.rs:
+crates/compiler/src/lower.rs:
+crates/compiler/src/peephole.rs:
+crates/compiler/src/regalloc.rs:
+crates/compiler/src/shadow.rs:
+crates/compiler/src/vcode.rs:

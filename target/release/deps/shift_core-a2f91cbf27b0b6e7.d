@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shift_core-a2f91cbf27b0b6e7.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/libc.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/release/deps/libshift_core-a2f91cbf27b0b6e7.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/libc.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/release/deps/libshift_core-a2f91cbf27b0b6e7.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/libc.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/libc.rs:
+crates/core/src/policy.rs:
+crates/core/src/runtime.rs:

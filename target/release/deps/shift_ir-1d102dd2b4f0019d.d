@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/shift_ir-1d102dd2b4f0019d.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/program.rs crates/ir/src/validate.rs
+
+/root/repo/target/release/deps/libshift_ir-1d102dd2b4f0019d.rlib: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/program.rs crates/ir/src/validate.rs
+
+/root/repo/target/release/deps/libshift_ir-1d102dd2b4f0019d.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/program.rs crates/ir/src/validate.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/program.rs:
+crates/ir/src/validate.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/shift_isa-bf3649889226d37f.d: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/disasm.rs crates/isa/src/insn.rs crates/isa/src/provenance.rs crates/isa/src/reg.rs crates/isa/src/sys.rs
+
+/root/repo/target/release/deps/libshift_isa-bf3649889226d37f.rlib: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/disasm.rs crates/isa/src/insn.rs crates/isa/src/provenance.rs crates/isa/src/reg.rs crates/isa/src/sys.rs
+
+/root/repo/target/release/deps/libshift_isa-bf3649889226d37f.rmeta: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/disasm.rs crates/isa/src/insn.rs crates/isa/src/provenance.rs crates/isa/src/reg.rs crates/isa/src/sys.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/provenance.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/sys.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/shift_machine-72dc27cf7e627935.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/cpu.rs crates/machine/src/exec.rs crates/machine/src/fault.rs crates/machine/src/image.rs crates/machine/src/layout.rs crates/machine/src/mem.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs
+
+/root/repo/target/release/deps/libshift_machine-72dc27cf7e627935.rlib: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/cpu.rs crates/machine/src/exec.rs crates/machine/src/fault.rs crates/machine/src/image.rs crates/machine/src/layout.rs crates/machine/src/mem.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs
+
+/root/repo/target/release/deps/libshift_machine-72dc27cf7e627935.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/cpu.rs crates/machine/src/exec.rs crates/machine/src/fault.rs crates/machine/src/image.rs crates/machine/src/layout.rs crates/machine/src/mem.rs crates/machine/src/snapshot.rs crates/machine/src/stats.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/cpu.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/image.rs:
+crates/machine/src/layout.rs:
+crates/machine/src/mem.rs:
+crates/machine/src/snapshot.rs:
+crates/machine/src/stats.rs:

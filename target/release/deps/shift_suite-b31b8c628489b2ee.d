@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shift_suite-b31b8c628489b2ee.d: src/lib.rs
+
+/root/repo/target/release/deps/libshift_suite-b31b8c628489b2ee.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libshift_suite-b31b8c628489b2ee.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shift_tagmap-0af8a68abf105f41.d: crates/tagmap/src/lib.rs
+
+/root/repo/target/release/deps/libshift_tagmap-0af8a68abf105f41.rlib: crates/tagmap/src/lib.rs
+
+/root/repo/target/release/deps/libshift_tagmap-0af8a68abf105f41.rmeta: crates/tagmap/src/lib.rs
+
+crates/tagmap/src/lib.rs:

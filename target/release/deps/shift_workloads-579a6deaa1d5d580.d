@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/shift_workloads-579a6deaa1d5d580.d: crates/workloads/src/lib.rs crates/workloads/src/apache.rs crates/workloads/src/harness.rs crates/workloads/src/spec/mod.rs crates/workloads/src/spec/bzip2.rs crates/workloads/src/spec/crafty.rs crates/workloads/src/spec/gcc.rs crates/workloads/src/spec/gzip.rs crates/workloads/src/spec/mcf.rs crates/workloads/src/spec/parser.rs crates/workloads/src/spec/twolf.rs crates/workloads/src/spec/vpr.rs
+
+/root/repo/target/release/deps/libshift_workloads-579a6deaa1d5d580.rlib: crates/workloads/src/lib.rs crates/workloads/src/apache.rs crates/workloads/src/harness.rs crates/workloads/src/spec/mod.rs crates/workloads/src/spec/bzip2.rs crates/workloads/src/spec/crafty.rs crates/workloads/src/spec/gcc.rs crates/workloads/src/spec/gzip.rs crates/workloads/src/spec/mcf.rs crates/workloads/src/spec/parser.rs crates/workloads/src/spec/twolf.rs crates/workloads/src/spec/vpr.rs
+
+/root/repo/target/release/deps/libshift_workloads-579a6deaa1d5d580.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apache.rs crates/workloads/src/harness.rs crates/workloads/src/spec/mod.rs crates/workloads/src/spec/bzip2.rs crates/workloads/src/spec/crafty.rs crates/workloads/src/spec/gcc.rs crates/workloads/src/spec/gzip.rs crates/workloads/src/spec/mcf.rs crates/workloads/src/spec/parser.rs crates/workloads/src/spec/twolf.rs crates/workloads/src/spec/vpr.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apache.rs:
+crates/workloads/src/harness.rs:
+crates/workloads/src/spec/mod.rs:
+crates/workloads/src/spec/bzip2.rs:
+crates/workloads/src/spec/crafty.rs:
+crates/workloads/src/spec/gcc.rs:
+crates/workloads/src/spec/gzip.rs:
+crates/workloads/src/spec/mcf.rs:
+crates/workloads/src/spec/parser.rs:
+crates/workloads/src/spec/twolf.rs:
+crates/workloads/src/spec/vpr.rs:

@@ -37,11 +37,14 @@ fn spec_image() -> Image {
             addr: Gpr::R2,
             spec: true,
         }),
-        /* 5 */ Insn::new(Op::Alu { op: AluOp::Add, dst: Gpr::R5, src1: Gpr::R3, src2: Gpr::R4 }),
+        /* 5 */
+        Insn::new(Op::Alu { op: AluOp::Add, dst: Gpr::R5, src1: Gpr::R3, src2: Gpr::R4 }),
         // --- original location: the check ---
-        /* 6 */ Insn::new(Op::ChkS { src: Gpr::R5, target: 10 }),
+        /* 6 */
+        Insn::new(Op::ChkS { src: Gpr::R5, target: 10 }),
         // Speculation success path (requires r5 clean): plain store.
-        /* 7 */ Insn::new(Op::St { size: MemSize::B8, src: Gpr::R5, addr: Gpr::R6 }),
+        /* 7 */
+        Insn::new(Op::St { size: MemSize::B8, src: Gpr::R5, addr: Gpr::R6 }),
         /* 8 */ Insn::new(Op::Mov { dst: Gpr::R8, src: Gpr::R5 }),
         /* 9 */ Insn::new(Op::Halt),
         // --- recovery: the non-speculative version with tracking ---
@@ -56,15 +59,12 @@ fn spec_image() -> Image {
         /* 11 */
         Insn::new(Op::Alu { op: AluOp::Add, dst: Gpr::R5, src1: Gpr::R3, src2: Gpr::R4 }),
         // Tracked store: st8.spill tolerates (and banks) the taint.
-        /* 12 */ Insn::new(Op::StSpill { src: Gpr::R5, addr: Gpr::R6 }),
+        /* 12 */
+        Insn::new(Op::StSpill { src: Gpr::R5, addr: Gpr::R6 }),
         /* 13 */ Insn::new(Op::Mov { dst: Gpr::R8, src: Gpr::R5 }),
         /* 14 */ Insn::new(Op::Halt),
     ];
-    Image::builder()
-        .code(code)
-        .data(DATA, 37i64.to_le_bytes().to_vec())
-        .map(OUT, 8)
-        .build()
+    Image::builder().code(code).data(DATA, 37i64.to_le_bytes().to_vec()).map(OUT, 8).build()
 }
 
 /// A tainted operand in the speculative fragment forces the recovery path —

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: whole-system behaviours that span the
 //! ISA, machine, compiler, runtime, libc, workloads and attack corpus.
 
-use shift_core::{
-    Granularity, Mode, Policy, Shift, ShiftOptions, Source, TaintConfig, World,
-};
+use shift_core::{Granularity, Mode, Policy, Shift, ShiftOptions, Source, TaintConfig, World};
 use shift_ir::{ProgramBuilder, Rhs};
 use shift_isa::sys;
 
@@ -188,21 +186,13 @@ fn taint_survives_register_spills() {
 fn natgen_strategies_agree_semantically() {
     use shift_compiler::NatGen;
     let bench = &shift_workloads::all_benches()[2]; // crafty: fastest kernel
-    let expect = shift_workloads::run_spec(
-        bench,
-        Mode::Uninstrumented,
-        shift_workloads::Scale::Test,
-        true,
-    )
-    .checksum();
+    let expect =
+        shift_workloads::run_spec(bench, Mode::Uninstrumented, shift_workloads::Scale::Test, true)
+            .checksum();
     for nat_gen in [NatGen::Kept, NatGen::PerFunction, NatGen::PerUse] {
         let opts = ShiftOptions { nat_gen, ..ShiftOptions::baseline(Granularity::Byte) };
-        let run = shift_workloads::run_spec(
-            bench,
-            Mode::Shift(opts),
-            shift_workloads::Scale::Test,
-            true,
-        );
+        let run =
+            shift_workloads::run_spec(bench, Mode::Shift(opts), shift_workloads::Scale::Test, true);
         assert_eq!(run.checksum(), expect, "{nat_gen:?}");
     }
 }
@@ -235,9 +225,5 @@ fn granularity_precision_difference() {
     let word = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Word)))
         .run(&app, world())
         .unwrap();
-    assert!(
-        word.exit.is_clean(),
-        "documented word-level false negative expected: {:?}",
-        word.exit
-    );
+    assert!(word.exit.is_clean(), "documented word-level false negative expected: {:?}", word.exit);
 }

@@ -1,0 +1,282 @@
+//! Fault-injection harness for the recovery layer.
+//!
+//! Randomized trials perturb a live instrumented guest mid-run — flipping
+//! NaT bits, corrupting tag-bitmap bytes, raising transient architectural
+//! faults — and assert the safety contract of the paper's detection story:
+//!
+//! * every injected event is either **detected** (a policy violation, a
+//!   NaT-consumption fault, or the injected fault itself surfacing) or
+//!   **provably benign** — the guest's tag bitmap still agrees with the
+//!   host's ground-truth shadow everywhere the policy engine looks, so no
+//!   tag corruption escaped unnoticed;
+//! * every recovery lands byte-for-byte on the pre-request snapshot
+//!   (verified with [`Machine::state_digest`]).
+
+use shift_core::{Exit, Granularity, Mode, Runtime, Shift, ShiftOptions, TaintConfig, World};
+use shift_ir::{Program, ProgramBuilder};
+use shift_isa::{sys, Gpr};
+use shift_machine::{layout, Fault, Injection, Machine};
+use shift_workloads::apache;
+
+/// splitmix64: deterministic, seedable, no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Single-shot SQL server: read one request, `strcpy` it, execute it as a
+/// query. With the exploit input the uninjected run *must* end in an H3
+/// detection — so a clean exit under injection means the tags were damaged,
+/// and the bitmap cross-check has to account for it.
+fn sql_once_app() -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.func("main", 0, |f| {
+        let req = f.local(128);
+        let reqp = f.local_addr(req);
+        let copy = f.local(128);
+        let copyp = f.local_addr(copy);
+        let cap = f.iconst(127);
+        let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+        let end = f.add(reqp, n);
+        let z = f.iconst(0);
+        f.store1(z, end, 0);
+        f.call_void("strcpy", &[copyp, reqp]);
+        let len = f.call("strlen", &[copyp]);
+        f.syscall_void(sys::SQL_EXEC, &[copyp, len]);
+        let zero = f.iconst(0);
+        f.ret(Some(zero));
+    });
+    pb.build().unwrap()
+}
+
+fn exploit_world() -> World {
+    World::new().net(&b"x' OR '1'='1"[..])
+}
+
+fn byte_shift() -> Shift {
+    Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+}
+
+fn runtime(world: World) -> Runtime {
+    Runtime::new(TaintConfig::default_secure(), world, Some(Granularity::Byte))
+}
+
+/// One random injection. Mix: NaT flips on random registers, XOR corruption
+/// of tag-bitmap bytes shadowing the guest's stack buffers, and transient
+/// unmapped/unaligned faults.
+fn random_injection(rng: &mut Rng) -> Injection {
+    match rng.below(4) {
+        0 => Injection::FlipNat { reg: Gpr::from_index(rng.below(Gpr::COUNT as u64) as usize) },
+        1 => {
+            // Corrupt the tag byte shadowing a random byte of the guest's
+            // live stack frame (where the request/copy buffers sit).
+            let victim = layout::stack_top() - 1 - rng.below(0x400);
+            let loc = shift_tagmap::tag_location(victim, Granularity::Byte)
+                .expect("stack addresses have tag locations");
+            Injection::CorruptByte { addr: loc.byte_addr, xor: (rng.below(255) + 1) as u8 }
+        }
+        2 => Injection::Fault(Fault::Unmapped { addr: layout::DATA_BASE + 0x40_0000, ip: 0 }),
+        _ => Injection::Fault(Fault::Unaligned { addr: layout::GLOBALS_BASE + 1, size: 8, ip: 0 }),
+    }
+}
+
+/// The region the policy engine reads tags from in these trials: the top of
+/// the stack (locals) plus the globals page.
+fn audit_tag_integrity(rt: &Runtime, m: &mut Machine) -> Option<u64> {
+    let stack_lo = layout::stack_top() - 0x1000;
+    rt.shadow_mismatch(m, stack_lo, 0x1000)
+        .or_else(|| rt.shadow_mismatch(m, layout::GLOBALS_BASE, 0x1000))
+}
+
+#[test]
+fn injection_trials_never_escape_undetected() {
+    let compiled = byte_shift().compile(&sql_once_app()).unwrap();
+
+    // Baseline: deterministic uninjected run ends in an H3 detection after a
+    // known number of instructions.
+    let baseline_insns = {
+        let mut m = Machine::new(&compiled.image);
+        let mut rt = runtime(exploit_world());
+        let exit = m.run(&mut rt, 1_000_000);
+        assert!(exit.is_detection(), "uninjected baseline must detect: {exit:?}");
+        m.stats.instructions
+    };
+    assert!(baseline_insns > 100, "guest long enough to inject into");
+
+    let trials = 120u64;
+    let (mut detected, mut audited) = (0u64, 0u64);
+    for trial in 0..trials {
+        let mut rng = Rng::new(0x5EED_0000 + trial);
+        let mut m = Machine::new(&compiled.image);
+        let mut rt = runtime(exploit_world());
+
+        // Recovery fidelity: snapshot the pristine machine.
+        let snap = m.snapshot();
+        let d0 = m.state_digest();
+
+        let inj = random_injection(&mut rng);
+        m.inject_after(rng.below(baseline_insns - 10), inj);
+        let exit = m.run(&mut rt, 1_000_000);
+        assert_eq!(m.pending_injections(), 0, "trial {trial}: injection never fired");
+        assert_eq!(m.stats.injected_events, 1);
+        assert!(
+            !matches!(exit, Exit::InsnLimit | Exit::FuelExhausted),
+            "trial {trial}: runaway after injection: {exit:?}"
+        );
+
+        // Detected, or provably benign per the host reference bitmap.
+        if exit.is_detection() || matches!(exit, Exit::Fault(_)) {
+            detected += 1;
+        } else {
+            match audit_tag_integrity(&rt, &mut m) {
+                // The cross-check exposes the corruption: not an escape.
+                Some(_) => audited += 1,
+                // Clean exit AND bitmap agrees with ground truth everywhere
+                // the policy engine looks ⇒ the sink verdict was computed
+                // from intact tags. But the exploit input *must* then have
+                // been detected — a clean run with intact tags is an escape.
+                None => panic!(
+                    "trial {trial}: undetected escape: exit {exit:?} with \
+                     bitmap and shadow in agreement"
+                ),
+            }
+        }
+
+        // Every recovery restores the pre-run snapshot byte-for-byte, no
+        // matter what the injection scribbled on.
+        m.restore(&snap);
+        assert_eq!(m.state_digest(), d0, "trial {trial}: restore diverged from snapshot");
+    }
+
+    assert_eq!(detected + audited, trials);
+    // The mix must actually exercise both outcomes.
+    assert!(detected >= trials / 3, "detected only {detected}/{trials}");
+}
+
+#[test]
+fn benign_run_with_injections_stays_consistent_or_detects() {
+    // Same guest, benign input: injections may surface as spurious
+    // detections (availability loss, not a security escape) or pass through
+    // benignly — but a clean exit must leave bitmap and shadow in agreement.
+    let compiled = byte_shift().compile(&sql_once_app()).unwrap();
+    let world = || World::new().net(&b"SELECT col FROM t"[..]);
+
+    let baseline_insns = {
+        let mut m = Machine::new(&compiled.image);
+        let mut rt = runtime(world());
+        let exit = m.run(&mut rt, 1_000_000);
+        assert!(exit.is_clean(), "benign baseline: {exit:?}");
+        m.stats.instructions
+    };
+
+    for trial in 0..60u64 {
+        let mut rng = Rng::new(0xBEE5_0000 + trial);
+        let mut m = Machine::new(&compiled.image);
+        let mut rt = runtime(world());
+        let snap = m.snapshot();
+        let d0 = m.state_digest();
+        m.inject_after(rng.below(baseline_insns - 10), random_injection(&mut rng));
+        let exit = m.run(&mut rt, 1_000_000);
+        if matches!(exit, Exit::Halted(_)) {
+            if let Some(addr) = audit_tag_integrity(&rt, &mut m) {
+                // Tag damage survived to the end without reaching a sink:
+                // visible to the audit, hence not silent. Nothing tainted
+                // reached a sink (the run was clean), so this is contained.
+                assert!(addr >= layout::DATA_BASE, "mismatch outside guest data: {addr:#x}");
+            }
+        }
+        m.restore(&snap);
+        assert_eq!(m.state_digest(), d0, "trial {trial}: restore diverged");
+    }
+}
+
+#[test]
+fn apache_recovery_restores_pre_request_state() {
+    // Drive the real Apache guest by hand: one benign request, then the
+    // traversal exploit. Under the default fail-stop action the exploit
+    // surfaces as a violation; rolling back must land byte-for-byte on the
+    // pre-request state, repeatably, and the guest must resume cleanly.
+    let program = apache::apache_program();
+    let shift = byte_shift();
+    let compiled = shift.compile(&program).unwrap();
+    let world = World::new()
+        .file(apache::DOC_PATH, vec![7u8; 1024])
+        .file(apache::SECRET_PATH, apache::SECRET_BYTES.to_vec())
+        .net(apache::benign_request())
+        .net(apache::exploit_request());
+    let mut m = Machine::new(&compiled.image);
+    let mut rt = runtime(world).with_transactions();
+
+    let exit = m.run(&mut rt, 100_000_000);
+    match &exit {
+        Exit::Violation(v) => assert_eq!(v.policy, "H2", "{exit:?}"),
+        other => panic!("expected the traversal to be detected, got {other:?}"),
+    }
+    assert!(m.mem.dirty_pages() > 0, "the aborted request left dirty state behind");
+
+    // Roll back (queue is drained, so recovery delivers 0 bytes).
+    assert!(rt.recover(&mut m));
+    let d1 = m.state_digest();
+    // A second rollback to the same checkpoint is byte-identical.
+    assert!(rt.recover(&mut m));
+    assert_eq!(m.state_digest(), d1, "recovery must be deterministic");
+
+    // The guest resumes and halts cleanly: exactly 1 request was served.
+    let exit = m.run(&mut rt, 100_000_000);
+    assert_eq!(exit, Exit::Halted(1));
+    assert_eq!(rt.recoveries, 2);
+    // The exploit's work was rolled back: the secret never left.
+    let out = &rt.net_output;
+    assert!(
+        !out.windows(apache::SECRET_BYTES.len()).any(|w| w == apache::SECRET_BYTES),
+        "rolled-back request must not leak"
+    );
+}
+
+#[test]
+fn injected_transient_faults_are_recoverable_mid_request() {
+    // Transient unmapped faults injected into an Apache request: the
+    // session-level contract — roll back, keep serving — verified at the
+    // machine level with an explicit snapshot.
+    let program = apache::apache_program();
+    let compiled = byte_shift().compile(&program).unwrap();
+    for trial in 0..20u64 {
+        let mut rng = Rng::new(0xFA_017 + trial);
+        let world =
+            World::new().file(apache::DOC_PATH, vec![3u8; 512]).net(apache::benign_request());
+        let mut m = Machine::new(&compiled.image);
+        // Snapshot managed by the harness itself (a transactional runtime
+        // would supersede it with its own per-request checkpoint).
+        let mut rt = runtime(world);
+        let snap = m.snapshot();
+        let d0 = m.state_digest();
+        m.inject_after(
+            200 + rng.below(5_000),
+            Injection::Fault(Fault::Unmapped { addr: layout::HEAP_BASE + 0x900_0000, ip: 0 }),
+        );
+        let exit = m.run(&mut rt, 100_000_000);
+        match exit {
+            // The fault surfaced mid-request: state must restore exactly.
+            Exit::Fault(Fault::Unmapped { .. }) => {
+                m.restore(&snap);
+                assert_eq!(m.state_digest(), d0, "trial {trial}: restore diverged");
+            }
+            other => panic!("trial {trial}: expected the injected fault, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! A minimal, dependency-free, offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates.io mirror, so the
+//! workspace vendors this shim and points the `criterion` workspace
+//! dependency at it. It implements the API surface the repository's
+//! benchmarks use — `Criterion::benchmark_group`, `Throughput`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`, `criterion_main!`
+//! — and measures plain wall-clock means (no outlier analysis, no HTML
+//! reports, no comparison to saved baselines).
+//!
+//! When the binary is invoked with `--test` (as `cargo test --benches`
+//! does), every benchmark body runs exactly once as a smoke test and no
+//! timing is printed.
+
+use std::hint::black_box as std_black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Parses harness arguments; call once from `criterion_main!`.
+pub fn init_from_args() {
+    // `cargo bench` passes `--bench`; `cargo test --benches` passes
+    // `--test`. Any filter arguments are ignored.
+    if std::env::args().any(|a| a == "--test") {
+        TEST_MODE.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Per-iteration work attributed to a benchmark, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times one benchmark body.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; `iter` does the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `f`. In `--test` mode `f` runs once.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if TEST_MODE.load(Ordering::Relaxed) {
+            std_black_box(f());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // One untimed warm-up, then batches until ~200 ms of samples.
+        std_black_box(f());
+        let budget = Duration::from_millis(200);
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            std_black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget || iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    if TEST_MODE.load(Ordering::Relaxed) {
+        return;
+    }
+    let per_iter = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / u32::try_from(b.iters.min(u64::from(u32::MAX))).unwrap_or(1)
+    };
+    let rate = throughput.map(|t| {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let secs = per_iter.as_secs_f64();
+        if secs > 0.0 {
+            format!("  {:.3e} {unit}/s", n as f64 / secs)
+        } else {
+            String::new()
+        }
+    });
+    println!(
+        "{name:<40} {per_iter:>12.3?}/iter ({} iters){}",
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::init_from_args();
+            $($group();)+
+        }
+    };
+}
