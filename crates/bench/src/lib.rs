@@ -356,6 +356,48 @@ pub fn ablation_design_choices(scale: Scale) -> Vec<AblationRow> {
     })
 }
 
+/// A machine-readable summary of the headline experiments — Figure-7 SPEC
+/// slowdown geomeans and Figure-6 Apache overhead geomeans — for CI
+/// regression tracking (`shift bench --json` writes it to
+/// `BENCH_shift.json`).
+pub fn bench_summary(scale: Scale, file_sizes: &[usize], requests: usize) -> shift_obs::Json {
+    use shift_obs::Json;
+    let spec = fig7_spec_slowdowns(scale);
+    let gm = |sel: &dyn Fn(&SpecRow) -> f64| geomean(&spec.iter().map(sel).collect::<Vec<f64>>());
+    let apache = fig6_apache(file_sizes, requests);
+    let agm =
+        |sel: &dyn Fn(&ApacheRow) -> f64| geomean(&apache.iter().map(sel).collect::<Vec<f64>>());
+    Json::obj(vec![
+        ("schema_version", Json::U64(shift_obs::SCHEMA_VERSION)),
+        (
+            "scale",
+            Json::Str(match scale {
+                Scale::Test => "test".to_string(),
+                Scale::Reference => "reference".to_string(),
+            }),
+        ),
+        ("spec_benches", Json::U64(spec.len() as u64)),
+        (
+            "fig7_spec_geomean",
+            Json::obj(vec![
+                ("byte_unsafe", Json::F64(gm(&|r| r.byte_unsafe))),
+                ("byte_safe", Json::F64(gm(&|r| r.byte_safe))),
+                ("word_unsafe", Json::F64(gm(&|r| r.word_unsafe))),
+                ("word_safe", Json::F64(gm(&|r| r.word_safe))),
+            ]),
+        ),
+        (
+            "fig6_apache_geomean",
+            Json::obj(vec![
+                ("byte_latency", Json::F64(agm(&|r| r.byte_latency))),
+                ("byte_throughput", Json::F64(agm(&|r| r.byte_throughput))),
+                ("word_latency", Json::F64(agm(&|r| r.word_latency))),
+                ("word_throughput", Json::F64(agm(&|r| r.word_throughput))),
+            ]),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

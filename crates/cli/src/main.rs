@@ -1,13 +1,22 @@
 //! `shift` — the command-line front end for the SHIFT reproduction.
 //!
 //! ```text
-//! shift attacks [--mode M]             run the Table-2 corpus
-//! shift attack <program> [--mode M] [--benign] [--trace]
+//! shift attacks [--mode M] [--trace-taint] [--metrics <path>]
+//! shift attack <program> [--mode M] [--benign] [--trace] [--trace-depth N]
+//!              [--trace-taint] [--metrics <path>] [--profile <path>]
 //! shift spec <bench|all> [--mode M] [--reference] [--safe]
 //! shift apache <size-kb> <requests> [--mode M]
+//! shift bench [--json] [--reference]   headline experiment summary
 //! shift disasm [--mode M]              show the instrumentation templates
 //! shift modes                          list compilation modes
 //! ```
+//!
+//! Observability flags: `--trace-taint` records taint births, propagations,
+//! and sink hits, and prints the provenance chain behind a detection
+//! (`net_read msg#0 bytes 4..12 → r9 → store @0x6000f8 → file_open arg`);
+//! `--metrics <path>` writes a schema-stable JSON metrics snapshot;
+//! `--profile <path>` writes per-guest-function folded stacks; `--trace-depth
+//! N` sizes the last-instructions ring shown by `--trace` (default 16).
 //!
 //! Modes: `plain`, `byte` (default), `word`, `byte-enhanced`,
 //! `word-enhanced`, `shadow-byte`, `shadow-word`.
@@ -100,6 +109,29 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
+/// Pulls `--flag <value>` out of the argument list. `Ok(None)` when the
+/// flag is absent; `Err` when it is present without a value.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
+}
+
+/// Writes an observability artifact, mapping I/O failure to a usage-style
+/// error exit.
+fn write_artifact(path: &str, what: &str, content: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, content).map_err(|e| {
+        eprintln!("cannot write {what} to {path}: {e}");
+        ExitCode::from(EXIT_USAGE)
+    })
+}
+
 fn mode_name(mode: Mode) -> String {
     match mode {
         Mode::Uninstrumented => "plain".into(),
@@ -127,12 +159,16 @@ fn cmd_modes() {
     }
 }
 
-fn cmd_attacks(mode: Mode) -> ExitCode {
+fn cmd_attacks(mode: Mode, trace_taint: bool, metrics: Option<String>) -> ExitCode {
     println!("{:<22} {:<24} {:>10} {:>8}", "program", "attack", "verdict", "benign");
     let mut all_ok = true;
+    let mut merged = shift_core::Registry::new();
     for atk in shift_attacks::all_attacks() {
         let app = (atk.build)();
-        let shift = Shift::new(mode);
+        let mut shift = Shift::new(mode);
+        if trace_taint || metrics.is_some() {
+            shift = shift.with_taint_trace();
+        }
         let hit = match shift.run(&app, (atk.exploit)()) {
             Ok(r) => r,
             Err(e) => return compile_failed(&e),
@@ -159,6 +195,21 @@ fn cmd_attacks(mode: Mode) -> ExitCode {
             verdict,
             if benign.exit.is_detection() { "FP!" } else { "clean" }
         );
+        if trace_taint {
+            match hit.taint_chain() {
+                Some(chain) => println!("{:>22}   chain: {chain}", ""),
+                None => println!("{:>22}   chain: (none)", ""),
+            }
+        }
+        if metrics.is_some() {
+            merged.merge(&shift_core::metrics::run_metrics(&hit));
+        }
+    }
+    if let Some(path) = metrics {
+        if let Err(code) = write_artifact(&path, "metrics", &merged.to_json().render()) {
+            return code;
+        }
+        println!("metrics written to {path}");
     }
     if all_ok {
         ExitCode::SUCCESS
@@ -167,7 +218,18 @@ fn cmd_attacks(mode: Mode) -> ExitCode {
     }
 }
 
-fn cmd_attack(name: &str, mode: Mode, benign: bool, trace: bool) -> ExitCode {
+/// Observability options for `shift attack`.
+struct AttackOpts {
+    benign: bool,
+    /// `Some(depth)` enables the last-instructions ring (`--trace`,
+    /// `--trace-depth N`).
+    trace_depth: Option<usize>,
+    trace_taint: bool,
+    metrics: Option<String>,
+    profile: Option<String>,
+}
+
+fn cmd_attack(name: &str, mode: Mode, opts: AttackOpts) -> ExitCode {
     let Some(atk) = shift_attacks::all_attacks()
         .into_iter()
         .find(|a| a.program.to_lowercase().contains(&name.to_lowercase()))
@@ -179,18 +241,35 @@ fn cmd_attack(name: &str, mode: Mode, benign: bool, trace: bool) -> ExitCode {
         return ExitCode::from(EXIT_USAGE);
     };
     let app = (atk.build)();
-    let world = if benign { (atk.benign)() } else { (atk.exploit)() };
-    let shift = Shift::new(mode);
-    let report = if trace {
+    let world = if opts.benign { (atk.benign)() } else { (atk.exploit)() };
+    let mut shift = Shift::new(mode);
+    if opts.trace_taint {
+        shift = shift.with_taint_trace();
+    }
+    if opts.profile.is_some() {
+        shift = shift.with_profile();
+    }
+    let report = if let Some(depth) = opts.trace_depth {
         // Drive the machine by hand so the last instructions before the
         // detection are visible.
-        use shift_core::{Runtime, TaintConfig};
+        use shift_core::{FuncSpan, Runtime, TaintConfig};
         let compiled = match shift.compile(&app) {
             Ok(c) => c,
             Err(e) => return compile_failed(&e),
         };
         let mut machine = shift_machine::Machine::new(&compiled.image);
-        machine.enable_trace(16);
+        machine.enable_trace(depth);
+        if opts.trace_taint {
+            machine.enable_taint_observer();
+        }
+        if opts.profile.is_some() {
+            let funcs = compiled
+                .func_ranges
+                .iter()
+                .map(|(n, &(start, end))| FuncSpan { name: n.clone(), start, end })
+                .collect();
+            machine.enable_profiler(funcs);
+        }
         let mut rt = Runtime::new(TaintConfig::default_secure(), world, shift.granularity());
         let exit = machine.run(&mut rt, 500_000_000);
         println!("last instructions before the end of the run:");
@@ -205,17 +284,65 @@ fn cmd_attack(name: &str, mode: Mode, benign: bool, trace: bool) -> ExitCode {
     };
     println!("program : {} ({})", atk.program, atk.cve);
     println!("mode    : {}", mode_name(mode));
-    println!("input   : {}", if benign { "benign" } else { "exploit" });
+    println!("input   : {}", if opts.benign { "benign" } else { "exploit" });
     println!("exit    : {}", report.exit);
     if let Some(p) = report.detected_policy() {
         println!("policy  : {p} — {}", p.description());
+    }
+    if opts.trace_taint {
+        match report.taint_chain() {
+            Some(chain) => println!("chain   : {chain}"),
+            None => println!("chain   : (none)"),
+        }
     }
     println!(
         "cycles  : {} ({} instrumentation)",
         report.stats.cycles,
         report.stats.instrumentation_cycles()
     );
+    if let Some(path) = &opts.metrics {
+        let reg = shift_core::metrics::run_metrics(&report);
+        if let Err(code) = write_artifact(path, "metrics", &reg.to_json().render()) {
+            return code;
+        }
+        println!("metrics : written to {path}");
+    }
+    if let Some(path) = &opts.profile {
+        let Some(prof) = report.machine.profiler() else {
+            eprintln!("profiler was not armed");
+            return ExitCode::from(EXIT_USAGE);
+        };
+        if let Err(code) = write_artifact(path, "profile", &prof.folded()) {
+            return code;
+        }
+        println!("profile : folded stacks written to {path}");
+        println!("hottest blocks:");
+        for (ip, func, cycles) in prof.hot_blocks(5) {
+            println!("  ip {ip:>6}  {func:<20} {cycles:>12} cycles");
+        }
+    }
     exit_code_for(&report.exit)
+}
+
+/// Runs the headline experiments (Figure-7 SPEC geomeans, Figure-6 Apache
+/// geomeans) and prints — or with `json`, writes to `BENCH_shift.json` — a
+/// machine-readable summary.
+fn cmd_bench(json: bool, scale: Scale) -> ExitCode {
+    let (sizes, requests): (&[usize], usize) = match scale {
+        Scale::Test => (&[1 << 10, 8 << 10], 6),
+        Scale::Reference => (&[1 << 10, 10 << 10, 100 << 10], 50),
+    };
+    let summary = shift_bench::bench_summary(scale, sizes, requests);
+    let text = summary.render();
+    if json {
+        if let Err(code) = write_artifact("BENCH_shift.json", "bench summary", &text) {
+            return code;
+        }
+        println!("bench summary written to BENCH_shift.json");
+    } else {
+        print!("{text}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_spec(name: &str, mode: Mode, scale: Scale, tainted: bool) -> ExitCode {
@@ -286,10 +413,12 @@ fn cmd_disasm(mode: Mode) -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         shift attacks [--mode M]\n  \
-         shift attack <program> [--mode M] [--benign]\n  \
+         shift attacks [--mode M] [--trace-taint] [--metrics <path>]\n  \
+         shift attack <program> [--mode M] [--benign] [--trace] [--trace-depth N]\n  \
+         \x20                  [--trace-taint] [--metrics <path>] [--profile <path>]\n  \
          shift spec <bench|all> [--mode M] [--reference] [--safe]\n  \
          shift apache <size-kb> <requests> [--mode M]\n  \
+         shift bench [--json] [--reference]\n  \
          shift disasm [--mode M]\n  \
          shift modes"
     );
@@ -314,12 +443,44 @@ fn main() -> ExitCode {
             cmd_modes();
             ExitCode::SUCCESS
         }
-        "attacks" => cmd_attacks(mode),
+        "attacks" => {
+            let trace_taint = take_flag(&mut args, "--trace-taint");
+            let metrics = match take_opt(&mut args, "--metrics") {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            };
+            cmd_attacks(mode, trace_taint, metrics)
+        }
         "attack" => {
             let benign = take_flag(&mut args, "--benign");
             let trace = take_flag(&mut args, "--trace");
+            let parsed = (|| -> Result<AttackOpts, String> {
+                let trace_depth = match take_opt(&mut args, "--trace-depth")? {
+                    Some(n) => Some(n.parse().map_err(|_| format!("bad --trace-depth `{n}`"))?),
+                    // `--trace` alone keeps the historical 16-deep ring.
+                    None if trace => Some(16),
+                    None => None,
+                };
+                Ok(AttackOpts {
+                    benign,
+                    trace_depth,
+                    trace_taint: take_flag(&mut args, "--trace-taint"),
+                    metrics: take_opt(&mut args, "--metrics")?,
+                    profile: take_opt(&mut args, "--profile")?,
+                })
+            })();
+            let opts = match parsed {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            };
             match args.first() {
-                Some(name) => cmd_attack(name, mode, benign, trace),
+                Some(name) => cmd_attack(name, mode, opts),
                 None => usage(),
             }
         }
@@ -340,6 +501,12 @@ fn main() -> ExitCode {
                 (Ok(kb), Ok(reqs)) => cmd_apache(kb, reqs, mode),
                 _ => usage(),
             }
+        }
+        "bench" => {
+            let json = take_flag(&mut args, "--json");
+            let scale =
+                if take_flag(&mut args, "--reference") { Scale::Reference } else { Scale::Test };
+            cmd_bench(json, scale)
         }
         "disasm" => cmd_disasm(mode),
         _ => usage(),
@@ -406,6 +573,7 @@ mod tests {
                 policy: "H3".into(),
                 message: "test".into(),
                 ip: 0,
+                provenance: None,
             })),
             exit_code_for(&Exit::Fault(Fault::Unmapped { addr: 0, ip: 0 })),
             exit_code_for(&Exit::FuelExhausted),

@@ -57,6 +57,7 @@
 
 mod config;
 mod libc;
+pub mod metrics;
 pub mod policy;
 mod runtime;
 
@@ -68,6 +69,8 @@ pub use runtime::{IoCostModel, Runtime, World};
 // Re-export the pieces callers need to drive a session without extra deps.
 pub use shift_compiler::{CompileError, CompiledProgram, Compiler, Mode, ShiftOptions};
 pub use shift_machine::{Exit, Fault, NatFaultKind, Stats, Violation};
+pub use shift_machine::{FuncSpan, Profiler, TaintEvent, TaintJournal, TaintObserver};
+pub use shift_obs::{Json, Registry, SCHEMA_VERSION};
 pub use shift_tagmap::Granularity;
 
 use shift_ir::Program;
@@ -81,6 +84,8 @@ pub struct Shift {
     io: IoCostModel,
     insn_limit: u64,
     fuel: u64,
+    trace_taint: bool,
+    profile: bool,
 }
 
 /// Everything observable about one guest run.
@@ -112,6 +117,20 @@ impl RunReport {
     pub fn log_text(&self) -> String {
         self.runtime.log.iter().map(|l| String::from_utf8_lossy(l).into_owned()).collect()
     }
+
+    /// The taint provenance chain behind a detection, when taint tracing was
+    /// enabled ([`Shift::with_taint_trace`]): policy violations carry the
+    /// chain directly; NaT-consumption faults fall back to the observer's
+    /// fault chain.
+    pub fn taint_chain(&self) -> Option<&str> {
+        match &self.exit {
+            Exit::Violation(v) => v.provenance.as_deref(),
+            Exit::Fault(Fault::NatConsumption { .. }) => {
+                self.machine.taint_observer().and_then(|o| o.fault_chain())
+            }
+            _ => None,
+        }
+    }
 }
 
 impl Shift {
@@ -123,7 +142,26 @@ impl Shift {
             io: IoCostModel::FREE,
             insn_limit: 500_000_000,
             fuel: 50_000_000,
+            trace_taint: false,
+            profile: false,
         }
+    }
+
+    /// Enables taint-flow tracing: the machine records taint births,
+    /// propagations, and sink hits in a journal, and violations carry a
+    /// provenance chain from source channel to sink. Diagnostic-only: the
+    /// modelled cycle counts are unchanged.
+    pub fn with_taint_trace(mut self) -> Shift {
+        self.trace_taint = true;
+        self
+    }
+
+    /// Enables the cycle-attribution profiler: per-guest-function folded
+    /// stacks and hot-block ranking. Diagnostic-only, like
+    /// [`Shift::with_taint_trace`].
+    pub fn with_profile(mut self) -> Shift {
+        self.profile = true;
+        self
     }
 
     /// Replaces the taint/policy configuration.
@@ -188,9 +226,29 @@ impl Shift {
         Ok(self.run_compiled(&compiled, world))
     }
 
+    /// Builds the per-function spans the profiler attributes cycles to.
+    fn func_spans(compiled: &CompiledProgram) -> Vec<FuncSpan> {
+        compiled
+            .func_ranges
+            .iter()
+            .map(|(name, &(start, end))| FuncSpan { name: name.clone(), start, end })
+            .collect()
+    }
+
+    /// Applies the session's observability options to a fresh machine.
+    fn arm_observability(&self, machine: &mut Machine, compiled: &CompiledProgram) {
+        if self.trace_taint {
+            machine.enable_taint_observer();
+        }
+        if self.profile {
+            machine.enable_profiler(Self::func_spans(compiled));
+        }
+    }
+
     /// Runs an already-compiled program against `world`.
     pub fn run_compiled(&self, compiled: &CompiledProgram, world: World) -> RunReport {
         let mut machine = Machine::new(&compiled.image);
+        self.arm_observability(&mut machine, compiled);
         let mut runtime =
             Runtime::new(self.config.clone(), world, self.granularity()).with_io(self.io);
         let exit = machine.run(&mut runtime, self.insn_limit);
@@ -221,6 +279,7 @@ impl Shift {
     /// and whenever no checkpoint is armed to recover to.
     pub fn serve_compiled(&self, compiled: &CompiledProgram, world: World) -> ServeReport {
         let mut machine = Machine::new(&compiled.image);
+        self.arm_observability(&mut machine, compiled);
         machine.arm_watchdog(self.fuel);
         let mut runtime = Runtime::new(self.config.clone(), world, self.granularity())
             .with_io(self.io)
@@ -238,10 +297,15 @@ impl Shift {
                     // low-level policy's configured action.
                     Fault::NatConsumption { kind, .. } => {
                         let p = Policy::from_fault(*kind);
+                        let provenance = machine
+                            .taint_observer()
+                            .and_then(|o| o.fault_chain())
+                            .map(str::to_string);
                         runtime.record_violation(Violation {
                             policy: p.name().to_string(),
                             message: format!("detected by hardware: {f}"),
                             ip: machine.cpu.ip,
+                            provenance,
                         });
                         // A faulting instruction cannot be stepped over, so
                         // `LogAndContinue` degrades to a rollback too.
@@ -257,6 +321,7 @@ impl Shift {
             }
             break exit;
         };
+        runtime.finish_request_window(machine.stats.total_time());
         // A transaction open at an unrecoverable stop is a lost request.
         let in_flight = u64::from(!matches!(exit, Exit::Halted(_)) && runtime.has_checkpoint());
         let served = runtime.requests_delivered.saturating_sub(runtime.recoveries + in_flight);

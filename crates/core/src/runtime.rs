@@ -169,6 +169,14 @@ pub struct Runtime {
     /// CPU cycles spent in transactions that were later rolled back — the
     /// work a recovery throws away.
     pub recovery_cycles: u64,
+    /// Per-request serve latencies in modelled cycles (CPU + I/O), one
+    /// entry per completed request window. Timing state: deliberately not
+    /// rolled back by [`Runtime::recover`].
+    pub request_latencies: Vec<u64>,
+    /// Total-time stamp when the current request window opened.
+    request_start: Option<u64>,
+    /// Keyboard lines delivered (labels taint births).
+    kbd_reads: u64,
 }
 
 impl Runtime {
@@ -197,6 +205,9 @@ impl Runtime {
             recoveries: 0,
             suppressed_sinks: 0,
             recovery_cycles: 0,
+            request_latencies: Vec::new(),
+            request_start: None,
+            kbd_reads: 0,
         }
     }
 
@@ -239,12 +250,16 @@ impl Runtime {
 
     /// Writes `bytes` into guest memory at `addr` and marks their taint in
     /// both the host shadow and (when instrumented) the guest bitmap.
+    /// `label` names the source channel for taint tracing (e.g.
+    /// `"net_read msg#0"`); it becomes the origin of the provenance chain a
+    /// later sink violation reports.
     fn write_guest(
         &mut self,
         m: &mut Machine,
         addr: u64,
         bytes: &[u8],
         tainted: bool,
+        label: &str,
     ) -> Result<(), MemError> {
         m.mem.write_bytes(addr, bytes)?;
         self.shadow.set_range(addr, bytes.len() as u64, tainted);
@@ -256,6 +271,9 @@ impl Runtime {
                     if tainted { byte | u64::from(loc.mask) } else { byte & !u64::from(loc.mask) };
                 m.mem.write_int(loc.byte_addr, 1, new)?;
             }
+        }
+        if let Some(o) = m.taint_observer_mut() {
+            o.record_runtime_write(label, addr, bytes.len() as u64, tainted);
         }
         Ok(())
     }
@@ -355,8 +373,24 @@ impl Runtime {
         true
     }
 
-    fn violate(&mut self, m: &mut Machine, policy: Policy, message: String) -> SysResult {
-        let v = Violation { policy: policy.name().to_string(), message, ip: m.cpu.ip };
+    fn violate(
+        &mut self,
+        m: &mut Machine,
+        policy: Policy,
+        message: String,
+        chain: Option<String>,
+    ) -> SysResult {
+        if let Some(c) = &chain {
+            if let Some(o) = m.taint_observer_mut() {
+                o.record_sink_event(policy.name(), c);
+            }
+        }
+        let v = Violation {
+            policy: policy.name().to_string(),
+            message,
+            ip: m.cpu.ip,
+            provenance: chain,
+        };
         self.record(v.clone());
         self.dispose(m, self.cfg.action_for(policy), v)
     }
@@ -402,11 +436,28 @@ impl Runtime {
         m: &mut Machine,
         policy: Policy,
         verdict: policy::PolicyVerdict,
+        chain: Option<String>,
     ) -> Option<SysResult> {
         if !self.cfg.policy_on(policy) {
             return None;
         }
-        verdict.map(|msg| self.violate(m, policy, msg))
+        verdict.map(|msg| self.violate(m, policy, msg, chain))
+    }
+
+    /// The provenance chain for a sink argument, when taint tracing is on:
+    /// follows the tainted bytes of the argument back to the source channel
+    /// recorded by the observer.
+    fn chain_for(m: &Machine, sink: &str, addr: u64, arg: &TaintedBytes) -> Option<String> {
+        m.taint_observer().and_then(|o| o.sink_chain(sink, addr, &arg.taint))
+    }
+
+    /// Closes the open per-request latency window (if any) at modelled time
+    /// `now`. The serve loop calls this once after the guest exits so the
+    /// final request's latency is recorded.
+    pub fn finish_request_window(&mut self, now: u64) {
+        if let Some(start) = self.request_start.take() {
+            self.request_latencies.push(now.saturating_sub(start));
+        }
     }
 
     // ---- syscall bodies ---------------------------------------------------
@@ -431,15 +482,35 @@ impl Runtime {
         per_byte: u64,
     ) -> Result<SysResult, MemError> {
         let tainted = self.cfg.source_on(source);
+        let delivered = data.is_some();
+        let label = match source {
+            Source::Network => {
+                format!("net_read msg#{}", self.requests_delivered.saturating_sub(1))
+            }
+            Source::Keyboard => format!("kbd_read line#{}", self.kbd_reads),
+            _ => "stream_read".to_string(),
+        };
         let n = match data {
             Some(mut msg) => {
                 msg.truncate(max as usize);
-                self.write_guest(m, buf, &msg, tainted)?;
+                self.write_guest(m, buf, &msg, tainted, &label)?;
                 msg.len() as u64
             }
             None => 0,
         };
+        if delivered && matches!(source, Source::Keyboard) {
+            self.kbd_reads += 1;
+        }
         m.stats.charge_io(base + per_byte * n);
+        if matches!(source, Source::Network) {
+            // Per-request latency: the window for request k runs from its
+            // delivery to the next `net_read` (or `finish_request_window`).
+            let now = m.stats.total_time();
+            self.finish_request_window(now);
+            if delivered {
+                self.request_start = Some(now);
+            }
+        }
         Self::ret(m, n as i64);
         Ok(SysResult::Continue)
     }
@@ -502,11 +573,15 @@ impl Runtime {
             }
             sys::FILE_OPEN => {
                 let path = self.read_tainted_cstr(m, a0, 4096)?;
-                if let Some(stop) = self.check(m, Policy::H1, policy::check_h1_absolute_path(&path))
+                let chain = Self::chain_for(m, "file_open", a0, &path);
+                if let Some(stop) =
+                    self.check(m, Policy::H1, policy::check_h1_absolute_path(&path), chain.clone())
                 {
                     return Ok(stop);
                 }
-                if let Some(stop) = self.check(m, Policy::H2, policy::check_h2_traversal(&path)) {
+                if let Some(stop) =
+                    self.check(m, Policy::H2, policy::check_h2_traversal(&path), chain)
+                {
                     return Ok(stop);
                 }
                 let name = String::from_utf8_lossy(&path.bytes).into_owned();
@@ -536,7 +611,8 @@ impl Runtime {
                     f.pos = end;
                 }
                 let tainted = self.cfg.source_on(Source::Disk);
-                self.write_guest(m, a1, &chunk, tainted)?;
+                let label = format!("file_read {}", f.name);
+                self.write_guest(m, a1, &chunk, tainted, &label)?;
                 m.stats.charge_io(self.io.disk_base + self.io.disk_per_byte * chunk.len() as u64);
                 Self::ret(m, chunk.len() as i64);
                 Ok(SysResult::Continue)
@@ -575,7 +651,8 @@ impl Runtime {
             }
             sys::SQL_EXEC => {
                 let q = self.read_tainted(m, a0, a1)?;
-                if let Some(stop) = self.check(m, Policy::H3, policy::check_h3_sql(&q)) {
+                let chain = Self::chain_for(m, "sql_exec", a0, &q);
+                if let Some(stop) = self.check(m, Policy::H3, policy::check_h3_sql(&q), chain) {
                     return Ok(stop);
                 }
                 self.sql_log.push(q.bytes);
@@ -584,7 +661,8 @@ impl Runtime {
             }
             sys::SYSTEM => {
                 let c = self.read_tainted(m, a0, a1)?;
-                if let Some(stop) = self.check(m, Policy::H4, policy::check_h4_shell(&c)) {
+                let chain = Self::chain_for(m, "system", a0, &c);
+                if let Some(stop) = self.check(m, Policy::H4, policy::check_h4_shell(&c), chain) {
                     return Ok(stop);
                 }
                 self.shell_log.push(c.bytes);
@@ -593,7 +671,8 @@ impl Runtime {
             }
             sys::HTML_OUT => {
                 let h = self.read_tainted(m, a0, a1)?;
-                if let Some(stop) = self.check(m, Policy::H5, policy::check_h5_xss(&h)) {
+                let chain = Self::chain_for(m, "html_out", a0, &h);
+                if let Some(stop) = self.check(m, Policy::H5, policy::check_h5_xss(&h), chain) {
                     return Ok(stop);
                 }
                 self.html_output.extend_from_slice(&h.bytes);
@@ -615,7 +694,8 @@ impl Runtime {
                         let n = arg.len().min(a2 as usize);
                         let chunk = arg[..n].to_vec();
                         let tainted = self.cfg.source_on(Source::Args);
-                        self.write_guest(m, a1, &chunk, tainted)?;
+                        let label = format!("arg#{a0}");
+                        self.write_guest(m, a1, &chunk, tainted, &label)?;
                         Self::ret(m, n as i64);
                     }
                     None => Self::ret(m, -1),
@@ -628,10 +708,18 @@ impl Runtime {
                 Ok(SysResult::Continue)
             }
             sys::ALERT => {
+                let provenance = m.taint_observer_mut().and_then(|o| {
+                    let chain = o.guard_chain().map(|c| format!("{c} → alert"));
+                    if let Some(c) = &chain {
+                        o.record_sink_event("GUARD", c);
+                    }
+                    chain
+                });
                 let v = Violation {
                     policy: "GUARD".to_string(),
                     message: "chk.s guard: tainted value reached critical use".to_string(),
                     ip: m.cpu.ip,
+                    provenance,
                 };
                 self.record(v.clone());
                 // The guard alarm has no `Policy` value: the default action
@@ -694,14 +782,14 @@ mod tests {
         let mut m = machine();
         let mut r = rt(World::new());
         let addr = layout::GLOBALS_BASE;
-        r.write_guest(&mut m, addr, b"evil", true).unwrap();
+        r.write_guest(&mut m, addr, b"evil", true, "test").unwrap();
         assert!(r.shadow.all_tainted(addr, 4));
         assert_eq!(r.shadow_mismatch(&mut m, addr, 4), None);
         let t = r.read_tainted(&mut m, addr, 4).unwrap();
         assert_eq!(t.bytes, b"evil");
         assert!(t.taint.iter().all(|&b| b));
         // Overwrite with clean data: taint must clear.
-        r.write_guest(&mut m, addr, b"ok", false).unwrap();
+        r.write_guest(&mut m, addr, b"ok", false, "test").unwrap();
         let t2 = r.read_tainted(&mut m, addr, 2).unwrap();
         assert!(t2.taint.iter().all(|&b| !b));
     }
@@ -711,7 +799,7 @@ mod tests {
         let mut m = machine();
         let mut r = Runtime::new(TaintConfig::default_secure(), World::new(), None);
         let addr = layout::GLOBALS_BASE;
-        r.write_guest(&mut m, addr, b"evil", true).unwrap();
+        r.write_guest(&mut m, addr, b"evil", true, "test").unwrap();
         let t = r.read_tainted(&mut m, addr, 4).unwrap();
         assert!(t.taint.iter().all(|&b| !b), "no bitmap ⇒ sinks are blind");
         // …but ground truth still knows.
@@ -725,7 +813,7 @@ mod tests {
             Runtime::new(TaintConfig::default_secure(), World::new(), Some(Granularity::Word));
         let addr = layout::GLOBALS_BASE;
         // Taint one byte: the word bit covers all 8.
-        r.write_guest(&mut m, addr, b"x", true).unwrap();
+        r.write_guest(&mut m, addr, b"x", true, "test").unwrap();
         assert_eq!(r.shadow_mismatch(&mut m, addr, 8), None);
         let t = r.read_tainted(&mut m, addr, 8).unwrap();
         assert!(t.taint.iter().all(|&b| b), "word-level tags are coarse");
@@ -778,7 +866,7 @@ mod tests {
         let mut m = machine();
         let mut r = rt(World::new());
         let q = layout::GLOBALS_BASE;
-        r.write_guest(&mut m, q, b"SELECT 1 OR '1'='1'", true).unwrap();
+        r.write_guest(&mut m, q, b"SELECT 1 OR '1'='1'", true, "test").unwrap();
         m.cpu.set_gpr_val(Gpr::arg(0), q);
         m.cpu.set_gpr_val(Gpr::arg(1), 19);
         let res = r.syscall(&mut m, sys::SQL_EXEC);
@@ -794,7 +882,7 @@ mod tests {
         let mut m = machine();
         let mut r = rt(World::new());
         let q = layout::GLOBALS_BASE;
-        r.write_guest(&mut m, q, b"SELECT 'safe'", false).unwrap();
+        r.write_guest(&mut m, q, b"SELECT 'safe'", false, "test").unwrap();
         m.cpu.set_gpr_val(Gpr::arg(0), q);
         m.cpu.set_gpr_val(Gpr::arg(1), 13);
         assert_eq!(r.syscall(&mut m, sys::SQL_EXEC), SysResult::Continue);
@@ -808,7 +896,7 @@ mod tests {
         cfg.set_policy(Policy::H3, false);
         let mut r = Runtime::new(cfg, World::new(), Some(Granularity::Byte));
         let q = layout::GLOBALS_BASE;
-        r.write_guest(&mut m, q, b"x';DROP TABLE t;--", true).unwrap();
+        r.write_guest(&mut m, q, b"x';DROP TABLE t;--", true, "test").unwrap();
         m.cpu.set_gpr_val(Gpr::arg(0), q);
         m.cpu.set_gpr_val(Gpr::arg(1), 18);
         assert_eq!(r.syscall(&mut m, sys::SQL_EXEC), SysResult::Continue);

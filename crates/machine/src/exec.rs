@@ -1,6 +1,7 @@
 //! The in-order executor: fetch, predicate check, execute, account.
 
 use shift_isa::{AluOp, CostModel, ExtKind, Insn, MemSize, Op, Provenance};
+use shift_obs::{FuncSpan, Profiler, TaintObserver};
 
 use crate::cache::CacheHierarchy;
 use crate::cpu::{Cpu, RegVal};
@@ -58,6 +59,11 @@ pub struct Machine {
     trace_cap: usize,
     watchdog: Option<Watchdog>,
     injections: Vec<(u64, Injection)>,
+    // Observability state (diagnostic-only: costs no modelled cycles, is
+    // excluded from state_digest(), and never influences execution). Both
+    // are boxed so the disabled case is a single pointer test per hook.
+    obs: Option<Box<TaintObserver>>,
+    profiler: Option<Box<Profiler>>,
 }
 
 /// Per-transaction fuel budget: counts instructions retired since the last
@@ -99,6 +105,47 @@ impl Machine {
             trace_cap: 0,
             watchdog: None,
             injections: Vec::new(),
+            obs: None,
+            profiler: None,
+        }
+    }
+
+    /// Enables taint-flow tracing: the machine mirrors every taint-relevant
+    /// event into a [`TaintObserver`], so violations can be reported with a
+    /// full provenance chain. Purely diagnostic — modelled cycles, guest
+    /// state, and [`Machine::state_digest`] are unaffected.
+    pub fn enable_taint_observer(&mut self) {
+        self.obs = Some(Box::default());
+    }
+
+    /// The taint observer, when tracing is enabled.
+    pub fn taint_observer(&self) -> Option<&TaintObserver> {
+        self.obs.as_deref()
+    }
+
+    /// Mutable access to the taint observer (the runtime records taint
+    /// births and sink events through this).
+    pub fn taint_observer_mut(&mut self) -> Option<&mut TaintObserver> {
+        self.obs.as_deref_mut()
+    }
+
+    /// Enables the cycle-attribution profiler with the given guest function
+    /// table. Diagnostic-only, like the taint observer.
+    pub fn enable_profiler(&mut self, funcs: Vec<FuncSpan>) {
+        self.profiler = Some(Box::new(Profiler::new(funcs, self.cpu.ip)));
+    }
+
+    /// The profiler, when enabled.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Retires one instruction: statistics always, profiler when enabled.
+    #[inline]
+    fn retire(&mut self, ip: usize, prov: Provenance, cycles: u64) {
+        self.stats.retire(prov, cycles);
+        if let Some(p) = &mut self.profiler {
+            p.record(ip, prov, cycles);
         }
     }
 
@@ -287,7 +334,7 @@ impl Machine {
         // Predicated-off instructions are squashed; on the 6-wide machine
         // their slot is effectively free (see CostModel::pred_off).
         if !self.cpu.pr(insn.qp) {
-            self.stats.retire(insn.prov, self.cost.pred_off);
+            self.retire(ip, insn.prov, self.cost.pred_off);
             self.cpu.ip = ip + 1;
             return None;
         }
@@ -298,8 +345,19 @@ impl Machine {
 
         macro_rules! fault {
             ($f:expr) => {{
-                self.stats.retire(insn.prov, cycles);
+                self.retire(ip, insn.prov, cycles);
                 return Some(Exit::Fault($f));
+            }};
+        }
+
+        // A NaT-consumption fault *is* the hardware detection; capture the
+        // provenance chain for the report before the fault fires.
+        macro_rules! nat_fault {
+            ($reg:expr, $kind:expr, $desc:expr) => {{
+                if let Some(o) = &mut self.obs {
+                    o.on_nat_fault($reg, $desc, ip);
+                }
+                fault!(Fault::NatConsumption { kind: $kind, ip });
             }};
         }
 
@@ -314,30 +372,53 @@ impl Machine {
                 let self_cancel = src1 == src2 && matches!(op, AluOp::Xor | AluOp::Sub);
                 let nat = if self_cancel { false } else { a.nat || b.nat };
                 self.cpu.set_gpr(dst, RegVal { value: v, nat });
+                if let Some(o) = &mut self.obs {
+                    o.on_alu2(dst, nat, (src1, a.nat), (src2, b.nat));
+                }
             }
             Op::AluI { op, dst, src1, imm } => {
                 let a = self.cpu.gpr(src1);
                 let v = alu(op, a.value, imm as u64);
                 self.cpu.set_gpr(dst, RegVal { value: v, nat: a.nat });
+                if let Some(o) = &mut self.obs {
+                    o.on_alu1(dst, a.nat, src1);
+                }
             }
-            Op::MovI { dst, imm } => self.cpu.set_gpr_val(dst, imm as u64),
+            Op::MovI { dst, imm } => {
+                self.cpu.set_gpr_val(dst, imm as u64);
+                if let Some(o) = &mut self.obs {
+                    o.on_movi(dst);
+                }
+            }
             Op::Mov { dst, src } => {
                 let v = self.cpu.gpr(src);
                 self.cpu.set_gpr(dst, v);
+                if let Some(o) = &mut self.obs {
+                    o.on_mov(dst, src);
+                }
             }
             Op::Ext { kind, size, dst, src } => {
                 let a = self.cpu.gpr(src);
                 let v = extend(kind, size, a.value);
                 self.cpu.set_gpr(dst, RegVal { value: v, nat: a.nat });
+                if let Some(o) = &mut self.obs {
+                    o.on_alu1(dst, a.nat, src);
+                }
             }
             Op::Cmp { rel, pt, pf, src1, src2, nat_aware } => {
                 let a = self.cpu.gpr(src1);
                 let b = self.cpu.gpr(src2);
                 self.do_cmp(rel, pt, pf, a, b, nat_aware);
+                if let Some(o) = &mut self.obs {
+                    o.on_cmp();
+                }
             }
             Op::CmpI { rel, pt, pf, src1, imm, nat_aware } => {
                 let a = self.cpu.gpr(src1);
                 self.do_cmp(rel, pt, pf, a, RegVal::of(imm as u64), nat_aware);
+                if let Some(o) = &mut self.obs {
+                    o.on_cmp();
+                }
             }
             Op::Ld { size, ext, dst, addr, spec } => {
                 let a = self.cpu.gpr(addr);
@@ -347,8 +428,13 @@ impl Machine {
                         // directly (no translation attempted).
                         self.stats.deferred_loads += 1;
                         self.cpu.set_gpr(dst, RegVal::NAT);
+                        if let Some(o) = &mut self.obs {
+                            if insn.prov == Provenance::Original {
+                                o.on_load_deferred(dst);
+                            }
+                        }
                     } else {
-                        fault!(Fault::NatConsumption { kind: NatFaultKind::LoadAddress, ip });
+                        nat_fault!(addr, NatFaultKind::LoadAddress, "load address");
                     }
                 } else {
                     match self.mem.read_int(a.value, size.bytes()) {
@@ -358,6 +444,14 @@ impl Machine {
                             self.cpu.set_gpr(dst, RegVal::of(v));
                             if insn.prov == Provenance::Original {
                                 self.stats.loads += 1;
+                            }
+                            if let Some(o) = &mut self.obs {
+                                // Only data accesses feed the taint trace:
+                                // tag-bitmap reads and relax reloads are
+                                // instrumentation plumbing.
+                                if insn.prov == Provenance::Original {
+                                    o.on_load(dst, a.value, size.bytes(), ip);
+                                }
                             }
                         }
                         Err(_) if spec => {
@@ -370,6 +464,11 @@ impl Machine {
                             cycles += self.cache.mem_latency;
                             self.stats.deferred_loads += 1;
                             self.cpu.set_gpr(dst, RegVal::NAT);
+                            if let Some(o) = &mut self.obs {
+                                if insn.prov == Provenance::Original {
+                                    o.on_load_deferred(dst);
+                                }
+                            }
                         }
                         Err(e) => fault!(mem_fault(e, ip)),
                     }
@@ -379,16 +478,23 @@ impl Machine {
                 let a = self.cpu.gpr(addr);
                 let v = self.cpu.gpr(src);
                 if a.nat {
-                    fault!(Fault::NatConsumption { kind: NatFaultKind::StoreAddress, ip });
+                    nat_fault!(addr, NatFaultKind::StoreAddress, "store address");
                 }
                 if v.nat {
-                    fault!(Fault::NatConsumption { kind: NatFaultKind::StoreValue, ip });
+                    nat_fault!(src, NatFaultKind::StoreValue, "store value");
                 }
                 match self.mem.write_int(a.value, size.bytes(), v.value) {
                     Ok(()) => {
                         cycles += self.cache.access(a.value, size.bytes());
                         if insn.prov == Provenance::Original {
                             self.stats.stores += 1;
+                        }
+                        if let Some(o) = &mut self.obs {
+                            // Tag-bitmap stores must not consume the Tnat
+                            // staged for the data store that follows them.
+                            if insn.prov == Provenance::Original {
+                                o.on_store(a.value, size.bytes(), ip);
+                            }
                         }
                     }
                     Err(e) => fault!(mem_fault(e, ip)),
@@ -398,7 +504,7 @@ impl Machine {
                 let a = self.cpu.gpr(addr);
                 let v = self.cpu.gpr(src);
                 if a.nat {
-                    fault!(Fault::NatConsumption { kind: NatFaultKind::StoreAddress, ip });
+                    nat_fault!(addr, NatFaultKind::StoreAddress, "spill address");
                 }
                 match self.mem.write_int(a.value, 8, v.value) {
                     Ok(()) => {
@@ -410,6 +516,11 @@ impl Machine {
                         if insn.prov == Provenance::Original {
                             self.stats.stores += 1;
                         }
+                        if let Some(o) = &mut self.obs {
+                            if insn.prov == Provenance::Original {
+                                o.on_spill(src, a.value, v.nat, ip);
+                            }
+                        }
                     }
                     Err(e) => fault!(mem_fault(e, ip)),
                 }
@@ -417,7 +528,7 @@ impl Machine {
             Op::LdFill { dst, addr } => {
                 let a = self.cpu.gpr(addr);
                 if a.nat {
-                    fault!(Fault::NatConsumption { kind: NatFaultKind::LoadAddress, ip });
+                    nat_fault!(addr, NatFaultKind::LoadAddress, "fill address");
                 }
                 match self.mem.read_int(a.value, 8) {
                     Ok(raw) => {
@@ -426,6 +537,11 @@ impl Machine {
                         self.cpu.set_gpr(dst, RegVal { value: raw, nat });
                         if insn.prov == Provenance::Original {
                             self.stats.loads += 1;
+                        }
+                        if let Some(o) = &mut self.obs {
+                            if insn.prov == Provenance::Original {
+                                o.on_load(dst, a.value, 8, ip);
+                            }
                         }
                     }
                     Err(e) => fault!(mem_fault(e, ip)),
@@ -436,6 +552,9 @@ impl Machine {
                     cycles = self.cost.chk_set;
                     self.stats.chk_taken += 1;
                     next_ip = target;
+                    if let Some(o) = &mut self.obs {
+                        o.on_chk_taken(src);
+                    }
                 }
             }
             Op::Jmp { target } => {
@@ -446,15 +565,21 @@ impl Machine {
                 cycles = self.cost.branch_taken;
                 self.cpu.set_br(link, (ip + 1) as u64);
                 next_ip = target;
+                if let Some(p) = &mut self.profiler {
+                    p.on_call(target, ip + 1);
+                }
             }
             Op::JmpBr { br } => {
                 cycles = self.cost.branch_taken;
                 next_ip = self.cpu.br(br) as usize;
+                if let Some(p) = &mut self.profiler {
+                    p.on_branch(next_ip);
+                }
             }
             Op::MovToBr { br, src } => {
                 let v = self.cpu.gpr(src);
                 if v.nat {
-                    fault!(Fault::NatConsumption { kind: NatFaultKind::BranchMove, ip });
+                    nat_fault!(src, NatFaultKind::BranchMove, "branch move");
                 }
                 self.cpu.set_br(br, v.value);
             }
@@ -466,6 +591,9 @@ impl Machine {
                 let nat = self.cpu.gpr(src).nat;
                 self.cpu.set_pr(pt, nat);
                 self.cpu.set_pr(pf, !nat);
+                if let Some(o) = &mut self.obs {
+                    o.on_tnat(src, nat);
+                }
             }
             Op::Tset { dst } => {
                 let v = self.cpu.gpr(dst);
@@ -474,10 +602,13 @@ impl Machine {
             Op::Tclr { dst } => {
                 let v = self.cpu.gpr(dst);
                 self.cpu.set_gpr(dst, RegVal::of(v.value));
+                if let Some(o) = &mut self.obs {
+                    o.on_tclr(dst, insn.prov == Provenance::Relax);
+                }
             }
             Op::Syscall { num } => {
                 self.stats.syscalls += 1;
-                self.stats.retire(insn.prov, cycles);
+                self.retire(ip, insn.prov, cycles);
                 self.cpu.ip = next_ip;
                 return match os.syscall(self, num) {
                     SysResult::Continue => None,
@@ -486,12 +617,12 @@ impl Machine {
             }
             Op::Nop => {}
             Op::Halt => {
-                self.stats.retire(insn.prov, cycles);
+                self.retire(ip, insn.prov, cycles);
                 return Some(Exit::Halted(self.cpu.gpr(shift_isa::Gpr::RET).value as i64));
             }
         }
 
-        self.stats.retire(insn.prov, cycles);
+        self.retire(ip, insn.prov, cycles);
         self.cpu.ip = next_ip;
         None
     }

@@ -63,3 +63,8 @@ pub use image::{Image, ImageBuilder};
 pub use mem::{MemError, Memory, PAGE_SIZE};
 pub use snapshot::{Injection, Snapshot};
 pub use stats::{Exit, Stats, Violation};
+
+// Observability types surface through the machine's enable/accessor
+// methods; re-export them so downstream crates need not depend on
+// `shift-obs` directly for the common paths.
+pub use shift_obs::{FuncSpan, Profiler, TaintEvent, TaintJournal, TaintObserver};

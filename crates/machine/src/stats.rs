@@ -14,6 +14,10 @@ pub struct Violation {
     pub message: String,
     /// Instruction index of the offending runtime call or check.
     pub ip: usize,
+    /// Taint provenance chain from source channel to sink, e.g.
+    /// `"net_read msg#0 bytes 4..12 → r9 → store @0x6000f8 → file_open arg"`.
+    /// `None` when taint tracing was not enabled for the run.
+    pub provenance: Option<String>,
 }
 
 impl std::fmt::Display for Violation {
@@ -98,6 +102,12 @@ pub struct Stats {
     pub chk_taken: u64,
     /// Runtime calls executed.
     pub syscalls: u64,
+    /// CPU cycles spent inside the runtime (kernel copy loops, intrinsic
+    /// bodies). A *subset* of `cycles`: [`Stats::charge_runtime`] adds to
+    /// both, attributing the time to [`Provenance::Original`] — the
+    /// uninstrumented baseline pays it too. Kept separately so reports can
+    /// split pipeline time from runtime time.
+    pub runtime_cycles: u64,
     /// Fault-injection events applied (see [`crate::Machine::inject_after`]).
     pub injected_events: u64,
 }
@@ -125,11 +135,13 @@ impl Stats {
 
     /// Adds CPU time spent inside the runtime (kernel copy loops, intrinsic
     /// bodies). Attributed to [`Provenance::Original`] — the uninstrumented
-    /// baseline pays it too.
+    /// baseline pays it too — and tracked in [`Stats::runtime_cycles`] so
+    /// [`Stats::provenance_report`] can show it as its own row.
     #[inline]
     pub fn charge_runtime(&mut self, cycles: u64) {
         self.cycles += cycles;
         self.cycles_by_prov[Provenance::Original.index()] += cycles;
+        self.runtime_cycles += cycles;
     }
 
     /// Total modelled time: CPU cycles plus I/O waits.
@@ -154,6 +166,12 @@ impl Stats {
     }
 
     /// Formats a per-provenance cycle table (diagnostics).
+    ///
+    /// Runtime CPU time is charged to the `original` row (the baseline pays
+    /// it too); the `(runtime)` row breaks out how much of `original` that
+    /// is, and `(io-wait)` / `(total)` reconcile the table against
+    /// [`Stats::total_time`]. Parenthesised rows are informational, not
+    /// additional provenance labels.
     pub fn provenance_report(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -164,6 +182,14 @@ impl Stats {
                 let _ = writeln!(out, "{:<12} {:>14} {:>14}", p.name(), i, c);
             }
         }
+        if self.runtime_cycles > 0 {
+            let _ = writeln!(out, "{:<12} {:>14} {:>14}", "(runtime)", "-", self.runtime_cycles);
+        }
+        if self.io_cycles > 0 {
+            let _ = writeln!(out, "{:<12} {:>14} {:>14}", "(io-wait)", "-", self.io_cycles);
+        }
+        let _ =
+            writeln!(out, "{:<12} {:>14} {:>14}", "(total)", self.instructions, self.total_time());
         out
     }
 }
@@ -200,7 +226,8 @@ mod tests {
         assert!(Exit::Violation(Violation {
             policy: "H1".into(),
             message: "absolute path".into(),
-            ip: 0
+            ip: 0,
+            provenance: None,
         })
         .is_detection());
         assert!(Exit::Fault(Fault::NatConsumption { kind: NatFaultKind::LoadAddress, ip: 1 })
@@ -217,5 +244,38 @@ mod tests {
         let rep = s.provenance_report();
         assert!(rep.contains("relax"));
         assert!(!rep.contains("st-mem"));
+    }
+
+    /// Regression test for the `charge_runtime`/`charge_io` asymmetry:
+    /// runtime CPU time must be visible in the report (its own row) *and*
+    /// the report's total must reconcile with `total_time()`.
+    #[test]
+    fn runtime_time_is_attributed_and_reconciles() {
+        let mut s = Stats::new();
+        s.retire(Provenance::Original, 10);
+        s.charge_runtime(25);
+        s.charge_io(100);
+        // charge_runtime adds to cycles (under `original`) and is tracked.
+        assert_eq!(s.cycles, 35);
+        assert_eq!(s.runtime_cycles, 25);
+        assert_eq!(s.cycles_for(Provenance::Original), 35);
+        assert_eq!(s.total_time(), 135);
+        // Runtime time is not instrumentation overhead.
+        assert_eq!(s.instrumentation_cycles(), 0);
+        let rep = s.provenance_report();
+        assert!(rep.contains("(runtime)"), "runtime row missing:\n{rep}");
+        assert!(rep.contains("25"), "runtime cycles missing:\n{rep}");
+        assert!(rep.contains("(io-wait)"), "io row missing:\n{rep}");
+        assert!(rep.contains("135"), "total must equal total_time():\n{rep}");
+    }
+
+    #[test]
+    fn report_omits_runtime_and_io_rows_when_zero() {
+        let mut s = Stats::new();
+        s.retire(Provenance::Original, 1);
+        let rep = s.provenance_report();
+        assert!(!rep.contains("(runtime)"));
+        assert!(!rep.contains("(io-wait)"));
+        assert!(rep.contains("(total)"));
     }
 }

@@ -1,0 +1,199 @@
+//! Bounded ring-buffer journal of taint-flow events.
+//!
+//! The journal is an *observability* artifact: it records taint births
+//! (runtime source channels), propagations (tag writes the modelled machine
+//! performs), and sinks (policy checks that saw tainted data). Storage is a
+//! fixed-capacity ring — a long `serve` loop can stream millions of events
+//! without growing memory — and evictions are counted, never silent.
+
+use std::collections::VecDeque;
+
+/// Default ring capacity (events kept before the oldest are dropped).
+pub const DEFAULT_JOURNAL_CAP: usize = 4096;
+
+/// One taint-flow event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaintEvent {
+    /// Tainted bytes entered the guest from a named source channel.
+    Birth {
+        /// Source label, e.g. `"net_read msg#0"`.
+        label: String,
+        /// Guest address of the first tainted byte.
+        addr: u64,
+        /// Number of bytes written.
+        len: u64,
+    },
+    /// A register picked up taint from memory (a load set its NaT bit).
+    RegTaint {
+        /// Destination register index.
+        reg: u8,
+        /// Source label of the origin the taint traces back to.
+        label: String,
+        /// Instruction index of the load.
+        ip: usize,
+    },
+    /// A store wrote tainted data (and its tag) to memory.
+    MemTaint {
+        /// Guest address written.
+        addr: u64,
+        /// Bytes written.
+        len: u64,
+        /// Source label of the origin the taint traces back to.
+        label: String,
+        /// Instruction index of the store.
+        ip: usize,
+    },
+    /// A policy sink inspected tainted data.
+    Sink {
+        /// Sink name, e.g. `"file_open"`.
+        sink: String,
+        /// Full provenance chain rendered for the sink.
+        chain: String,
+    },
+}
+
+impl std::fmt::Display for TaintEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaintEvent::Birth { label, addr, len } => {
+                write!(f, "birth  {label} -> {len} bytes @{addr:#x}")
+            }
+            TaintEvent::RegTaint { reg, label, ip } => {
+                write!(f, "reg    r{reg} <- {label} (ip {ip})")
+            }
+            TaintEvent::MemTaint { addr, len, label, ip } => {
+                write!(f, "mem    {len} bytes @{addr:#x} <- {label} (ip {ip})")
+            }
+            TaintEvent::Sink { sink, chain } => write!(f, "sink   {sink}: {chain}"),
+        }
+    }
+}
+
+/// Fixed-capacity event ring with per-class counters.
+#[derive(Clone, Debug)]
+pub struct TaintJournal {
+    cap: usize,
+    events: VecDeque<TaintEvent>,
+    dropped: u64,
+    births: u64,
+    propagations: u64,
+    sinks: u64,
+}
+
+impl Default for TaintJournal {
+    fn default() -> TaintJournal {
+        TaintJournal::with_capacity(DEFAULT_JOURNAL_CAP)
+    }
+}
+
+impl TaintJournal {
+    /// A journal keeping at most `cap` events (`cap == 0` records counters
+    /// only and stores nothing).
+    pub fn with_capacity(cap: usize) -> TaintJournal {
+        TaintJournal {
+            cap,
+            events: VecDeque::with_capacity(cap.min(1024)),
+            dropped: 0,
+            births: 0,
+            propagations: 0,
+            sinks: 0,
+        }
+    }
+
+    /// Appends an event, evicting (and counting) the oldest when full.
+    pub fn push(&mut self, event: TaintEvent) {
+        match &event {
+            TaintEvent::Birth { .. } => self.births += 1,
+            TaintEvent::RegTaint { .. } | TaintEvent::MemTaint { .. } => self.propagations += 1,
+            TaintEvent::Sink { .. } => self.sinks += 1,
+        }
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently retained (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &TaintEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted (or not stored) because of the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total birth events observed (including dropped ones).
+    pub fn births(&self) -> u64 {
+        self.births
+    }
+
+    /// Total propagation events observed (including dropped ones).
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Total sink events observed (including dropped ones).
+    pub fn sinks(&self) -> u64 {
+        self.sinks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn birth(i: u64) -> TaintEvent {
+        TaintEvent::Birth { label: format!("net_read msg#{i}"), addr: i, len: 1 }
+    }
+
+    #[test]
+    fn ring_bounds_memory_and_counts_drops() {
+        let mut j = TaintJournal::with_capacity(3);
+        for i in 0..10 {
+            j.push(birth(i));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 7);
+        assert_eq!(j.births(), 10);
+        // The retained events are the newest three, oldest first.
+        let labels: Vec<_> = j.events().map(|e| e.to_string()).collect();
+        assert!(labels[0].contains("msg#7"));
+        assert!(labels[2].contains("msg#9"));
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_storing() {
+        let mut j = TaintJournal::with_capacity(0);
+        j.push(TaintEvent::Sink { sink: "file_open".into(), chain: "x".into() });
+        assert!(j.is_empty());
+        assert_eq!(j.sinks(), 1);
+        assert_eq!(j.dropped(), 1);
+    }
+
+    #[test]
+    fn class_counters_split_by_event_kind() {
+        let mut j = TaintJournal::default();
+        j.push(birth(0));
+        j.push(TaintEvent::RegTaint { reg: 9, label: "net_read msg#0".into(), ip: 4 });
+        j.push(TaintEvent::MemTaint { addr: 8, len: 1, label: "net_read msg#0".into(), ip: 5 });
+        j.push(TaintEvent::Sink { sink: "sql_exec".into(), chain: "c".into() });
+        assert_eq!((j.births(), j.propagations(), j.sinks()), (1, 2, 1));
+        assert_eq!(j.dropped(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # shift-obs — observability for the SHIFT stack
+//!
+//! Three pillars, all dependency-free and all zero-cost when disabled:
+//!
+//! 1. **Taint-flow tracing** ([`TaintObserver`], [`TaintJournal`]): shadow
+//!    provenance state that turns a bare `Violation` into a chain like
+//!    `net_read msg#0 bytes 4..12 → r9 → store @0x6000f8 → file_open arg`.
+//! 2. **Metrics** ([`Registry`], [`Histogram`], [`Json`]): a counter/gauge/
+//!    histogram registry with a schema-stable nested-JSON export (see
+//!    DESIGN.md §7 for the key layout).
+//! 3. **Profiling** ([`Profiler`]): per-guest-function cycle attribution
+//!    with folded-stack output and hot-block ranking, layered on the same
+//!    provenance labels as Fig. 9's overhead breakdown.
+//!
+//! The crate sits between `shift-tagmap` and `shift-machine` in the
+//! dependency order: the machine owns the observer/profiler behind
+//! `Option` guards, higher layers (runtime, CLI, bench) drive the metrics
+//! and rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod profile;
+
+pub use journal::{TaintEvent, TaintJournal, DEFAULT_JOURNAL_CAP};
+pub use json::{Json, JsonError};
+pub use metrics::{Histogram, Registry, SCHEMA_VERSION};
+pub use observer::TaintObserver;
+pub use profile::{FuncSpan, Profiler, BLOCK_INSNS};

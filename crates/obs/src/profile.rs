@@ -1,0 +1,229 @@
+//! Cycle-attribution profiler: per-guest-function folded stacks plus a
+//! hot-block ranking.
+//!
+//! The machine feeds every retired instruction's `(ip, provenance, cycles)`
+//! into [`Profiler::record`]; a shadow call stack (maintained from the
+//! `call`/`jmp.br` hooks) attributes the cost to the current guest function
+//! stack. Output is folded-stack text (`main;strcpy 123`) consumable by
+//! standard flamegraph tooling, with instrumentation provenance split out
+//! as synthetic leaf frames (`main;strcpy;[ld-mem] 45`) so tag-computation
+//! and tag-memory overhead show up *inside* the function that pays it —
+//! the same attribution Fig. 9 of the paper makes globally.
+//!
+//! Like the taint observer, the profiler is diagnostic-only: it models no
+//! cycles and never perturbs execution.
+
+use std::collections::HashMap;
+
+use shift_isa::Provenance;
+
+const NPROV: usize = Provenance::ALL.len();
+const UNKNOWN: u32 = u32::MAX;
+
+/// Instructions per hot-block bucket (power of two).
+pub const BLOCK_INSNS: usize = 16;
+
+/// One guest function's instruction range (half-open).
+#[derive(Clone, Debug)]
+pub struct FuncSpan {
+    /// Function name.
+    pub name: String,
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    func: u32,
+    ret_ip: usize,
+}
+
+/// Shadow-stack cycle profiler.
+#[derive(Clone, Debug)]
+pub struct Profiler {
+    funcs: Vec<FuncSpan>,
+    stack: Vec<Frame>,
+    interned: HashMap<Vec<u32>, u32>,
+    stacks: Vec<(Vec<u32>, [u64; NPROV])>,
+    cur: u32,
+    block_cycles: HashMap<usize, u64>,
+}
+
+impl Profiler {
+    /// Builds a profiler from a function table and the entry instruction.
+    pub fn new(mut funcs: Vec<FuncSpan>, entry: usize) -> Profiler {
+        funcs.sort_by_key(|f| f.start);
+        let mut p = Profiler {
+            funcs,
+            stack: Vec::new(),
+            interned: HashMap::new(),
+            stacks: Vec::new(),
+            cur: 0,
+            block_cycles: HashMap::new(),
+        };
+        let root = p.func_of(entry);
+        p.stack.push(Frame { func: root, ret_ip: usize::MAX });
+        p.cur = p.intern();
+        p
+    }
+
+    fn func_of(&self, ip: usize) -> u32 {
+        let idx = self.funcs.partition_point(|f| f.start <= ip);
+        if idx == 0 {
+            return UNKNOWN;
+        }
+        let f = &self.funcs[idx - 1];
+        if ip < f.end {
+            (idx - 1) as u32
+        } else {
+            UNKNOWN
+        }
+    }
+
+    fn func_name(&self, id: u32) -> &str {
+        if id == UNKNOWN {
+            "?"
+        } else {
+            &self.funcs[id as usize].name
+        }
+    }
+
+    fn intern(&mut self) -> u32 {
+        let key: Vec<u32> = self.stack.iter().map(|f| f.func).collect();
+        if let Some(&id) = self.interned.get(&key) {
+            return id;
+        }
+        let id = self.stacks.len() as u32;
+        self.stacks.push((key.clone(), [0; NPROV]));
+        self.interned.insert(key, id);
+        id
+    }
+
+    /// A `call` transferred to `target`, to return at `ret_ip`.
+    pub fn on_call(&mut self, target: usize, ret_ip: usize) {
+        let func = self.func_of(target);
+        self.stack.push(Frame { func, ret_ip });
+        self.cur = self.intern();
+    }
+
+    /// An indirect branch jumped to `next_ip`; pops the shadow frame when
+    /// it matches the pending return address (other `jmp.br`s — switch
+    /// tables, tail calls — leave the stack alone).
+    pub fn on_branch(&mut self, next_ip: usize) {
+        if self.stack.len() > 1 && self.stack.last().is_some_and(|f| f.ret_ip == next_ip) {
+            self.stack.pop();
+            self.cur = self.intern();
+        }
+    }
+
+    /// Attributes one retired instruction's cycles to the current stack.
+    #[inline]
+    pub fn record(&mut self, ip: usize, prov: Provenance, cycles: u64) {
+        self.stacks[self.cur as usize].1[prov.index()] += cycles;
+        *self.block_cycles.entry(ip & !(BLOCK_INSNS - 1)).or_insert(0) += cycles;
+    }
+
+    /// Total cycles attributed (equals the machine's retired `Stats.cycles`).
+    pub fn total_cycles(&self) -> u64 {
+        self.stacks.iter().map(|(_, by)| by.iter().sum::<u64>()).sum()
+    }
+
+    /// Folded-stack output: one `frame;frame[;frame…] cycles` line per
+    /// stack, with instrumentation provenance as synthetic `[label]` leaf
+    /// frames. Lines are sorted, so output is deterministic.
+    pub fn folded(&self) -> String {
+        let mut lines = Vec::new();
+        for (key, by_prov) in &self.stacks {
+            let path: Vec<&str> = key.iter().map(|&id| self.func_name(id)).collect();
+            let path = path.join(";");
+            for p in Provenance::ALL {
+                let cycles = by_prov[p.index()];
+                if cycles == 0 {
+                    continue;
+                }
+                if p == Provenance::Original {
+                    lines.push(format!("{path} {cycles}"));
+                } else {
+                    lines.push(format!("{path};[{}] {cycles}", p.name()));
+                }
+            }
+        }
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The `n` hottest [`BLOCK_INSNS`]-instruction blocks, by cycles spent,
+    /// hottest first: `(block start ip, enclosing function, cycles)`.
+    pub fn hot_blocks(&self, n: usize) -> Vec<(usize, String, u64)> {
+        let mut blocks: Vec<(usize, u64)> =
+            self.block_cycles.iter().map(|(&ip, &c)| (ip, c)).collect();
+        blocks.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        blocks
+            .into_iter()
+            .take(n)
+            .map(|(ip, c)| (ip, self.func_name(self.func_of(ip)).to_string(), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Vec<FuncSpan> {
+        vec![
+            FuncSpan { name: "main".into(), start: 0, end: 100 },
+            FuncSpan { name: "strcpy".into(), start: 100, end: 150 },
+        ]
+    }
+
+    #[test]
+    fn call_and_return_attribute_to_the_right_stack() {
+        let mut p = Profiler::new(table(), 0);
+        p.record(0, Provenance::Original, 5);
+        p.on_call(100, 11);
+        p.record(100, Provenance::Original, 7);
+        p.record(101, Provenance::LdTagMemory, 3);
+        p.on_branch(11);
+        p.record(11, Provenance::Original, 2);
+        let folded = p.folded();
+        assert!(folded.contains("main 7\n"), "{folded}");
+        assert!(folded.contains("main;strcpy 7\n"), "{folded}");
+        assert!(folded.contains("main;strcpy;[ld-mem] 3\n"), "{folded}");
+        assert_eq!(p.total_cycles(), 17);
+    }
+
+    #[test]
+    fn unmatched_branch_keeps_the_stack() {
+        let mut p = Profiler::new(table(), 0);
+        p.on_call(100, 50);
+        p.on_branch(120); // switch-table jump, not the return
+        p.record(120, Provenance::Original, 1);
+        assert!(p.folded().contains("main;strcpy 1\n"));
+    }
+
+    #[test]
+    fn unknown_ips_map_to_a_placeholder_frame() {
+        let mut p = Profiler::new(table(), 500);
+        p.record(500, Provenance::Original, 4);
+        assert!(p.folded().contains("? 4\n"));
+    }
+
+    #[test]
+    fn hot_blocks_rank_by_cycles() {
+        let mut p = Profiler::new(table(), 0);
+        p.record(3, Provenance::Original, 10);
+        p.record(7, Provenance::Original, 10);
+        p.record(113, Provenance::Original, 5);
+        let hot = p.hot_blocks(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0], (0, "main".to_string(), 20));
+        assert_eq!(hot[1], (112, "strcpy".to_string(), 5));
+    }
+}

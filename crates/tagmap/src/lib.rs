@@ -199,6 +199,8 @@ pub fn tag_span(vaddr: u64, len: u64, gran: Granularity) -> u64 {
 pub struct HostShadow {
     pages: HashMap<u64, Box<[u8; 512]>>,
     tainted_bytes: u64,
+    marks: u64,
+    clears: u64,
 }
 
 const SPAN: u64 = 4096;
@@ -212,6 +214,18 @@ impl HostShadow {
     /// Number of currently tainted bytes.
     pub fn tainted_bytes(&self) -> u64 {
         self.tainted_bytes
+    }
+
+    /// Cumulative clean→tainted transitions (bitmap touch count; feeds the
+    /// metrics registry). Idempotent re-marks do not count.
+    pub fn marks(&self) -> u64 {
+        self.marks
+    }
+
+    /// Cumulative tainted→clean transitions. Idempotent re-clears do not
+    /// count.
+    pub fn clears(&self) -> u64 {
+        self.clears
     }
 
     /// Returns `true` if the byte at `addr` is tainted.
@@ -253,11 +267,13 @@ impl HostShadow {
             if page[idx] & mask == 0 {
                 page[idx] |= mask;
                 self.tainted_bytes += 1;
+                self.marks += 1;
             }
         } else if let Some(page) = self.pages.get_mut(&(addr / SPAN)) {
             if page[idx] & mask != 0 {
                 page[idx] &= !mask;
                 self.tainted_bytes -= 1;
+                self.clears += 1;
             }
         }
     }
@@ -272,9 +288,11 @@ impl HostShadow {
         }
     }
 
-    /// Clears the entire map.
+    /// Clears the entire map. The wiped bytes count toward
+    /// [`HostShadow::clears`].
     pub fn clear(&mut self) {
         self.pages.clear();
+        self.clears += self.tainted_bytes;
         self.tainted_bytes = 0;
     }
 }
@@ -397,5 +415,20 @@ mod tests {
         s.clear();
         assert_eq!(s.tainted_bytes(), 0);
         assert!(!s.any_tainted(0, 100));
+    }
+
+    #[test]
+    fn shadow_touch_counters_track_transitions_only() {
+        let mut s = HostShadow::new();
+        s.set_range(0, 10, true);
+        s.set_range(0, 10, true); // idempotent: no new marks
+        assert_eq!(s.marks(), 10);
+        assert_eq!(s.clears(), 0);
+        s.set_range(0, 4, false);
+        s.set_range(0, 4, false); // idempotent: no new clears
+        assert_eq!(s.clears(), 4);
+        s.clear(); // remaining 6 tainted bytes count as clears
+        assert_eq!(s.clears(), 10);
+        assert_eq!(s.marks(), 10, "marks are cumulative across clear()");
     }
 }

@@ -235,3 +235,52 @@ proptest! {
         }
     }
 }
+
+/// Observability is diagnostic-only: arming the taint observer and the
+/// profiler must not perturb the modelled machine. Every attack, benign and
+/// exploit, must produce a bit-identical architectural outcome — same exit,
+/// same cycle counts, same memory/CPU digest — with and without tracing.
+#[test]
+fn tracing_and_profiling_do_not_perturb_execution() {
+    // The provenance chain is the one field tracing is *supposed* to add.
+    let strip_chain = |mut exit: shift_core::Exit| {
+        if let shift_core::Exit::Violation(v) = &mut exit {
+            v.provenance = None;
+        }
+        exit
+    };
+    for gran in [Granularity::Byte, Granularity::Word] {
+        for atk in shift_attacks::all_attacks() {
+            let app = (atk.build)();
+            for world in [(atk.benign)(), (atk.exploit)()] {
+                let base = Shift::new(Mode::Shift(ShiftOptions::baseline(gran)))
+                    .with_insn_limit(200_000_000);
+                let plain = base.clone().run(&app, world.clone()).unwrap();
+                let traced = base.with_taint_trace().with_profile().run(&app, world).unwrap();
+                assert_eq!(
+                    strip_chain(plain.exit.clone()),
+                    strip_chain(traced.exit.clone()),
+                    "{}: exit perturbed by tracing",
+                    atk.program
+                );
+                assert_eq!(
+                    plain.stats.cycles, traced.stats.cycles,
+                    "{}: cycle count perturbed by tracing",
+                    atk.program
+                );
+                assert_eq!(
+                    plain.stats.total_time(),
+                    traced.stats.total_time(),
+                    "{}: total time perturbed by tracing",
+                    atk.program
+                );
+                assert_eq!(
+                    plain.machine.state_digest(),
+                    traced.machine.state_digest(),
+                    "{}: architectural state perturbed by tracing",
+                    atk.program
+                );
+            }
+        }
+    }
+}
