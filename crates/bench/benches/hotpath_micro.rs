@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks of the interpreter hot paths this crate's
+//! evaluation sweeps lean on: the software-TLB'd `Memory` accessors, the
+//! page-span bulk copies, the word-level `HostShadow` operations, and a
+//! whole apache-sim request as the end-to-end composite. These are the
+//! numbers to watch when touching `shift-machine::mem` or
+//! `shift-tagmap::HostShadow` — the figure sweeps only show regressions
+//! after minutes of simulation, these show them in microseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use shift_core::Granularity;
+use shift_isa::make_vaddr;
+use shift_machine::{Memory, PAGE_SIZE};
+use shift_tagmap::HostShadow;
+use shift_workloads::apache::run_apache;
+
+fn bench_memory(c: &mut Criterion) {
+    let base = make_vaddr(1, 0x10_0000);
+    let mut g = c.benchmark_group("memory");
+
+    // Aligned integer loads hammering a handful of hot pages — the TLB-hit
+    // fast path that dominates simulator load/store handling.
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("read_int_hot", |b| {
+        let mut mem = Memory::new();
+        mem.map_range(base, 4 * PAGE_SIZE);
+        for i in 0..4 * PAGE_SIZE / 8 {
+            mem.write_int(base + i * 8, 8, i).unwrap();
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..4096u64 {
+                acc ^= mem.read_int(base + (i % 2048) * 8, 8).unwrap();
+            }
+            acc
+        })
+    });
+
+    // Aligned stores with live spill-NaT slots, so the per-store NaT
+    // invalidation cannot take the empty-bank early exit.
+    g.bench_function("write_int_hot", |b| {
+        let mut mem = Memory::new();
+        mem.map_range(base, 4 * PAGE_SIZE);
+        mem.set_spill_nat(base, true);
+        b.iter(|| {
+            for i in 0..4096u64 {
+                mem.write_int(base + 8 + (i % 2047) * 8, 8, i).unwrap();
+            }
+            mem.spill_nat(base)
+        })
+    });
+
+    // Page-crossing bulk copy — the span-at-a-time `write_bytes` path used
+    // by syscall buffers and string traffic.
+    let blob = vec![0xA5u8; 3 * PAGE_SIZE as usize];
+    g.throughput(Throughput::Bytes(blob.len() as u64));
+    g.bench_function("write_bytes_3_pages", |b| {
+        let mut mem = Memory::new();
+        mem.map_range(base, 4 * PAGE_SIZE);
+        b.iter(|| mem.write_bytes(base + 100, &blob).unwrap())
+    });
+
+    g.finish();
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shadow");
+
+    // Word-masked range marking across page boundaries, both directions.
+    g.throughput(Throughput::Bytes(8192));
+    g.bench_function("set_range_8k", |b| {
+        let mut s = HostShadow::new();
+        b.iter(|| {
+            s.set_range(100, 8192, true);
+            s.set_range(100, 8192, false);
+            s.tainted_bytes()
+        })
+    });
+
+    // Overlapping forward copy of a ragged (unaligned ends) region — the
+    // worst case for the 64-byte-chunk shift-combine path.
+    g.throughput(Throughput::Bytes(4000));
+    g.bench_function("copy_taint_overlap", |b| {
+        let mut s = HostShadow::new();
+        s.set_range(3, 997, true);
+        b.iter(|| {
+            s.copy_taint(517, 3, 4000);
+            s.tainted_bytes()
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_apache_request(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apache");
+    // One full simulated request at the smallest file size: compile, serve,
+    // tag-propagate, and check — the composite all the hot paths feed.
+    g.bench_function("request_byte_1k", |b| {
+        b.iter(|| {
+            let run = run_apache(
+                shift_core::Mode::Shift(shift_core::ShiftOptions::baseline(Granularity::Byte)),
+                1 << 10,
+                1,
+            );
+            run.latency()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_memory, bench_shadow, bench_apache_request);
+criterion_main!(benches);

@@ -332,13 +332,18 @@ fn cmd_bench(json: bool, scale: Scale) -> ExitCode {
         Scale::Test => (&[1 << 10, 8 << 10], 6),
         Scale::Reference => (&[1 << 10, 10 << 10, 100 << 10], 50),
     };
+    let started = std::time::Instant::now();
     let summary = shift_bench::bench_summary(scale, sizes, requests);
+    let host = started.elapsed();
     let text = summary.render();
     if json {
         if let Err(code) = write_artifact("BENCH_shift.json", "bench summary", &text) {
             return code;
         }
-        println!("bench summary written to BENCH_shift.json");
+        println!(
+            "bench summary written to BENCH_shift.json ({:.2}s host time)",
+            host.as_secs_f64()
+        );
     } else {
         print!("{text}");
     }

@@ -43,6 +43,13 @@ fn common_metrics(reg: &mut Registry, stats: &Stats, machine: &Machine, runtime:
     reg.counter_add("cache.l2.hits", l2h);
     reg.counter_add("cache.l2.misses", l2m);
 
+    // Host-side software-TLB effectiveness (see DESIGN.md §8). Unlike the
+    // cache counters above these model nothing — they exist so interpreter
+    // regressions show up in metrics, not just in wall-clock.
+    let (tlb_h, tlb_m) = machine.mem.tlb_stats();
+    reg.counter_add("mem.tlb.hits", tlb_h);
+    reg.counter_add("mem.tlb.misses", tlb_m);
+
     reg.counter_add("tagmap.shadow.tainted_bytes", runtime.shadow.tainted_bytes());
     reg.counter_add("tagmap.shadow.marks", runtime.shadow.marks());
     reg.counter_add("tagmap.shadow.clears", runtime.shadow.clears());
@@ -134,7 +141,7 @@ mod tests {
         let json = reg.to_json();
         let text = json.render();
         let parsed = shift_obs::Json::parse(&text).unwrap();
-        for key in ["schema_version", "stats", "cache", "tagmap", "journal", "runtime"] {
+        for key in ["schema_version", "stats", "cache", "mem", "tagmap", "journal", "runtime"] {
             assert!(parsed.get(key).is_some(), "missing top-level key {key}:\n{text}");
         }
         assert_eq!(parsed.get("schema_version").and_then(|j| j.as_u64()), Some(SCHEMA_VERSION));

@@ -28,36 +28,57 @@ impl CacheConfig {
 }
 
 /// One set-associative LRU cache level.
+///
+/// Ways are stored flat (`slots[set * ways ..][..ways]`, most-recent first)
+/// with an impossible line number as the empty sentinel, so an access is one
+/// contiguous scan with no per-set allocation. LRU behaviour — and therefore
+/// the hit/miss/stall sequence — is identical to the textbook
+/// list-of-tags formulation.
 #[derive(Clone, Debug)]
 struct Level {
     cfg: CacheConfig,
-    /// `sets[s]` holds line tags in LRU order (front = most recent).
-    sets: Vec<Vec<u64>>,
+    set_mask: usize,
+    slots: Vec<u64>,
     hits: u64,
     misses: u64,
 }
+
+/// No real line has this number: lines are `addr / line_size` and addresses
+/// top out well below `u64::MAX`.
+const EMPTY_LINE: u64 = u64::MAX;
 
 impl Level {
     fn new(cfg: CacheConfig) -> Level {
         assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
         let sets = cfg.sets();
         assert!(sets.is_power_of_two() && sets > 0, "set count must be a power of two");
-        Level { cfg, sets: vec![Vec::new(); sets], hits: 0, misses: 0 }
+        Level {
+            cfg,
+            set_mask: sets - 1,
+            slots: vec![EMPTY_LINE; sets * cfg.ways],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Touches the line containing `addr`; returns `true` on hit.
+    #[inline]
     fn access(&mut self, addr: u64) -> bool {
         let line = addr / self.cfg.line;
-        let set = (line as usize) & (self.sets.len() - 1);
-        let ways = &mut self.sets[set];
+        let set = (line as usize) & self.set_mask;
+        let ways = &mut self.slots[set * self.cfg.ways..(set + 1) * self.cfg.ways];
+        if ways[0] == line {
+            // Most-recently-used hit: the dominant case, no reordering.
+            self.hits += 1;
+            return true;
+        }
         if let Some(pos) = ways.iter().position(|&t| t == line) {
-            let t = ways.remove(pos);
-            ways.insert(0, t);
+            ways[..=pos].rotate_right(1);
             self.hits += 1;
             true
         } else {
-            ways.insert(0, line);
-            ways.truncate(self.cfg.ways);
+            ways.rotate_right(1);
+            ways[0] = line;
             self.misses += 1;
             false
         }
@@ -90,9 +111,13 @@ impl CacheHierarchy {
     /// Simulates a data access of `size` bytes at `addr`; returns the stall
     /// cycles beyond the instruction's base latency. Accesses that straddle a
     /// line boundary touch both lines.
+    #[inline]
     pub fn access(&mut self, addr: u64, size: u64) -> u64 {
         let first = addr / self.l1.cfg.line;
         let last = addr.wrapping_add(size.max(1) - 1) / self.l1.cfg.line;
+        if first == last {
+            return self.access_line(first * self.l1.cfg.line);
+        }
         let mut stall = 0;
         for line in first..=last {
             stall += self.access_line(line * self.l1.cfg.line);
@@ -100,6 +125,7 @@ impl CacheHierarchy {
         stall
     }
 
+    #[inline]
     fn access_line(&mut self, addr: u64) -> u64 {
         if self.l1.access(addr) {
             0

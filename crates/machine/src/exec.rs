@@ -52,9 +52,14 @@ pub struct Machine {
     pub cache: CacheHierarchy,
     /// Cycle/event accounting.
     pub stats: Stats,
-    /// Instruction latency table.
-    pub cost: CostModel,
+    /// Instruction latency table. Private because `base_cost` caches its
+    /// per-instruction answers — mutating one without the other would skew
+    /// the cycle model.
+    cost: CostModel,
     code: Vec<Insn>,
+    /// `cost.base()` of each instruction in `code`, precomputed so the
+    /// dispatcher replaces a second match on the op with one indexed load.
+    base_cost: Vec<u64>,
     trace: Option<std::collections::VecDeque<usize>>,
     trace_cap: usize,
     watchdog: Option<Watchdog>,
@@ -72,6 +77,17 @@ pub struct Machine {
 struct Watchdog {
     budget: u64,
     used: u64,
+}
+
+/// Internal outcome of one dispatcher step.
+enum StepOut {
+    /// Keep going.
+    Continue,
+    /// Keep going, but a syscall ran — the hot loop's invariants (watchdog,
+    /// injections, trace, observability all disabled) must be re-verified.
+    Recheck,
+    /// The run stops.
+    Exit(Exit),
 }
 
 impl Machine {
@@ -100,6 +116,7 @@ impl Machine {
             cache: CacheHierarchy::itanium2(),
             stats: Stats::new(),
             cost: CostModel::ITANIUM2,
+            base_cost: image.code.iter().map(|i| CostModel::ITANIUM2.base(&i.op)).collect(),
             code: image.code.clone(),
             trace: None,
             trace_cap: 0,
@@ -138,15 +155,6 @@ impl Machine {
     /// The profiler, when enabled.
     pub fn profiler(&self) -> Option<&Profiler> {
         self.profiler.as_deref()
-    }
-
-    /// Retires one instruction: statistics always, profiler when enabled.
-    #[inline]
-    fn retire(&mut self, ip: usize, prov: Provenance, cycles: u64) {
-        self.stats.retire(prov, cycles);
-        if let Some(p) = &mut self.profiler {
-            p.record(ip, prov, cycles);
-        }
     }
 
     /// Arms (or re-arms) the watchdog: once more than `insns` instructions
@@ -297,8 +305,28 @@ impl Machine {
             if self.stats.instructions >= budget {
                 return Exit::InsnLimit;
             }
-            if let Some(exit) = self.step(os) {
-                return exit;
+            if self.watchdog.is_none()
+                && self.injections.is_empty()
+                && self.trace.is_none()
+                && self.obs.is_none()
+                && self.profiler.is_none()
+            {
+                // Hot loop: all five conditions are loop-invariant except
+                // across syscalls (an `Os` handler gets `&mut Machine` and
+                // may arm any of them), so the dispatcher returns `Recheck`
+                // after every syscall and we re-establish them here.
+                while self.stats.instructions < budget {
+                    match self.step_impl::<O, true>(os) {
+                        StepOut::Continue => {}
+                        StepOut::Recheck => break,
+                        StepOut::Exit(exit) => return exit,
+                    }
+                }
+            } else {
+                match self.step_impl::<O, false>(os) {
+                    StepOut::Continue | StepOut::Recheck => {}
+                    StepOut::Exit(exit) => return exit,
+                }
             }
         }
     }
@@ -309,44 +337,100 @@ impl Machine {
     /// any exit (the runtime restores a snapshot first when the exit left
     /// `ip` at a faulting instruction).
     pub fn step<O: Os>(&mut self, os: &mut O) -> Option<Exit> {
-        if let Some(w) = &mut self.watchdog {
-            if w.used >= w.budget {
-                return Some(Exit::FuelExhausted);
-            }
-            w.used += 1;
+        match self.step_impl::<O, false>(os) {
+            StepOut::Exit(exit) => Some(exit),
+            StepOut::Continue | StepOut::Recheck => None,
         }
-        if !self.injections.is_empty() {
-            if let Some(exit) = self.apply_due_injections() {
-                return Some(exit);
+    }
+
+    /// The taint observer, only on the checked (non-hot) path.
+    ///
+    /// `HOT` is only ever true when [`Machine::run`] has verified the
+    /// observer is disabled, so the hot monomorphization folds every
+    /// observer hook to nothing at compile time.
+    #[inline(always)]
+    fn obs_if<const HOT: bool>(&mut self) -> Option<&mut TaintObserver> {
+        if HOT {
+            None
+        } else {
+            self.obs.as_deref_mut()
+        }
+    }
+
+    /// The profiler, only on the checked (non-hot) path — same contract as
+    /// [`Machine::obs_if`].
+    #[inline(always)]
+    fn profiler_if<const HOT: bool>(&mut self) -> Option<&mut Profiler> {
+        if HOT {
+            None
+        } else {
+            self.profiler.as_deref_mut()
+        }
+    }
+
+    /// Retires one instruction without the profiler test on the hot path
+    /// (`run` guarantees the profiler is disabled there).
+    #[inline(always)]
+    fn retire_fast<const HOT: bool>(&mut self, ip: usize, prov: Provenance, cycles: u64) {
+        self.stats.retire(prov, cycles);
+        if !HOT {
+            if let Some(p) = &mut self.profiler {
+                p.record(ip, prov, cycles);
+            }
+        }
+    }
+
+    /// One instruction of the dispatcher, monomorphized twice: `HOT = true`
+    /// compiles out the watchdog, injection, trace, observer, and profiler
+    /// tests (the run loop guarantees they are disabled), `HOT = false` is
+    /// the general path behind [`Machine::step`]. Behaviour is identical —
+    /// `HOT` removes tests that would all be false, never changes one.
+    #[inline(always)]
+    fn step_impl<O: Os, const HOT: bool>(&mut self, os: &mut O) -> StepOut {
+        if !HOT {
+            if let Some(w) = &mut self.watchdog {
+                if w.used >= w.budget {
+                    return StepOut::Exit(Exit::FuelExhausted);
+                }
+                w.used += 1;
+            }
+            if !self.injections.is_empty() {
+                if let Some(exit) = self.apply_due_injections() {
+                    return StepOut::Exit(exit);
+                }
             }
         }
         let ip = self.cpu.ip;
         let Some(&insn) = self.code.get(ip) else {
-            return Some(Exit::Fault(Fault::BadIp { ip }));
+            return StepOut::Exit(Exit::Fault(Fault::BadIp { ip }));
         };
-        if let Some(trace) = &mut self.trace {
-            trace.push_back(ip);
-            if trace.len() > self.trace_cap {
-                trace.pop_front();
+        if !HOT {
+            if let Some(trace) = &mut self.trace {
+                trace.push_back(ip);
+                if trace.len() > self.trace_cap {
+                    trace.pop_front();
+                }
             }
         }
 
         // Predicated-off instructions are squashed; on the 6-wide machine
         // their slot is effectively free (see CostModel::pred_off).
         if !self.cpu.pr(insn.qp) {
-            self.retire(ip, insn.prov, self.cost.pred_off);
+            self.retire_fast::<HOT>(ip, insn.prov, self.cost.pred_off);
             self.cpu.ip = ip + 1;
-            return None;
+            return StepOut::Continue;
         }
 
-        let base = self.cost.base(&insn.op);
+        // Same index as the fetch above, so the bound holds; equals
+        // `self.cost.base(&insn.op)` by construction.
+        let base = self.base_cost[ip];
         let mut cycles = base;
         let mut next_ip = ip + 1;
 
         macro_rules! fault {
             ($f:expr) => {{
-                self.retire(ip, insn.prov, cycles);
-                return Some(Exit::Fault($f));
+                self.retire_fast::<HOT>(ip, insn.prov, cycles);
+                return StepOut::Exit(Exit::Fault($f));
             }};
         }
 
@@ -354,7 +438,7 @@ impl Machine {
         // provenance chain for the report before the fault fires.
         macro_rules! nat_fault {
             ($reg:expr, $kind:expr, $desc:expr) => {{
-                if let Some(o) = &mut self.obs {
+                if let Some(o) = self.obs_if::<HOT>() {
                     o.on_nat_fault($reg, $desc, ip);
                 }
                 fault!(Fault::NatConsumption { kind: $kind, ip });
@@ -372,7 +456,7 @@ impl Machine {
                 let self_cancel = src1 == src2 && matches!(op, AluOp::Xor | AluOp::Sub);
                 let nat = if self_cancel { false } else { a.nat || b.nat };
                 self.cpu.set_gpr(dst, RegVal { value: v, nat });
-                if let Some(o) = &mut self.obs {
+                if let Some(o) = self.obs_if::<HOT>() {
                     o.on_alu2(dst, nat, (src1, a.nat), (src2, b.nat));
                 }
             }
@@ -380,20 +464,20 @@ impl Machine {
                 let a = self.cpu.gpr(src1);
                 let v = alu(op, a.value, imm as u64);
                 self.cpu.set_gpr(dst, RegVal { value: v, nat: a.nat });
-                if let Some(o) = &mut self.obs {
+                if let Some(o) = self.obs_if::<HOT>() {
                     o.on_alu1(dst, a.nat, src1);
                 }
             }
             Op::MovI { dst, imm } => {
                 self.cpu.set_gpr_val(dst, imm as u64);
-                if let Some(o) = &mut self.obs {
+                if let Some(o) = self.obs_if::<HOT>() {
                     o.on_movi(dst);
                 }
             }
             Op::Mov { dst, src } => {
                 let v = self.cpu.gpr(src);
                 self.cpu.set_gpr(dst, v);
-                if let Some(o) = &mut self.obs {
+                if let Some(o) = self.obs_if::<HOT>() {
                     o.on_mov(dst, src);
                 }
             }
@@ -401,7 +485,7 @@ impl Machine {
                 let a = self.cpu.gpr(src);
                 let v = extend(kind, size, a.value);
                 self.cpu.set_gpr(dst, RegVal { value: v, nat: a.nat });
-                if let Some(o) = &mut self.obs {
+                if let Some(o) = self.obs_if::<HOT>() {
                     o.on_alu1(dst, a.nat, src);
                 }
             }
@@ -409,14 +493,14 @@ impl Machine {
                 let a = self.cpu.gpr(src1);
                 let b = self.cpu.gpr(src2);
                 self.do_cmp(rel, pt, pf, a, b, nat_aware);
-                if let Some(o) = &mut self.obs {
+                if let Some(o) = self.obs_if::<HOT>() {
                     o.on_cmp();
                 }
             }
             Op::CmpI { rel, pt, pf, src1, imm, nat_aware } => {
                 let a = self.cpu.gpr(src1);
                 self.do_cmp(rel, pt, pf, a, RegVal::of(imm as u64), nat_aware);
-                if let Some(o) = &mut self.obs {
+                if let Some(o) = self.obs_if::<HOT>() {
                     o.on_cmp();
                 }
             }
@@ -428,7 +512,7 @@ impl Machine {
                         // directly (no translation attempted).
                         self.stats.deferred_loads += 1;
                         self.cpu.set_gpr(dst, RegVal::NAT);
-                        if let Some(o) = &mut self.obs {
+                        if let Some(o) = self.obs_if::<HOT>() {
                             if insn.prov == Provenance::Original {
                                 o.on_load_deferred(dst);
                             }
@@ -445,7 +529,7 @@ impl Machine {
                             if insn.prov == Provenance::Original {
                                 self.stats.loads += 1;
                             }
-                            if let Some(o) = &mut self.obs {
+                            if let Some(o) = self.obs_if::<HOT>() {
                                 // Only data accesses feed the taint trace:
                                 // tag-bitmap reads and relax reloads are
                                 // instrumentation plumbing.
@@ -464,7 +548,7 @@ impl Machine {
                             cycles += self.cache.mem_latency;
                             self.stats.deferred_loads += 1;
                             self.cpu.set_gpr(dst, RegVal::NAT);
-                            if let Some(o) = &mut self.obs {
+                            if let Some(o) = self.obs_if::<HOT>() {
                                 if insn.prov == Provenance::Original {
                                     o.on_load_deferred(dst);
                                 }
@@ -489,7 +573,7 @@ impl Machine {
                         if insn.prov == Provenance::Original {
                             self.stats.stores += 1;
                         }
-                        if let Some(o) = &mut self.obs {
+                        if let Some(o) = self.obs_if::<HOT>() {
                             // Tag-bitmap stores must not consume the Tnat
                             // staged for the data store that follows them.
                             if insn.prov == Provenance::Original {
@@ -516,7 +600,7 @@ impl Machine {
                         if insn.prov == Provenance::Original {
                             self.stats.stores += 1;
                         }
-                        if let Some(o) = &mut self.obs {
+                        if let Some(o) = self.obs_if::<HOT>() {
                             if insn.prov == Provenance::Original {
                                 o.on_spill(src, a.value, v.nat, ip);
                             }
@@ -538,7 +622,7 @@ impl Machine {
                         if insn.prov == Provenance::Original {
                             self.stats.loads += 1;
                         }
-                        if let Some(o) = &mut self.obs {
+                        if let Some(o) = self.obs_if::<HOT>() {
                             if insn.prov == Provenance::Original {
                                 o.on_load(dst, a.value, 8, ip);
                             }
@@ -552,7 +636,7 @@ impl Machine {
                     cycles = self.cost.chk_set;
                     self.stats.chk_taken += 1;
                     next_ip = target;
-                    if let Some(o) = &mut self.obs {
+                    if let Some(o) = self.obs_if::<HOT>() {
                         o.on_chk_taken(src);
                     }
                 }
@@ -565,14 +649,14 @@ impl Machine {
                 cycles = self.cost.branch_taken;
                 self.cpu.set_br(link, (ip + 1) as u64);
                 next_ip = target;
-                if let Some(p) = &mut self.profiler {
+                if let Some(p) = self.profiler_if::<HOT>() {
                     p.on_call(target, ip + 1);
                 }
             }
             Op::JmpBr { br } => {
                 cycles = self.cost.branch_taken;
                 next_ip = self.cpu.br(br) as usize;
-                if let Some(p) = &mut self.profiler {
+                if let Some(p) = self.profiler_if::<HOT>() {
                     p.on_branch(next_ip);
                 }
             }
@@ -591,7 +675,7 @@ impl Machine {
                 let nat = self.cpu.gpr(src).nat;
                 self.cpu.set_pr(pt, nat);
                 self.cpu.set_pr(pf, !nat);
-                if let Some(o) = &mut self.obs {
+                if let Some(o) = self.obs_if::<HOT>() {
                     o.on_tnat(src, nat);
                 }
             }
@@ -602,29 +686,29 @@ impl Machine {
             Op::Tclr { dst } => {
                 let v = self.cpu.gpr(dst);
                 self.cpu.set_gpr(dst, RegVal::of(v.value));
-                if let Some(o) = &mut self.obs {
+                if let Some(o) = self.obs_if::<HOT>() {
                     o.on_tclr(dst, insn.prov == Provenance::Relax);
                 }
             }
             Op::Syscall { num } => {
                 self.stats.syscalls += 1;
-                self.retire(ip, insn.prov, cycles);
+                self.retire_fast::<HOT>(ip, insn.prov, cycles);
                 self.cpu.ip = next_ip;
                 return match os.syscall(self, num) {
-                    SysResult::Continue => None,
-                    SysResult::Stop(exit) => Some(exit),
+                    SysResult::Continue => StepOut::Recheck,
+                    SysResult::Stop(exit) => StepOut::Exit(exit),
                 };
             }
             Op::Nop => {}
             Op::Halt => {
-                self.retire(ip, insn.prov, cycles);
-                return Some(Exit::Halted(self.cpu.gpr(shift_isa::Gpr::RET).value as i64));
+                self.retire_fast::<HOT>(ip, insn.prov, cycles);
+                return StepOut::Exit(Exit::Halted(self.cpu.gpr(shift_isa::Gpr::RET).value as i64));
             }
         }
 
-        self.retire(ip, insn.prov, cycles);
+        self.retire_fast::<HOT>(ip, insn.prov, cycles);
         self.cpu.ip = next_ip;
-        None
+        StepOut::Continue
     }
 
     fn do_cmp(

@@ -4,13 +4,50 @@
 //! space) is lazily zero-backed on first touch, modelling a kernel that
 //! demand-faults the bitmap in, so instrumented code can touch the tag of any
 //! mapped data address without explicit setup (§3.2).
+//!
+//! # Host performance
+//!
+//! Guest loads/stores are the interpreter's hottest operation, so the layout
+//! is chosen for the host, not just the model (see DESIGN.md §8):
+//!
+//! * Page frames live in an arena (`frames`) indexed by a `page_idx` map, so
+//!   a frame is reachable from a plain integer slot without hashing.
+//! * A small direct-mapped software TLB caches `page → slot` translations. A
+//!   TLB entry is only installed after a *successful* access, so a hit
+//!   implies the page is implemented and mapped — the fast path needs only
+//!   the alignment check to produce identical errors. The TLB is flushed on
+//!   `map_range` and `rollback_checkpoint` (the only operations that change
+//!   the translation or permission state) and hit/miss counters are exported
+//!   via [`Memory::tlb_stats`].
+//! * Bulk accessors (`read_bytes`/`write_bytes`/`read_cstr`) work per
+//!   page-span: one permission check, one frame lookup, and one journal
+//!   touch per page instead of per byte. Implementedness and mapping are
+//!   page-granular, so per-span checks fault at exactly the byte the
+//!   per-byte loop would have.
+//! * Copy-on-write journaling stamps each frame with the generation of the
+//!   last captured pre-image, making repeat `touch_for_write`s on the same
+//!   page O(1) without a hash probe.
+//!
+//! None of this is visible to the model: modelled cycles come from the cost
+//! model and cache simulator, never from host data-structure choices.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use shift_isa::{is_implemented, region_of};
 
 /// Page size in bytes.
 pub const PAGE_SIZE: u64 = 4096;
+
+const PAGE_USIZE: usize = PAGE_SIZE as usize;
+
+/// log2 of the number of software-TLB entries.
+const TLB_BITS: u32 = 5;
+const TLB_SIZE: usize = 1 << TLB_BITS;
+
+/// Sentinel page number marking an empty TLB entry. Unreachable by real
+/// translations: page `u64::MAX` would require addresses above the
+/// implemented-bits ceiling.
+const TLB_EMPTY: u64 = u64::MAX;
 
 /// Error from a raw memory access (converted to a [`crate::Fault`] by the
 /// executor, which adds the faulting `ip`).
@@ -60,6 +97,24 @@ impl std::fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
+/// One resident page frame. `stamp` is the journal generation whose
+/// pre-image capture already covered this frame (see
+/// [`Memory::journal_touch`]).
+#[derive(Clone, Debug)]
+struct Frame {
+    page: u64,
+    data: Box<[u8; PAGE_USIZE]>,
+    stamp: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TlbEntry {
+    page: u64,
+    slot: u32,
+}
+
+const EMPTY_TLB: [TlbEntry; TLB_SIZE] = [TlbEntry { page: TLB_EMPTY, slot: 0 }; TLB_SIZE];
+
 /// Sparse paged memory with explicit mappings (plus lazily-backed region 0).
 ///
 /// Besides byte contents, the memory tracks one NaT bit per 8-byte slot for
@@ -69,33 +124,158 @@ impl std::error::Error for MemError {}
 /// compiler that manages `UNAT` correctly, without emitting the bookkeeping
 /// code. Ordinary stores *clear* the slot's NaT bit (the spilled value is
 /// gone), and ordinary loads never see it — only `ld8.fill` does.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
-    mapped: HashMap<u64, ()>,
-    spill_nat: HashMap<u64, ()>,
+    frames: Vec<Frame>,
+    page_idx: HashMap<u64, u32>,
+    mapped: HashSet<u64>,
+    spill_nat: HashSet<u64>,
     journal: Option<Journal>,
     epoch: u64,
+    /// Bumped on `begin_checkpoint` and `rollback_checkpoint`; a frame whose
+    /// `stamp` equals this value already has its pre-image journaled.
+    journal_gen: u64,
+    tlb: [TlbEntry; TLB_SIZE],
+    tlb_hits: u64,
+    tlb_misses: u64,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory {
+            frames: Vec::new(),
+            page_idx: HashMap::new(),
+            mapped: HashSet::new(),
+            spill_nat: HashSet::new(),
+            journal: None,
+            epoch: 0,
+            journal_gen: 0,
+            tlb: EMPTY_TLB,
+            tlb_hits: 0,
+            tlb_misses: 0,
+        }
+    }
 }
 
 /// Copy-on-write undo log for one active checkpoint.
 ///
 /// Page *contents* are captured lazily: the first write to a page after the
 /// checkpoint records its pre-image (`None` when the page did not exist
-/// yet). The small bookkeeping maps (`mapped`, `spill_nat`) are captured
-/// eagerly — they hold one unit entry per page / spill slot and cloning them
-/// is far cheaper than intercepting every mutation.
+/// yet). The small bookkeeping sets (`mapped`, `spill_nat`) are captured
+/// eagerly — they hold one entry per page / spill slot and cloning them is
+/// far cheaper than intercepting every mutation.
 #[derive(Clone, Debug, Default)]
 struct Journal {
-    pre_pages: HashMap<u64, Option<Box<[u8; PAGE_SIZE as usize]>>>,
-    pre_mapped: HashMap<u64, ()>,
-    pre_spill_nat: HashMap<u64, ()>,
+    pre_pages: HashMap<u64, Option<Box<[u8; PAGE_USIZE]>>>,
+    pre_mapped: HashSet<u64>,
+    pre_spill_nat: HashSet<u64>,
 }
 
 impl Memory {
     /// Creates an empty address space.
     pub fn new() -> Memory {
         Memory::default()
+    }
+
+    #[inline]
+    fn tlb_index(page: u64) -> usize {
+        // Multiplicative hashing spreads region and tag-space bits so a data
+        // page and its tag page rarely collide in the direct-mapped array.
+        (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - TLB_BITS)) as usize
+    }
+
+    /// Fast-path translation: `Some(slot)` iff the TLB holds `page`. A hit
+    /// proves the page passed the full permission check when the entry was
+    /// installed, and nothing has invalidated translations since.
+    #[inline]
+    fn tlb_lookup(&mut self, page: u64) -> Option<u32> {
+        let e = self.tlb[Self::tlb_index(page)];
+        if e.page == page {
+            self.tlb_hits += 1;
+            Some(e.slot)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn tlb_flush(&mut self) {
+        self.tlb = EMPTY_TLB;
+    }
+
+    /// Software-TLB hit/miss counters. Host-side diagnostics only: the TLB
+    /// models nothing and contributes no modelled cycles.
+    pub fn tlb_stats(&self) -> (u64, u64) {
+        (self.tlb_hits, self.tlb_misses)
+    }
+
+    /// Full translation: permission checks, frame allocation, journaling
+    /// (for writes), and TLB fill. Error order matches the historical
+    /// `check()`: `Unimplemented` before `Unmapped`.
+    fn resolve_slow(&mut self, addr: u64, for_write: bool) -> Result<u32, MemError> {
+        self.tlb_misses += 1;
+        if !is_implemented(addr) {
+            return Err(MemError::Unimplemented { addr });
+        }
+        let page = addr / PAGE_SIZE;
+        if !self.mapped.contains(&page) && region_of(addr) != 0 {
+            return Err(MemError::Unmapped { addr });
+        }
+        let slot = match self.page_idx.get(&page) {
+            Some(&slot) => {
+                if for_write {
+                    self.journal_touch(page, slot);
+                }
+                slot
+            }
+            None => {
+                // Pre-image is `None`: the page did not exist, so rollback
+                // drops it again. Reads allocate without journaling — an
+                // all-zero page is observably identical to an absent one,
+                // and a later write journals the (zero) content normally.
+                let mut stamp = 0;
+                if for_write {
+                    if let Some(j) = &mut self.journal {
+                        j.pre_pages.entry(page).or_insert(None);
+                        stamp = self.journal_gen;
+                    }
+                }
+                let slot = u32::try_from(self.frames.len()).expect("frame arena overflow");
+                self.frames.push(Frame { page, data: Box::new([0u8; PAGE_USIZE]), stamp });
+                self.page_idx.insert(page, slot);
+                slot
+            }
+        };
+        self.tlb[Self::tlb_index(page)] = TlbEntry { page, slot };
+        Ok(slot)
+    }
+
+    /// Translation for byte-granularity accessors (no alignment concerns).
+    #[inline]
+    fn slot_for(&mut self, addr: u64, for_write: bool) -> Result<u32, MemError> {
+        let page = addr / PAGE_SIZE;
+        match self.tlb_lookup(page) {
+            Some(slot) => {
+                if for_write {
+                    self.journal_touch(page, slot);
+                }
+                Ok(slot)
+            }
+            None => self.resolve_slow(addr, for_write),
+        }
+    }
+
+    /// Records the pre-image of frame `slot` (backing `page`) before its
+    /// first modification under the active checkpoint. The generation stamp
+    /// makes repeat touches a single integer compare.
+    #[inline]
+    fn journal_touch(&mut self, page: u64, slot: u32) {
+        let Some(j) = &mut self.journal else { return };
+        let f = &mut self.frames[slot as usize];
+        if f.stamp != self.journal_gen {
+            f.stamp = self.journal_gen;
+            j.pre_pages.entry(page).or_insert_with(|| Some(f.data.clone()));
+        }
     }
 
     /// Maps (zero-fills) the pages covering `[addr, addr+len)`.
@@ -116,44 +296,20 @@ impl Memory {
         let first = addr / PAGE_SIZE;
         let last = end / PAGE_SIZE;
         for page in first..=last {
-            self.mapped.insert(page, ());
+            self.mapped.insert(page);
         }
+        self.tlb_flush();
     }
 
     /// Returns `true` if the byte at `addr` is mapped (or lazily mappable —
     /// i.e. an implemented region-0 tag address).
     pub fn is_mapped(&self, addr: u64) -> bool {
-        is_implemented(addr)
-            && (self.mapped.contains_key(&(addr / PAGE_SIZE)) || region_of(addr) == 0)
-    }
-
-    fn check(&self, addr: u64, size: u64, aligned: bool) -> Result<(), MemError> {
-        if !is_implemented(addr) {
-            return Err(MemError::Unimplemented { addr });
+        let page = addr / PAGE_SIZE;
+        let e = self.tlb[Self::tlb_index(page)];
+        if e.page == page {
+            return true;
         }
-        if aligned && !addr.is_multiple_of(size) {
-            return Err(MemError::Unaligned { addr, size });
-        }
-        // A naturally-aligned access never crosses a page boundary, so the
-        // first byte's page decides.
-        if !self.is_mapped(addr) {
-            return Err(MemError::Unmapped { addr });
-        }
-        Ok(())
-    }
-
-    fn page(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE as usize] {
-        self.pages.entry(addr / PAGE_SIZE).or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
-    }
-
-    /// Records the pre-image of the page containing `addr` before its first
-    /// modification under the active checkpoint (no-op when none is armed).
-    #[inline]
-    fn touch_for_write(&mut self, addr: u64) {
-        if let Some(j) = &mut self.journal {
-            let idx = addr / PAGE_SIZE;
-            j.pre_pages.entry(idx).or_insert_with(|| self.pages.get(&idx).cloned());
-        }
+        is_implemented(addr) && (self.mapped.contains(&page) || region_of(addr) == 0)
     }
 
     /// Arms a copy-on-write checkpoint: subsequent writes record page
@@ -161,6 +317,7 @@ impl Memory {
     /// any previous checkpoint. Returns the checkpoint's epoch.
     pub fn begin_checkpoint(&mut self) -> u64 {
         self.epoch += 1;
+        self.journal_gen += 1;
         self.journal = Some(Journal {
             pre_pages: HashMap::new(),
             pre_mapped: self.mapped.clone(),
@@ -185,22 +342,41 @@ impl Memory {
     /// checkpoint stays armed, so the same point can be rolled back to again.
     /// Returns `false` (doing nothing) when no checkpoint is armed.
     pub fn rollback_checkpoint(&mut self) -> bool {
-        let Some(j) = &mut self.journal else {
+        if self.journal.is_none() {
             return false;
+        }
+        let (pre_pages, pre_mapped, pre_spill_nat) = {
+            let j = self.journal.as_mut().expect("checkpoint armed");
+            (j.pre_pages.drain().collect::<Vec<_>>(), j.pre_mapped.clone(), j.pre_spill_nat.clone())
         };
-        for (idx, pre) in j.pre_pages.drain() {
+        // Frames keep stamps from the closed generation; bumping makes the
+        // next write after this rollback journal a fresh pre-image.
+        self.journal_gen += 1;
+        for (page, pre) in pre_pages {
             match pre {
-                Some(page) => {
-                    self.pages.insert(idx, page);
+                Some(data) => {
+                    let slot = self.page_idx[&page];
+                    self.frames[slot as usize].data = data;
                 }
-                None => {
-                    self.pages.remove(&idx);
-                }
+                None => self.remove_page(page),
             }
         }
-        self.mapped = j.pre_mapped.clone();
-        self.spill_nat = j.pre_spill_nat.clone();
+        self.mapped = pre_mapped;
+        self.spill_nat = pre_spill_nat;
+        // Rollback can drop pages and revoke mappings: every cached
+        // translation is suspect.
+        self.tlb_flush();
         true
+    }
+
+    /// Removes `page`'s frame from the arena (`swap_remove` + index fixup
+    /// for the frame that moved into the vacated slot).
+    fn remove_page(&mut self, page: u64) {
+        let Some(slot) = self.page_idx.remove(&page) else { return };
+        self.frames.swap_remove(slot as usize);
+        if let Some(moved) = self.frames.get(slot as usize) {
+            self.page_idx.insert(moved.page, slot);
+        }
     }
 
     /// Drops the active checkpoint (if any) without undoing anything.
@@ -221,14 +397,45 @@ impl Memory {
     ///
     /// [`MemError`] on unimplemented, unmapped, or unaligned access.
     pub fn read_int(&mut self, addr: u64, size: u64) -> Result<u64, MemError> {
-        self.check(addr, size, true)?;
-        let page = self.page(addr);
+        let page = addr / PAGE_SIZE;
+        let slot = match self.tlb_lookup(page) {
+            // A hit proves implemented + mapped; only alignment can fail.
+            Some(slot) => {
+                if !addr.is_multiple_of(size) {
+                    return Err(MemError::Unaligned { addr, size });
+                }
+                slot
+            }
+            None => {
+                // Historical error order: unimplemented, unaligned, unmapped.
+                if !is_implemented(addr) {
+                    return Err(MemError::Unimplemented { addr });
+                }
+                if !addr.is_multiple_of(size) {
+                    return Err(MemError::Unaligned { addr, size });
+                }
+                self.resolve_slow(addr, false)?
+            }
+        };
+        let data = &self.frames[slot as usize].data;
         let off = (addr % PAGE_SIZE) as usize;
-        let mut v = 0u64;
-        for i in (0..size as usize).rev() {
-            v = (v << 8) | u64::from(page[off + i]);
-        }
-        Ok(v)
+        Ok(match size {
+            8 => u64::from_le_bytes(data[off..off + 8].try_into().expect("8-byte slice")),
+            4 => {
+                u64::from(u32::from_le_bytes(data[off..off + 4].try_into().expect("4-byte slice")))
+            }
+            2 => {
+                u64::from(u16::from_le_bytes(data[off..off + 2].try_into().expect("2-byte slice")))
+            }
+            1 => u64::from(data[off]),
+            sz => {
+                let mut v = 0u64;
+                for i in (0..sz as usize).rev() {
+                    v = (v << 8) | u64::from(data[off + i]);
+                }
+                v
+            }
+        })
     }
 
     /// Writes a naturally-aligned little-endian integer of `size` ∈ {1,2,4,8}
@@ -238,15 +445,43 @@ impl Memory {
     ///
     /// [`MemError`] on unimplemented, unmapped, or unaligned access.
     pub fn write_int(&mut self, addr: u64, size: u64, value: u64) -> Result<(), MemError> {
-        self.check(addr, size, true)?;
-        self.touch_for_write(addr);
-        let page = self.page(addr);
+        let page = addr / PAGE_SIZE;
+        let slot = match self.tlb_lookup(page) {
+            Some(slot) => {
+                if !addr.is_multiple_of(size) {
+                    return Err(MemError::Unaligned { addr, size });
+                }
+                self.journal_touch(page, slot);
+                slot
+            }
+            None => {
+                if !is_implemented(addr) {
+                    return Err(MemError::Unimplemented { addr });
+                }
+                if !addr.is_multiple_of(size) {
+                    return Err(MemError::Unaligned { addr, size });
+                }
+                self.resolve_slow(addr, true)?
+            }
+        };
+        let data = &mut self.frames[slot as usize].data;
         let off = (addr % PAGE_SIZE) as usize;
-        for i in 0..size as usize {
-            page[off + i] = (value >> (8 * i)) as u8;
+        match size {
+            8 => data[off..off + 8].copy_from_slice(&value.to_le_bytes()),
+            4 => data[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+            2 => data[off..off + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            1 => data[off] = value as u8,
+            sz => {
+                for i in 0..sz as usize {
+                    data[off + i] = (value >> (8 * i)) as u8;
+                }
+            }
         }
-        // Overwriting any part of a spill slot invalidates its banked NaT.
-        self.spill_nat.remove(&(addr & !7));
+        // Overwriting any part of a spill slot invalidates its banked NaT —
+        // skippable in O(1) when no NaT is banked (the common case).
+        if !self.spill_nat.is_empty() {
+            self.spill_nat.remove(&(addr & !7));
+        }
         Ok(())
     }
 
@@ -254,7 +489,7 @@ impl Memory {
     /// (callers must have just written the slot with `write_int`).
     pub fn set_spill_nat(&mut self, addr: u64, nat: bool) {
         if nat {
-            self.spill_nat.insert(addr & !7, ());
+            self.spill_nat.insert(addr & !7);
         } else {
             self.spill_nat.remove(&(addr & !7));
         }
@@ -263,37 +498,64 @@ impl Memory {
     /// Reads the banked NaT bit of the 8-byte spill slot at `addr`
     /// (non-destructive, like `ld8.fill`).
     pub fn spill_nat(&self, addr: u64) -> bool {
-        self.spill_nat.contains_key(&(addr & !7))
+        self.spill_nat.contains(&(addr & !7))
     }
 
     /// Reads `out.len()` bytes starting at `addr` (no alignment requirement).
+    ///
+    /// Runs page-span at a time; on error, spans before the faulting page
+    /// have already been copied into `out` — exactly the bytes a per-byte
+    /// loop would have produced, since permissions are page-granular.
     ///
     /// # Errors
     ///
     /// [`MemError`] if any byte is unimplemented or unmapped.
     pub fn read_bytes(&mut self, addr: u64, out: &mut [u8]) -> Result<(), MemError> {
-        for (i, slot) in out.iter_mut().enumerate() {
-            let a = addr.wrapping_add(i as u64);
-            self.check(a, 1, false)?;
-            let page = self.page(a);
-            *slot = page[(a % PAGE_SIZE) as usize];
+        let mut done = 0usize;
+        while done < out.len() {
+            let a = addr.wrapping_add(done as u64);
+            let off = (a % PAGE_SIZE) as usize;
+            let span = (PAGE_USIZE - off).min(out.len() - done);
+            let slot = self.slot_for(a, false)?;
+            let data = &self.frames[slot as usize].data;
+            out[done..done + span].copy_from_slice(&data[off..off + span]);
+            done += span;
         }
         Ok(())
     }
 
     /// Writes `data` starting at `addr` (no alignment requirement).
     ///
+    /// Runs page-span at a time (one check + one journal touch per page);
+    /// on error, spans before the faulting page have already been written,
+    /// matching the per-byte loop's partial-write semantics.
+    ///
     /// # Errors
     ///
     /// [`MemError`] if any byte is unimplemented or unmapped.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
-        for (i, &b) in data.iter().enumerate() {
-            let a = addr.wrapping_add(i as u64);
-            self.check(a, 1, false)?;
-            self.touch_for_write(a);
-            let page = self.page(a);
-            page[(a % PAGE_SIZE) as usize] = b;
-            self.spill_nat.remove(&(a & !7));
+        let mut done = 0usize;
+        while done < data.len() {
+            let a = addr.wrapping_add(done as u64);
+            let off = (a % PAGE_SIZE) as usize;
+            let span = (PAGE_USIZE - off).min(data.len() - done);
+            let slot = self.slot_for(a, true)?;
+            let frame = &mut self.frames[slot as usize].data;
+            frame[off..off + span].copy_from_slice(&data[done..done + span]);
+            if !self.spill_nat.is_empty() {
+                // Invalidate every 8-byte spill slot the span overlaps.
+                let first = a & !7;
+                let last = (a + span as u64 - 1) & !7;
+                let mut s = first;
+                loop {
+                    self.spill_nat.remove(&s);
+                    if s == last {
+                        break;
+                    }
+                    s += 8;
+                }
+            }
+            done += span;
         }
         Ok(())
     }
@@ -307,42 +569,55 @@ impl Memory {
     /// before `max` bytes.
     pub fn read_cstr(&mut self, addr: u64, max: usize) -> Result<Vec<u8>, MemError> {
         let mut out = Vec::new();
-        for i in 0..max as u64 {
-            let mut b = [0u8];
-            self.read_bytes(addr.wrapping_add(i), &mut b)?;
-            if b[0] == 0 {
-                break;
+        let mut done = 0usize;
+        while done < max {
+            let a = addr.wrapping_add(done as u64);
+            let off = (a % PAGE_SIZE) as usize;
+            let span = (PAGE_USIZE - off).min(max - done);
+            let slot = self.slot_for(a, false)?;
+            let chunk = &self.frames[slot as usize].data[off..off + span];
+            match chunk.iter().position(|&b| b == 0) {
+                Some(nul) => {
+                    out.extend_from_slice(&chunk[..nul]);
+                    return Ok(out);
+                }
+                None => out.extend_from_slice(chunk),
             }
-            out.push(b[0]);
+            done += span;
         }
         Ok(out)
     }
 
     /// Number of distinct pages that have been touched (diagnostics).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.frames.len()
     }
 
     /// Folds the observable memory state into `h`. All-zero pages digest
     /// identically to absent ones: region 0 is lazily zero-backed, so a page
     /// a read faulted in is indistinguishable from one never touched.
     pub(crate) fn digest_into(&self, h: &mut crate::snapshot::Fnv) {
-        let mut page_idxs: Vec<u64> =
-            self.pages.iter().filter(|(_, p)| p.iter().any(|&b| b != 0)).map(|(&i, _)| i).collect();
-        page_idxs.sort_unstable();
-        for idx in page_idxs {
-            h.word(idx);
-            h.bytes(&self.pages[&idx][..]);
+        let mut slots: Vec<(u64, usize)> = self
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.data.iter().any(|&b| b != 0))
+            .map(|(s, f)| (f.page, s))
+            .collect();
+        slots.sort_unstable();
+        for (page, slot) in slots {
+            h.word(page);
+            h.bytes(&self.frames[slot].data[..]);
         }
         // Domain separators keep the variable-length sections unambiguous.
         h.word(u64::MAX);
-        let mut mapped: Vec<u64> = self.mapped.keys().copied().collect();
+        let mut mapped: Vec<u64> = self.mapped.iter().copied().collect();
         mapped.sort_unstable();
         for m in mapped {
             h.word(m);
         }
         h.word(u64::MAX);
-        let mut nats: Vec<u64> = self.spill_nat.keys().copied().collect();
+        let mut nats: Vec<u64> = self.spill_nat.iter().copied().collect();
         nats.sort_unstable();
         for n in nats {
             h.word(n);
@@ -387,6 +662,9 @@ mod tests {
         assert_eq!(m.read_int(base + 1, 8), Err(MemError::Unaligned { addr: base + 1, size: 8 }));
         // …but byte-granularity accessors don't require alignment.
         m.write_bytes(base + 1, &[9]).unwrap();
+        // The alignment error must also fire on the TLB-hit fast path.
+        m.read_int(base, 8).unwrap();
+        assert_eq!(m.read_int(base + 4, 8), Err(MemError::Unaligned { addr: base + 4, size: 8 }));
     }
 
     #[test]
@@ -437,5 +715,85 @@ mod tests {
     fn map_range_rejects_noncanonical() {
         let mut m = Memory::new();
         m.map_range((1u64 << 61) | (1 << 50), 8);
+    }
+
+    #[test]
+    fn tlb_counts_hits_and_misses() {
+        let (mut m, base) = mapped();
+        m.write_int(base, 8, 1).unwrap();
+        let (_, misses) = m.tlb_stats();
+        assert!(misses >= 1);
+        for i in 0..16 {
+            m.read_int(base + i * 8, 8).unwrap();
+        }
+        let (hits, misses_after) = m.tlb_stats();
+        assert!(hits >= 16, "same-page accesses must hit the TLB (hits={hits})");
+        assert_eq!(misses_after, misses, "no new misses on a hot page");
+    }
+
+    #[test]
+    fn tlb_invalidated_by_rollback() {
+        let mut m = Memory::new();
+        let base = make_vaddr(1, 0x10000);
+        m.begin_checkpoint();
+        // Map + write inside the checkpoint, priming the TLB for the page.
+        m.map_range(base, PAGE_SIZE);
+        m.write_int(base, 8, 0xdead).unwrap();
+        assert!(m.is_mapped(base));
+        assert!(m.rollback_checkpoint());
+        // The mapping was revoked; a stale TLB entry must not leak through.
+        assert!(!m.is_mapped(base));
+        assert_eq!(m.read_int(base, 8), Err(MemError::Unmapped { addr: base }));
+    }
+
+    #[test]
+    fn repeated_rollback_to_same_checkpoint() {
+        let (mut m, base) = mapped();
+        m.write_int(base, 8, 111).unwrap();
+        m.begin_checkpoint();
+        for round in 0..3 {
+            m.write_int(base, 8, 222 + round).unwrap();
+            assert!(m.rollback_checkpoint());
+            assert_eq!(m.read_int(base, 8).unwrap(), 111, "round {round}");
+        }
+    }
+
+    #[test]
+    fn spill_nat_survives_unrelated_stores_and_dies_on_overwrite() {
+        let (mut m, base) = mapped();
+        m.write_int(base, 8, 7).unwrap();
+        m.set_spill_nat(base, true);
+        // Store to a *different* slot: NaT survives (and the empty-bank
+        // fast path is not taken, since the bank is non-empty).
+        m.write_int(base + 8, 8, 9).unwrap();
+        assert!(m.spill_nat(base));
+        // Byte store into the slot kills it.
+        m.write_bytes(base + 3, &[1]).unwrap();
+        assert!(!m.spill_nat(base));
+    }
+
+    #[test]
+    fn bulk_ops_cross_page_boundaries() {
+        let mut m = Memory::new();
+        let base = make_vaddr(1, 0x10000);
+        m.map_range(base, 0x4000);
+        let data: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        let start = base + PAGE_SIZE - 100;
+        m.write_bytes(start, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read_bytes(start, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn bulk_write_faults_at_page_boundary_with_partial_write() {
+        let mut m = Memory::new();
+        let base = make_vaddr(1, 0x10000);
+        m.map_range(base, PAGE_SIZE); // one page only
+        let data = vec![0xaa; (PAGE_SIZE + 10) as usize];
+        let err = m.write_bytes(base, &data).unwrap_err();
+        assert_eq!(err, MemError::Unmapped { addr: base + PAGE_SIZE });
+        // The mapped prefix was written before the fault.
+        assert_eq!(m.read_int(base + PAGE_SIZE - 8, 8).unwrap(), 0xaaaa_aaaa_aaaa_aaaa);
     }
 }

@@ -195,6 +195,14 @@ pub fn tag_span(vaddr: u64, len: u64, gran: Granularity) -> u64 {
 /// taint sources mark it directly, and tests compare the guest-maintained
 /// bitmap against it to detect tag drift (false positives / negatives in the
 /// sense of §5.2).
+///
+/// Range operations (`set_range`, `any_tainted`, `all_tainted`,
+/// `copy_taint`) run 64 bits at a time over the page words rather than
+/// looping per byte; `copy_taint` gathers/scatters unaligned 64-bit windows
+/// with edge masks instead of collecting into a heap `Vec`. The transition
+/// counters (`marks`/`clears`) are computed from `popcount(new & !old)` /
+/// `popcount(old & !new)` per word, which counts exactly the transitions the
+/// per-byte loop would have.
 #[derive(Clone, Debug, Default)]
 pub struct HostShadow {
     pages: HashMap<u64, Box<[u8; 512]>>,
@@ -204,6 +212,29 @@ pub struct HostShadow {
 }
 
 const SPAN: u64 = 4096;
+
+/// Bits `lo..hi` of one u64 page word (`0 <= lo < hi <= 64`).
+#[inline]
+fn span_mask(lo: u32, hi: u32) -> u64 {
+    let width = hi - lo;
+    if width == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << width) - 1) << lo
+    }
+}
+
+/// Page word `w` (bits `64*w .. 64*w+64` of the page), little-endian, so bit
+/// `j` of the word is the taint bit of page byte-offset `64*w + j`.
+#[inline]
+fn word_get(page: &[u8; 512], w: usize) -> u64 {
+    u64::from_le_bytes(page[w * 8..w * 8 + 8].try_into().expect("8-byte slice"))
+}
+
+#[inline]
+fn word_set(page: &mut [u8; 512], w: usize, v: u64) {
+    page[w * 8..w * 8 + 8].copy_from_slice(&v.to_le_bytes());
+}
 
 impl HostShadow {
     /// Creates an empty shadow map.
@@ -242,19 +273,90 @@ impl HostShadow {
     /// Returns `true` if any of the `len` bytes starting at `addr` are
     /// tainted.
     pub fn any_tainted(&self, addr: u64, len: u64) -> bool {
-        (0..len).any(|i| self.is_tainted(addr.wrapping_add(i)))
+        let mut done = 0u64;
+        while done < len {
+            let a = addr.wrapping_add(done);
+            let off = (a % SPAN) as u32;
+            let span = u64::from(SPAN as u32 - off).min(len - done);
+            if let Some(page) = self.pages.get(&(a / SPAN)) {
+                let (s, e) = (off, off + span as u32);
+                for w in (s / 64) as usize..=((e - 1) / 64) as usize {
+                    let base = w as u32 * 64;
+                    let mask = span_mask(s.max(base) - base, e.min(base + 64) - base);
+                    if word_get(page, w) & mask != 0 {
+                        return true;
+                    }
+                }
+            }
+            done += span;
+        }
+        false
     }
 
     /// Returns `true` if **all** of the `len` bytes starting at `addr` are
     /// tainted (`len == 0` returns `true`).
     pub fn all_tainted(&self, addr: u64, len: u64) -> bool {
-        (0..len).all(|i| self.is_tainted(addr.wrapping_add(i)))
+        let mut done = 0u64;
+        while done < len {
+            let a = addr.wrapping_add(done);
+            let off = (a % SPAN) as u32;
+            let span = u64::from(SPAN as u32 - off).min(len - done);
+            let Some(page) = self.pages.get(&(a / SPAN)) else {
+                return false;
+            };
+            let (s, e) = (off, off + span as u32);
+            for w in (s / 64) as usize..=((e - 1) / 64) as usize {
+                let base = w as u32 * 64;
+                let mask = span_mask(s.max(base) - base, e.min(base + 64) - base);
+                if word_get(page, w) & mask != mask {
+                    return false;
+                }
+            }
+            done += span;
+        }
+        true
     }
 
     /// Marks or clears taint for `len` bytes starting at `addr`.
     pub fn set_range(&mut self, addr: u64, len: u64, tainted: bool) {
-        for i in 0..len {
-            self.set(addr.wrapping_add(i), tainted);
+        let mut done = 0u64;
+        while done < len {
+            let a = addr.wrapping_add(done);
+            let off = (a % SPAN) as u32;
+            let span = u64::from(SPAN as u32 - off).min(len - done);
+            let page_no = a / SPAN;
+            let (s, e) = (off, off + span as u32);
+            if tainted {
+                let page = self.pages.entry(page_no).or_insert_with(|| Box::new([0u8; 512]));
+                let mut marks = 0u64;
+                for w in (s / 64) as usize..=((e - 1) / 64) as usize {
+                    let base = w as u32 * 64;
+                    let mask = span_mask(s.max(base) - base, e.min(base + 64) - base);
+                    let old = word_get(page, w);
+                    let new = old | mask;
+                    if new != old {
+                        marks += u64::from((new & !old).count_ones());
+                        word_set(page, w, new);
+                    }
+                }
+                self.tainted_bytes += marks;
+                self.marks += marks;
+            } else if let Some(page) = self.pages.get_mut(&page_no) {
+                let mut clears = 0u64;
+                for w in (s / 64) as usize..=((e - 1) / 64) as usize {
+                    let base = w as u32 * 64;
+                    let mask = span_mask(s.max(base) - base, e.min(base + 64) - base);
+                    let old = word_get(page, w);
+                    let new = old & !mask;
+                    if new != old {
+                        clears += u64::from((old & !new).count_ones());
+                        word_set(page, w, new);
+                    }
+                }
+                self.tainted_bytes -= clears;
+                self.clears += clears;
+            }
+            done += span;
         }
     }
 
@@ -278,13 +380,101 @@ impl HostShadow {
         }
     }
 
+    /// The 64-aligned page word holding the taint bits of bytes
+    /// `[64*wi, 64*wi + 64)` (zero when the page is absent).
+    #[inline]
+    fn aligned_word(&self, wi: u64) -> u64 {
+        let base = wi.wrapping_shl(6);
+        match self.pages.get(&(base / SPAN)) {
+            Some(page) => word_get(page, ((base % SPAN) / 64) as usize),
+            None => 0,
+        }
+    }
+
+    /// Read-modify-writes the masked bits of one 64-aligned page word,
+    /// updating the transition counters. Clearing bits of an absent page is
+    /// a no-op (matching per-byte `set(_, false)`), so no page is allocated
+    /// unless a bit is actually set.
+    fn rmw_aligned_word(&mut self, wi: u64, mask: u64, value: u64) {
+        if mask == 0 {
+            return;
+        }
+        let base = wi.wrapping_shl(6);
+        let page_no = base / SPAN;
+        let page = match self.pages.entry(page_no) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                if value & mask == 0 {
+                    return;
+                }
+                e.insert(Box::new([0u8; 512]))
+            }
+        };
+        let w = ((base % SPAN) / 64) as usize;
+        let old = word_get(page, w);
+        let new = (old & !mask) | (value & mask);
+        if new != old {
+            let marks = u64::from((new & !old).count_ones());
+            let clears = u64::from((old & !new).count_ones());
+            self.tainted_bytes = self.tainted_bytes + marks - clears;
+            self.marks += marks;
+            self.clears += clears;
+            word_set(page, w, new);
+        }
+    }
+
+    /// Gathers the taint bits of the `n ≤ 64` bytes starting at `addr`
+    /// (bit `i` = byte `addr + i`) from at most two aligned page words.
+    #[inline]
+    fn get_bits(&self, addr: u64, n: u32) -> u64 {
+        let wi = addr >> 6;
+        let sh = (addr & 63) as u32;
+        let mut v = self.aligned_word(wi) >> sh;
+        if sh != 0 {
+            v |= self.aligned_word(wi.wrapping_add(1)) << (64 - sh);
+        }
+        if n < 64 {
+            v &= (1u64 << n) - 1;
+        }
+        v
+    }
+
+    /// Scatters `n ≤ 64` taint bits to the bytes starting at `addr`,
+    /// touching at most two aligned page words with edge masks.
+    fn put_bits(&mut self, addr: u64, n: u32, bits: u64) {
+        let wi = addr >> 6;
+        let sh = (addr & 63) as u32;
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let bits = bits & mask;
+        // `mask << sh` drops the bits that spill into the next word.
+        self.rmw_aligned_word(wi, mask << sh, bits << sh);
+        if sh + n > 64 {
+            let spill = sh + n - 64;
+            self.rmw_aligned_word(wi.wrapping_add(1), (1u64 << spill) - 1, bits >> (64 - sh));
+        }
+    }
+
     /// Propagates taint for a memory-to-memory copy of `len` bytes
     /// (used by wrap functions that summarize host-implemented helpers).
+    ///
+    /// Runs 64-byte chunks through [`HostShadow::get_bits`] /
+    /// [`HostShadow::put_bits`] with no heap allocation. Overlap is handled
+    /// memmove-style: when `dst` lands inside the source range the chunks
+    /// run back to front, so every source word is read before any
+    /// overlapping destination word is written — byte-for-byte (and
+    /// counter-for-counter) equivalent to collecting all source bits first.
     pub fn copy_taint(&mut self, dst: u64, src: u64, len: u64) {
-        // Collect first: src and dst may overlap.
-        let bits: Vec<bool> = (0..len).map(|i| self.is_tainted(src.wrapping_add(i))).collect();
-        for (i, b) in bits.into_iter().enumerate() {
-            self.set(dst.wrapping_add(i as u64), b);
+        if len == 0 {
+            return;
+        }
+        let chunks = len.div_ceil(64);
+        let backward = dst.wrapping_sub(src) < len && dst != src;
+        for i in 0..chunks {
+            let k = if backward { chunks - 1 - i } else { i };
+            let off = k * 64;
+            let n = (len - off).min(64) as u32;
+            let bits = self.get_bits(src.wrapping_add(off), n);
+            self.put_bits(dst.wrapping_add(off), n, bits);
         }
     }
 

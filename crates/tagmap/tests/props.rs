@@ -10,6 +10,55 @@ fn data_addr() -> impl Strategy<Value = u64> {
     (1u8..8, 0u64..=IMPL_MASK).prop_map(|(r, off)| make_vaddr(r, off))
 }
 
+/// Naive per-byte shadow model: a dense bit vector plus the same
+/// transition-counting rules the per-byte `HostShadow::set` implements.
+#[derive(Default)]
+struct NaiveShadow {
+    bits: std::collections::HashMap<u64, bool>,
+    tainted: u64,
+    marks: u64,
+    clears: u64,
+}
+
+impl NaiveShadow {
+    fn get(&self, addr: u64) -> bool {
+        *self.bits.get(&addr).unwrap_or(&false)
+    }
+
+    fn set(&mut self, addr: u64, tainted: bool) {
+        let old = self.get(addr);
+        if tainted && !old {
+            self.tainted += 1;
+            self.marks += 1;
+        } else if !tainted && old {
+            self.tainted -= 1;
+            self.clears += 1;
+        }
+        self.bits.insert(addr, tainted);
+    }
+
+    fn set_range(&mut self, addr: u64, len: u64, tainted: bool) {
+        for i in 0..len {
+            self.set(addr.wrapping_add(i), tainted);
+        }
+    }
+
+    fn copy_taint(&mut self, dst: u64, src: u64, len: u64) {
+        let bits: Vec<bool> = (0..len).map(|i| self.get(src.wrapping_add(i))).collect();
+        for (i, b) in bits.into_iter().enumerate() {
+            self.set(dst.wrapping_add(i as u64), b);
+        }
+    }
+
+    fn any(&self, addr: u64, len: u64) -> bool {
+        (0..len).any(|i| self.get(addr.wrapping_add(i)))
+    }
+
+    fn all(&self, addr: u64, len: u64) -> bool {
+        (0..len).all(|i| self.get(addr.wrapping_add(i)))
+    }
+}
+
 proptest! {
     /// Distinct bytes never share a tag bit at byte granularity.
     #[test]
@@ -79,6 +128,47 @@ proptest! {
         prop_assert_eq!(shadow.tainted_bytes(), expect);
         for (i, &t) in model.iter().enumerate() {
             prop_assert_eq!(shadow.is_tainted(i as u64), t);
+        }
+    }
+
+    /// Full differential test of the word-level fast paths against a naive
+    /// per-byte model, including the transition counters. Operations span
+    /// page boundaries (the window covers three 4 KiB shadow pages) and
+    /// include overlapping copies in both directions.
+    #[test]
+    fn shadow_matches_naive_reference(
+        ops in prop::collection::vec(
+            (0u8..4, 0u64..3 * 4096 - 512, 0u64..512, 0u64..3 * 4096 - 512),
+            1..48,
+        )
+    ) {
+        let mut shadow = HostShadow::new();
+        let mut naive = NaiveShadow::default();
+        for (kind, a, len, b) in ops {
+            match kind {
+                0 => {
+                    shadow.set_range(a, len, true);
+                    naive.set_range(a, len, true);
+                }
+                1 => {
+                    shadow.set_range(a, len, false);
+                    naive.set_range(a, len, false);
+                }
+                2 => {
+                    shadow.copy_taint(a, b, len);
+                    naive.copy_taint(a, b, len);
+                }
+                _ => {
+                    prop_assert_eq!(shadow.any_tainted(a, len), naive.any(a, len));
+                    prop_assert_eq!(shadow.all_tainted(a, len), naive.all(a, len));
+                }
+            }
+            prop_assert_eq!(shadow.tainted_bytes(), naive.tainted, "tainted_bytes drifted");
+            prop_assert_eq!(shadow.marks(), naive.marks, "marks drifted");
+            prop_assert_eq!(shadow.clears(), naive.clears, "clears drifted");
+        }
+        for addr in 0..3 * 4096u64 {
+            prop_assert_eq!(shadow.is_tainted(addr), naive.get(addr), "byte {:#x}", addr);
         }
     }
 

@@ -72,12 +72,36 @@ impl SpecRun {
 /// ("-safe" bars). The instrumented code is identical either way — only the
 /// dynamic taint population differs.
 pub fn run_spec(bench: &SpecBench, mode: Mode, scale: Scale, tainted: bool) -> SpecRun {
+    let compiled = compile_spec(bench, mode);
+    run_spec_precompiled(bench, &compiled, mode, scale, tainted)
+}
+
+/// Compiles a SPEC-like kernel under `mode` without running it.
+///
+/// Compilation depends only on the mode — not on the input scale or taint
+/// condition — so one compiled program can serve several
+/// [`run_spec_precompiled`] calls (e.g. Figure 7's tainted and untainted
+/// bars of the same mode).
+pub fn compile_spec(bench: &SpecBench, mode: Mode) -> shift_core::CompiledProgram {
     let program = (bench.build)();
+    Shift::new(mode).compile(&program).expect("kernel compiles")
+}
+
+/// Runs an already-compiled kernel; see [`run_spec`] for the condition
+/// semantics. `mode` must be the mode `compiled` was produced with (it
+/// selects the runtime's tag granularity).
+pub fn run_spec_precompiled(
+    bench: &SpecBench,
+    compiled: &shift_core::CompiledProgram,
+    mode: Mode,
+    scale: Scale,
+    tainted: bool,
+) -> SpecRun {
     let mut cfg = TaintConfig::default_secure();
     cfg.set_source(Source::Disk, tainted);
     let shift = Shift::new(mode).with_config(cfg).with_insn_limit(4_000_000_000);
     let world = World::new().file(INPUT_FILE, (bench.input)(scale));
-    let report = shift.run(&program, world).expect("kernel compiles");
+    let report = shift.run_compiled(compiled, world);
     SpecRun { exit: report.exit, stats: report.stats }
 }
 
