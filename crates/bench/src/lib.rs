@@ -22,17 +22,42 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
+/// Host worker-pool override for every sweep in this crate (`shift bench
+/// --workers N`). `0` — the default — means "one thread per host core".
+static SWEEP_WORKERS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Overrides the host thread count used by the sweep pools ([`parallel_map`]
+/// and the figure matrices built on it). `0` restores the default
+/// (`available_parallelism`); `1` makes every sweep run serially — the
+/// deterministic-CI setting, though the *modelled* numbers never depend on
+/// this either way.
+pub fn set_sweep_workers(workers: usize) {
+    SWEEP_WORKERS.store(workers, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The host worker count a sweep over `jobs` jobs should use: the
+/// [`set_sweep_workers`] override if set, else one per host core, always
+/// capped by the job count and at least 1.
+fn sweep_workers(jobs: usize) -> usize {
+    let configured = match SWEEP_WORKERS.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(4, |p| p.get()),
+        n => n,
+    };
+    configured.min(jobs).max(1)
+}
+
 /// Runs `f` over `items` on a bounded worker pool (one OS thread per host
-/// core, capped by the job count), preserving input order in the output.
-/// Every simulated Machine is independent, so the modelled numbers are
-/// identical to a serial sweep — only host wall-clock changes.
+/// core unless [`set_sweep_workers`] says otherwise, capped by the job
+/// count), preserving input order in the output. Every simulated Machine is
+/// independent, so the modelled numbers are identical to a serial sweep —
+/// only host wall-clock changes.
 fn parallel_map<I: Sync, T: Send>(items: &[I], f: impl Fn(&I) -> T + Sync) -> Vec<T> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n);
+    let workers = sweep_workers(n);
     let next = AtomicUsize::new(0);
     let out: Vec<std::sync::Mutex<Option<T>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
@@ -361,6 +386,111 @@ pub fn fig6_apache(file_sizes: &[usize], requests: usize) -> Vec<ApacheRow> {
         .collect()
 }
 
+/// One cell of the fleet-serving sweep: one worker width × request stream ×
+/// taint mode.
+#[derive(Clone, Debug)]
+pub struct ServePoint {
+    /// Modelled fleet width this point served at.
+    pub workers: usize,
+    /// `"uniform"` (one file size, Figure-6 shape) or `"mixed"` (three file
+    /// sizes plus 404s, the production-traffic mix).
+    pub stream: &'static str,
+    /// Requested file size in bytes for `"uniform"` streams; 0 for
+    /// `"mixed"`.
+    pub file_size: usize,
+    /// Taint mode: `"byte"` or `"word"`.
+    pub mode: &'static str,
+    /// Connections in the stream.
+    pub connections: u64,
+    /// Requests delivered across the fleet.
+    pub requests: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Modelled fleet makespan in cycles (the busiest instance's total).
+    pub wall_cycles: u64,
+    /// Modelled throughput at this width: served requests per second at the
+    /// fleet clock ([`shift_core::CLOCK_HZ`]).
+    pub requests_per_sec: f64,
+    /// Median per-request latency in modelled cycles.
+    pub p50_latency: u64,
+    /// 99th-percentile per-request latency in modelled cycles.
+    pub p99_latency: u64,
+    /// Host wall-clock spent simulating this point, in nanoseconds.
+    pub host_ns: u64,
+}
+
+impl ServePoint {
+    /// A stable row key — `mode/stream[_size]` — identifying this point's
+    /// (mode, stream) group across worker widths.
+    pub fn group(&self) -> String {
+        if self.stream == "uniform" {
+            format!("{}/{}_{}", self.mode, self.stream, self.file_size)
+        } else {
+            format!("{}/{}", self.mode, self.stream)
+        }
+    }
+}
+
+/// The fleet-serving sweep: `workers_list` widths × (`file_sizes` uniform
+/// streams + the mixed stream) × byte/word taint modes.
+///
+/// Each taint mode compiles its Apache guest exactly once (the
+/// [`shift_core::Fleet`] fast path under measurement); every (stream,
+/// width) point then re-simulates its connections from the shared image so
+/// each point's `host_ns` reflects real simulation work. The *modelled*
+/// per-connection numbers are width-independent by construction — only the
+/// makespan, and hence `requests_per_sec`, varies with `workers` — so the
+/// sweep doubles as a determinism check on the fleet scheduler.
+///
+/// Rows come out grouped by (mode, stream), widths in `workers_list` order,
+/// so consumers can scan each group for throughput scaling.
+pub fn serve_sweep(
+    workers_list: &[usize],
+    file_sizes: &[usize],
+    connections: usize,
+    requests_per_conn: usize,
+) -> Vec<ServePoint> {
+    use shift_workloads::apache::{apache_fleet, fleet_connections, fleet_world, ApacheStream};
+    let modes: [(&'static str, Mode); 2] = [
+        ("byte", Mode::Shift(ShiftOptions::baseline(Granularity::Byte))),
+        ("word", Mode::Shift(ShiftOptions::baseline(Granularity::Word))),
+    ];
+    let mut streams: Vec<ApacheStream> =
+        file_sizes.iter().map(|&s| ApacheStream::Uniform(s)).collect();
+    streams.push(ApacheStream::Mixed);
+
+    let mut points = Vec::new();
+    for (mode_name, mode) in modes {
+        let fleet = apache_fleet(mode);
+        for &stream in &streams {
+            let world = fleet_world(stream);
+            let conns = fleet_connections(stream, connections, requests_per_conn);
+            for &workers in workers_list {
+                let report = fleet.serve(&world, &conns, workers);
+                let (stream_name, file_size) = match stream {
+                    ApacheStream::Uniform(size) => ("uniform", size),
+                    ApacheStream::Mixed => ("mixed", 0),
+                };
+                points.push(ServePoint {
+                    workers,
+                    stream: stream_name,
+                    file_size,
+                    mode: mode_name,
+                    connections: conns.len() as u64,
+                    requests: report.requests,
+                    served: report.served,
+                    wall_cycles: report.wall_cycles,
+                    requests_per_sec: report.requests_per_sec(),
+                    p50_latency: report.latency_percentile(50.0).unwrap_or(0),
+                    p99_latency: report.latency_percentile(99.0).unwrap_or(0),
+                    host_ns: report.host_ns.max(1),
+                });
+            }
+        }
+    }
+    points
+}
+
 /// A Table-3 row: static code size under each compilation mode.
 #[derive(Clone, Debug)]
 pub struct CodeSizeRow {
@@ -511,7 +641,8 @@ pub fn ablation_design_choices(scale: Scale) -> Vec<AblationRow> {
 }
 
 /// A machine-readable summary of the headline experiments — Figure-7/8 SPEC
-/// slowdown geomeans and Figure-6 Apache overhead geomeans — for CI
+/// slowdown geomeans, Figure-6 Apache overhead geomeans, and the
+/// fleet-serving throughput sweep ([`serve_sweep`], `serve_rows`) — for CI
 /// regression tracking (`shift bench --json` writes it to
 /// `BENCH_shift.json`).
 ///
@@ -543,6 +674,14 @@ pub fn bench_summary(scale: Scale, file_sizes: &[usize], requests: usize) -> shi
     let apache = fig6_apache(file_sizes, requests);
     let fig6_ns = t0.elapsed().as_nanos() as u64;
 
+    let t0 = Instant::now();
+    let (serve_conns, serve_reqs) = match scale {
+        Scale::Test => (8, 4),
+        Scale::Reference => (16, 8),
+    };
+    let serve = serve_sweep(&[1, 2, 4, 8], file_sizes, serve_conns, serve_reqs);
+    let serve_ns = t0.elapsed().as_nanos() as u64;
+
     let gm = |sel: &dyn Fn(&SpecRow) -> f64| geomean(&spec.iter().map(sel).collect::<Vec<f64>>());
     let egm =
         |sel: &dyn Fn(&EnhanceRow) -> f64| geomean(&enh.iter().map(sel).collect::<Vec<f64>>());
@@ -573,6 +712,25 @@ pub fn bench_summary(scale: Scale, file_sizes: &[usize], requests: usize) -> shi
                 ("word_set_clr", Json::F64(r.word_set_clr)),
                 ("word_both", Json::F64(r.word_both)),
                 ("host_ns", Json::U64(r.host_ns)),
+            ])
+        })
+        .collect();
+    let serve_rows = serve
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("workers", Json::U64(p.workers as u64)),
+                ("stream", Json::Str(p.stream.to_string())),
+                ("file_size", Json::U64(p.file_size as u64)),
+                ("mode", Json::Str(p.mode.to_string())),
+                ("connections", Json::U64(p.connections)),
+                ("requests", Json::U64(p.requests)),
+                ("served", Json::U64(p.served)),
+                ("wall_cycles", Json::U64(p.wall_cycles)),
+                ("requests_per_sec", Json::F64(p.requests_per_sec)),
+                ("p50_latency_cycles", Json::U64(p.p50_latency)),
+                ("p99_latency_cycles", Json::U64(p.p99_latency)),
+                ("host_ns", Json::U64(p.host_ns)),
             ])
         })
         .collect();
@@ -631,12 +789,14 @@ pub fn bench_summary(scale: Scale, file_sizes: &[usize], requests: usize) -> shi
         ("fig7_rows", Json::Arr(fig7_rows)),
         ("fig8_rows", Json::Arr(fig8_rows)),
         ("fig6_rows", Json::Arr(fig6_rows)),
+        ("serve_rows", Json::Arr(serve_rows)),
         (
             "host_ns",
             Json::obj(vec![
                 ("fig7", Json::U64(fig7_ns)),
                 ("fig8", Json::U64(fig8_ns)),
                 ("fig6_apache", Json::U64(fig6_ns)),
+                ("serve", Json::U64(serve_ns)),
                 ("total", Json::U64(t_total.elapsed().as_nanos() as u64)),
             ]),
         ),
@@ -671,6 +831,61 @@ mod tests {
             geomean(&byte),
             geomean(&word)
         );
+    }
+
+    #[test]
+    fn serve_sweep_scales_and_stays_deterministic() {
+        // One uniform stream plus the mixed stream, byte + word, widths
+        // 1/2/8: rows come out grouped with widths in order, throughput is
+        // monotone non-degrading in width, and the modelled serve totals
+        // never depend on width.
+        let points = serve_sweep(&[1, 2, 8], &[4 << 10], 8, 4);
+        assert_eq!(points.len(), 2 * 2 * 3);
+        for group in points.chunks(3) {
+            let one = &group[0];
+            assert_eq!(one.workers, 1);
+            assert!(one.host_ns > 0);
+            assert_eq!(one.served, one.requests, "nothing dropped at width 1: {}", one.group());
+            for p in group {
+                assert_eq!(p.group(), one.group());
+                assert_eq!(p.served, one.served, "{}: served depends on width", p.group());
+                assert_eq!(p.p99_latency, one.p99_latency, "{}", p.group());
+            }
+            for pair in group.windows(2) {
+                assert!(
+                    pair[1].requests_per_sec >= pair[0].requests_per_sec - 1e-9,
+                    "{}: throughput degraded {} -> {} workers",
+                    one.group(),
+                    pair[0].workers,
+                    pair[1].workers
+                );
+            }
+            let eight = &group[2];
+            assert!(
+                eight.requests_per_sec >= 3.0 * one.requests_per_sec,
+                "{}: 8-wide fleet only {:.2}x over 1-wide",
+                one.group(),
+                eight.requests_per_sec / one.requests_per_sec
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_workers_override_caps_the_pool() {
+        // The override changes only host scheduling; parallel_map results
+        // stay ordered and complete.
+        set_sweep_workers(1);
+        let serial: Vec<u64> = parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
+        set_sweep_workers(3);
+        let pooled: Vec<u64> = parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
+        set_sweep_workers(0);
+        assert_eq!(serial, vec![1, 4, 9, 16]);
+        assert_eq!(serial, pooled);
+        assert_eq!(sweep_workers(100).max(1), sweep_workers(100));
+        set_sweep_workers(5);
+        assert_eq!(sweep_workers(100), 5);
+        assert_eq!(sweep_workers(2), 2);
+        set_sweep_workers(0);
     }
 
     #[test]

@@ -6,10 +6,22 @@
 //!              [--trace-taint] [--metrics <path>] [--profile <path>]
 //! shift spec <bench|all> [--mode M] [--reference] [--safe]
 //! shift apache <size-kb> <requests> [--mode M]
-//! shift bench [--json] [--reference]   headline experiment summary
+//! shift serve [--mode M] [--workers N] [--connections N] [--requests N]
+//!             [--size-kb N] [--json <path>]
+//! shift bench [--json] [--reference] [--workers N]
 //! shift disasm [--mode M]              show the instrumentation templates
 //! shift modes                          list compilation modes
 //! ```
+//!
+//! `serve` runs the fleet engine: the Apache guest is compiled once, then
+//! `--connections` connections of `--requests` requests each are served
+//! across a `--workers`-wide modelled fleet (default: one instance per host
+//! core). Without `--size-kb` the connections carry the mixed
+//! production-traffic stream; with it, every request fetches one file of
+//! that size. `--workers` on `bench` instead caps the *host* thread pool
+//! the experiment sweeps run on (`--workers 1` for fully serial,
+//! deterministic-latency CI runs — the modelled numbers are identical
+//! either way).
 //!
 //! Observability flags: `--trace-taint` records taint births, propagations,
 //! and sink hits, and prints the provenance chain behind a detection
@@ -325,13 +337,16 @@ fn cmd_attack(name: &str, mode: Mode, opts: AttackOpts) -> ExitCode {
 }
 
 /// Runs the headline experiments (Figure-7 SPEC geomeans, Figure-6 Apache
-/// geomeans) and prints — or with `json`, writes to `BENCH_shift.json` — a
-/// machine-readable summary.
-fn cmd_bench(json: bool, scale: Scale) -> ExitCode {
+/// geomeans, the fleet-serving sweep) and prints — or with `json`, writes
+/// to `BENCH_shift.json` — a machine-readable summary. `workers` caps the
+/// host sweep pool (0 = one thread per core); the modelled results are
+/// identical at any setting.
+fn cmd_bench(json: bool, scale: Scale, workers: usize) -> ExitCode {
     let (sizes, requests): (&[usize], usize) = match scale {
         Scale::Test => (&[1 << 10, 8 << 10], 6),
         Scale::Reference => (&[1 << 10, 10 << 10, 100 << 10], 50),
     };
+    shift_bench::set_sweep_workers(workers);
     let started = std::time::Instant::now();
     let summary = shift_bench::bench_summary(scale, sizes, requests);
     let host = started.elapsed();
@@ -393,6 +408,87 @@ fn cmd_apache(size_kb: usize, requests: usize, mode: Mode) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `shift serve` options, after mode extraction.
+struct ServeOpts {
+    workers: usize,
+    connections: usize,
+    requests: usize,
+    size_kb: Option<usize>,
+    json: Option<String>,
+}
+
+/// Serves a deterministic Apache request stream across a modelled fleet:
+/// one compile, `connections` fresh instances, `workers`-wide scheduling.
+/// Succeeds when every connection ran to a halt (served responses — 200s
+/// and 404s alike — are successes); otherwise exits with the first
+/// non-halt's code.
+fn cmd_serve(mode: Mode, opts: ServeOpts) -> ExitCode {
+    use shift_workloads::apache::{apache_fleet, fleet_connections, fleet_world, ApacheStream};
+    let stream = match opts.size_kb {
+        Some(kb) => ApacheStream::Uniform(kb << 10),
+        None => ApacheStream::Mixed,
+    };
+    let fleet = apache_fleet(mode);
+    let conns = fleet_connections(stream, opts.connections, opts.requests);
+    let report = fleet.serve(&fleet_world(stream), &conns, opts.workers);
+    println!("mode       : {}", mode_name(mode));
+    println!(
+        "fleet      : {} instances, {} connections x {} requests",
+        report.workers,
+        conns.len(),
+        opts.requests
+    );
+    println!(
+        "image      : {} insns compiled once, {} pristine pages per spawn",
+        fleet.image().insn_count(),
+        fleet.image().resident_pages()
+    );
+    println!(
+        "requests   : {} served / {} recovered / {} dropped of {} delivered",
+        report.served, report.recovered, report.dropped, report.requests
+    );
+    println!(
+        "throughput : {:.0} req/s modelled ({} wall cycles)",
+        report.requests_per_sec(),
+        report.wall_cycles
+    );
+    println!(
+        "latency    : p50 {} / p99 {} cycles",
+        report.latency_percentile(50.0).unwrap_or(0),
+        report.latency_percentile(99.0).unwrap_or(0)
+    );
+    if !report.violations.is_empty() {
+        println!("violations : {}", report.violations.len());
+    }
+    println!("host       : {:.2} ms", report.host_ns as f64 / 1e6);
+    if let Some(path) = &opts.json {
+        use shift_obs::Json;
+        let doc = Json::obj(vec![
+            ("schema_version", Json::U64(shift_obs::SCHEMA_VERSION)),
+            ("mode", Json::Str(mode_name(mode))),
+            ("workers", Json::U64(report.workers as u64)),
+            ("connections", Json::U64(conns.len() as u64)),
+            ("requests", Json::U64(report.requests)),
+            ("served", Json::U64(report.served)),
+            ("recovered", Json::U64(report.recovered)),
+            ("dropped", Json::U64(report.dropped)),
+            ("wall_cycles", Json::U64(report.wall_cycles)),
+            ("requests_per_sec", Json::F64(report.requests_per_sec())),
+            ("violations", Json::U64(report.violations.len() as u64)),
+            ("host_ns", Json::U64(report.host_ns)),
+            ("metrics", report.registry.to_json()),
+        ]);
+        if let Err(code) = write_artifact(path, "fleet report", &doc.render()) {
+            return code;
+        }
+        println!("report     : written to {path}");
+    }
+    match report.exits().iter().find(|e| !matches!(e, Exit::Halted(_))) {
+        Some(exit) => exit_code_for(exit),
+        None => ExitCode::SUCCESS,
+    }
+}
+
 fn cmd_disasm(mode: Mode) -> ExitCode {
     use shift_ir::ProgramBuilder;
     let mut pb = ProgramBuilder::new();
@@ -423,7 +519,9 @@ fn usage() -> ExitCode {
          \x20                  [--trace-taint] [--metrics <path>] [--profile <path>]\n  \
          shift spec <bench|all> [--mode M] [--reference] [--safe]\n  \
          shift apache <size-kb> <requests> [--mode M]\n  \
-         shift bench [--json] [--reference]\n  \
+         shift serve [--mode M] [--workers N] [--connections N] [--requests N]\n  \
+         \x20           [--size-kb N] [--json <path>]\n  \
+         shift bench [--json] [--reference] [--workers N]\n  \
          shift disasm [--mode M]\n  \
          shift modes"
     );
@@ -507,11 +605,52 @@ fn main() -> ExitCode {
                 _ => usage(),
             }
         }
+        "serve" => {
+            let parsed = (|| -> Result<ServeOpts, String> {
+                let take_num = |args: &mut Vec<String>, flag: &str, default: usize| match take_opt(
+                    args, flag,
+                )? {
+                    Some(n) => n.parse().map_err(|_| format!("bad {flag} `{n}`")),
+                    None => Ok(default),
+                };
+                let default_workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+                Ok(ServeOpts {
+                    workers: take_num(&mut args, "--workers", default_workers)?,
+                    connections: take_num(&mut args, "--connections", 8)?,
+                    requests: take_num(&mut args, "--requests", 4)?,
+                    size_kb: take_opt(&mut args, "--size-kb")?
+                        .map(|n| n.parse().map_err(|_| format!("bad --size-kb `{n}`")))
+                        .transpose()?,
+                    json: take_opt(&mut args, "--json")?,
+                })
+            })();
+            match parsed {
+                Ok(opts) => cmd_serve(mode, opts),
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(EXIT_USAGE)
+                }
+            }
+        }
         "bench" => {
             let json = take_flag(&mut args, "--json");
             let scale =
                 if take_flag(&mut args, "--reference") { Scale::Reference } else { Scale::Test };
-            cmd_bench(json, scale)
+            let workers = match take_opt(&mut args, "--workers") {
+                Ok(Some(n)) => match n.parse() {
+                    Ok(w) => w,
+                    Err(_) => {
+                        eprintln!("bad --workers `{n}`");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                },
+                Ok(None) => 0,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            };
+            cmd_bench(json, scale, workers)
         }
         "disasm" => cmd_disasm(mode),
         _ => usage(),

@@ -1,0 +1,312 @@
+//! Fleet serving: one compiled program, N parallel guest instances.
+//!
+//! The paper's headline result is whole-server taint tracking cheap enough
+//! for production traffic; this module supplies the horizontal half of that
+//! claim. A [`Fleet`] prepares a [`ProgramImage`] once and serves a
+//! deterministic request stream partitioned into *connections* — each
+//! connection is an ordered list of requests handled by one guest instance
+//! spawned fresh from the shared image, with the full per-request
+//! transaction/recovery machinery of [`Shift::serve`] active per instance.
+//!
+//! ## Determinism
+//!
+//! The connection is the unit of determinism. Every connection is simulated
+//! on a pristine spawn of the same image, so its modelled outcome (exit,
+//! stats, violations, request latencies) is a pure function of the
+//! connection's requests — independent of which host thread runs it, in
+//! what order, or how many host threads exist. The fleet aggregate merges
+//! per-connection results in connection order with exact integer sums
+//! ([`shift_machine::Stats::merge`], [`Registry::merge`]), so the merged
+//! numbers are bit-identical for any worker count, and equal to a
+//! sequential loop over [`Shift::serve_image`].
+//!
+//! What *does* depend on the worker count `W` is the modelled fleet
+//! makespan: the fleet models `W` instances running concurrently, with
+//! connection `c` assigned round-robin to instance `c % W`. An instance's
+//! busy time is the sum of its connections' modelled total times and the
+//! fleet wall-clock is the busiest instance's total — so throughput
+//! ([`FleetReport::requests_per_sec`]) scales with `W` deterministically on
+//! any host, while every per-connection number stays fixed. Host threads
+//! (scoped workers over sharded queues with stealing) only accelerate the
+//! simulation itself.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use shift_machine::{Exit, Stats, Violation};
+use shift_obs::Registry;
+
+use crate::metrics::serve_metrics;
+use crate::{CompileError, ProgramImage, ServeReport, Shift, World};
+
+/// Modelled core clock of the simulated Itanium 2: 1.5 GHz, the top shipping
+/// frequency of the paper-era part. Converts modelled cycles to seconds for
+/// throughput reporting.
+pub const CLOCK_HZ: u64 = 1_500_000_000;
+
+/// A fleet-serving session: one prepared image plus the session options
+/// (mode, policies, I/O model, fuel) every instance inherits.
+#[derive(Clone, Debug)]
+pub struct Fleet {
+    shift: Shift,
+    image: Arc<ProgramImage>,
+}
+
+/// One connection's outcome, extracted from its instance's [`ServeReport`].
+#[derive(Clone, Debug)]
+pub struct ConnectionReport {
+    /// Index of the connection in the input stream.
+    pub connection: usize,
+    /// Modelled fleet instance that served it (`connection % workers`).
+    pub instance: usize,
+    /// How the instance's session ended.
+    pub exit: Exit,
+    /// Requests delivered to this connection's instance.
+    pub requests_delivered: u64,
+    /// Requests completed (see [`ServeReport::served`]).
+    pub served: u64,
+    /// Requests rolled back with service continuing.
+    pub recovered: u64,
+    /// Requests lost (in flight at a stop, or never delivered).
+    pub dropped: u64,
+    /// Cycles thrown away by rollbacks.
+    pub recovery_cycles: u64,
+    /// Modelled total time (CPU + I/O) of the connection's session.
+    pub time: u64,
+    /// Every violation the instance observed, provenance chains intact.
+    pub violations: Vec<Violation>,
+    /// The instance's cycle/event accounting.
+    pub stats: Stats,
+    /// Per-request latencies in modelled cycles.
+    pub latencies: Vec<u64>,
+    /// The instance's metrics registry (from [`serve_metrics`]).
+    pub registry: Registry,
+    /// Final machine state digest (differential-test hook).
+    pub state_digest: u64,
+}
+
+/// Aggregate outcome of one [`Fleet::serve`] call.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Modelled fleet width (and host worker cap) this run used.
+    pub workers: usize,
+    /// Per-connection outcomes, in connection order.
+    pub connections: Vec<ConnectionReport>,
+    /// Merged cycle/event accounting (exact sum over connections).
+    pub stats: Stats,
+    /// Merged metrics registry (counters sum, histograms merge).
+    pub registry: Registry,
+    /// All violations in connection order, provenance chains intact.
+    pub violations: Vec<Violation>,
+    /// Total requests delivered across the fleet.
+    pub requests: u64,
+    /// Total requests served.
+    pub served: u64,
+    /// Total requests recovered (rolled back, service continued).
+    pub recovered: u64,
+    /// Total requests dropped.
+    pub dropped: u64,
+    /// Total cycles thrown away by rollbacks.
+    pub recovery_cycles: u64,
+    /// Modelled fleet makespan: the busiest instance's summed connection
+    /// times. This is the one aggregate that depends on `workers`.
+    pub wall_cycles: u64,
+    /// Host nanoseconds spent simulating this call.
+    pub host_ns: u64,
+}
+
+impl FleetReport {
+    /// Modelled fleet throughput: requests served per modelled second at
+    /// [`CLOCK_HZ`].
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_cycles == 0 {
+            return 0.0;
+        }
+        self.served as f64 * CLOCK_HZ as f64 / self.wall_cycles as f64
+    }
+
+    /// The `p`-th percentile (0–100) of per-request serve latency in
+    /// modelled cycles, across every connection.
+    pub fn latency_percentile(&self, p: f64) -> Option<u64> {
+        self.registry.histogram("serve.latency_cycles").and_then(|h| h.percentile(p))
+    }
+
+    /// Exit of every connection, in connection order.
+    pub fn exits(&self) -> Vec<Exit> {
+        self.connections.iter().map(|c| c.exit.clone()).collect()
+    }
+
+    /// `true` when no connection lost a request.
+    pub fn nothing_dropped(&self) -> bool {
+        self.dropped == 0
+    }
+}
+
+impl Shift {
+    /// Compiles `app` once and returns a fleet handle for parallel serving.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] on invalid IR or unresolved symbols.
+    pub fn fleet(&self, app: &shift_ir::Program) -> Result<Fleet, CompileError> {
+        Ok(Fleet { shift: self.clone(), image: Arc::new(self.image(app)?) })
+    }
+}
+
+impl Fleet {
+    /// Builds a fleet from an existing session and prepared image.
+    pub fn from_image(shift: Shift, image: ProgramImage) -> Fleet {
+        Fleet { shift, image: Arc::new(image) }
+    }
+
+    /// The shared program image instances spawn from.
+    pub fn image(&self) -> &Arc<ProgramImage> {
+        &self.image
+    }
+
+    /// Serves `connections` — each an ordered request list handled by a
+    /// fresh instance — across a modelled fleet of `workers` instances.
+    /// `base` supplies the files/args/kbd every connection's world starts
+    /// from; each connection's network queue is its own request list, so
+    /// per-connection request ordering is preserved by construction.
+    ///
+    /// Host-side, up to `workers` scoped threads drain sharded connection
+    /// queues with stealing; results land in connection order regardless of
+    /// which thread computed them.
+    pub fn serve(&self, base: &World, connections: &[Vec<Vec<u8>>], workers: usize) -> FleetReport {
+        let start = std::time::Instant::now();
+        let n = connections.len();
+        let width = workers.max(1);
+        let host_workers = width.min(n.max(1));
+        // Shard round-robin: worker k owns connections k, k+host, … — the
+        // same assignment the modelled fleet uses, so an unstolen run
+        // touches each connection on its "own" instance's thread.
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..host_workers).map(|k| Mutex::new((k..n).step_by(host_workers).collect())).collect();
+        let slots: Vec<Mutex<Option<ConnectionReport>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for k in 0..host_workers {
+                let queues = &queues;
+                let slots = &slots;
+                s.spawn(move || loop {
+                    // Own queue first, then steal from the back of others.
+                    let mut job = queues[k].lock().expect("queue poisoned").pop_front();
+                    if job.is_none() {
+                        for other in queues {
+                            job = other.lock().expect("queue poisoned").pop_back();
+                            if job.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    let Some(c) = job else { break };
+                    let report = self.serve_connection(base, connections, c, width);
+                    *slots[c].lock().expect("slot poisoned") = Some(report);
+                });
+            }
+        });
+        let reports: Vec<ConnectionReport> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot poisoned").expect("connection not served"))
+            .collect();
+        Self::aggregate(width, reports, start.elapsed().as_nanos() as u64)
+    }
+
+    /// The reference path: serves every connection in order on this thread.
+    /// Produces the identical aggregate to [`Fleet::serve`] with the same
+    /// `workers` width (the differential tests enforce this).
+    pub fn serve_sequential(
+        &self,
+        base: &World,
+        connections: &[Vec<Vec<u8>>],
+        workers: usize,
+    ) -> FleetReport {
+        let start = std::time::Instant::now();
+        let width = workers.max(1);
+        let reports: Vec<ConnectionReport> = (0..connections.len())
+            .map(|c| self.serve_connection(base, connections, c, width))
+            .collect();
+        Self::aggregate(width, reports, start.elapsed().as_nanos() as u64)
+    }
+
+    /// Simulates one connection on a pristine instance. Pure in the
+    /// connection index: the result is identical no matter when or where it
+    /// runs.
+    fn serve_connection(
+        &self,
+        base: &World,
+        connections: &[Vec<Vec<u8>>],
+        c: usize,
+        width: usize,
+    ) -> ConnectionReport {
+        let world = connections[c].iter().fold(base.clone(), |w, msg| w.net(msg.clone()));
+        let report = self.shift.serve_image(&self.image, world);
+        let registry = serve_metrics(&report);
+        let ServeReport {
+            exit,
+            served,
+            recovered,
+            dropped,
+            recovery_cycles,
+            violations,
+            stats,
+            runtime,
+            machine,
+        } = report;
+        ConnectionReport {
+            connection: c,
+            instance: c % width,
+            exit,
+            requests_delivered: runtime.requests_delivered,
+            served,
+            recovered,
+            dropped,
+            recovery_cycles,
+            time: stats.total_time(),
+            violations,
+            latencies: runtime.request_latencies.clone(),
+            registry,
+            state_digest: machine.state_digest(),
+            stats,
+        }
+    }
+
+    /// Merges per-connection reports in connection order. Every sum is an
+    /// exact `u64` add, so the result is independent of how the work was
+    /// scheduled.
+    fn aggregate(width: usize, reports: Vec<ConnectionReport>, host_ns: u64) -> FleetReport {
+        let mut stats = Stats::new();
+        let mut registry = Registry::new();
+        let mut violations = Vec::new();
+        let (mut requests, mut served, mut recovered, mut dropped, mut recovery_cycles) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut instance_busy = vec![0u64; width];
+        for r in &reports {
+            stats.merge(&r.stats);
+            registry.merge(&r.registry);
+            violations.extend(r.violations.iter().cloned());
+            requests += r.requests_delivered;
+            served += r.served;
+            recovered += r.recovered;
+            dropped += r.dropped;
+            recovery_cycles += r.recovery_cycles;
+            instance_busy[r.instance] += r.time;
+        }
+        let wall_cycles = instance_busy.into_iter().max().unwrap_or(0);
+        FleetReport {
+            workers: width,
+            connections: reports,
+            stats,
+            registry,
+            violations,
+            requests,
+            served,
+            recovered,
+            dropped,
+            recovery_cycles,
+            wall_cycles,
+            host_ns,
+        }
+    }
+}

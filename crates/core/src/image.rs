@@ -1,0 +1,60 @@
+//! Compile-once, serve-many program images.
+//!
+//! [`ProgramImage`] captures everything [`crate::Shift`] needs to stamp out
+//! guest instances of an already-compiled program: the loaded
+//! [`shift_machine::MachineSeed`] (decoded code and pristine memory, shared
+//! between instances) plus the per-function spans the profiler attributes
+//! cycles to. Building it once and spawning N instances costs one
+//! compile+link+load plus N clones of the resident pristine pages — the
+//! fleet-serving fast path — instead of N full compiles.
+
+use std::sync::Arc;
+
+use shift_compiler::CompiledProgram;
+use shift_machine::{FuncSpan, Machine, MachineSeed};
+
+/// A prepared, shareable program image: the product of one compile + link +
+/// load, ready to spawn any number of independent guest instances.
+///
+/// The type is cheap to clone and safe to share across threads (wrap it in
+/// an [`Arc`] or let scoped workers borrow it); spawned instances never
+/// write back into the image.
+#[derive(Clone, Debug)]
+pub struct ProgramImage {
+    seed: MachineSeed,
+    func_spans: Arc<[FuncSpan]>,
+}
+
+impl ProgramImage {
+    /// Prepares an image from a compiled program: loads the memory image
+    /// once and freezes the profiler's function table.
+    pub fn new(compiled: &CompiledProgram) -> ProgramImage {
+        let func_spans: Vec<FuncSpan> = compiled
+            .func_ranges
+            .iter()
+            .map(|(name, &(start, end))| FuncSpan { name: name.clone(), start, end })
+            .collect();
+        ProgramImage { seed: MachineSeed::new(&compiled.image), func_spans: func_spans.into() }
+    }
+
+    /// Spawns a fresh pristine instance: new CPU at the entry point, cold
+    /// caches, zeroed stats, code shared with every sibling.
+    pub fn spawn(&self) -> Machine {
+        self.seed.spawn()
+    }
+
+    /// The profiler function table of the compiled program.
+    pub fn func_spans(&self) -> Vec<FuncSpan> {
+        self.func_spans.to_vec()
+    }
+
+    /// Pristine pages resident in the image (the per-spawn copy cost).
+    pub fn resident_pages(&self) -> usize {
+        self.seed.resident_pages()
+    }
+
+    /// Static code size in instructions.
+    pub fn insn_count(&self) -> usize {
+        self.seed.insn_count()
+    }
+}

@@ -56,12 +56,16 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod fleet;
+mod image;
 mod libc;
 pub mod metrics;
 pub mod policy;
 mod runtime;
 
 pub use config::{Source, TaintConfig, ViolationAction};
+pub use fleet::{ConnectionReport, Fleet, FleetReport, CLOCK_HZ};
+pub use image::ProgramImage;
 pub use libc::{libc_program, LIBC_FUNCS};
 pub use policy::Policy;
 pub use runtime::{IoCostModel, Runtime, World};
@@ -267,23 +271,59 @@ impl Shift {
         Ok(self.serve_compiled(&compiled, world))
     }
 
-    /// Serves an already-compiled program resiliently (see [`Shift::serve`]).
+    /// Compiles (with libc) and prepares a [`ProgramImage`]: the
+    /// compile-once half of the fleet-serving fast path. Spawning instances
+    /// from the image costs a copy of the resident pristine pages instead
+    /// of a full compile + link + load.
     ///
-    /// The session loop is the outermost layer of the user-level handler: it
-    /// catches what the in-syscall handler cannot — NaT-consumption faults
-    /// (detections raised by the machine, disposed per their L-policy's
-    /// action), other architectural faults (crash containment: always rolled
-    /// back), and watchdog exhaustion (runaway requests) — rolls the
-    /// transaction back, and keeps serving. It stops on a clean halt, on the
-    /// session instruction ceiling, on fail-stop (`Terminate`) detections,
-    /// and whenever no checkpoint is armed to recover to.
+    /// # Errors
+    ///
+    /// [`CompileError`] on invalid IR or unresolved symbols.
+    pub fn image(&self, app: &Program) -> Result<ProgramImage, CompileError> {
+        Ok(ProgramImage::new(&self.compile(app)?))
+    }
+
+    /// Serves an already-compiled program resiliently (see [`Shift::serve`])
+    /// by preparing a [`ProgramImage`] for this call. Callers serving the
+    /// same program repeatedly should prepare the image once with
+    /// [`Shift::image`] and use [`Shift::serve_image`].
     pub fn serve_compiled(&self, compiled: &CompiledProgram, world: World) -> ServeReport {
-        let mut machine = Machine::new(&compiled.image);
-        self.arm_observability(&mut machine, compiled);
+        self.serve_image(&ProgramImage::new(compiled), world)
+    }
+
+    /// Serves `world`'s request stream on a fresh instance spawned from a
+    /// prebuilt [`ProgramImage`], leaving the image pristine for the next
+    /// spawn.
+    pub fn serve_image(&self, image: &ProgramImage, world: World) -> ServeReport {
+        let mut machine = image.spawn();
+        if self.trace_taint {
+            machine.enable_taint_observer();
+        }
+        if self.profile {
+            machine.enable_profiler(image.func_spans());
+        }
+        self.serve_machine(machine, world)
+    }
+
+    /// The resilient session loop — the outermost layer of the user-level
+    /// handler: it catches what the in-syscall handler cannot —
+    /// NaT-consumption faults (detections raised by the machine, disposed
+    /// per their L-policy's action), other architectural faults (crash
+    /// containment: always rolled back), and watchdog exhaustion (runaway
+    /// requests) — rolls the transaction back, and keeps serving. It stops
+    /// on a clean halt, on the session instruction ceiling, on fail-stop
+    /// (`Terminate`) detections, and whenever no checkpoint is armed to
+    /// recover to.
+    fn serve_machine(&self, mut machine: Machine, world: World) -> ServeReport {
         machine.arm_watchdog(self.fuel);
         let mut runtime = Runtime::new(self.config.clone(), world, self.granularity())
             .with_io(self.io)
             .with_transactions();
+        // A rollback that redelivers nothing (queue drained) re-runs the
+        // guest on bit-identical state, so a second fault at the same
+        // delivery count would recur forever: allow one attempt per
+        // delivery point, then let the fault stand.
+        let mut empty_recovery_at: Option<u64> = None;
         let exit = loop {
             let exit = machine.run(&mut runtime, self.insn_limit);
             let recoverable = match &exit {
@@ -316,20 +356,34 @@ impl Shift {
                     _ => true,
                 },
             };
-            if recoverable && runtime.recover(&mut machine) {
-                continue;
+            if recoverable && empty_recovery_at != Some(runtime.requests_delivered) {
+                let delivered_before = runtime.requests_delivered;
+                if runtime.recover(&mut machine) {
+                    if runtime.requests_delivered == delivered_before {
+                        empty_recovery_at = Some(delivered_before);
+                    }
+                    continue;
+                }
             }
             break exit;
         };
         runtime.finish_request_window(machine.stats.total_time());
-        // A transaction open at an unrecoverable stop is a lost request.
-        let in_flight = u64::from(!matches!(exit, Exit::Halted(_)) && runtime.has_checkpoint());
-        let served = runtime.requests_delivered.saturating_sub(runtime.recoveries + in_flight);
+        let halted = matches!(exit, Exit::Halted(_));
+        // A request still open at a halt completed — the guest finished it
+        // and exited without asking for more work. Open at any other stop,
+        // it was lost in flight.
+        let served = runtime.completed_requests + u64::from(halted && runtime.open_request());
+        let in_flight = u64::from(!halted && runtime.open_request());
         let dropped = in_flight + runtime.pending_requests() as u64;
+        debug_assert_eq!(
+            served + runtime.aborted_requests + in_flight,
+            runtime.requests_delivered,
+            "served/recovered/in-flight must partition delivered requests exactly"
+        );
         ServeReport {
             exit,
             served,
-            recovered: runtime.recoveries,
+            recovered: runtime.aborted_requests,
             dropped,
             recovery_cycles: runtime.recovery_cycles,
             violations: runtime.violations.clone(),

@@ -164,6 +164,22 @@ pub struct Runtime {
     /// Transactions rolled back (inline `AbortTransaction` recoveries plus
     /// [`Runtime::recover`] calls from the session loop).
     pub recoveries: u64,
+    /// Requests whose transaction closed at the next `net_read` boundary —
+    /// the guest finished them and asked for more work. Together with
+    /// [`Runtime::aborted_requests`] and the open-request flag this
+    /// partitions [`Runtime::requests_delivered`] exactly:
+    /// `completed + aborted + open == delivered` at every instant.
+    pub completed_requests: u64,
+    /// Delivered requests whose transaction was rolled back by
+    /// [`Runtime::recover`]. A subset of [`Runtime::recoveries`]: rollbacks
+    /// taken while no request was open (e.g. a fault after the queue
+    /// drained) count as recoveries but abort no request.
+    pub aborted_requests: u64,
+    /// `true` while a delivered request is being processed: set when a
+    /// `net_read` actually hands bytes to the guest, cleared when the guest
+    /// reaches the next `net_read` (completion) or the transaction rolls
+    /// back (abort).
+    open_request: bool,
     /// Sink operations suppressed by `LogAndContinue`.
     pub suppressed_sinks: u64,
     /// CPU cycles spent in transactions that were later rolled back — the
@@ -203,6 +219,9 @@ impl Runtime {
             checkpoint: None,
             requests_delivered: 0,
             recoveries: 0,
+            completed_requests: 0,
+            aborted_requests: 0,
+            open_request: false,
             suppressed_sinks: 0,
             recovery_cycles: 0,
             request_latencies: Vec::new(),
@@ -238,6 +257,12 @@ impl Runtime {
     /// Is a transaction checkpoint currently armed?
     pub fn has_checkpoint(&self) -> bool {
         self.checkpoint.is_some()
+    }
+
+    /// Is a delivered request currently being processed (delivered but
+    /// neither completed at a `net_read` boundary nor rolled back)?
+    pub fn open_request(&self) -> bool {
+        self.open_request
     }
 
     /// The filesystem in its current state (files written by the guest
@@ -350,6 +375,13 @@ impl Runtime {
         self.sql_log.truncate(rc.sql_log_len);
         self.shell_log.truncate(rc.shell_log_len);
         self.recoveries += 1;
+        // The rolled-back transaction's request (if one was actually
+        // delivered into it) is gone for good: account it as aborted so
+        // `completed + aborted + open == delivered` keeps holding.
+        if self.open_request {
+            self.aborted_requests += 1;
+            self.open_request = false;
+        }
         // Cycles are timing state and are not rolled back: attribute the
         // aborted transaction's work to recovery overhead, and restart the
         // attribution window for the transaction that begins now.
@@ -365,6 +397,7 @@ impl Runtime {
         let msg = self.world.net_input.pop_front();
         if msg.is_some() {
             self.requests_delivered += 1;
+            self.open_request = true;
         }
         let (b, p) = (self.io.net_base, self.io.net_per_byte);
         // Delivery into the restored buffer cannot fault: the same pages
@@ -545,6 +578,12 @@ impl Runtime {
                 Ok(SysResult::Continue)
             }
             sys::NET_READ => {
+                // Reaching the next read means the previous request's
+                // transaction closed successfully: count it as completed.
+                if self.open_request {
+                    self.completed_requests += 1;
+                    self.open_request = false;
+                }
                 if self.transactional {
                     // Each request is a transaction: checkpoint *before*
                     // delivery so a rollback lands with the request undelivered,
@@ -555,6 +594,7 @@ impl Runtime {
                 let msg = self.world.net_input.pop_front();
                 if msg.is_some() {
                     self.requests_delivered += 1;
+                    self.open_request = true;
                 }
                 let (b, p) = (self.io.net_base, self.io.net_per_byte);
                 self.do_stream_read(m, msg, a0, a1, Source::Network, b, p)

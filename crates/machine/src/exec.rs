@@ -56,10 +56,13 @@ pub struct Machine {
     /// per-instruction answers — mutating one without the other would skew
     /// the cycle model.
     cost: CostModel,
-    code: Vec<Insn>,
+    /// Decoded code, shared with the [`crate::MachineSeed`] (and every
+    /// sibling instance) that spawned this machine.
+    code: std::sync::Arc<[Insn]>,
     /// `cost.base()` of each instruction in `code`, precomputed so the
     /// dispatcher replaces a second match on the op with one indexed load.
-    base_cost: Vec<u64>,
+    /// Shared like `code`.
+    base_cost: std::sync::Arc<[u64]>,
     trace: Option<std::collections::VecDeque<usize>>,
     trace_cap: usize,
     watchdog: Option<Watchdog>,
@@ -99,25 +102,25 @@ impl Machine {
     /// Panics if an initialized data segment fails to load (a malformed
     /// image is a programming error, not a guest-visible fault).
     pub fn new(image: &Image) -> Machine {
-        let mut mem = Memory::new();
-        for &(vaddr, len) in &image.maps {
-            mem.map_range(vaddr, len);
-        }
-        for (vaddr, bytes) in &image.data {
-            mem.map_range(*vaddr, bytes.len() as u64);
-            mem.write_bytes(*vaddr, bytes).expect("image data segment failed to load");
-        }
-        mem.map_range(image.stack_top - image.stack_size, image.stack_size);
-        let mut cpu = Cpu::new(image.entry);
-        cpu.set_gpr_val(shift_isa::Gpr::SP, image.stack_top);
+        crate::seed::MachineSeed::new(image).into_machine()
+    }
+
+    /// Assembles a machine from seed parts: fresh caches, zeroed stats,
+    /// shared code. Only [`crate::MachineSeed`] builds these parts.
+    pub(crate) fn from_seed_parts(
+        cpu: Cpu,
+        mem: Memory,
+        code: std::sync::Arc<[Insn]>,
+        base_cost: std::sync::Arc<[u64]>,
+    ) -> Machine {
         Machine {
             cpu,
             mem,
             cache: CacheHierarchy::itanium2(),
             stats: Stats::new(),
             cost: CostModel::ITANIUM2,
-            base_cost: image.code.iter().map(|i| CostModel::ITANIUM2.base(&i.op)).collect(),
-            code: image.code.clone(),
+            base_cost,
+            code,
             trace: None,
             trace_cap: 0,
             watchdog: None,

@@ -52,6 +52,7 @@ mod fault;
 mod image;
 pub mod layout;
 mod mem;
+mod seed;
 mod snapshot;
 mod stats;
 
@@ -61,6 +62,7 @@ pub use exec::{Machine, NullOs, Os, SysResult};
 pub use fault::{Fault, NatFaultKind};
 pub use image::{Image, ImageBuilder};
 pub use mem::{MemError, Memory, PAGE_SIZE};
+pub use seed::MachineSeed;
 pub use snapshot::{Injection, Snapshot};
 pub use stats::{Exit, Stats, Violation};
 

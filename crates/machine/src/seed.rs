@@ -1,0 +1,135 @@
+//! Load-once, spawn-many machine images.
+//!
+//! [`MachineSeed`] performs the expensive parts of [`Machine::new`] exactly
+//! once — decoding cost tables and materializing the initialized memory
+//! image — and then stamps out fresh instances with [`MachineSeed::spawn`].
+//! The decoded code and per-instruction base-cost table are shared between
+//! every spawned instance through `Arc`, so instance #2..N costs one clone
+//! of the *resident* pristine pages (guest pages are allocated on first
+//! touch, so an untouched stack costs nothing) plus two reference-count
+//! bumps.
+//!
+//! A spawned machine is bit-identical to one built by [`Machine::new`] from
+//! the same [`Image`]: same `state_digest`, same cold caches, same zeroed
+//! stats. `Machine::new` is itself implemented on top of this type.
+
+use std::sync::Arc;
+
+use shift_isa::{CostModel, Insn};
+
+use crate::cpu::Cpu;
+use crate::exec::Machine;
+use crate::image::Image;
+use crate::mem::Memory;
+
+/// A pristine machine image prepared for repeated spawning.
+///
+/// Cloning a seed is cheap relative to reloading: the code and cost tables
+/// are shared, and only the resident pages of the pristine memory image are
+/// copied.
+#[derive(Clone, Debug)]
+pub struct MachineSeed {
+    code: Arc<[Insn]>,
+    base_cost: Arc<[u64]>,
+    mem: Memory,
+    entry: usize,
+    stack_top: u64,
+}
+
+impl MachineSeed {
+    /// Loads an image once: maps its segments, copies initialized data, and
+    /// maps the stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initialized data segment fails to load (a malformed
+    /// image is a programming error, not a guest-visible fault).
+    pub fn new(image: &Image) -> MachineSeed {
+        let mut mem = Memory::new();
+        for &(vaddr, len) in &image.maps {
+            mem.map_range(vaddr, len);
+        }
+        for (vaddr, bytes) in &image.data {
+            mem.map_range(*vaddr, bytes.len() as u64);
+            mem.write_bytes(*vaddr, bytes).expect("image data segment failed to load");
+        }
+        mem.map_range(image.stack_top - image.stack_size, image.stack_size);
+        MachineSeed {
+            code: image.code.clone().into(),
+            base_cost: image.code.iter().map(|i| CostModel::ITANIUM2.base(&i.op)).collect(),
+            mem,
+            entry: image.entry,
+            stack_top: image.stack_top,
+        }
+    }
+
+    /// Spawns a fresh instance from the pristine image: new CPU at the entry
+    /// point, cold caches, zeroed stats, shared code.
+    pub fn spawn(&self) -> Machine {
+        self.clone().into_machine()
+    }
+
+    /// Consumes the seed, avoiding the memory clone [`spawn`](Self::spawn)
+    /// pays. This is the one-shot [`Machine::new`] path.
+    pub fn into_machine(self) -> Machine {
+        let mut cpu = Cpu::new(self.entry);
+        cpu.set_gpr_val(shift_isa::Gpr::SP, self.stack_top);
+        Machine::from_seed_parts(cpu, self.mem, self.code, self.base_cost)
+    }
+
+    /// Pages of the pristine image that are actually resident (and hence
+    /// copied per spawn).
+    pub fn resident_pages(&self) -> usize {
+        self.mem.resident_pages()
+    }
+
+    /// Static code size in instructions.
+    pub fn insn_count(&self) -> usize {
+        self.code.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::NullOs;
+    use shift_isa::{Gpr, Op};
+
+    fn demo_image() -> Image {
+        Image::builder()
+            .code(vec![Insn::new(Op::MovI { dst: Gpr::R8, imm: 7 }), Insn::new(Op::Halt)])
+            .data(0x1000, vec![1, 2, 3, 4])
+            .build()
+    }
+
+    #[test]
+    fn spawn_matches_machine_new() {
+        let image = demo_image();
+        let seed = MachineSeed::new(&image);
+        let fresh = Machine::new(&image);
+        let spawned = seed.spawn();
+        assert_eq!(fresh.state_digest(), spawned.state_digest());
+        assert_eq!(fresh.code().len(), spawned.code().len());
+    }
+
+    #[test]
+    fn spawned_instances_are_independent() {
+        let image = demo_image();
+        let seed = MachineSeed::new(&image);
+        let pristine = seed.spawn().state_digest();
+        let mut a = seed.spawn();
+        a.mem.write_int(0x1000, 8, 0xdead_beef).unwrap();
+        let _ = a.run(&mut NullOs, 100);
+        // Dirtying one instance never leaks into the seed or its siblings.
+        assert_eq!(seed.spawn().state_digest(), pristine);
+        assert_ne!(a.state_digest(), pristine);
+    }
+
+    #[test]
+    fn resident_pages_counts_only_touched_pages() {
+        let seed = MachineSeed::new(&demo_image());
+        // Only the 4-byte data segment is resident; the stack is mapped but
+        // untouched.
+        assert_eq!(seed.resident_pages(), 1);
+    }
+}

@@ -78,7 +78,7 @@ impl std::fmt::Display for Exit {
 const NPROV: usize = Provenance::ALL.len();
 
 /// Execution statistics for one run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Stats {
     /// Retired instructions (includes predicated-off slots).
     pub instructions: u64,
@@ -142,6 +142,27 @@ impl Stats {
         self.cycles += cycles;
         self.cycles_by_prov[Provenance::Original.index()] += cycles;
         self.runtime_cycles += cycles;
+    }
+
+    /// Folds another run's counters into this one, element-wise. Every field
+    /// is an exact `u64` sum, so merging is associative and order-independent
+    /// — a fleet aggregate built in any order equals the sequential total
+    /// bit-for-bit.
+    pub fn merge(&mut self, other: &Stats) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.io_cycles += other.io_cycles;
+        for i in 0..NPROV {
+            self.cycles_by_prov[i] += other.cycles_by_prov[i];
+            self.insns_by_prov[i] += other.insns_by_prov[i];
+        }
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.deferred_loads += other.deferred_loads;
+        self.chk_taken += other.chk_taken;
+        self.syscalls += other.syscalls;
+        self.runtime_cycles += other.runtime_cycles;
+        self.injected_events += other.injected_events;
     }
 
     /// Total modelled time: CPU cycles plus I/O waits.
@@ -219,6 +240,35 @@ mod tests {
         s.charge_io(90);
         assert_eq!(s.cycles, 10);
         assert_eq!(s.total_time(), 100);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = Stats::new();
+        a.retire(Provenance::Original, 3);
+        a.charge_io(10);
+        a.charge_runtime(5);
+        a.loads = 2;
+        let mut b = Stats::new();
+        b.retire(Provenance::LdTagCompute, 4);
+        b.stores = 1;
+        b.syscalls = 7;
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.instructions, a.instructions + b.instructions);
+        assert_eq!(merged.cycles, a.cycles + b.cycles);
+        assert_eq!(merged.total_time(), a.total_time() + b.total_time());
+        assert_eq!(merged.cycles_for(Provenance::LdTagCompute), 4);
+        assert_eq!(merged.cycles_for(Provenance::Original), a.cycles_for(Provenance::Original));
+        assert_eq!(merged.loads, 2);
+        assert_eq!(merged.stores, 1);
+        assert_eq!(merged.syscalls, a.syscalls + 7);
+        assert_eq!(merged.runtime_cycles, 5);
+        // Order independence: b.merge(a) gives the same totals.
+        let mut swapped = b.clone();
+        swapped.merge(&a);
+        assert_eq!(swapped.instructions, merged.instructions);
+        assert_eq!(swapped.cycles_by_prov, merged.cycles_by_prov);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Property tests for [`MachineSeed`] spawn fidelity.
+//!
+//! A seed must be a faithful, immutable stand-in for `Machine::new`: every
+//! spawn starts from the same pristine `state_digest` no matter how hard
+//! sibling instances dirtied their own memory, and a spawned instance runs
+//! any program to the same exit and final digest as a freshly loaded
+//! machine.
+
+use proptest::prelude::*;
+use shift_isa::{AluOp, ExtKind, Gpr, Insn, MemSize, Op};
+use shift_machine::{layout, Image, Machine, MachineSeed, NullOs};
+
+/// One generated step of guest work that reads and dirties memory.
+#[derive(Clone, Debug)]
+enum Step {
+    /// `movl dst = imm` into a scratch register.
+    MovI { dst: usize, imm: i64 },
+    /// `add dst = dst, src`.
+    Add { dst: usize, src: usize },
+    /// `st8 [data + off] = src` — dirties a pristine or fresh page.
+    Store { src: usize, off: u64 },
+    /// `ld8 dst = [data + off]`.
+    Load { dst: usize, off: u64 },
+}
+
+/// Scratch registers `r1..=r11`.
+fn reg(i: usize) -> Gpr {
+    Gpr::from_index(1 + i % 11)
+}
+
+/// An 8-aligned address inside the mapped data window.
+fn data_addr(off: u64) -> u64 {
+    layout::DATA_BASE + (off % 0x4000) / 8 * 8
+}
+
+fn build_image(steps: &[Step]) -> Image {
+    const ADDR: Gpr = Gpr::R14;
+    let mut code = Vec::new();
+    for step in steps {
+        match *step {
+            Step::MovI { dst, imm } => code.push(Insn::new(Op::MovI { dst: reg(dst), imm })),
+            Step::Add { dst, src } => code.push(Insn::new(Op::Alu {
+                op: AluOp::Add,
+                dst: reg(dst),
+                src1: reg(dst),
+                src2: reg(src),
+            })),
+            Step::Store { src, off } => {
+                code.push(Insn::new(Op::MovI { dst: ADDR, imm: data_addr(off) as i64 }));
+                code.push(Insn::new(Op::St { size: MemSize::B8, src: reg(src), addr: ADDR }));
+            }
+            Step::Load { dst, off } => {
+                code.push(Insn::new(Op::MovI { dst: ADDR, imm: data_addr(off) as i64 }));
+                code.push(Insn::new(Op::Ld {
+                    size: MemSize::B8,
+                    ext: ExtKind::Zero,
+                    dst: reg(dst),
+                    addr: ADDR,
+                    spec: false,
+                }));
+            }
+        }
+    }
+    code.push(Insn::new(Op::MovI { dst: Gpr::R8, imm: 0 }));
+    code.push(Insn::new(Op::Halt));
+    Image::builder()
+        .code(code)
+        .map(layout::DATA_BASE, 0x4000)
+        .data(layout::DATA_BASE + 0x100, vec![0xab; 64])
+        .build()
+}
+
+fn step_strategy() -> BoxedStrategy<Step> {
+    let r = || 0usize..11;
+    prop_oneof![
+        (r(), any::<i64>()).prop_map(|(dst, imm)| Step::MovI { dst, imm }),
+        (r(), r()).prop_map(|(dst, src)| Step::Add { dst, src }),
+        (r(), 0u64..0x4000).prop_map(|(src, off)| Step::Store { src, off }),
+        (r(), 0u64..0x4000).prop_map(|(dst, off)| Step::Load { dst, off }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Spawn ≡ load: a seed-spawned instance starts at `Machine::new`'s
+    /// digest and reproduces its run exactly (same exit, same final state).
+    #[test]
+    fn spawn_runs_bit_identically_to_machine_new(
+        steps in prop::collection::vec(step_strategy(), 1..40),
+    ) {
+        let image = build_image(&steps);
+        let seed = MachineSeed::new(&image);
+
+        let mut fresh = Machine::new(&image);
+        let mut spawned = seed.spawn();
+        prop_assert_eq!(fresh.state_digest(), spawned.state_digest());
+
+        let exit_a = fresh.run(&mut NullOs, 1_000_000);
+        let exit_b = spawned.run(&mut NullOs, 1_000_000);
+        prop_assert_eq!(&exit_a, &exit_b, "spawned instance diverged in exit");
+        prop_assert_eq!(fresh.state_digest(), spawned.state_digest(),
+            "spawned instance diverged in final state");
+    }
+
+    /// Reset-by-respawn round-trips the pristine digest: however much an
+    /// instance dirtied its pages (and snapshotted/restored in between),
+    /// the *next* spawn from the same seed is pristine again.
+    #[test]
+    fn respawn_round_trips_pristine_digest(
+        steps in prop::collection::vec(step_strategy(), 1..40),
+        cut in 0u64..64,
+    ) {
+        let image = build_image(&steps);
+        let seed = MachineSeed::new(&image);
+        let pristine = seed.spawn().state_digest();
+
+        let mut worker = seed.spawn();
+        let _ = worker.run(&mut NullOs, cut);
+        let snap = worker.snapshot();
+        let _ = worker.run(&mut NullOs, 1_000_000);
+        worker.restore(&snap);
+        let _ = worker.run(&mut NullOs, 1_000_000);
+
+        prop_assert_eq!(seed.spawn().state_digest(), pristine,
+            "instance activity leaked into the seed");
+    }
+}

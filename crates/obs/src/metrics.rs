@@ -173,6 +173,13 @@ impl Registry {
 
     /// Folds `other` into this registry: counters add, gauges take the
     /// other's value, histograms merge.
+    ///
+    /// Counter and histogram merging is exact and associative — merging N
+    /// per-worker registries yields the same result in any grouping, and in
+    /// any *order* too (sums commute; histogram buckets are counts). Fleet
+    /// aggregation leans on this: a parallel merge tree must equal the
+    /// sequential fold bit-for-bit. Gauges are last-writer-wins, so
+    /// order-sensitive by design — aggregate them only in a fixed order.
     pub fn merge(&mut self, other: &Registry) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -326,6 +333,36 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn registry_merge_is_associative_and_order_independent() {
+        // The fleet-aggregation contract: counters and histograms merge to
+        // the same bits in any grouping or order.
+        let mk = |seed: u64| {
+            let mut r = Registry::new();
+            r.counter_add("req", seed);
+            r.record("lat", seed * 3 + 1);
+            r.record("lat", seed * 7 + 2);
+            r
+        };
+        let (a, b, c) = (mk(1), mk(5), mk(9));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        let mut rev = c.clone();
+        rev.merge(&b);
+        rev.merge(&a);
+
+        assert_eq!(left.to_json().render(), right.to_json().render());
+        assert_eq!(left.to_json().render(), rev.to_json().render());
+        assert_eq!(left.counter("req"), 15);
+        assert_eq!(left.histogram("lat").unwrap().count(), 6);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use shift_ir::{Program, ProgramBuilder, Rhs};
 use shift_isa::{sys, CmpRel};
 
 use shift_core::{
-    Exit, IoCostModel, Mode, Shift, Stats, TaintConfig, Violation, ViolationAction, World,
+    Exit, Fleet, FleetReport, IoCostModel, Mode, Shift, Stats, TaintConfig, Violation,
+    ViolationAction, World,
 };
 
 /// A served file's name in the guest filesystem.
@@ -279,6 +280,93 @@ pub fn run_apache_resilient(
     }
 }
 
+// ---- fleet serving ---------------------------------------------------------
+
+/// The request mix a fleet connection carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ApacheStream {
+    /// Every request fetches [`DOC_PATH`] at this size in bytes — the
+    /// Figure-6 single-file shape, partitioned across connections.
+    Uniform(usize),
+    /// Hits on three files of different sizes interleaved with 404s, the
+    /// production-traffic mix of [`run_apache_mixed`]. Connections start at
+    /// staggered offsets in the rotation, so a fleet's instances carry
+    /// near-identical load when each connection's length is a multiple of 4.
+    Mixed,
+}
+
+/// The filesystem a fleet's connections share (no network queue — each
+/// connection brings its own).
+pub fn fleet_world(stream: ApacheStream) -> World {
+    match stream {
+        ApacheStream::Uniform(size) => {
+            World::new().file(DOC_PATH, super::spec::prng_bytes(77, size))
+        }
+        ApacheStream::Mixed => World::new()
+            .file("www/index", super::spec::prng_bytes(11, 2048))
+            .file("www/logo", super::spec::prng_bytes(12, 8192))
+            .file("www/data", super::spec::prng_bytes(13, 32768)),
+    }
+}
+
+fn get_request(name: &[u8]) -> Vec<u8> {
+    let mut req = b"GET /".to_vec();
+    req.extend_from_slice(name);
+    req.extend_from_slice(b" HTTP/1.0\r\n\r\n");
+    req
+}
+
+/// Deterministic per-connection request lists for `stream`: `connections`
+/// connections of `requests_per_conn` ordered requests each.
+pub fn fleet_connections(
+    stream: ApacheStream,
+    connections: usize,
+    requests_per_conn: usize,
+) -> Vec<Vec<Vec<u8>>> {
+    let paths: [&[u8]; 4] = [b"index", b"logo", b"data", b"missing"];
+    (0..connections)
+        .map(|c| {
+            (0..requests_per_conn)
+                .map(|i| match stream {
+                    ApacheStream::Uniform(_) => benign_request(),
+                    ApacheStream::Mixed => get_request(paths[(c + i) % paths.len()]),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Prepares an Apache fleet under `mode`: one compile + link + load, with
+/// the resilient per-request isolation of [`run_apache_resilient`]
+/// (`AbortTransaction` everywhere, server I/O costs, watchdog fuel) active
+/// on every spawned instance.
+pub fn apache_fleet(mode: Mode) -> Fleet {
+    let mut cfg = TaintConfig::default_secure();
+    cfg.set_default_action(ViolationAction::AbortTransaction);
+    let shift = Shift::new(mode)
+        .with_config(cfg)
+        .with_io(IoCostModel::SERVER)
+        .with_insn_limit(4_000_000_000)
+        .with_fuel(20_000_000);
+    shift.fleet(&apache_program()).expect("apache guest compiles")
+}
+
+/// Compiles once and serves `stream` partitioned into `connections`
+/// connections of `requests_per_conn` requests across a `workers`-wide
+/// fleet. Convenience wrapper over [`apache_fleet`] + [`Fleet::serve`];
+/// sweeps that vary `workers` should build the fleet once themselves.
+pub fn run_apache_fleet(
+    mode: Mode,
+    stream: ApacheStream,
+    connections: usize,
+    requests_per_conn: usize,
+    workers: usize,
+) -> FleetReport {
+    let fleet = apache_fleet(mode);
+    let conns = fleet_connections(stream, connections, requests_per_conn);
+    fleet.serve(&fleet_world(stream), &conns, workers)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,5 +504,58 @@ mod tests {
         // Full policy set armed; normal traffic must not trip anything.
         let run = run_apache(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)), 2048, 3);
         assert_eq!(run.served, 3, "false positive stopped the server");
+    }
+
+    #[test]
+    fn fleet_mixed_stream_serves_hits_and_scales_with_width() {
+        // 8 connections × 4 requests, each connection a full rotation:
+        // 3 hits + 1 miss per connection.
+        let mode = Mode::Shift(ShiftOptions::baseline(Granularity::Byte));
+        let fleet = apache_fleet(mode);
+        let conns = fleet_connections(ApacheStream::Mixed, 8, 4);
+        let world = fleet_world(ApacheStream::Mixed);
+
+        let one = fleet.serve(&world, &conns, 1);
+        let eight = fleet.serve(&world, &conns, 8);
+        // All 32 requests complete (404 answers are completed requests too);
+        // each guest reports its 3 file hits on exit.
+        assert_eq!(one.served, 32, "{:?}", one.exits());
+        assert_eq!(eight.served, 32);
+        assert!(one.exits().iter().all(|e| *e == Exit::Halted(3)));
+        assert!(one.nothing_dropped() && eight.nothing_dropped());
+        // Modelled results are width-independent …
+        assert_eq!(one.stats.total_time(), eight.stats.total_time());
+        assert_eq!(one.exits(), eight.exits());
+        // … but the fleet makespan (and hence throughput) scales with width.
+        assert!(
+            eight.requests_per_sec() >= 3.0 * one.requests_per_sec(),
+            "8-wide fleet must be ≥3× 1-wide: {:.1} vs {:.1}",
+            eight.requests_per_sec(),
+            one.requests_per_sec()
+        );
+    }
+
+    #[test]
+    fn fleet_recovers_exploits_per_instance() {
+        // Seed an exploit into two connections: each instance rolls its own
+        // attack back; the others never notice.
+        let mode = Mode::Shift(ShiftOptions::baseline(Granularity::Byte));
+        let fleet = apache_fleet(mode);
+        let mut conns = fleet_connections(ApacheStream::Uniform(1024), 4, 2);
+        conns[1][0] = exploit_request();
+        conns[3][1] = exploit_request();
+        let world = fleet_world(ApacheStream::Uniform(1024)).file(SECRET_PATH, SECRET_BYTES);
+
+        let report = fleet.serve(&world, &conns, 4);
+        assert_eq!(report.served, 6, "{:?}", report.exits());
+        assert_eq!(report.recovered, 2);
+        assert!(report.nothing_dropped());
+        assert_eq!(report.violations.len(), 2);
+        assert!(report.violations.iter().all(|v| v.policy == "H2"));
+        // Per-connection provenance: the violations came from the seeded
+        // connections, in connection order.
+        assert_eq!(report.connections[1].violations.len(), 1);
+        assert_eq!(report.connections[3].violations.len(), 1);
+        assert_eq!(report.connections[0].violations.len(), 0);
     }
 }

@@ -1,0 +1,190 @@
+//! Fleet serving engine: scheduler invariance, image hygiene, accounting.
+//!
+//! The fleet's contract is that host-side scheduling is *invisible* in every
+//! modelled number: serving N connections across 1, 2, or 8 workers — or on
+//! the serial reference path — must merge to bit-identical stats, exits,
+//! violations (provenance strings included), and metrics. Only the modelled
+//! makespan (and therefore throughput) may move with the fleet width.
+//!
+//! Alongside the differential checks, this file pins the serve-accounting
+//! partition (`served + recovered + in-flight == requests delivered`) on the
+//! nastiest path — a fault that recurs after an empty-queue rollback — and
+//! property-tests that serving never leaks state back into the shared
+//! [`ProgramImage`].
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use shift_core::{
+    Exit, Fleet, Granularity, IoCostModel, Mode, Shift, ShiftOptions, TaintConfig, ViolationAction,
+    World,
+};
+use shift_ir::{Program, ProgramBuilder, Rhs};
+use shift_isa::{sys, CmpRel};
+use shift_workloads::apache::{
+    apache_fleet, apache_program, exploit_request, fleet_connections, fleet_world, ApacheStream,
+    SECRET_BYTES, SECRET_PATH,
+};
+
+/// The Apache fleet of [`apache_fleet`], with taint tracing switched on so
+/// violations carry their full provenance chains into the merge.
+fn traced_fleet() -> Fleet {
+    let mut cfg = TaintConfig::default_secure();
+    cfg.set_default_action(ViolationAction::AbortTransaction);
+    let shift = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+        .with_config(cfg)
+        .with_io(IoCostModel::SERVER)
+        .with_fuel(20_000_000)
+        .with_taint_trace();
+    shift.fleet(&apache_program()).expect("apache guest compiles")
+}
+
+#[test]
+fn merged_results_are_bit_identical_across_worker_widths() {
+    let fleet = traced_fleet();
+    let mut conns = fleet_connections(ApacheStream::Mixed, 6, 4);
+    // Two connections carry an exploit each, so the merge has real
+    // violations — with provenance — to keep in connection order.
+    conns[1][0] = exploit_request();
+    conns[4][2] = exploit_request();
+    let world = fleet_world(ApacheStream::Mixed).file(SECRET_PATH, SECRET_BYTES.to_vec());
+
+    let reference = fleet.serve_sequential(&world, &conns, 1);
+    assert_eq!(reference.violations.len(), 2, "{:?}", reference.exits());
+    assert!(
+        reference.violations.iter().all(|v| v.provenance.is_some()),
+        "taint tracing must attach provenance chains"
+    );
+
+    for width in [1usize, 2, 8] {
+        let parallel = fleet.serve(&world, &conns, width);
+        // Nothing modelled may depend on scheduling: not the merged stats,
+        // not the per-connection exits, not the violation provenance, not
+        // the rendered metrics.
+        assert_eq!(parallel.stats, reference.stats, "width {width}: stats diverged");
+        assert_eq!(parallel.exits(), reference.exits(), "width {width}");
+        assert_eq!(parallel.violations, reference.violations, "width {width}");
+        assert_eq!(
+            parallel.registry.to_json().render(),
+            reference.registry.to_json().render(),
+            "width {width}: metrics diverged"
+        );
+        assert_eq!(
+            (parallel.requests, parallel.served, parallel.recovered, parallel.dropped),
+            (reference.requests, reference.served, reference.recovered, reference.dropped),
+            "width {width}: accounting diverged"
+        );
+        for (p, r) in parallel.connections.iter().zip(&reference.connections) {
+            assert_eq!(p.state_digest, r.state_digest, "connection {}", r.connection);
+            assert_eq!(p.latencies, r.latencies, "connection {}", r.connection);
+        }
+        // The threaded scheduler and the serial loop agree on everything at
+        // the same width — modelled makespan included.
+        let serial = fleet.serve_sequential(&world, &conns, width);
+        assert_eq!(parallel.wall_cycles, serial.wall_cycles, "width {width}");
+        assert_eq!(parallel.workers, serial.workers);
+    }
+}
+
+#[test]
+fn throughput_is_the_only_width_dependent_aggregate() {
+    let fleet = traced_fleet();
+    let conns = fleet_connections(ApacheStream::Mixed, 8, 4);
+    let world = fleet_world(ApacheStream::Mixed);
+    let one = fleet.serve(&world, &conns, 1);
+    let eight = fleet.serve(&world, &conns, 8);
+    assert_eq!(one.stats, eight.stats);
+    assert!(one.nothing_dropped() && eight.nothing_dropped());
+    assert!(
+        eight.requests_per_sec() >= 3.0 * one.requests_per_sec(),
+        "8-wide fleet only reached {:.2}x the 1-wide throughput",
+        eight.requests_per_sec() / one.requests_per_sec()
+    );
+}
+
+/// A server that remembers each request's first eight bytes in a global,
+/// then *audits* the remembered value after the stream ends by dereferencing
+/// it. The poison is older than the last checkpoint, so rolling back and
+/// re-running the post-stream code faults identically every time — the
+/// empty-queue livelock shape the serve loop must refuse to spin on.
+fn sticky_audit_app() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.global_zeroed("sticky", 8);
+    pb.func("main", 0, move |f| {
+        let req = f.local(64);
+        let reqp = f.local_addr(req);
+        let gp = f.global_addr(g);
+        f.loop_(|f| {
+            let cap = f.iconst(63);
+            let n = f.syscall(sys::NET_READ, &[reqp, cap]);
+            f.if_cmp(CmpRel::Le, n, Rhs::Imm(0), |f| f.break_());
+            let v = f.load8(reqp, 0);
+            f.store8(v, gp, 0);
+        });
+        let p = f.load8(gp, 0);
+        f.if_cmp(CmpRel::Ne, p, Rhs::Imm(0), |f| {
+            let v = f.load1(p, 0); // tainted pointer ⇒ L1 fault, every run
+            f.ret(Some(v));
+        });
+        let z = f.iconst(0);
+        f.ret(Some(z));
+    });
+    pb.build().unwrap()
+}
+
+#[test]
+fn recurring_tail_fault_ends_the_session_with_exact_accounting() {
+    let mut cfg = TaintConfig::default_secure();
+    cfg.set_default_action(ViolationAction::AbortTransaction);
+    let shift = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+        .with_config(cfg)
+        .with_insn_limit(2_000_000);
+    let world = World::new().net(&b"AAAAAAAA"[..]).net(&b"BBBBBBBB"[..]);
+    let report = shift.serve(&sticky_audit_app(), world).unwrap();
+
+    // One rollback is allowed (it might clear a poisoned request); when the
+    // re-run faults again with nothing left to redeliver, the session must
+    // surface the fault — not respin to the instruction limit.
+    assert!(matches!(report.exit, Exit::Fault(_)), "expected the fault, got {:?}", report.exit);
+    assert!(report.stats.instructions < 100_000, "livelocked: {} insns", report.stats.instructions);
+    assert_eq!(report.runtime.recoveries, 1, "exactly one rollback attempt");
+
+    // Both requests completed before the audit ran; the empty-window
+    // rollback aborted none of them. served/recovered/dropped must
+    // partition the delivered stream exactly — no saturating arithmetic.
+    assert_eq!(report.runtime.requests_delivered, 2);
+    assert_eq!(report.served, 2);
+    assert_eq!(report.recovered, 0);
+    assert_eq!(report.dropped, 0);
+    assert_eq!(
+        report.served + report.recovered + report.dropped,
+        report.runtime.requests_delivered
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Serving arbitrary request bytes through a spawned instance never
+    /// leaks state back into the shared image: a fresh spawn after the
+    /// session digests identically to one taken before it.
+    #[test]
+    fn serving_never_mutates_the_shared_image(
+        reqs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..48), 1..4),
+    ) {
+        static FLEET: OnceLock<(Fleet, u64)> = OnceLock::new();
+        let (fleet, pristine) = FLEET.get_or_init(|| {
+            let fleet = apache_fleet(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)));
+            let digest = fleet.image().spawn().state_digest();
+            (fleet, digest)
+        });
+        let report = fleet.serve(&fleet_world(ApacheStream::Mixed), &[reqs], 1);
+        prop_assert_eq!(report.connections.len(), 1);
+        prop_assert_eq!(fleet.image().spawn().state_digest(), *pristine);
+        // Spawning is reproducible, too: pristine instances are bit-identical.
+        prop_assert_eq!(
+            fleet.image().spawn().state_digest(),
+            fleet.image().spawn().state_digest()
+        );
+    }
+}
