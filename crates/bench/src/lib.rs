@@ -660,7 +660,16 @@ pub fn ablation_design_choices(scale: Scale) -> Vec<AblationRow> {
 /// only the duplicate host work disappears. `host_ns.fig7`/`host_ns.fig8`
 /// are therefore row sums under that split — the shared runs are billed to
 /// Figure 7, and Figure 8 is charged only for its extra enhancement modes.
-pub fn bench_summary(scale: Scale, file_sizes: &[usize], requests: usize) -> shift_obs::Json {
+/// `seed` is the run's master seed, stamped into the summary so any
+/// randomized harness seeded from the same integer (the chaos trials, the
+/// injection sweeps) is reproducible from the artifact alone — the
+/// experiments themselves are deterministic and ignore it.
+pub fn bench_summary(
+    scale: Scale,
+    file_sizes: &[usize],
+    requests: usize,
+    seed: u64,
+) -> shift_obs::Json {
     use shift_obs::Json;
     let t_total = Instant::now();
 
@@ -749,6 +758,7 @@ pub fn bench_summary(scale: Scale, file_sizes: &[usize], requests: usize) -> shi
         .collect();
     Json::obj(vec![
         ("schema_version", Json::U64(shift_obs::SCHEMA_VERSION)),
+        ("seed", Json::U64(seed)),
         (
             "scale",
             Json::Str(match scale {

@@ -7,8 +7,10 @@
 //! shift spec <bench|all> [--mode M] [--reference] [--safe]
 //! shift apache <size-kb> <requests> [--mode M]
 //! shift serve [--mode M] [--workers N] [--connections N] [--requests N]
-//!             [--size-kb N] [--json <path>]
-//! shift bench [--json] [--reference] [--workers N]
+//!             [--size-kb N] [--json <path>] [--seed N] [--inject]
+//!             [--record <path>]
+//! shift replay <log> [--connection N] [--debug] [--shrink <path>]
+//! shift bench [--json] [--reference] [--workers N] [--seed N]
 //! shift disasm [--mode M]              show the instrumentation templates
 //! shift modes                          list compilation modes
 //! ```
@@ -22,6 +24,20 @@
 //! the experiment sweeps run on (`--workers 1` for fully serial,
 //! deterministic-latency CI runs — the modelled numbers are identical
 //! either way).
+//!
+//! Record/replay: `serve --record <path>` writes a replay log of the run —
+//! every connection's request stream, the session options, the injection
+//! schedule (`--inject` arms a randomized chaos schedule derived from
+//! `--seed`), and the per-connection outcome digests. `shift replay <log>`
+//! reconstructs and re-runs every recorded connection (or one, with
+//! `--connection N`) and verifies bit-identical digests, cycles, and
+//! violations; `--debug` opens the postmortem debugger on the connection
+//! instead (registers, NaT bits, tag-bitmap slices, provenance chain at
+//! the fault); `--shrink <path>` writes a minimized single-connection
+//! reproducer preserving the connection's outcome. One `--seed` integer
+//! reproduces every randomized harness — it flows from the CLI through the
+//! bench summary and the fault-injection schedules, and defaults to the
+//! `SHIFT_SEED` environment variable.
 //!
 //! Observability flags: `--trace-taint` records taint births, propagations,
 //! and sink hits, and prints the provenance chain behind a detection
@@ -46,6 +62,8 @@
 //! | 11   | architectural fault (incl. NaT consumption = L1–L3) |
 //! | 12   | per-transaction watchdog fuel exhausted |
 //! | 13   | whole-run instruction limit reached |
+//! | 14   | replay diverged from the recorded outcome (or wrong image) |
+//! | 15   | a shrunk reproducer was produced and written |
 
 use std::process::ExitCode;
 
@@ -66,6 +84,11 @@ const EXIT_FAULT: u8 = 11;
 const EXIT_FUEL: u8 = 12;
 /// The whole-run instruction budget ran out.
 const EXIT_INSN_LIMIT: u8 = 13;
+/// A replay did not reproduce the recorded outcome bit-identically (or the
+/// compiled image is not the recorded one).
+const EXIT_REPLAY_DIVERGED: u8 = 14;
+/// A shrunk reproducer was produced and written (`replay --shrink`).
+const EXIT_SHRUNK: u8 = 15;
 
 /// Maps a guest [`Exit`] to the process exit code documented above.
 fn exit_code_for(exit: &Exit) -> ExitCode {
@@ -340,15 +363,16 @@ fn cmd_attack(name: &str, mode: Mode, opts: AttackOpts) -> ExitCode {
 /// geomeans, the fleet-serving sweep) and prints — or with `json`, writes
 /// to `BENCH_shift.json` — a machine-readable summary. `workers` caps the
 /// host sweep pool (0 = one thread per core); the modelled results are
-/// identical at any setting.
-fn cmd_bench(json: bool, scale: Scale, workers: usize) -> ExitCode {
+/// identical at any setting. `seed` is stamped into the summary so a run
+/// can be tied back to the randomized schedules it drove.
+fn cmd_bench(json: bool, scale: Scale, workers: usize, seed: u64) -> ExitCode {
     let (sizes, requests): (&[usize], usize) = match scale {
         Scale::Test => (&[1 << 10, 8 << 10], 6),
         Scale::Reference => (&[1 << 10, 10 << 10, 100 << 10], 50),
     };
     shift_bench::set_sweep_workers(workers);
     let started = std::time::Instant::now();
-    let summary = shift_bench::bench_summary(scale, sizes, requests);
+    let summary = shift_bench::bench_summary(scale, sizes, requests, seed);
     let host = started.elapsed();
     let text = summary.render();
     if json {
@@ -415,6 +439,13 @@ struct ServeOpts {
     requests: usize,
     size_kb: Option<usize>,
     json: Option<String>,
+    /// Master seed for randomized schedules (default: `SHIFT_SEED` env or
+    /// the built-in default).
+    seed: Option<u64>,
+    /// Arm a randomized chaos injection schedule derived from the seed.
+    inject: bool,
+    /// Write a replay log of the run here.
+    record: Option<String>,
 }
 
 /// Serves a deterministic Apache request stream across a modelled fleet:
@@ -423,14 +454,28 @@ struct ServeOpts {
 /// and 404s alike — are successes); otherwise exits with the first
 /// non-halt's code.
 fn cmd_serve(mode: Mode, opts: ServeOpts) -> ExitCode {
+    use shift_core::Injection;
     use shift_workloads::apache::{apache_fleet, fleet_connections, fleet_world, ApacheStream};
+    use shift_workloads::chaos;
     let stream = match opts.size_kb {
         Some(kb) => ApacheStream::Uniform(kb << 10),
         None => ApacheStream::Mixed,
     };
     let fleet = apache_fleet(mode);
     let conns = fleet_connections(stream, opts.connections, opts.requests);
-    let report = fleet.serve(&fleet_world(stream), &conns, opts.workers);
+    let seed = opts.seed.unwrap_or_else(chaos::master_seed);
+    let faults: Vec<Vec<(u64, Injection)>> = if opts.inject {
+        let mut rng = chaos::Rng::new(chaos::derive(seed, "serve-inject"));
+        (0..conns.len())
+            .map(|_| (0..rng.below(3)).map(|_| chaos::random_fleet_injection(&mut rng)).collect())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    // Recording is assembled *after* the run from its inputs and report, so
+    // the serving path is identical with and without --record.
+    let world = fleet_world(stream);
+    let report = fleet.serve_chaos(&world, &conns, &faults, opts.workers);
     println!("mode       : {}", mode_name(mode));
     println!(
         "fleet      : {} instances, {} connections x {} requests",
@@ -460,12 +505,26 @@ fn cmd_serve(mode: Mode, opts: ServeOpts) -> ExitCode {
     if !report.violations.is_empty() {
         println!("violations : {}", report.violations.len());
     }
+    if opts.inject {
+        let armed: usize = faults.iter().map(Vec::len).sum();
+        println!("chaos      : {armed} injections armed (seed {seed})");
+    }
     println!("host       : {:.2} ms", report.host_ns as f64 / 1e6);
+    if let Some(path) = &opts.record {
+        let log = shift_core::ReplayLog::capture(
+            "apache", &fleet, &world, &conns, &faults, seed, &report,
+        );
+        if let Err(code) = write_artifact(path, "replay log", &log.render()) {
+            return code;
+        }
+        println!("record     : replay log written to {path} ({} connections)", conns.len());
+    }
     if let Some(path) = &opts.json {
         use shift_obs::Json;
-        let doc = Json::obj(vec![
+        let mut pairs = vec![
             ("schema_version", Json::U64(shift_obs::SCHEMA_VERSION)),
             ("mode", Json::Str(mode_name(mode))),
+            ("seed", Json::U64(seed)),
             ("workers", Json::U64(report.workers as u64)),
             ("connections", Json::U64(conns.len() as u64)),
             ("requests", Json::U64(report.requests)),
@@ -477,7 +536,11 @@ fn cmd_serve(mode: Mode, opts: ServeOpts) -> ExitCode {
             ("violations", Json::U64(report.violations.len() as u64)),
             ("host_ns", Json::U64(report.host_ns)),
             ("metrics", report.registry.to_json()),
-        ]);
+        ];
+        if let Some(record) = &opts.record {
+            pairs.push(("record_log", Json::Str(record.clone())));
+        }
+        let doc = Json::obj(pairs);
         if let Err(code) = write_artifact(path, "fleet report", &doc.render()) {
             return code;
         }
@@ -486,6 +549,111 @@ fn cmd_serve(mode: Mode, opts: ServeOpts) -> ExitCode {
     match report.exits().iter().find(|e| !matches!(e, Exit::Halted(_))) {
         Some(exit) => exit_code_for(exit),
         None => ExitCode::SUCCESS,
+    }
+}
+
+/// Replays a recorded fleet run from `path` and verifies bit-identical
+/// outcomes. `--connection N` restricts to one connection; `--debug` runs
+/// that connection under the postmortem debugger instead of verifying;
+/// `--shrink <out>` writes a minimized single-connection reproducer.
+fn cmd_replay(
+    path: &str,
+    connection: Option<usize>,
+    debug: bool,
+    shrink_out: Option<String>,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read replay log `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let log = match shift_core::ReplayLog::parse(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bad replay log `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(program) = shift_workloads::chaos::chaos_program(&log.program) else {
+        eprintln!("replay log names unknown program `{}`", log.program);
+        return ExitCode::FAILURE;
+    };
+    let fleet = match log.build_fleet(&program) {
+        Ok(f) => f,
+        Err(e) => {
+            // A digest mismatch means the rebuilt image differs from the
+            // recorded one — the log can no longer reproduce that run.
+            eprintln!("replay diverged: {e}");
+            return ExitCode::from(EXIT_REPLAY_DIVERGED);
+        }
+    };
+    if let Some(c) = connection {
+        if c >= log.connections.len() {
+            eprintln!("log has {} connections; no connection {c}", log.connections.len());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("log        : {path}");
+    println!("program    : {} ({})", log.program, mode_name(log.mode));
+    println!("connections: {} recorded, seed {}", log.connections.len(), log.seed);
+    if debug {
+        let c = connection.unwrap_or(0);
+        let mut pm = shift_core::Postmortem::from_log(&log, &fleet, c);
+        pm.run_to_violation(log.insn_limit);
+        println!("--- postmortem: connection {c} ---");
+        print!("{}", pm.report());
+        return match pm.exit() {
+            Some(exit) => exit_code_for(exit),
+            None => ExitCode::SUCCESS,
+        };
+    }
+    if let Some(out) = shrink_out {
+        let c = connection.unwrap_or(0);
+        let shrunk = log.shrink(&fleet, c);
+        if let Err(code) = write_artifact(&out, "shrunk reproducer", &shrunk.log.render()) {
+            return code;
+        }
+        println!(
+            "shrunk     : connection {c} -> {} requests / {} injections \
+             (-{} requests, -{} injections, {} probes)",
+            shrunk.log.connections[0].requests.len(),
+            shrunk.log.connections[0].injections.len(),
+            shrunk.removed_requests,
+            shrunk.removed_injections,
+            shrunk.probes,
+        );
+        println!("reproduce  : shift replay {out}");
+        return ExitCode::from(EXIT_SHRUNK);
+    }
+    let targets: Vec<usize> = match connection {
+        Some(c) => vec![c],
+        None => (0..log.connections.len()).collect(),
+    };
+    let mut diverged = false;
+    for c in targets {
+        let outcome = log.replay_connection(&fleet, c);
+        if outcome.matches() {
+            println!(
+                "connection {c:>2}: ok ({}, digest {:016x})",
+                shift_core::replay::exit_signature(&outcome.live.exit),
+                outcome.live.state_digest
+            );
+        } else {
+            diverged = true;
+            println!("connection {c:>2}: DIVERGED");
+            for m in &outcome.mismatches {
+                println!("    {m}");
+            }
+        }
+    }
+    if diverged {
+        eprintln!("replay diverged from the recorded run");
+        ExitCode::from(EXIT_REPLAY_DIVERGED)
+    } else {
+        println!("replay     : bit-identical");
+        ExitCode::SUCCESS
     }
 }
 
@@ -520,8 +688,9 @@ fn usage() -> ExitCode {
          shift spec <bench|all> [--mode M] [--reference] [--safe]\n  \
          shift apache <size-kb> <requests> [--mode M]\n  \
          shift serve [--mode M] [--workers N] [--connections N] [--requests N]\n  \
-         \x20           [--size-kb N] [--json <path>]\n  \
-         shift bench [--json] [--reference] [--workers N]\n  \
+         \x20           [--size-kb N] [--json <path>] [--seed N] [--inject] [--record <path>]\n  \
+         shift replay <log> [--connection N] [--debug] [--shrink <path>]\n  \
+         shift bench [--json] [--reference] [--workers N] [--seed N]\n  \
          shift disasm [--mode M]\n  \
          shift modes"
     );
@@ -622,6 +791,11 @@ fn main() -> ExitCode {
                         .map(|n| n.parse().map_err(|_| format!("bad --size-kb `{n}`")))
                         .transpose()?,
                     json: take_opt(&mut args, "--json")?,
+                    seed: take_opt(&mut args, "--seed")?
+                        .map(|n| n.parse().map_err(|_| format!("bad --seed `{n}`")))
+                        .transpose()?,
+                    inject: take_flag(&mut args, "--inject"),
+                    record: take_opt(&mut args, "--record")?,
                 })
             })();
             match parsed {
@@ -650,7 +824,41 @@ fn main() -> ExitCode {
                     return ExitCode::from(EXIT_USAGE);
                 }
             };
-            cmd_bench(json, scale, workers)
+            let seed = match take_opt(&mut args, "--seed") {
+                Ok(Some(n)) => match n.parse() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        eprintln!("bad --seed `{n}`");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                },
+                Ok(None) => shift_workloads::master_seed(),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            };
+            cmd_bench(json, scale, workers, seed)
+        }
+        "replay" => {
+            let parsed = (|| -> Result<(bool, Option<String>, Option<usize>), String> {
+                let debug = take_flag(&mut args, "--debug");
+                let shrink = take_opt(&mut args, "--shrink")?;
+                let connection = take_opt(&mut args, "--connection")?
+                    .map(|n| n.parse().map_err(|_| format!("bad --connection `{n}`")))
+                    .transpose()?;
+                Ok((debug, shrink, connection))
+            })();
+            match parsed {
+                Ok((debug, shrink, connection)) => match args.first() {
+                    Some(path) => cmd_replay(path, connection, debug, shrink),
+                    None => usage(),
+                },
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(EXIT_USAGE)
+                }
+            }
         }
         "disasm" => cmd_disasm(mode),
         _ => usage(),
@@ -722,11 +930,24 @@ mod tests {
             exit_code_for(&Exit::Fault(Fault::Unmapped { addr: 0, ip: 0 })),
             exit_code_for(&Exit::FuelExhausted),
             exit_code_for(&Exit::InsnLimit),
+            ExitCode::from(EXIT_REPLAY_DIVERGED),
+            ExitCode::from(EXIT_SHRUNK),
         ];
         let mut uniq: Vec<String> = codes.iter().map(|c| format!("{c:?}")).collect();
         uniq.sort();
         uniq.dedup();
         assert_eq!(uniq.len(), codes.len(), "{codes:?}");
+    }
+
+    /// The replay-specific exit codes must not collide with the usage code
+    /// or with any run-outcome code (guarded above), so scripts can key on
+    /// them unambiguously.
+    #[test]
+    fn replay_exit_codes_are_reserved() {
+        assert_eq!(EXIT_REPLAY_DIVERGED, 14);
+        assert_eq!(EXIT_SHRUNK, 15);
+        assert_ne!(EXIT_REPLAY_DIVERGED, EXIT_USAGE);
+        assert_ne!(EXIT_SHRUNK, EXIT_USAGE);
     }
 
     #[test]

@@ -96,7 +96,7 @@ impl ViolationAction {
 
 /// Which channels taint data, which policies are armed, and how the
 /// user-level handler responds when each policy fires.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TaintConfig {
     sources: HashSet<Source>,
     policies: HashSet<Policy>,
@@ -181,6 +181,31 @@ impl TaintConfig {
     /// such as `chk.s` guard alarms).
     pub fn default_action(&self) -> ViolationAction {
         self.default_action
+    }
+
+    /// Renders the configuration in the paper-style text format accepted by
+    /// [`TaintConfig::parse`]. The output is canonical — sources and
+    /// policies in their declared order, every state spelled out — so two
+    /// equal configurations render byte-identically and
+    /// `parse(render(cfg)) == cfg` exactly (the replay log leans on this).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in Source::ALL {
+            let state = if self.source_on(s) { "on" } else { "off" };
+            let _ = writeln!(out, "source {} {}", s.keyword(), state);
+        }
+        for p in Policy::ALL {
+            let state = if self.policy_on(p) { "on" } else { "off" };
+            let _ = writeln!(out, "policy {} {}", p.name(), state);
+        }
+        let _ = writeln!(out, "action default {}", self.default_action.keyword());
+        for p in Policy::ALL {
+            if let Some(a) = self.actions.get(&p) {
+                let _ = writeln!(out, "action {} {}", p.name(), a.keyword());
+            }
+        }
+        out
     }
 
     /// Parses the paper-style configuration format. Unknown lines are
@@ -341,6 +366,23 @@ mod tests {
         cfg.set_action(Policy::H5, ViolationAction::LogAndContinue);
         assert_eq!(cfg.action_for(Policy::H5), ViolationAction::LogAndContinue);
         assert_eq!(cfg.action_for(Policy::H1), ViolationAction::AbortTransaction);
+    }
+
+    #[test]
+    fn render_parse_round_trips_exactly() {
+        let mut cfg = TaintConfig::default_secure();
+        cfg.set_source(Source::Keyboard, false)
+            .set_policy(Policy::H4, false)
+            .set_default_action(ViolationAction::AbortTransaction)
+            .set_action(Policy::H5, ViolationAction::LogAndContinue);
+        let text = cfg.render();
+        let back = TaintConfig::parse(&text).unwrap();
+        assert_eq!(back, cfg);
+        // Canonical: re-rendering the parsed value is byte-identical.
+        assert_eq!(back.render(), text);
+        // And the trivial posture round-trips too.
+        let off = TaintConfig::off();
+        assert_eq!(TaintConfig::parse(&off.render()).unwrap(), off);
     }
 
     #[test]

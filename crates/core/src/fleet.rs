@@ -33,11 +33,20 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
-use shift_machine::{Exit, Stats, Violation};
+use shift_machine::{Exit, Injection, Stats, Violation};
 use shift_obs::Registry;
 
 use crate::metrics::serve_metrics;
 use crate::{CompileError, ProgramImage, ServeReport, Shift, World};
+
+/// A per-connection fault-injection schedule for [`Fleet::serve_chaos`]:
+/// entry `c` is the `(countdown, injection)` list armed on connection `c`'s
+/// instance before it serves. Shorter than the connection list means the
+/// tail serves unperturbed.
+pub type FaultPlan = [Vec<(u64, Injection)>];
+
+/// An empty injection schedule, shared by the unperturbed serve paths.
+const NO_INJECTIONS: &[(u64, Injection)] = &[];
 
 /// Modelled core clock of the simulated Itanium 2: 1.5 GHz, the top shipping
 /// frequency of the paper-era part. Converts modelled cycles to seconds for
@@ -164,6 +173,12 @@ impl Fleet {
         &self.image
     }
 
+    /// The session options (mode, policies, I/O model, fuel) every instance
+    /// inherits.
+    pub fn shift(&self) -> &Shift {
+        &self.shift
+    }
+
     /// Serves `connections` — each an ordered request list handled by a
     /// fresh instance — across a modelled fleet of `workers` instances.
     /// `base` supplies the files/args/kbd every connection's world starts
@@ -174,6 +189,22 @@ impl Fleet {
     /// queues with stealing; results land in connection order regardless of
     /// which thread computed them.
     pub fn serve(&self, base: &World, connections: &[Vec<Vec<u8>>], workers: usize) -> FleetReport {
+        self.serve_chaos(base, connections, &[], workers)
+    }
+
+    /// [`Fleet::serve`] with a fault-injection schedule: connection `c`'s
+    /// instance spawns with `faults[c]` pre-armed, so randomized NaT flips,
+    /// tag-bitmap corruption, and transient faults land mid-serve across the
+    /// fleet — deterministically, because the schedule counts retired
+    /// instructions, not host time. An empty plan is exactly [`Fleet::serve`]
+    /// (the zero-perturbation tests pin this).
+    pub fn serve_chaos(
+        &self,
+        base: &World,
+        connections: &[Vec<Vec<u8>>],
+        faults: &FaultPlan,
+        workers: usize,
+    ) -> FleetReport {
         let start = std::time::Instant::now();
         let n = connections.len();
         let width = workers.max(1);
@@ -201,7 +232,8 @@ impl Fleet {
                         }
                     }
                     let Some(c) = job else { break };
-                    let report = self.serve_connection(base, connections, c, width);
+                    let inj = faults.get(c).map_or(NO_INJECTIONS, Vec::as_slice);
+                    let report = self.serve_one(base, &connections[c], inj, c, width);
                     *slots[c].lock().expect("slot poisoned") = Some(report);
                 });
             }
@@ -225,23 +257,26 @@ impl Fleet {
         let start = std::time::Instant::now();
         let width = workers.max(1);
         let reports: Vec<ConnectionReport> = (0..connections.len())
-            .map(|c| self.serve_connection(base, connections, c, width))
+            .map(|c| self.serve_one(base, &connections[c], NO_INJECTIONS, c, width))
             .collect();
         Self::aggregate(width, reports, start.elapsed().as_nanos() as u64)
     }
 
-    /// Simulates one connection on a pristine instance. Pure in the
-    /// connection index: the result is identical no matter when or where it
-    /// runs.
-    fn serve_connection(
+    /// Simulates one connection on a pristine instance, with an optional
+    /// fault-injection schedule armed on the spawn. Pure in its inputs: the
+    /// result is identical no matter when or where it runs — this is the
+    /// primitive the replay log drives to reconstruct any single connection
+    /// from a recorded fleet run.
+    pub fn serve_one(
         &self,
         base: &World,
-        connections: &[Vec<Vec<u8>>],
+        requests: &[Vec<u8>],
+        injections: &[(u64, Injection)],
         c: usize,
         width: usize,
     ) -> ConnectionReport {
-        let world = connections[c].iter().fold(base.clone(), |w, msg| w.net(msg.clone()));
-        let report = self.shift.serve_image(&self.image, world);
+        let world = requests.iter().fold(base.clone(), |w, msg| w.net(msg.clone()));
+        let report = self.shift.serve_image_injected(&self.image, world, injections);
         let registry = serve_metrics(&report);
         let ServeReport {
             exit,

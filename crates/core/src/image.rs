@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use shift_compiler::CompiledProgram;
-use shift_machine::{FuncSpan, Machine, MachineSeed};
+use shift_machine::{FuncSpan, Injection, Machine, MachineSeed};
 
 /// A prepared, shareable program image: the product of one compile + link +
 /// load, ready to spawn any number of independent guest instances.
@@ -41,6 +41,21 @@ impl ProgramImage {
     /// caches, zeroed stats, code shared with every sibling.
     pub fn spawn(&self) -> Machine {
         self.seed.spawn()
+    }
+
+    /// Spawns a fresh instance with a fault-injection schedule pre-armed
+    /// (see [`MachineSeed::spawn_injected`]): the chaos-harness and
+    /// replay-log path into the fleet.
+    pub fn spawn_injected(&self, injections: &[(u64, Injection)]) -> Machine {
+        self.seed.spawn_injected(injections)
+    }
+
+    /// A stable digest of the pristine image: the state digest a fresh
+    /// spawn starts from. Replay logs record it so a replay against the
+    /// wrong program (or a drifted compiler) is caught up front instead of
+    /// surfacing as a baffling divergence.
+    pub fn pristine_digest(&self) -> u64 {
+        self.seed.spawn().state_digest()
     }
 
     /// The profiler function table of the compiled program.

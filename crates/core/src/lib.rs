@@ -56,23 +56,27 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod debug;
 pub mod fleet;
 mod image;
 mod libc;
 pub mod metrics;
 pub mod policy;
+pub mod replay;
 mod runtime;
 
 pub use config::{Source, TaintConfig, ViolationAction};
-pub use fleet::{ConnectionReport, Fleet, FleetReport, CLOCK_HZ};
+pub use debug::Postmortem;
+pub use fleet::{ConnectionReport, FaultPlan, Fleet, FleetReport, CLOCK_HZ};
 pub use image::ProgramImage;
 pub use libc::{libc_program, LIBC_FUNCS};
 pub use policy::Policy;
+pub use replay::{ReplayLog, ReplayOutcome, ShrinkResult, REPLAY_SCHEMA_VERSION};
 pub use runtime::{IoCostModel, Runtime, World};
 
 // Re-export the pieces callers need to drive a session without extra deps.
 pub use shift_compiler::{CompileError, CompiledProgram, Compiler, Mode, ShiftOptions};
-pub use shift_machine::{Exit, Fault, NatFaultKind, Stats, Violation};
+pub use shift_machine::{Exit, Fault, Injection, NatFaultKind, Stats, Violation};
 pub use shift_machine::{FuncSpan, Profiler, TaintEvent, TaintJournal, TaintObserver};
 pub use shift_obs::{Json, Registry, SCHEMA_VERSION};
 pub use shift_tagmap::Granularity;
@@ -199,6 +203,26 @@ impl Shift {
         self.mode
     }
 
+    /// The session's taint/policy configuration.
+    pub fn config(&self) -> &TaintConfig {
+        &self.config
+    }
+
+    /// The session's I/O latency model.
+    pub fn io(&self) -> IoCostModel {
+        self.io
+    }
+
+    /// The session's whole-run instruction budget.
+    pub fn insn_limit(&self) -> u64 {
+        self.insn_limit
+    }
+
+    /// The session's per-transaction watchdog fuel budget.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
     /// The tag granularity implied by the mode (`None` when uninstrumented).
     pub fn granularity(&self) -> Option<Granularity> {
         match self.mode {
@@ -295,7 +319,23 @@ impl Shift {
     /// prebuilt [`ProgramImage`], leaving the image pristine for the next
     /// spawn.
     pub fn serve_image(&self, image: &ProgramImage, world: World) -> ServeReport {
-        let mut machine = image.spawn();
+        self.serve_image_injected(image, world, &[])
+    }
+
+    /// [`Shift::serve_image`] with a fault-injection schedule pre-armed on
+    /// the spawned instance: each `(countdown, injection)` pair fires after
+    /// that many retired instructions ([`shift_machine::Machine::inject_after`]).
+    /// The schedule is part of the run's deterministic identity — the chaos
+    /// harness perturbs fleet instances through this path, and the replay
+    /// log re-arms the recorded schedule to reproduce the perturbed run
+    /// bit-identically.
+    pub fn serve_image_injected(
+        &self,
+        image: &ProgramImage,
+        world: World,
+        injections: &[(u64, Injection)],
+    ) -> ServeReport {
+        let mut machine = image.spawn_injected(injections);
         if self.trace_taint {
             machine.enable_taint_observer();
         }

@@ -26,7 +26,7 @@ use crate::config::{Source, TaintConfig, ViolationAction};
 use crate::policy::{self, Policy, TaintedBytes};
 
 /// The external world a guest program runs against.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct World {
     /// Network messages, one per `net_read` call.
     pub net_input: VecDeque<Vec<u8>>,
@@ -72,7 +72,7 @@ impl World {
 /// I/O wait-time model, in cycles. Network and disk operations charge
 /// `base + per_byte × n` of *I/O time* (tracked separately from CPU cycles;
 /// see [`shift_machine::Stats::io_cycles`]).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct IoCostModel {
     /// Fixed cost of a network operation.
     pub net_base: u64,

@@ -57,7 +57,7 @@ mod snapshot;
 mod stats;
 
 pub use cache::CacheHierarchy;
-pub use cpu::Cpu;
+pub use cpu::{Cpu, RegVal};
 pub use exec::{Machine, NullOs, Os, SysResult};
 pub use fault::{Fault, NatFaultKind};
 pub use image::{Image, ImageBuilder};

@@ -69,6 +69,20 @@ impl MachineSeed {
         self.clone().into_machine()
     }
 
+    /// Spawns a fresh instance with a fault-injection schedule pre-armed:
+    /// each `(countdown, injection)` pair fires after that many further
+    /// retired instructions, exactly as [`Machine::inject_after`] would.
+    /// This is the chaos-harness spawn path: the schedule is part of the
+    /// instance's deterministic identity, so a recorded schedule replays to
+    /// the same perturbation at the same retired-instruction count.
+    pub fn spawn_injected(&self, injections: &[(u64, crate::Injection)]) -> Machine {
+        let mut machine = self.spawn();
+        for (insns, inj) in injections {
+            machine.inject_after(*insns, inj.clone());
+        }
+        machine
+    }
+
     /// Consumes the seed, avoiding the memory clone [`spawn`](Self::spawn)
     /// pays. This is the one-shot [`Machine::new`] path.
     pub fn into_machine(self) -> Machine {

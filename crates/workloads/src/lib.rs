@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 pub mod apache;
+pub mod chaos;
 mod harness;
 pub mod spec;
 
+pub use chaos::{escape_audit, master_seed, ChaosReport, ChaosSpec, EscapeVerdict, Rng};
 pub use harness::{input_reader, rng_step, INPUT_FILE};
 pub use spec::{all_benches, SpecBench};
 

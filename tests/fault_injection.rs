@@ -17,26 +17,13 @@ use shift_ir::{Program, ProgramBuilder};
 use shift_isa::{sys, Gpr};
 use shift_machine::{layout, Fault, Injection, Machine};
 use shift_workloads::apache;
+use shift_workloads::chaos::{self, Rng};
 
-/// splitmix64: deterministic, seedable, no external crates.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n.max(1)
-    }
+/// Per-trial RNG for a named stream, derived from the single master seed
+/// (`SHIFT_SEED` env or the default) — the same seed the CLI and bench
+/// harness thread through, so one integer reproduces every trial here.
+fn trial_rng(stream: &str, trial: u64) -> Rng {
+    Rng::new(chaos::derive(chaos::master_seed(), &format!("{stream}-{trial}")))
 }
 
 /// Single-shot SQL server: read one request, `strcpy` it, execute it as a
@@ -121,7 +108,7 @@ fn injection_trials_never_escape_undetected() {
     let trials = 120u64;
     let (mut detected, mut audited) = (0u64, 0u64);
     for trial in 0..trials {
-        let mut rng = Rng::new(0x5EED_0000 + trial);
+        let mut rng = trial_rng("escape", trial);
         let mut m = Machine::new(&compiled.image);
         let mut rt = runtime(exploit_world());
 
@@ -185,7 +172,7 @@ fn benign_run_with_injections_stays_consistent_or_detects() {
     };
 
     for trial in 0..60u64 {
-        let mut rng = Rng::new(0xBEE5_0000 + trial);
+        let mut rng = trial_rng("benign", trial);
         let mut m = Machine::new(&compiled.image);
         let mut rt = runtime(world());
         let snap = m.snapshot();
@@ -256,7 +243,7 @@ fn injected_transient_faults_are_recoverable_mid_request() {
     let program = apache::apache_program();
     let compiled = byte_shift().compile(&program).unwrap();
     for trial in 0..20u64 {
-        let mut rng = Rng::new(0xFA_017 + trial);
+        let mut rng = trial_rng("transient", trial);
         let world =
             World::new().file(apache::DOC_PATH, vec![3u8; 512]).net(apache::benign_request());
         let mut m = Machine::new(&compiled.image);
@@ -278,5 +265,176 @@ fn injected_transient_faults_are_recoverable_mid_request() {
             }
             other => panic!("trial {trial}: expected the injected fault, got {other:?}"),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-scale chaos campaigns
+// ---------------------------------------------------------------------------
+
+/// 200+ randomized fleet trials on the SQL guest, swept across worker
+/// widths: randomized NaT flips, bitmap corruption, and transient faults
+/// land mid-serve, and every connection must either detect the damage or
+/// prove (against the host's ground-truth shadow) that nothing escaped —
+/// with served/recovered/dropped accounting exact at every width.
+#[test]
+fn fleet_chaos_campaign_sql_has_no_undetected_escapes() {
+    let spec = shift_workloads::ChaosSpec {
+        program: "chaos-sql".into(),
+        mode: Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
+        trials: 200,
+        widths: vec![1, 2, 4],
+        connections: 3,
+        requests: 3,
+        seed: chaos::derive(chaos::master_seed(), "campaign-sql"),
+    };
+    let report = shift_workloads::chaos::run_chaos(&spec);
+    assert!(report.passed(), "undetected escapes: {:?}", report.failures);
+    assert_eq!(report.trials, 200);
+    assert!(report.injections > 100, "campaign barely injected: {}", report.injections);
+    assert!(report.detections > 0, "no injection was ever detected");
+    assert!(report.served > 0 && report.recovered > 0, "campaign must exercise both outcomes");
+    assert_eq!(report.dropped + report.served + report.recovered, 200 * 3 * 3);
+}
+
+/// A smaller Apache-fleet campaign: the real multi-request server guest,
+/// mixed document stream, same zero-escape contract.
+#[test]
+fn fleet_chaos_campaign_apache_has_no_undetected_escapes() {
+    let spec = shift_workloads::ChaosSpec {
+        program: "apache".into(),
+        mode: Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
+        trials: 24,
+        widths: vec![1, 2],
+        connections: 2,
+        requests: 3,
+        seed: chaos::derive(chaos::master_seed(), "campaign-apache"),
+    };
+    let report = shift_workloads::chaos::run_chaos(&spec);
+    assert!(report.passed(), "undetected escapes: {:?}", report.failures);
+    assert!(report.injections > 0);
+}
+
+/// A failing-looking trial's reproducer actually reproduces: the campaign
+/// emits a shrunk single-connection replay log for the first perturbed
+/// detection, and replaying it is bit-identical to what it recorded.
+#[test]
+fn chaos_campaign_reproducer_replays_bit_identically() {
+    let spec = shift_workloads::ChaosSpec {
+        program: "chaos-sql".into(),
+        mode: Mode::Shift(ShiftOptions::baseline(Granularity::Byte)),
+        trials: 12,
+        widths: vec![1, 2],
+        connections: 3,
+        requests: 3,
+        seed: chaos::derive(chaos::master_seed(), "campaign-repro"),
+    };
+    let report = shift_workloads::chaos::run_chaos(&spec);
+    let repro = report.example_repro.expect("campaign produced a reproducer");
+    // Round-trip through the on-disk form first: the artifact a user would
+    // feed back to `shift replay` must behave identically.
+    let log = shift_core::ReplayLog::parse(&repro.render()).unwrap();
+    let program = chaos::chaos_program(&log.program).unwrap();
+    let fleet = log.build_fleet(&program).unwrap();
+    for outcome in log.verify(&fleet) {
+        assert!(outcome.matches(), "reproducer diverged: {:?}", outcome.mismatches);
+    }
+}
+
+/// The escape audit catches a *forged* escape. Random single-byte bitmap
+/// corruption essentially never blinds the whole policy check (the quotes
+/// span multiple tag bytes), so this test constructs the worst case by
+/// hand: locate every tag bit the exploit's taint occupies (via the
+/// postmortem debugger), then scrub exactly those bits two instructions
+/// before the sink check. The fleet run finishes clean with zero
+/// violations — a would-be escape — and the forensic audit must classify
+/// it as tag damage, not let it pass.
+#[test]
+fn escape_audit_catches_taint_scrubbing_injections() {
+    use shift_workloads::chaos::EscapeVerdict;
+    let mode = Mode::Shift(ShiftOptions::baseline(Granularity::Byte));
+    let fleet = chaos::chaos_fleet("chaos-sql", mode);
+    let base = chaos::chaos_base_world("chaos-sql");
+    let exploit = chaos::chaos_exploit_request("chaos-sql");
+
+    // Forensics first: where does the exploit's taint sit, and how many
+    // instructions retire before the sink check trips?
+    let world = base.clone().net(exploit.clone());
+    let mut pm = shift_core::Postmortem::new(fleet.shift(), fleet.image(), world, &[]);
+    pm.run_to_violation(2_000_000);
+    assert!(
+        matches!(pm.exit(), Some(Exit::Violation(_))),
+        "uninjected exploit must detect: {:?}",
+        pm.exit()
+    );
+    let sink_insns = pm.instructions();
+    let stack_lo = layout::stack_top() - 0x1000;
+    let runs = pm.tainted_ranges(stack_lo, 0x1000);
+    assert!(!runs.is_empty(), "exploit taint must be visible on the stack");
+
+    // Scrub exactly those tag bits just before the sink check fires.
+    let mut xors: std::collections::BTreeMap<u64, u8> = std::collections::BTreeMap::new();
+    for &(addr, len) in &runs {
+        for a in addr..addr + len {
+            let loc = shift_tagmap::tag_location(a, Granularity::Byte).unwrap();
+            *xors.entry(loc.byte_addr).or_insert(0) |= loc.mask;
+        }
+    }
+    let scrub: Vec<(u64, shift_machine::Injection)> = xors
+        .into_iter()
+        .map(|(addr, xor)| (sink_insns - 2, Injection::CorruptByte { addr, xor }))
+        .collect();
+
+    // The forged escape: the fleet sees a clean, violation-free connection.
+    let conn = fleet.serve_one(&base, std::slice::from_ref(&exploit), &scrub, 0, 1);
+    assert!(matches!(conn.exit, Exit::Halted(_)), "scrubbed run must finish: {:?}", conn.exit);
+    assert!(conn.violations.is_empty(), "scrubbing must blind the policy engine");
+
+    // ... and the audit refuses to certify it.
+    let verdict = shift_workloads::escape_audit(
+        "chaos-sql",
+        &fleet,
+        &base,
+        &[exploit],
+        &scrub,
+        conn.state_digest,
+    );
+    assert_eq!(
+        verdict,
+        EscapeVerdict::TagDamageContained,
+        "the bitmap/shadow cross-check must expose the scrubbed tags"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Committed fixture: schema drift tripwire
+// ---------------------------------------------------------------------------
+
+/// The committed replay fixture (recorded by `shift serve --record` with
+/// `--seed 7 --inject`) must still parse under today's schema and replay
+/// every connection bit-identically. A failure here means either the
+/// serialization schema or the execution model drifted from what was
+/// recorded — both are breaking changes for saved reproducers.
+#[test]
+fn committed_replay_fixture_still_replays_bit_identically() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/replay_fixture.json");
+    let text = std::fs::read_to_string(path).expect("fixture present");
+    let log = shift_core::ReplayLog::parse(&text).expect("fixture parses under current schema");
+    assert_eq!(log.program, "apache");
+    assert!(log.connections.len() >= 8, "fixture fleet too small");
+    assert!(log.workers >= 2);
+    assert!(
+        log.connections.iter().any(|c| !c.injections.is_empty()),
+        "fixture must have injections armed"
+    );
+    let program = chaos::chaos_program(&log.program).unwrap();
+    let fleet = log.build_fleet(&program).expect("compiled image matches recorded digest");
+    for outcome in log.verify(&fleet) {
+        assert!(
+            outcome.matches(),
+            "fixture connection {} diverged: {:?}",
+            outcome.connection,
+            outcome.mismatches
+        );
     }
 }

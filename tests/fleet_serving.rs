@@ -162,6 +162,43 @@ fn recurring_tail_fault_ends_the_session_with_exact_accounting() {
     );
 }
 
+#[test]
+fn empty_chaos_plan_is_bit_identical_to_plain_serving() {
+    // `serve` is `serve_chaos` with no injections; the chaos entry point
+    // must not perturb an uninjected run in any modelled number.
+    let fleet = traced_fleet();
+    let conns = fleet_connections(ApacheStream::Mixed, 5, 3);
+    let world = fleet_world(ApacheStream::Mixed);
+    let plain = fleet.serve(&world, &conns, 2);
+    let chaos = fleet.serve_chaos(&world, &conns, &[], 2);
+    assert_eq!(plain.stats, chaos.stats);
+    assert_eq!(plain.exits(), chaos.exits());
+    assert_eq!(plain.wall_cycles, chaos.wall_cycles);
+    for (p, c) in plain.connections.iter().zip(&chaos.connections) {
+        assert_eq!(p.state_digest, c.state_digest, "connection {}", p.connection);
+    }
+}
+
+#[test]
+fn recording_does_not_perturb_the_run_it_records() {
+    // A replay log is assembled *after* the fact from the run's inputs and
+    // report; re-serving after a capture must be bit-identical, and the log
+    // itself must replay against the same fleet without divergence.
+    let fleet = traced_fleet();
+    let conns = fleet_connections(ApacheStream::Mixed, 4, 3);
+    let world = fleet_world(ApacheStream::Mixed);
+    let first = fleet.serve_chaos(&world, &conns, &[], 2);
+    let log = shift_core::ReplayLog::capture("apache", &fleet, &world, &conns, &[], 7, &first);
+    let second = fleet.serve_chaos(&world, &conns, &[], 2);
+    assert_eq!(first.stats, second.stats, "capture perturbed the fleet");
+    for (a, b) in first.connections.iter().zip(&second.connections) {
+        assert_eq!(a.state_digest, b.state_digest);
+    }
+    for outcome in log.verify(&fleet) {
+        assert!(outcome.matches(), "replay diverged: {:?}", outcome.mismatches);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
