@@ -1,18 +1,90 @@
 //! Criterion microbenchmarks of the interpreter hot paths this crate's
-//! evaluation sweeps lean on: the software-TLB'd `Memory` accessors, the
-//! page-span bulk copies, the word-level `HostShadow` operations, and a
-//! whole apache-sim request as the end-to-end composite. These are the
-//! numbers to watch when touching `shift-machine::mem` or
-//! `shift-tagmap::HostShadow` — the figure sweeps only show regressions
-//! after minutes of simulation, these show them in microseconds.
+//! evaluation sweeps lean on: superblock vs. per-instruction dispatch, the
+//! software-TLB'd `Memory` accessors, the page-span bulk copies, the
+//! word-level `HostShadow` operations, and a whole apache-sim request as
+//! the end-to-end composite. These are the numbers to watch when touching
+//! `shift-machine::exec`, `shift-machine::mem` or `shift-tagmap::HostShadow`
+//! — the figure sweeps only show regressions after minutes of simulation,
+//! these show them in microseconds.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use shift_core::Granularity;
-use shift_isa::make_vaddr;
-use shift_machine::{Memory, PAGE_SIZE};
+use shift_isa::{make_vaddr, AluOp, CmpRel, ExtKind, Gpr, Insn, MemSize, Op, Pr};
+use shift_machine::{layout, Image, MachineSeed, Memory, NullOs, PAGE_SIZE};
 use shift_tagmap::HostShadow;
 use shift_workloads::apache::run_apache;
+
+/// Loop iterations for the dispatch A/B — enough retired instructions
+/// (~20k) that per-iteration dispatch overhead dominates setup.
+const DISPATCH_ITERS: i64 = 2_000;
+
+/// A counted hot loop of ALU + load/store + compare/branch work: the
+/// instruction mix superblock dispatch is built for, with no syscalls so
+/// both tiers run start-to-halt uninterrupted.
+fn dispatch_program() -> Vec<Insn> {
+    vec![
+        /* 0 */ Insn::new(Op::MovI { dst: Gpr::R1, imm: DISPATCH_ITERS }),
+        /* 1 */ Insn::new(Op::MovI { dst: Gpr::R2, imm: layout::DATA_BASE as i64 }),
+        // Loop body (instructions 2..=10, one superblock).
+        /* 2 */
+        Insn::new(Op::Ld {
+            size: MemSize::B8,
+            ext: ExtKind::Zero,
+            dst: Gpr::R3,
+            addr: Gpr::R2,
+            spec: false,
+        }),
+        /* 3 */ Insn::new(Op::AluI { op: AluOp::Add, dst: Gpr::R3, src1: Gpr::R3, imm: 1 }),
+        /* 4 */
+        Insn::new(Op::Alu { op: AluOp::Xor, dst: Gpr::R4, src1: Gpr::R3, src2: Gpr::R1 }),
+        /* 5 */ Insn::new(Op::AluI { op: AluOp::Shl, dst: Gpr::R5, src1: Gpr::R4, imm: 3 }),
+        /* 6 */
+        Insn::new(Op::Alu { op: AluOp::Add, dst: Gpr::R6, src1: Gpr::R5, src2: Gpr::R4 }),
+        /* 7 */ Insn::new(Op::St { size: MemSize::B8, src: Gpr::R3, addr: Gpr::R2 }),
+        /* 8 */ Insn::new(Op::AluI { op: AluOp::Sub, dst: Gpr::R1, src1: Gpr::R1, imm: 1 }),
+        /* 9 */
+        Insn::new(Op::CmpI {
+            rel: CmpRel::Eq,
+            pt: Pr::P1,
+            pf: Pr::P2,
+            src1: Gpr::R1,
+            imm: 0,
+            nat_aware: false,
+        }),
+        /* 10 */ Insn::new(Op::Jmp { target: 2 }).under(Pr::P2),
+        /* 11 */ Insn::new(Op::Halt),
+    ]
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let image = Image::builder().code(dispatch_program()).map(layout::DATA_BASE, 0x1000).build();
+    let seed = MachineSeed::new(&image);
+    let insns = 2 + 9 * DISPATCH_ITERS as u64 + 1;
+
+    let mut g = c.benchmark_group("dispatch");
+    g.throughput(Throughput::Elements(insns));
+
+    // The production tier: pre-decoded superblocks chained back-to-back.
+    g.bench_function("superblock_loop", |b| {
+        b.iter(|| {
+            let mut m = seed.spawn();
+            m.run(&mut NullOs, u64::MAX)
+        })
+    });
+
+    // Control arm: the same machine stepped one instruction at a time.
+    // Criterion interleaves the two in one process, which is the only
+    // trustworthy comparison on a noisy host — see DESIGN.md §13.
+    g.bench_function("per_insn_loop", |b| {
+        b.iter(|| {
+            let mut m = seed.spawn();
+            m.run_per_insn(&mut NullOs, u64::MAX)
+        })
+    });
+
+    g.finish();
+}
 
 fn bench_memory(c: &mut Criterion) {
     let base = make_vaddr(1, 0x10_0000);
@@ -109,5 +181,5 @@ fn bench_apache_request(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_memory, bench_shadow, bench_apache_request);
+criterion_group!(benches, bench_dispatch, bench_memory, bench_shadow, bench_apache_request);
 criterion_main!(benches);

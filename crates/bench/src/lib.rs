@@ -26,7 +26,7 @@ pub fn geomean(xs: &[f64]) -> f64 {
 /// --workers N`). `0` — the default — means "one thread per host core".
 static SWEEP_WORKERS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
-/// Overrides the host thread count used by the sweep pools ([`parallel_map`]
+/// Overrides the host thread count used by the sweep pools (`parallel_map`
 /// and the figure matrices built on it). `0` restores the default
 /// (`available_parallelism`); `1` makes every sweep run serially — the
 /// deterministic-CI setting, though the *modelled* numbers never depend on
@@ -109,7 +109,7 @@ fn spec_groups(fig7_conds: &'static [bool]) -> [(Mode, &'static [bool]); 7] {
     ]
 }
 
-/// Runs a bench × mode-group matrix as one [`parallel_map`] job pool and
+/// Runs a bench × mode-group matrix as one `parallel_map` job pool and
 /// returns, per benchmark, per group, one `(modelled cycles, host ns)` pair
 /// per taint condition.
 ///
@@ -165,7 +165,7 @@ pub struct SpecRow {
 /// Figure 7: SPEC slowdowns at both granularities and taint conditions.
 ///
 /// The whole bench × mode matrix (including the uninstrumented baselines)
-/// runs as one job list over [`parallel_map`], so a slow benchmark's modes
+/// runs as one job list over `parallel_map`, so a slow benchmark's modes
 /// overlap instead of serializing behind each other. The tainted and
 /// untainted bars of a mode share one job — compilation is independent of
 /// the taint condition, so each mode compiles once and runs twice.
@@ -175,7 +175,7 @@ pub fn fig7_spec_slowdowns(scale: Scale) -> Vec<SpecRow> {
     fig7_rows_from(&matrix, &[0, 1, 2])
 }
 
-/// Assembles Figure-7 rows from a [`spec_matrix`] whose groups 0–2 follow
+/// Assembles Figure-7 rows from a `spec_matrix` whose groups 0–2 follow
 /// the [`spec_groups`] layout with `&[true, false]` conditions. `bill` lists
 /// the group indices whose host time is charged to each row's `host_ns` —
 /// the whole matrix when it was run for this figure alone, only this
@@ -237,7 +237,7 @@ impl EnhanceRow {
 /// Figure 8: the effect of the proposed instructions.
 ///
 /// Like [`fig7_spec_slowdowns`], the full bench × mode matrix runs as one
-/// [`parallel_map`] job list.
+/// `parallel_map` job list.
 pub fn fig8_enhancements(scale: Scale) -> Vec<EnhanceRow> {
     let matrix = spec_matrix(scale, &spec_groups(&[true]));
     fig8_rows_from(&matrix, &[0, 1, 2, 3, 4, 5, 6])
@@ -351,7 +351,7 @@ pub struct ApacheRow {
 ///
 /// `requests` scales the run length (the paper used 1,000 requests with
 /// `ab`; the simulator preserves the CPU-to-I/O structure at smaller
-/// counts). The size × mode matrix runs on the [`parallel_map`] pool —
+/// counts). The size × mode matrix runs on the `parallel_map` pool —
 /// every server run is an independent simulated machine.
 pub fn fig6_apache(file_sizes: &[usize], requests: usize) -> Vec<ApacheRow> {
     use shift_workloads::apache::run_apache;
@@ -655,7 +655,7 @@ pub fn ablation_design_choices(scale: Scale) -> Vec<AblationRow> {
 /// Figures 7 and 8 share five of their seven mode groups (Figure 8's
 /// stock-Itanium bars *are* Figure 7's unsafe bars — identical
 /// deterministic simulations), so the summary runs the union of both
-/// figures' modes as one [`spec_matrix`] pool and assembles each figure
+/// figures' modes as one `spec_matrix` pool and assembles each figure
 /// from it. The numbers are bit-identical to running each figure alone;
 /// only the duplicate host work disappears. `host_ns.fig7`/`host_ns.fig8`
 /// are therefore row sums under that split — the shared runs are billed to

@@ -50,6 +50,15 @@ fn common_metrics(reg: &mut Registry, stats: &Stats, machine: &Machine, runtime:
     reg.counter_add("mem.tlb.hits", tlb_h);
     reg.counter_add("mem.tlb.misses", tlb_m);
 
+    // Superblock dispatch effectiveness (see DESIGN.md §13): how many blocks
+    // executed whole vs. fell back to the per-instruction stepper. Host-side
+    // only, like the TLB counters above.
+    let sb = machine.superblock_stats();
+    reg.counter_add("machine.blocks.hits", sb.hits);
+    reg.counter_add("machine.blocks.misses", sb.misses);
+    reg.counter_add("machine.blocks.flushes", sb.flushes);
+    reg.counter_add("machine.blocks.decoded", sb.blocks);
+
     reg.counter_add("tagmap.shadow.tainted_bytes", runtime.shadow.tainted_bytes());
     reg.counter_add("tagmap.shadow.marks", runtime.shadow.marks());
     reg.counter_add("tagmap.shadow.clears", runtime.shadow.clears());

@@ -38,6 +38,10 @@ impl CacheConfig {
 struct Level {
     cfg: CacheConfig,
     set_mask: usize,
+    /// `log2(cfg.line)`: line math compiles to shifts, not `u64` division —
+    /// the cache sits on the interpreter's memory fast path and a hardware
+    /// divide per access is measurable there.
+    line_shift: u32,
     slots: Vec<u64>,
     hits: u64,
     misses: u64,
@@ -55,6 +59,7 @@ impl Level {
         Level {
             cfg,
             set_mask: sets - 1,
+            line_shift: cfg.line.trailing_zeros(),
             slots: vec![EMPTY_LINE; sets * cfg.ways],
             hits: 0,
             misses: 0,
@@ -64,7 +69,7 @@ impl Level {
     /// Touches the line containing `addr`; returns `true` on hit.
     #[inline]
     fn access(&mut self, addr: u64) -> bool {
-        let line = addr / self.cfg.line;
+        let line = addr >> self.line_shift;
         let set = (line as usize) & self.set_mask;
         let ways = &mut self.slots[set * self.cfg.ways..(set + 1) * self.cfg.ways];
         if ways[0] == line {
@@ -113,14 +118,15 @@ impl CacheHierarchy {
     /// line boundary touch both lines.
     #[inline]
     pub fn access(&mut self, addr: u64, size: u64) -> u64 {
-        let first = addr / self.l1.cfg.line;
-        let last = addr.wrapping_add(size.max(1) - 1) / self.l1.cfg.line;
+        let shift = self.l1.line_shift;
+        let first = addr >> shift;
+        let last = addr.wrapping_add(size.max(1) - 1) >> shift;
         if first == last {
-            return self.access_line(first * self.l1.cfg.line);
+            return self.access_line(first << shift);
         }
         let mut stall = 0;
         for line in first..=last {
-            stall += self.access_line(line * self.l1.cfg.line);
+            stall += self.access_line(line << shift);
         }
         stall
     }

@@ -3,6 +3,7 @@
 use shift_isa::{AluOp, CostModel, ExtKind, Insn, MemSize, Op, Provenance};
 use shift_obs::{FuncSpan, Profiler, TaintObserver};
 
+use crate::block::{BlockProgram, NPROV};
 use crate::cache::CacheHierarchy;
 use crate::cpu::{Cpu, RegVal};
 use crate::fault::{Fault, NatFaultKind};
@@ -42,6 +43,25 @@ impl Os for NullOs {
 }
 
 /// The simulated processor plus its memory and accounting state.
+///
+/// Build one from an [`Image`] (or spawn many from a [`crate::MachineSeed`])
+/// and drive it with [`Machine::run`]:
+///
+/// ```
+/// use shift_isa::{Gpr, Insn, Op};
+/// use shift_machine::{Exit, Image, Machine, NullOs};
+///
+/// let image = Image::builder()
+///     .code(vec![
+///         Insn::new(Op::MovI { dst: Gpr::R1, imm: 2 }),
+///         Insn::new(Op::AluI { op: shift_isa::AluOp::Add, dst: Gpr::R8, src1: Gpr::R1, imm: 40 }),
+///         Insn::new(Op::Halt),
+///     ])
+///     .build();
+/// let mut m = Machine::new(&image);
+/// assert_eq!(m.run(&mut NullOs, 1_000), Exit::Halted(42));
+/// assert_eq!(m.stats.instructions, 3);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Machine {
     /// Architected register state.
@@ -63,6 +83,16 @@ pub struct Machine {
     /// dispatcher replaces a second match on the op with one indexed load.
     /// Shared like `code`.
     base_cost: std::sync::Arc<[u64]>,
+    /// Code pre-decoded into superblocks (see [`crate::block`]), shared like
+    /// `code`. A pure host-speed structure: never part of guest state.
+    blocks: std::sync::Arc<BlockProgram>,
+    /// Superblocks entered through the block-dispatch tier.
+    block_hits: u64,
+    /// Instructions stepped on the per-instruction fallback tier while block
+    /// dispatch was eligible (mid-block entry, boundary guard, budget tail).
+    block_misses: u64,
+    /// Times the superblock tables were invalidated and rebuilt.
+    block_flushes: u64,
     trace: Option<std::collections::VecDeque<usize>>,
     trace_cap: usize,
     watchdog: Option<Watchdog>,
@@ -82,15 +112,47 @@ struct Watchdog {
     used: u64,
 }
 
-/// Internal outcome of one dispatcher step.
-enum StepOut {
+/// Outcome of one dispatcher step (or one superblock).
+///
+/// This is the contract between the dispatch tiers and the [`Machine::run`]
+/// driver loop: both the per-instruction stepper and the superblock executor
+/// report their progress through it.
+///
+/// The `Recheck` variant is the linchpin of the tiered design: a `syscall`
+/// hands the *whole machine* (`&mut Machine`) to the [`Os`] handler, which
+/// may arm the watchdog, schedule injections, enable tracing or
+/// observability, or rewind memory — so every loop invariant the fast tiers
+/// rely on (and the software TLB's internal state) must be re-established
+/// from scratch before the next instruction. Anything that cannot happen
+/// mid-tier is deferred to this boundary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepOut {
     /// Keep going.
     Continue,
-    /// Keep going, but a syscall ran — the hot loop's invariants (watchdog,
-    /// injections, trace, observability all disabled) must be re-verified.
+    /// Keep going, but a syscall ran — the fast tiers' invariants (watchdog,
+    /// injections, trace, observability all disabled or boundary-checked)
+    /// must be re-verified before the next dispatch.
     Recheck,
     /// The run stops.
     Exit(Exit),
+}
+
+/// Host-side counters for the superblock dispatch tier (see
+/// [`Machine::superblock_stats`]). Purely diagnostic: these count *host*
+/// dispatch decisions, never modelled events, and are excluded from
+/// [`Machine::state_digest`] and [`Stats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SuperblockStats {
+    /// Superblocks executed through the block-dispatch tier.
+    pub hits: u64,
+    /// Instructions stepped on the per-instruction fallback while block
+    /// dispatch was eligible (mid-block entry, boundary guard refusal, or
+    /// the run budget's tail being shorter than the next block).
+    pub misses: u64,
+    /// Times [`Machine::flush_superblocks`] rebuilt the tables.
+    pub flushes: u64,
+    /// Superblocks in the decoded program.
+    pub blocks: u64,
 }
 
 impl Machine {
@@ -112,6 +174,7 @@ impl Machine {
         mem: Memory,
         code: std::sync::Arc<[Insn]>,
         base_cost: std::sync::Arc<[u64]>,
+        blocks: std::sync::Arc<BlockProgram>,
     ) -> Machine {
         Machine {
             cpu,
@@ -121,6 +184,10 @@ impl Machine {
             cost: CostModel::ITANIUM2,
             base_cost,
             code,
+            blocks,
+            block_hits: 0,
+            block_misses: 0,
+            block_flushes: 0,
             trace: None,
             trace_cap: 0,
             watchdog: None,
@@ -187,6 +254,22 @@ impl Machine {
     /// (GPRs with NaT bits, predicates, branch registers, `UNAT`, `ip`) plus
     /// a copy-on-write memory checkpoint. Supersedes any earlier snapshot of
     /// this machine.
+    ///
+    /// ```
+    /// use shift_isa::{Gpr, Insn, Op};
+    /// use shift_machine::{Image, Machine, NullOs};
+    ///
+    /// let image = Image::builder()
+    ///     .code(vec![Insn::new(Op::MovI { dst: Gpr::R8, imm: 7 }), Insn::new(Op::Halt)])
+    ///     .build();
+    /// let mut m = Machine::new(&image);
+    /// let before = m.state_digest();
+    /// let snap = m.snapshot();
+    /// m.run(&mut NullOs, 1_000); // mutates registers and `ip`
+    /// assert_ne!(m.state_digest(), before);
+    /// m.restore(&snap);
+    /// assert_eq!(m.state_digest(), before);
+    /// ```
     pub fn snapshot(&mut self) -> Snapshot {
         let mem_epoch = self.mem.begin_checkpoint();
         Snapshot { cpu: self.cpu.clone(), mem_epoch }
@@ -302,28 +385,58 @@ impl Machine {
     }
 
     /// Runs until the guest stops or `max_insns` instructions retire.
+    ///
+    /// Dispatch is tiered (fastest first; see DESIGN.md §13):
+    ///
+    /// 1. **Superblock tier** — when per-instruction diagnostics (trace,
+    ///    observer, profiler) are off and `ip` starts a pre-decoded block
+    ///    whose worst-case length fits every armed budget, whole blocks
+    ///    execute back-to-back through the trace-threaded dispatch loop.
+    ///    Watchdog fuel, injection countdowns, and the run budget are
+    ///    checked once per block — the entry guard proves none can expire
+    ///    mid-block, so checking them at boundaries only is exact, not
+    ///    approximate.
+    /// 2. **Per-instruction hot tier** — the const-generic `HOT` stepper
+    ///    with watchdog/injection/trace/observer/profiler tests compiled
+    ///    out; used for mid-block entries and budget tails when nothing is
+    ///    armed.
+    /// 3. **Cold tier** — the fully-checked stepper, used whenever any
+    ///    diagnostic or boundary-checked feature is armed.
+    ///
+    /// A `syscall` exits the current tier with [`StepOut::Recheck`] and the
+    /// next iteration re-selects the tier from scratch (the `Os` handler may
+    /// have armed anything).
     pub fn run<O: Os>(&mut self, os: &mut O, max_insns: u64) -> Exit {
         let budget = self.stats.instructions.saturating_add(max_insns);
+        // One handle for the whole run: `self.blocks` can only be swapped by
+        // `flush_superblocks`, which rebuilds identical tables from the same
+        // immutable code, so a run never observes a stale decode.
+        let prog = std::sync::Arc::clone(&self.blocks);
         loop {
             if self.stats.instructions >= budget {
                 return Exit::InsnLimit;
             }
-            if self.watchdog.is_none()
-                && self.injections.is_empty()
-                && self.trace.is_none()
-                && self.obs.is_none()
-                && self.profiler.is_none()
-            {
-                // Hot loop: all five conditions are loop-invariant except
-                // across syscalls (an `Os` handler gets `&mut Machine` and
-                // may arm any of them), so the dispatcher returns `Recheck`
-                // after every syscall and we re-establish them here.
-                while self.stats.instructions < budget {
-                    match self.step_impl::<O, true>(os) {
-                        StepOut::Continue => {}
-                        StepOut::Recheck => break,
-                        StepOut::Exit(exit) => return exit,
+            if self.trace.is_none() && self.obs.is_none() && self.profiler.is_none() {
+                match self.run_blocks(os, &prog, budget) {
+                    // Side exit: mid-block `ip`, a boundary budget too small
+                    // for the next block, or the run budget's tail — step one
+                    // instruction and retry block dispatch at the new `ip`.
+                    StepOut::Continue => {
+                        self.block_misses += 1;
+                        let out = if self.watchdog.is_none() && self.injections.is_empty() {
+                            self.step_impl::<O, true>(os)
+                        } else {
+                            self.step_impl::<O, false>(os)
+                        };
+                        match out {
+                            StepOut::Continue | StepOut::Recheck => {}
+                            StepOut::Exit(exit) => return exit,
+                        }
                     }
+                    // A syscall ran; the handler may have armed anything, so
+                    // re-select the tier from scratch.
+                    StepOut::Recheck => {}
+                    StepOut::Exit(exit) => return exit,
                 }
             } else {
                 match self.step_impl::<O, false>(os) {
@@ -331,6 +444,526 @@ impl Machine {
                     StepOut::Exit(exit) => return exit,
                 }
             }
+        }
+    }
+
+    /// Executes superblocks back-to-back until a side exit, through the
+    /// trace-threaded dispatch loop.
+    ///
+    /// Architecturally identical to stepping the same instructions one at a
+    /// time through `step_impl::<_, true>`: same state updates in the same
+    /// order, same fault points with `ip` left on the faulting instruction,
+    /// same modelled cycles. The wins are pure host mechanics:
+    ///
+    /// * no per-instruction fetch bounds check, budget compare, or `ip`
+    ///   store — `ip` lives in a local and is written back only on exit;
+    /// * retire accounting lands in stack-local accumulators that persist
+    ///   *across* chained blocks and flush only on a side exit. Per-op
+    ///   accounting is gone entirely: every block merges its precomputed
+    ///   full-pass [`crate::block::ProvAcct`] entries at completion, and
+    ///   the execution loop records only *deviations* from that full pass
+    ///   (cache stalls, predicated-off slots, taken `chk.s`). Early exits
+    ///   settle the entered prefix from the micro-ops' static base costs;
+    /// * watchdog fuel, injection countdowns, and the run budget are
+    ///   checked once per block — the entry guard proves none can expire
+    ///   mid-block (see below), so boundary-only checks are exact.
+    ///
+    /// The entry guard: with the watchdog at `used` of `budget` fuel and
+    /// `pending` locally-retired instructions not yet flushed, the
+    /// per-instruction stepper would trip before instruction `i` of the next
+    /// block iff `used + pending + i >= budget`, so a full block of `len` is
+    /// safe iff `used + pending + len <= budget`; the same argument bounds
+    /// injection countdowns (an event fires when its countdown hits zero
+    /// *before* an instruction) and the run budget.
+    ///
+    /// Returns [`StepOut::Continue`] on a side exit (mid-block `ip`, guard
+    /// failure, budget tail — the caller steps one instruction and retries),
+    /// [`StepOut::Recheck`] after a syscall, or [`StepOut::Exit`].
+    fn run_blocks<O: Os>(&mut self, os: &mut O, prog: &BlockProgram, budget: u64) -> StepOut {
+        let mut cyc = [0u64; NPROV];
+        let mut ins = [0u64; NPROV];
+        // Instructions retired into the local accumulators but not yet
+        // flushed (== the sums of `ins`): completed blocks retire every
+        // entered micro-op exactly once, including predicated-off slots.
+        let mut pending = 0u64;
+        let mut ip = self.cpu.ip;
+
+        // Flushes the accumulators into `Stats` and charges boundary fuel:
+        // the watchdog consumes one unit and every injection countdown
+        // decreases by one per retired instruction, exactly as the
+        // per-instruction stepper would have charged them one at a time.
+        // Runs *before* any `Os` handler or caller can observe the machine,
+        // so a syscall sees stats, fuel, and countdowns in the same state
+        // the per-instruction path would show it.
+        macro_rules! flush {
+            () => {{
+                let mut cycles = 0u64;
+                let mut insns = 0u64;
+                for i in 0..NPROV {
+                    self.stats.cycles_by_prov[i] += cyc[i];
+                    self.stats.insns_by_prov[i] += ins[i];
+                    cycles += cyc[i];
+                    insns += ins[i];
+                }
+                self.stats.cycles += cycles;
+                self.stats.instructions += insns;
+                if let Some(w) = &mut self.watchdog {
+                    w.used += insns;
+                }
+                if !self.injections.is_empty() {
+                    for (countdown, _) in &mut self.injections {
+                        debug_assert!(
+                            *countdown >= insns,
+                            "entry guard must prevent mid-block fire"
+                        );
+                        *countdown -= insns;
+                    }
+                }
+            }};
+        }
+        // Merges a block's precomputed full-pass accounting entries into the
+        // local accumulators (one sparse entry per provenance present).
+        // Wrapping: the accumulators may hold transiently "negative"
+        // deviations (see `dev!`) until this merge rebalances them.
+        macro_rules! merge_accts {
+            ($blk:expr) => {{
+                let accts = &prog.accts
+                    [$blk.acct_start as usize..($blk.acct_start + $blk.acct_len) as usize];
+                for a in accts {
+                    let i = usize::from(a.prov);
+                    cyc[i] = cyc[i].wrapping_add(u64::from(a.cycles));
+                    ins[i] += u64::from(a.insns);
+                }
+            }};
+        }
+        // Records a cycle *deviation* from the block's precomputed full-pass
+        // accounting: a cache stall, a predicated-off slot, a taken `chk.s`.
+        // Wrapping because a deviation can be negative (`pred_off - base`);
+        // the block's base entries always merge in before any flush, which
+        // restores an exact non-negative total.
+        macro_rules! dev {
+            ($prov:expr, $delta:expr) => {{
+                let i = $prov.index();
+                cyc[i] = cyc[i].wrapping_add($delta);
+            }};
+        }
+        // Settles accounting for a partially-executed block: micro-ops
+        // `..=$j` all entered, so charge each its static base cost and one
+        // retired instruction. Dynamic deviations (stalls, pred-off slots)
+        // were already recorded by `dev!` as they happened, so base + recorded
+        // deviations reproduces the per-instruction charges exactly.
+        macro_rules! settle {
+            ($uops:expr, $j:expr) => {{
+                for u in &$uops[..=$j] {
+                    let i = u.prov.index();
+                    cyc[i] = cyc[i].wrapping_add(u64::from(u.base));
+                    ins[i] += 1;
+                }
+            }};
+        }
+        // Stops mid-block at instruction `ip`: flush, leave `ip` exactly
+        // where the per-instruction stepper would have left it.
+        macro_rules! exit_at {
+            ($ip:expr, $e:expr) => {{
+                flush!();
+                self.cpu.ip = $ip;
+                return StepOut::Exit($e);
+            }};
+        }
+        macro_rules! fault_at {
+            ($uops:expr, $j:expr, $ip:expr, $f:expr) => {{
+                settle!($uops, $j);
+                exit_at!($ip, Exit::Fault($f))
+            }};
+        }
+
+        loop {
+            let Some(bid) = prog.block_starting_at(ip) else {
+                flush!();
+                self.cpu.ip = ip;
+                return StepOut::Continue;
+            };
+            let blk = &prog.blocks[bid as usize];
+            let len = u64::from(blk.len);
+            let horizon = pending + len;
+            let guarded = self.stats.instructions + horizon > budget
+                || self.watchdog.as_ref().is_some_and(|w| w.used + horizon > w.budget)
+                || !self.injections.iter().all(|(countdown, _)| *countdown >= horizon);
+            if guarded {
+                flush!();
+                self.cpu.ip = ip;
+                return StepOut::Continue;
+            }
+            self.block_hits += 1;
+            let base_ip = ip;
+            let first = blk.uop_start as usize;
+            let uops = &prog.uops[first..first + blk.len as usize];
+            let mut next_ip = base_ip + uops.len();
+
+            if blk.pure {
+                // Static-accounting fast path: no predication, no faults, no
+                // dynamic cycle costs — semantics only, then a sparse merge
+                // of the block's precomputed per-provenance totals.
+                for u in uops {
+                    match u.op {
+                        Op::Alu { op, dst, src1, src2 } => {
+                            let a = self.cpu.gpr(src1);
+                            let b = self.cpu.gpr(src2);
+                            let v = alu(op, a.value, b.value);
+                            let self_cancel = src1 == src2 && matches!(op, AluOp::Xor | AluOp::Sub);
+                            let nat = if self_cancel { false } else { a.nat || b.nat };
+                            self.cpu.set_gpr(dst, RegVal { value: v, nat });
+                        }
+                        Op::AluI { op, dst, src1, imm } => {
+                            let a = self.cpu.gpr(src1);
+                            let v = alu(op, a.value, imm as u64);
+                            self.cpu.set_gpr(dst, RegVal { value: v, nat: a.nat });
+                        }
+                        Op::MovI { dst, imm } => self.cpu.set_gpr_val(dst, imm as u64),
+                        Op::Mov { dst, src } => {
+                            let v = self.cpu.gpr(src);
+                            self.cpu.set_gpr(dst, v);
+                        }
+                        Op::Ext { kind, size, dst, src } => {
+                            let a = self.cpu.gpr(src);
+                            let v = extend(kind, size, a.value);
+                            self.cpu.set_gpr(dst, RegVal { value: v, nat: a.nat });
+                        }
+                        Op::Cmp { rel, pt, pf, src1, src2, nat_aware } => {
+                            let a = self.cpu.gpr(src1);
+                            let b = self.cpu.gpr(src2);
+                            self.do_cmp(rel, pt, pf, a, b, nat_aware);
+                        }
+                        Op::CmpI { rel, pt, pf, src1, imm, nat_aware } => {
+                            let a = self.cpu.gpr(src1);
+                            self.do_cmp(rel, pt, pf, a, RegVal::of(imm as u64), nat_aware);
+                        }
+                        Op::Tnat { pt, pf, src } => {
+                            let nat = self.cpu.gpr(src).nat;
+                            self.cpu.set_pr(pt, nat);
+                            self.cpu.set_pr(pf, !nat);
+                        }
+                        Op::Tset { dst } => {
+                            let v = self.cpu.gpr(dst);
+                            self.cpu.set_gpr(dst, RegVal { value: v.value, nat: true });
+                        }
+                        Op::Tclr { dst } => {
+                            let v = self.cpu.gpr(dst);
+                            self.cpu.set_gpr(dst, RegVal::of(v.value));
+                        }
+                        Op::MovFromBr { dst, br } => {
+                            let v = self.cpu.br(br);
+                            self.cpu.set_gpr_val(dst, v);
+                        }
+                        Op::Nop => {}
+                        // Terminators (always the last micro-op).
+                        Op::Jmp { target } => next_ip = target,
+                        Op::Call { link, target } => {
+                            self.cpu.set_br(link, (base_ip + uops.len()) as u64);
+                            next_ip = target;
+                        }
+                        Op::JmpBr { br } => next_ip = self.cpu.br(br) as usize,
+                        // Excluded from pure blocks by construction.
+                        Op::Ld { .. }
+                        | Op::St { .. }
+                        | Op::StSpill { .. }
+                        | Op::LdFill { .. }
+                        | Op::ChkS { .. }
+                        | Op::MovToBr { .. }
+                        | Op::Syscall { .. }
+                        | Op::Halt => unreachable!("impure op in pure superblock"),
+                    }
+                }
+                merge_accts!(blk);
+                pending += len;
+                ip = next_ip;
+                continue;
+            }
+
+            for (j, u) in uops.iter().enumerate() {
+                if !self.cpu.pr(u.qp) {
+                    dev!(u.prov, self.cost.pred_off.wrapping_sub(u64::from(u.base)));
+                    continue;
+                }
+                let ip = base_ip + j;
+                match u.op {
+                    Op::Alu { op, dst, src1, src2 } => {
+                        let a = self.cpu.gpr(src1);
+                        let b = self.cpu.gpr(src2);
+                        let v = alu(op, a.value, b.value);
+                        let self_cancel = src1 == src2 && matches!(op, AluOp::Xor | AluOp::Sub);
+                        let nat = if self_cancel { false } else { a.nat || b.nat };
+                        self.cpu.set_gpr(dst, RegVal { value: v, nat });
+                    }
+                    Op::AluI { op, dst, src1, imm } => {
+                        let a = self.cpu.gpr(src1);
+                        let v = alu(op, a.value, imm as u64);
+                        self.cpu.set_gpr(dst, RegVal { value: v, nat: a.nat });
+                    }
+                    Op::MovI { dst, imm } => self.cpu.set_gpr_val(dst, imm as u64),
+                    Op::Mov { dst, src } => {
+                        let v = self.cpu.gpr(src);
+                        self.cpu.set_gpr(dst, v);
+                    }
+                    Op::Ext { kind, size, dst, src } => {
+                        let a = self.cpu.gpr(src);
+                        let v = extend(kind, size, a.value);
+                        self.cpu.set_gpr(dst, RegVal { value: v, nat: a.nat });
+                    }
+                    Op::Cmp { rel, pt, pf, src1, src2, nat_aware } => {
+                        let a = self.cpu.gpr(src1);
+                        let b = self.cpu.gpr(src2);
+                        self.do_cmp(rel, pt, pf, a, b, nat_aware);
+                    }
+                    Op::CmpI { rel, pt, pf, src1, imm, nat_aware } => {
+                        let a = self.cpu.gpr(src1);
+                        self.do_cmp(rel, pt, pf, a, RegVal::of(imm as u64), nat_aware);
+                    }
+                    Op::Ld { size, ext, dst, addr, spec } => {
+                        let a = self.cpu.gpr(addr);
+                        if a.nat {
+                            if spec {
+                                self.stats.deferred_loads += 1;
+                                self.cpu.set_gpr(dst, RegVal::NAT);
+                            } else {
+                                fault_at!(
+                                    uops,
+                                    j,
+                                    ip,
+                                    Fault::NatConsumption { kind: NatFaultKind::LoadAddress, ip }
+                                );
+                            }
+                        } else {
+                            match self.mem.read_int(a.value, size.bytes()) {
+                                Ok(raw) => {
+                                    dev!(u.prov, self.cache.access(a.value, size.bytes()));
+                                    let v = extend(ext, size, raw);
+                                    self.cpu.set_gpr(dst, RegVal::of(v));
+                                    if u.prov == Provenance::Original {
+                                        self.stats.loads += 1;
+                                    }
+                                }
+                                Err(_) if spec => {
+                                    dev!(u.prov, self.cache.mem_latency);
+                                    self.stats.deferred_loads += 1;
+                                    self.cpu.set_gpr(dst, RegVal::NAT);
+                                }
+                                Err(e) => fault_at!(uops, j, ip, mem_fault(e, ip)),
+                            }
+                        }
+                    }
+                    Op::St { size, src, addr } => {
+                        let a = self.cpu.gpr(addr);
+                        let v = self.cpu.gpr(src);
+                        if a.nat {
+                            fault_at!(
+                                uops,
+                                j,
+                                ip,
+                                Fault::NatConsumption { kind: NatFaultKind::StoreAddress, ip }
+                            );
+                        }
+                        if v.nat {
+                            fault_at!(
+                                uops,
+                                j,
+                                ip,
+                                Fault::NatConsumption { kind: NatFaultKind::StoreValue, ip }
+                            );
+                        }
+                        match self.mem.write_int(a.value, size.bytes(), v.value) {
+                            Ok(()) => {
+                                dev!(u.prov, self.cache.access(a.value, size.bytes()));
+                                if u.prov == Provenance::Original {
+                                    self.stats.stores += 1;
+                                }
+                            }
+                            Err(e) => fault_at!(uops, j, ip, mem_fault(e, ip)),
+                        }
+                    }
+                    Op::StSpill { src, addr } => {
+                        let a = self.cpu.gpr(addr);
+                        let v = self.cpu.gpr(src);
+                        if a.nat {
+                            fault_at!(
+                                uops,
+                                j,
+                                ip,
+                                Fault::NatConsumption { kind: NatFaultKind::StoreAddress, ip }
+                            );
+                        }
+                        match self.mem.write_int(a.value, 8, v.value) {
+                            Ok(()) => {
+                                dev!(u.prov, self.cache.access(a.value, 8));
+                                self.cpu.unat = set_unat_bit(self.cpu.unat, a.value, v.nat);
+                                self.mem.set_spill_nat(a.value, v.nat);
+                                if u.prov == Provenance::Original {
+                                    self.stats.stores += 1;
+                                }
+                            }
+                            Err(e) => fault_at!(uops, j, ip, mem_fault(e, ip)),
+                        }
+                    }
+                    Op::LdFill { dst, addr } => {
+                        let a = self.cpu.gpr(addr);
+                        if a.nat {
+                            fault_at!(
+                                uops,
+                                j,
+                                ip,
+                                Fault::NatConsumption { kind: NatFaultKind::LoadAddress, ip }
+                            );
+                        }
+                        match self.mem.read_int(a.value, 8) {
+                            Ok(raw) => {
+                                dev!(u.prov, self.cache.access(a.value, 8));
+                                let nat = self.mem.spill_nat(a.value);
+                                self.cpu.set_gpr(dst, RegVal { value: raw, nat });
+                                if u.prov == Provenance::Original {
+                                    self.stats.loads += 1;
+                                }
+                            }
+                            Err(e) => fault_at!(uops, j, ip, mem_fault(e, ip)),
+                        }
+                    }
+                    Op::MovToBr { br, src } => {
+                        let v = self.cpu.gpr(src);
+                        if v.nat {
+                            fault_at!(
+                                uops,
+                                j,
+                                ip,
+                                Fault::NatConsumption { kind: NatFaultKind::BranchMove, ip }
+                            );
+                        }
+                        self.cpu.set_br(br, v.value);
+                    }
+                    Op::Tnat { pt, pf, src } => {
+                        let nat = self.cpu.gpr(src).nat;
+                        self.cpu.set_pr(pt, nat);
+                        self.cpu.set_pr(pf, !nat);
+                    }
+                    Op::Tset { dst } => {
+                        let v = self.cpu.gpr(dst);
+                        self.cpu.set_gpr(dst, RegVal { value: v.value, nat: true });
+                    }
+                    Op::Tclr { dst } => {
+                        let v = self.cpu.gpr(dst);
+                        self.cpu.set_gpr(dst, RegVal::of(v.value));
+                    }
+                    Op::MovFromBr { dst, br } => {
+                        let v = self.cpu.br(br);
+                        self.cpu.set_gpr_val(dst, v);
+                    }
+                    Op::Nop => {}
+                    // Terminators (always the last micro-op of a block).
+                    // Unconditional transfers carry `branch_taken` in
+                    // `u.base` already (folded at decode time).
+                    Op::ChkS { src, target } => {
+                        if self.cpu.gpr(src).nat {
+                            dev!(u.prov, self.cost.chk_set.wrapping_sub(u64::from(u.base)));
+                            self.stats.chk_taken += 1;
+                            next_ip = target;
+                        }
+                    }
+                    Op::Jmp { target } => next_ip = target,
+                    Op::Call { link, target } => {
+                        self.cpu.set_br(link, (ip + 1) as u64);
+                        next_ip = target;
+                    }
+                    Op::JmpBr { br } => next_ip = self.cpu.br(br) as usize,
+                    Op::Syscall { num } => {
+                        self.stats.syscalls += 1;
+                        settle!(uops, j);
+                        // Flush *before* the handler runs: the `Os` gets
+                        // `&mut Machine` and must see stats, fuel, and
+                        // countdowns exactly as the per-instruction path
+                        // would show them.
+                        flush!();
+                        self.cpu.ip = ip + 1;
+                        return match os.syscall(self, num) {
+                            SysResult::Continue => StepOut::Recheck,
+                            SysResult::Stop(exit) => StepOut::Exit(exit),
+                        };
+                    }
+                    Op::Halt => {
+                        settle!(uops, j);
+                        flush!();
+                        self.cpu.ip = ip;
+                        return StepOut::Exit(Exit::Halted(
+                            self.cpu.gpr(shift_isa::Gpr::RET).value as i64,
+                        ));
+                    }
+                }
+            }
+
+            merge_accts!(blk);
+            pending += len;
+            ip = next_ip;
+        }
+    }
+
+    /// Runs like [`Machine::run`] but with the superblock tier disabled:
+    /// every instruction goes through the per-instruction stepper.
+    ///
+    /// Exists solely as the control arm for dispatch benchmarks (the host is
+    /// too noisy for cross-process comparisons, so the microbench runs both
+    /// tiers in-process and interleaved). Architecturally identical to
+    /// `run` — same exits, same stats, same modelled cycles — just slower
+    /// on the host. Not part of the supported API.
+    #[doc(hidden)]
+    pub fn run_per_insn<O: Os>(&mut self, os: &mut O, max_insns: u64) -> Exit {
+        let budget = self.stats.instructions.saturating_add(max_insns);
+        loop {
+            if self.stats.instructions >= budget {
+                return Exit::InsnLimit;
+            }
+            let hot = self.trace.is_none()
+                && self.obs.is_none()
+                && self.profiler.is_none()
+                && self.watchdog.is_none()
+                && self.injections.is_empty();
+            let out =
+                if hot { self.step_impl::<O, true>(os) } else { self.step_impl::<O, false>(os) };
+            match out {
+                StepOut::Continue | StepOut::Recheck => {}
+                StepOut::Exit(exit) => return exit,
+            }
+        }
+    }
+
+    /// Drops and rebuilds the superblock tables from the (immutable) code.
+    ///
+    /// Guest code cannot change under this simulator — `code` is a shared
+    /// `Arc<[Insn]>` and the ISA has no code store — so nothing *requires*
+    /// invalidation today; this is the hook a future embedder with mutable
+    /// code would call, and the regression suite uses it to prove a flushed
+    /// machine re-decodes to bit-identical behaviour.
+    pub fn flush_superblocks(&mut self) {
+        self.blocks = std::sync::Arc::new(BlockProgram::build(&self.code, &self.cost));
+        self.block_flushes += 1;
+    }
+
+    /// Host-side superblock dispatch counters (see [`SuperblockStats`]).
+    ///
+    /// ```
+    /// use shift_isa::{Gpr, Insn, Op};
+    /// use shift_machine::{Image, Machine, NullOs};
+    ///
+    /// let image = Image::builder()
+    ///     .code(vec![Insn::new(Op::MovI { dst: Gpr::R8, imm: 0 }), Insn::new(Op::Halt)])
+    ///     .build();
+    /// let mut m = Machine::new(&image);
+    /// m.run(&mut NullOs, 1_000);
+    /// let sb = m.superblock_stats();
+    /// assert!(sb.blocks >= 1 && sb.hits >= 1);
+    /// ```
+    pub fn superblock_stats(&self) -> SuperblockStats {
+        SuperblockStats {
+            hits: self.block_hits,
+            misses: self.block_misses,
+            flushes: self.block_flushes,
+            blocks: self.blocks.block_count() as u64,
         }
     }
 

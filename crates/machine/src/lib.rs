@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 pub mod cache;
 mod cpu;
 mod exec;
@@ -58,7 +59,7 @@ mod stats;
 
 pub use cache::CacheHierarchy;
 pub use cpu::{Cpu, RegVal};
-pub use exec::{Machine, NullOs, Os, SysResult};
+pub use exec::{Machine, NullOs, Os, StepOut, SuperblockStats, SysResult};
 pub use fault::{Fault, NatFaultKind};
 pub use image::{Image, ImageBuilder};
 pub use mem::{MemError, Memory, PAGE_SIZE};

@@ -171,6 +171,19 @@ struct Journal {
     pre_spill_nat: HashSet<u64>,
 }
 
+/// Natural-alignment check. Executor access sizes (`MemSize::bytes()`) are
+/// always powers of two, so the common case is a mask test rather than the
+/// `u64` division `is_multiple_of` costs on the hot load/store path; the
+/// fallback keeps the documented any-size behaviour of the public accessors.
+#[inline]
+fn aligned(addr: u64, size: u64) -> bool {
+    if size.is_power_of_two() {
+        addr & (size - 1) == 0
+    } else {
+        addr.is_multiple_of(size)
+    }
+}
+
 impl Memory {
     /// Creates an empty address space.
     pub fn new() -> Memory {
@@ -401,7 +414,7 @@ impl Memory {
         let slot = match self.tlb_lookup(page) {
             // A hit proves implemented + mapped; only alignment can fail.
             Some(slot) => {
-                if !addr.is_multiple_of(size) {
+                if !aligned(addr, size) {
                     return Err(MemError::Unaligned { addr, size });
                 }
                 slot
@@ -411,7 +424,7 @@ impl Memory {
                 if !is_implemented(addr) {
                     return Err(MemError::Unimplemented { addr });
                 }
-                if !addr.is_multiple_of(size) {
+                if !aligned(addr, size) {
                     return Err(MemError::Unaligned { addr, size });
                 }
                 self.resolve_slow(addr, false)?
@@ -448,7 +461,7 @@ impl Memory {
         let page = addr / PAGE_SIZE;
         let slot = match self.tlb_lookup(page) {
             Some(slot) => {
-                if !addr.is_multiple_of(size) {
+                if !aligned(addr, size) {
                     return Err(MemError::Unaligned { addr, size });
                 }
                 self.journal_touch(page, slot);
@@ -458,7 +471,7 @@ impl Memory {
                 if !is_implemented(addr) {
                     return Err(MemError::Unimplemented { addr });
                 }
-                if !addr.is_multiple_of(size) {
+                if !aligned(addr, size) {
                     return Err(MemError::Unaligned { addr, size });
                 }
                 self.resolve_slow(addr, true)?

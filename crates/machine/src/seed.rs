@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use shift_isa::{CostModel, Insn};
 
+use crate::block::BlockProgram;
 use crate::cpu::Cpu;
 use crate::exec::Machine;
 use crate::image::Image;
@@ -27,10 +28,29 @@ use crate::mem::Memory;
 /// Cloning a seed is cheap relative to reloading: the code and cost tables
 /// are shared, and only the resident pages of the pristine memory image are
 /// copied.
+///
+/// ```
+/// use shift_isa::{Gpr, Insn, Op};
+/// use shift_machine::{Image, Machine, MachineSeed, NullOs};
+///
+/// let image = Image::builder()
+///     .code(vec![Insn::new(Op::MovI { dst: Gpr::R8, imm: 1 }), Insn::new(Op::Halt)])
+///     .build();
+/// let seed = MachineSeed::new(&image);
+/// let a = seed.spawn();
+/// let b = seed.spawn();
+/// // Every spawn is bit-identical to a fresh `Machine::new`.
+/// assert_eq!(a.state_digest(), b.state_digest());
+/// assert_eq!(a.state_digest(), Machine::new(&image).state_digest());
+/// ```
 #[derive(Clone, Debug)]
 pub struct MachineSeed {
     code: Arc<[Insn]>,
     base_cost: Arc<[u64]>,
+    /// Code pre-decoded into superblocks (see `crate::block`): built once
+    /// here, shared by every spawn like `code` — decode cost never lands on
+    /// the execution path.
+    blocks: Arc<BlockProgram>,
     mem: Memory,
     entry: usize,
     stack_top: u64,
@@ -57,6 +77,7 @@ impl MachineSeed {
         MachineSeed {
             code: image.code.clone().into(),
             base_cost: image.code.iter().map(|i| CostModel::ITANIUM2.base(&i.op)).collect(),
+            blocks: Arc::new(BlockProgram::build(&image.code, &CostModel::ITANIUM2)),
             mem,
             entry: image.entry,
             stack_top: image.stack_top,
@@ -88,7 +109,7 @@ impl MachineSeed {
     pub fn into_machine(self) -> Machine {
         let mut cpu = Cpu::new(self.entry);
         cpu.set_gpr_val(shift_isa::Gpr::SP, self.stack_top);
-        Machine::from_seed_parts(cpu, self.mem, self.code, self.base_cost)
+        Machine::from_seed_parts(cpu, self.mem, self.code, self.base_cost, self.blocks)
     }
 
     /// Pages of the pristine image that are actually resident (and hence

@@ -78,6 +78,22 @@ impl std::fmt::Display for Exit {
 const NPROV: usize = Provenance::ALL.len();
 
 /// Execution statistics for one run.
+///
+/// All counters are *modelled* events — deterministic for a given program
+/// and input, regardless of host speed or dispatch tier:
+///
+/// ```
+/// use shift_isa::{Gpr, Insn, Op, Provenance};
+/// use shift_machine::{Image, Machine, NullOs};
+///
+/// let image = Image::builder()
+///     .code(vec![Insn::new(Op::MovI { dst: Gpr::R8, imm: 0 }), Insn::new(Op::Halt)])
+///     .build();
+/// let mut m = Machine::new(&image);
+/// m.run(&mut NullOs, 1_000);
+/// assert_eq!(m.stats.instructions, 2);
+/// assert_eq!(m.stats.cycles, m.stats.cycles_for(Provenance::Original));
+/// ```
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Stats {
     /// Retired instructions (includes predicated-off slots).

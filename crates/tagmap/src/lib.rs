@@ -457,8 +457,8 @@ impl HostShadow {
     /// Propagates taint for a memory-to-memory copy of `len` bytes
     /// (used by wrap functions that summarize host-implemented helpers).
     ///
-    /// Runs 64-byte chunks through [`HostShadow::get_bits`] /
-    /// [`HostShadow::put_bits`] with no heap allocation. Overlap is handled
+    /// Runs 64-byte chunks through `HostShadow::get_bits` /
+    /// `HostShadow::put_bits` with no heap allocation. Overlap is handled
     /// memmove-style: when `dst` lands inside the source range the chunks
     /// run back to front, so every source word is read before any
     /// overlapping destination word is written — byte-for-byte (and

@@ -24,7 +24,7 @@
 //! command.
 //!
 //! All randomness flows from one master seed ([`master_seed`], overridable
-//! via the `SHIFT_SEED` environment variable) through [`derive`], so every
+//! via the `SHIFT_SEED` environment variable) through [`derive`](fn@derive), so every
 //! randomized harness in the repo is reproducible from a single integer.
 
 use shift_core::{
@@ -42,7 +42,7 @@ use crate::apache;
 pub const DEFAULT_SEED: u64 = 0x5EED;
 
 /// A splitmix64 generator: the one RNG every randomized harness in the
-/// repo draws from, always via [`derive`] so each harness gets an
+/// repo draws from, always via [`derive`](fn@derive) so each harness gets an
 /// independent but reproducible stream.
 #[derive(Clone, Debug)]
 pub struct Rng(u64);
@@ -75,7 +75,7 @@ impl Rng {
 
 /// The run's master seed: `SHIFT_SEED` from the environment when set and
 /// parseable, [`DEFAULT_SEED`] otherwise. Harnesses must not invent their
-/// own seeds — derive per-harness streams with [`derive`].
+/// own seeds — derive per-harness streams with [`derive`](fn@derive).
 pub fn master_seed() -> u64 {
     std::env::var("SHIFT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
 }

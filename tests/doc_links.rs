@@ -1,0 +1,187 @@
+//! Documentation link checker.
+//!
+//! The top-level docs (README, DESIGN, EXPERIMENTS, ROADMAP) cross-reference
+//! repo files three ways: markdown links (`[text](path)`), backtick-quoted
+//! paths (`` `tests/perf_invariance.rs` ``), and DESIGN.md section pointers
+//! (`DESIGN.md §13`). All three rot silently when files move or sections are
+//! renumbered; this test fails the build on any dangling reference so the
+//! docs stay navigable.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+const DOCS: &[&str] = &["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"];
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extracts `(link_target, line_number)` pairs from markdown `[text](target)`
+/// syntax, skipping fenced code blocks.
+fn markdown_links(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while let Some(open) = line[i..].find("](") {
+            let start = i + open + 2;
+            let Some(close) = line[start..].find(')') else { break };
+            // Nested parens don't occur in this repo's docs; a plain scan
+            // to the first ')' is exact for what we write.
+            out.push((line[start..start + close].to_string(), lineno + 1));
+            i = start + close + 1;
+            if i >= bytes.len() {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Extracts backtick-quoted spans that look like intra-repo file paths:
+/// they name a file with a known extension and contain no spaces or glob
+/// characters. `path:line` suffixes and trailing anchors are stripped.
+fn backtick_paths(text: &str) -> Vec<(String, usize)> {
+    const EXTS: &[&str] = &[".rs", ".md", ".json", ".toml", ".yml"];
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        for span in line.split('`').skip(1).step_by(2) {
+            let span = span.split(':').next().unwrap_or(span);
+            let looks_like_file = EXTS.iter().any(|e| span.ends_with(e));
+            let plain = !span.contains([' ', '*', '{', '<']) && !span.starts_with("http");
+            // A bare `foo.rs` with no directory is a *module* mention
+            // ("compiler module `shadow.rs`"), not a repo path; bare
+            // `.md`/`.json` names are top-level files and stay checked.
+            let module_mention = span.ends_with(".rs") && !span.contains('/');
+            if looks_like_file && plain && !module_mention {
+                out.push((span.to_string(), lineno + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Section numbers declared in DESIGN.md (`## 13. Title` → 13).
+fn design_sections(design: &str) -> BTreeSet<u32> {
+    design
+        .lines()
+        .filter_map(|l| l.strip_prefix("## "))
+        .filter_map(|h| h.split('.').next())
+        .filter_map(|n| n.trim().parse().ok())
+        .collect()
+}
+
+/// `DESIGN.md §N` pointers used anywhere in `text`.
+fn design_refs(text: &str) -> Vec<(u32, usize)> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("DESIGN.md §") {
+            rest = &rest[pos + "DESIGN.md §".len()..];
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if let Ok(n) = digits.parse() {
+                out.push((n, lineno + 1));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn top_level_docs_have_no_dangling_references() {
+    let root = repo_root();
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md");
+    let sections = design_sections(&design);
+    assert!(sections.len() >= 10, "DESIGN.md section parsing broke: {sections:?}");
+
+    let mut broken = Vec::new();
+    for doc in DOCS {
+        let text = std::fs::read_to_string(root.join(doc)).unwrap_or_else(|e| {
+            panic!("{doc}: {e}");
+        });
+
+        for (target, line) in markdown_links(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let path = target.split('#').next().unwrap_or(&target);
+            if path.is_empty() {
+                // Pure in-file anchor (`#section`): heading slugs aren't
+                // stable enough across renderers to check strictly.
+                continue;
+            }
+            if !root.join(path).exists() {
+                broken.push(format!("{doc}:{line}: markdown link to missing `{path}`"));
+            }
+        }
+
+        for (path, line) in backtick_paths(&text) {
+            if !root.join(&path).exists() {
+                broken.push(format!("{doc}:{line}: mentions missing file `{path}`"));
+            }
+        }
+
+        for (section, line) in design_refs(&text) {
+            if !sections.contains(&section) {
+                broken.push(format!(
+                    "{doc}:{line}: points at DESIGN.md §{section}, which does not exist"
+                ));
+            }
+        }
+    }
+
+    assert!(broken.is_empty(), "dangling doc references:\n{}", broken.join("\n"));
+}
+
+/// The `DESIGN.md §N` pointers embedded in rustdoc comments must stay valid
+/// too — they are the only map from code to the design document.
+#[test]
+fn rustdoc_design_pointers_resolve() {
+    let root = repo_root();
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md");
+    let sections = design_sections(&design);
+
+    let mut broken = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("readable dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let text = std::fs::read_to_string(&path).expect("readable source");
+                for (section, line) in design_refs(&text) {
+                    if !sections.contains(&section) {
+                        broken.push(format!(
+                            "{}:{line}: DESIGN.md §{section} does not exist",
+                            path.display()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(broken.is_empty(), "dangling DESIGN.md pointers:\n{}", broken.join("\n"));
+}
