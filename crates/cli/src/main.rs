@@ -8,11 +8,14 @@
 //! shift apache <size-kb> <requests> [--mode M]
 //! shift serve [--mode M] [--workers N] [--connections N] [--requests N]
 //!             [--size-kb N] [--json <path>] [--seed N] [--inject]
-//!             [--record <path>]
+//!             [--record <path>] [--trace-out <path>] [--prom-out <path>]
+//!             [--sample-cycles N]
+//! shift trace <file>                   summarize a recorded trace file
 //! shift replay <log> [--connection N] [--debug] [--shrink <path>]
 //! shift bench [--json] [--reference] [--workers N] [--seed N]
 //! shift disasm [--mode M]              show the instrumentation templates
 //! shift modes                          list compilation modes
+//! shift help                           usage plus the exit-code table
 //! ```
 //!
 //! `serve` runs the fleet engine: the Apache guest is compiled once, then
@@ -46,6 +49,17 @@
 //! `--profile <path>` writes per-guest-function folded stacks; `--trace-depth
 //! N` sizes the last-instructions ring shown by `--trace` (default 16).
 //!
+//! Flight recording (`serve` only, see DESIGN.md §14): `--trace-out <path>`
+//! writes the merged fleet timeline as Chrome `trace_event` JSON — load it
+//! in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`;
+//! `--prom-out <path>` writes the merged metrics registry in the Prometheus
+//! text exposition format; `--sample-cycles N` snapshots the serving
+//! counters every N modelled cycles into the trace file's `timeseries`
+//! section. `shift trace <file>` summarizes a written trace: a
+//! per-connection span table, the longest spans, and the recovery timeline.
+//! Recording is zero-perturbation: the modelled results are bit-identical
+//! with and without these flags.
+//!
 //! Modes: `plain`, `byte` (default), `word`, `byte-enhanced`,
 //! `word-enhanced`, `shadow-byte`, `shadow-word`.
 //!
@@ -65,47 +79,113 @@
 //! | 14   | replay diverged from the recorded outcome (or wrong image) |
 //! | 15   | a shrunk reproducer was produced and written |
 
-use std::process::ExitCode;
+use std::process::ExitCode as ProcessExit;
 
 use shift_core::{CompileError, Exit, Granularity, Mode, Shift, ShiftOptions};
 use shift_workloads::{run_spec, Scale};
 
-/// Usage errors and missed-detection corpus scans.
-const EXIT_USAGE: u8 = 1;
-/// The guest program failed to compile.
-const EXIT_COMPILE: u8 = 2;
-/// The guest halted with a nonzero status.
-const EXIT_GUEST_STATUS: u8 = 3;
-/// The run ended in a policy violation.
-const EXIT_VIOLATION: u8 = 10;
-/// The run ended in an architectural fault.
-const EXIT_FAULT: u8 = 11;
-/// The per-transaction watchdog ran dry.
-const EXIT_FUEL: u8 = 12;
-/// The whole-run instruction budget ran out.
-const EXIT_INSN_LIMIT: u8 = 13;
-/// A replay did not reproduce the recorded outcome bit-identically (or the
-/// compiled image is not the recorded one).
-const EXIT_REPLAY_DIVERGED: u8 = 14;
-/// A shrunk reproducer was produced and written (`replay --shrink`).
-const EXIT_SHRUNK: u8 = 15;
+/// Every process exit code `shift` can return, in one place.
+///
+/// The discriminants ARE the process exit codes (the module-level table and
+/// the `shift help` output are generated from [`ExitCode::ALL`], so neither
+/// can drift from this enum). Codes 4–9 are reserved; scripts can key on
+/// the rest unambiguously.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+enum ExitCode {
+    /// Clean `Halted(0)` guest exit, or a successful report command.
+    Success = 0,
+    /// Usage error, a missed-detection corpus scan, or an unreadable input.
+    Usage = 1,
+    /// The guest program failed to compile.
+    Compile = 2,
+    /// The guest halted with a nonzero status.
+    GuestStatus = 3,
+    /// The run ended in a policy violation (H1–H5 sink policies).
+    Violation = 10,
+    /// The run ended in an architectural fault (incl. NaT consumption =
+    /// L1–L3).
+    Fault = 11,
+    /// The per-transaction watchdog fuel ran dry.
+    Fuel = 12,
+    /// The whole-run instruction budget ran out.
+    InsnLimit = 13,
+    /// A replay did not reproduce the recorded outcome bit-identically (or
+    /// the compiled image is not the recorded one).
+    ReplayDiverged = 14,
+    /// A shrunk reproducer was produced and written (`replay --shrink`).
+    Shrunk = 15,
+}
 
-/// Maps a guest [`Exit`] to the process exit code documented above.
+impl ExitCode {
+    /// Every code, in numeric order — the source of the `shift help` table.
+    const ALL: [ExitCode; 10] = [
+        ExitCode::Success,
+        ExitCode::Usage,
+        ExitCode::Compile,
+        ExitCode::GuestStatus,
+        ExitCode::Violation,
+        ExitCode::Fault,
+        ExitCode::Fuel,
+        ExitCode::InsnLimit,
+        ExitCode::ReplayDiverged,
+        ExitCode::Shrunk,
+    ];
+
+    /// The numeric process exit code.
+    fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// One-line meaning, as shown by `shift help`.
+    fn describe(self) -> &'static str {
+        match self {
+            ExitCode::Success => "clean Halted(0) exit (or a successful report command)",
+            ExitCode::Usage => "usage error, or a corpus scan found a missed detection",
+            ExitCode::Compile => "guest program failed to compile",
+            ExitCode::GuestStatus => "guest halted with a nonzero status",
+            ExitCode::Violation => "policy violation detected (H1-H5 sink policies)",
+            ExitCode::Fault => "architectural fault (incl. NaT consumption = L1-L3)",
+            ExitCode::Fuel => "per-transaction watchdog fuel exhausted",
+            ExitCode::InsnLimit => "whole-run instruction limit reached",
+            ExitCode::ReplayDiverged => "replay diverged from the recorded outcome",
+            ExitCode::Shrunk => "a shrunk reproducer was produced and written",
+        }
+    }
+
+    /// The exit-code table, rendered for `shift help` (and asserted against
+    /// this enum by the CLI tests, so the help text cannot drift).
+    fn table() -> String {
+        let mut out = String::from("exit codes:\n");
+        for c in ExitCode::ALL {
+            out.push_str(&format!("  {:>4}  {}\n", c.code(), c.describe()));
+        }
+        out
+    }
+}
+
+impl From<ExitCode> for ProcessExit {
+    fn from(c: ExitCode) -> ProcessExit {
+        ProcessExit::from(c.code())
+    }
+}
+
+/// Maps a guest [`Exit`] to its [`ExitCode`].
 fn exit_code_for(exit: &Exit) -> ExitCode {
     match exit {
-        Exit::Halted(0) => ExitCode::SUCCESS,
-        Exit::Halted(_) => ExitCode::from(EXIT_GUEST_STATUS),
-        Exit::Violation(_) => ExitCode::from(EXIT_VIOLATION),
-        Exit::Fault(_) => ExitCode::from(EXIT_FAULT),
-        Exit::FuelExhausted => ExitCode::from(EXIT_FUEL),
-        Exit::InsnLimit => ExitCode::from(EXIT_INSN_LIMIT),
+        Exit::Halted(0) => ExitCode::Success,
+        Exit::Halted(_) => ExitCode::GuestStatus,
+        Exit::Violation(_) => ExitCode::Violation,
+        Exit::Fault(_) => ExitCode::Fault,
+        Exit::FuelExhausted => ExitCode::Fuel,
+        Exit::InsnLimit => ExitCode::InsnLimit,
     }
 }
 
 /// Reports a compile failure and yields its dedicated exit code.
 fn compile_failed(e: &CompileError) -> ExitCode {
     eprintln!("compile error: {e}");
-    ExitCode::from(EXIT_COMPILE)
+    ExitCode::Compile
 }
 
 fn parse_mode(name: &str) -> Option<Mode> {
@@ -163,7 +243,7 @@ fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String
 fn write_artifact(path: &str, what: &str, content: &str) -> Result<(), ExitCode> {
     std::fs::write(path, content).map_err(|e| {
         eprintln!("cannot write {what} to {path}: {e}");
-        ExitCode::from(EXIT_USAGE)
+        ExitCode::Usage
     })
 }
 
@@ -247,9 +327,9 @@ fn cmd_attacks(mode: Mode, trace_taint: bool, metrics: Option<String>) -> ExitCo
         println!("metrics written to {path}");
     }
     if all_ok {
-        ExitCode::SUCCESS
+        ExitCode::Success
     } else {
-        ExitCode::from(EXIT_USAGE)
+        ExitCode::Usage
     }
 }
 
@@ -273,7 +353,7 @@ fn cmd_attack(name: &str, mode: Mode, opts: AttackOpts) -> ExitCode {
         for a in shift_attacks::all_attacks() {
             eprintln!("  {}", a.program);
         }
-        return ExitCode::from(EXIT_USAGE);
+        return ExitCode::Usage;
     };
     let app = (atk.build)();
     let world = if opts.benign { (atk.benign)() } else { (atk.exploit)() };
@@ -345,7 +425,7 @@ fn cmd_attack(name: &str, mode: Mode, opts: AttackOpts) -> ExitCode {
     if let Some(path) = &opts.profile {
         let Some(prof) = report.machine.profiler() else {
             eprintln!("profiler was not armed");
-            return ExitCode::from(EXIT_USAGE);
+            return ExitCode::Usage;
         };
         if let Err(code) = write_artifact(path, "profile", &prof.folded()) {
             return code;
@@ -386,7 +466,7 @@ fn cmd_bench(json: bool, scale: Scale, workers: usize, seed: u64) -> ExitCode {
     } else {
         print!("{text}");
     }
-    ExitCode::SUCCESS
+    ExitCode::Success
 }
 
 fn cmd_spec(name: &str, mode: Mode, scale: Scale, tainted: bool) -> ExitCode {
@@ -400,7 +480,7 @@ fn cmd_spec(name: &str, mode: Mode, scale: Scale, tainted: bool) -> ExitCode {
         eprintln!(
             "no benchmark `{name}`; try: all, gzip, gcc, crafty, bzip2, vpr, mcf, parser, twolf"
         );
-        return ExitCode::FAILURE;
+        return ExitCode::Usage;
     }
     println!("{:<10} {:>14} {:>14} {:>10}", "bench", "cycles", "instructions", "slowdown");
     for bench in selected {
@@ -414,7 +494,7 @@ fn cmd_spec(name: &str, mode: Mode, scale: Scale, tainted: bool) -> ExitCode {
             run.stats.cycles as f64 / base.stats.cycles as f64
         );
     }
-    ExitCode::SUCCESS
+    ExitCode::Success
 }
 
 fn cmd_apache(size_kb: usize, requests: usize, mode: Mode) -> ExitCode {
@@ -429,7 +509,7 @@ fn cmd_apache(size_kb: usize, requests: usize, mode: Mode) -> ExitCode {
         (run.total_time() as f64 / base.total_time() as f64 - 1.0) * 100.0,
         run.stats.cycles as f64 / base.stats.cycles as f64
     );
-    ExitCode::SUCCESS
+    ExitCode::Success
 }
 
 /// `shift serve` options, after mode extraction.
@@ -446,6 +526,22 @@ struct ServeOpts {
     inject: bool,
     /// Write a replay log of the run here.
     record: Option<String>,
+    /// Write the merged flight-recorder timeline here as Chrome
+    /// `trace_event` JSON (arms the recorder).
+    trace_out: Option<String>,
+    /// Write the merged metrics registry here in the Prometheus text
+    /// exposition format (arms the recorder).
+    prom_out: Option<String>,
+    /// Snapshot serving counters every N modelled cycles (arms the
+    /// recorder; the samples land in the trace file's `timeseries`).
+    sample_cycles: Option<u64>,
+}
+
+impl ServeOpts {
+    /// Whether any flag asked for the flight recorder.
+    fn recording(&self) -> bool {
+        self.trace_out.is_some() || self.prom_out.is_some() || self.sample_cycles.is_some()
+    }
 }
 
 /// Serves a deterministic Apache request stream across a modelled fleet:
@@ -461,7 +557,15 @@ fn cmd_serve(mode: Mode, opts: ServeOpts) -> ExitCode {
         Some(kb) => ApacheStream::Uniform(kb << 10),
         None => ApacheStream::Mixed,
     };
-    let fleet = apache_fleet(mode);
+    let mut fleet = apache_fleet(mode);
+    if opts.recording() {
+        // Zero-perturbation by construction (DESIGN.md §14): arming changes
+        // only host-side buffers, never the modelled outcome.
+        fleet = fleet.with_flight_recorder(shift_core::FlightConfig {
+            cap: shift_core::DEFAULT_TRACE_CAP,
+            sample_cycles: opts.sample_cycles.unwrap_or(0),
+        });
+    }
     let conns = fleet_connections(stream, opts.connections, opts.requests);
     let seed = opts.seed.unwrap_or_else(chaos::master_seed);
     let faults: Vec<Vec<(u64, Injection)>> = if opts.inject {
@@ -510,6 +614,29 @@ fn cmd_serve(mode: Mode, opts: ServeOpts) -> ExitCode {
         println!("chaos      : {armed} injections armed (seed {seed})");
     }
     println!("host       : {:.2} ms", report.host_ns as f64 / 1e6);
+    if let Some(path) = &opts.trace_out {
+        let events = report.merged_trace_events();
+        let samples = report.merged_samples();
+        let doc = shift_core::chrome_trace_json(&events, &samples);
+        if let Err(code) = write_artifact(path, "trace", &doc.render()) {
+            return code;
+        }
+        let dropped = report.trace_dropped();
+        println!(
+            "trace      : {} events / {} samples written to {path}{}",
+            events.len(),
+            samples.len(),
+            if dropped > 0 { format!(" ({dropped} dropped to ring caps)") } else { String::new() }
+        );
+    }
+    if let Some(path) = &opts.prom_out {
+        if let Err(code) =
+            write_artifact(path, "prometheus metrics", &report.registry.to_prometheus())
+        {
+            return code;
+        }
+        println!("metrics    : prometheus text written to {path}");
+    }
     if let Some(path) = &opts.record {
         let log = shift_core::ReplayLog::capture(
             "apache", &fleet, &world, &conns, &faults, seed, &report,
@@ -548,7 +675,7 @@ fn cmd_serve(mode: Mode, opts: ServeOpts) -> ExitCode {
     }
     match report.exits().iter().find(|e| !matches!(e, Exit::Halted(_))) {
         Some(exit) => exit_code_for(exit),
-        None => ExitCode::SUCCESS,
+        None => ExitCode::Success,
     }
 }
 
@@ -566,19 +693,19 @@ fn cmd_replay(
         Ok(t) => t,
         Err(e) => {
             eprintln!("cannot read replay log `{path}`: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::Usage;
         }
     };
     let log = match shift_core::ReplayLog::parse(&text) {
         Ok(l) => l,
         Err(e) => {
             eprintln!("bad replay log `{path}`: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::Usage;
         }
     };
     let Some(program) = shift_workloads::chaos::chaos_program(&log.program) else {
         eprintln!("replay log names unknown program `{}`", log.program);
-        return ExitCode::FAILURE;
+        return ExitCode::Usage;
     };
     let fleet = match log.build_fleet(&program) {
         Ok(f) => f,
@@ -586,13 +713,13 @@ fn cmd_replay(
             // A digest mismatch means the rebuilt image differs from the
             // recorded one — the log can no longer reproduce that run.
             eprintln!("replay diverged: {e}");
-            return ExitCode::from(EXIT_REPLAY_DIVERGED);
+            return ExitCode::ReplayDiverged;
         }
     };
     if let Some(c) = connection {
         if c >= log.connections.len() {
             eprintln!("log has {} connections; no connection {c}", log.connections.len());
-            return ExitCode::FAILURE;
+            return ExitCode::Usage;
         }
     }
     println!("log        : {path}");
@@ -606,7 +733,7 @@ fn cmd_replay(
         print!("{}", pm.report());
         return match pm.exit() {
             Some(exit) => exit_code_for(exit),
-            None => ExitCode::SUCCESS,
+            None => ExitCode::Success,
         };
     }
     if let Some(out) = shrink_out {
@@ -625,7 +752,7 @@ fn cmd_replay(
             shrunk.probes,
         );
         println!("reproduce  : shift replay {out}");
-        return ExitCode::from(EXIT_SHRUNK);
+        return ExitCode::Shrunk;
     }
     let targets: Vec<usize> = match connection {
         Some(c) => vec![c],
@@ -650,10 +777,10 @@ fn cmd_replay(
     }
     if diverged {
         eprintln!("replay diverged from the recorded run");
-        ExitCode::from(EXIT_REPLAY_DIVERGED)
+        ExitCode::ReplayDiverged
     } else {
         println!("replay     : bit-identical");
-        ExitCode::SUCCESS
+        ExitCode::Success
     }
 }
 
@@ -676,28 +803,172 @@ fn cmd_disasm(mode: Mode) -> ExitCode {
     let (start, end) = compiled.func_ranges["main"];
     println!("mode: {} — one ld8 + one st1, instrumented:", mode_name(mode));
     println!("{}", shift_isa::disasm_listing(&compiled.image.code[start..end], start));
-    ExitCode::SUCCESS
+    ExitCode::Success
 }
+
+/// Summarizes a Chrome `trace_event` JSON file written by
+/// `shift serve --trace-out`: a per-connection span table, the longest
+/// spans, and the recovery timeline (recoveries, violations, injections).
+fn cmd_trace(path: &str) -> ExitCode {
+    use shift_core::Json;
+    use std::collections::BTreeMap;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read trace `{path}`: {e}");
+            return ExitCode::Usage;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bad trace `{path}`: {e}");
+            return ExitCode::Usage;
+        }
+    };
+    let Some(Json::Arr(raw)) = doc.get("traceEvents") else {
+        eprintln!("`{path}` has no traceEvents array — not a shift trace");
+        return ExitCode::Usage;
+    };
+    // One decoded row per non-metadata event. `dur == 0` means an instant.
+    struct Ev<'a> {
+        name: &'a str,
+        tid: u64,
+        cycle: u64,
+        dur: u64,
+        args: &'a Json,
+    }
+    let events: Vec<Ev> = raw
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
+        .filter_map(|e| {
+            Some(Ev {
+                name: e.get("name")?.as_str()?,
+                tid: e.get("tid")?.as_u64()?,
+                cycle: e.get("args")?.get("cycle")?.as_u64()?,
+                dur: e.get("args")?.get("dur_cycles")?.as_u64()?,
+                args: e.get("args")?,
+            })
+        })
+        .collect();
+    if events.len()
+        != raw.iter().filter(|e| e.get("ph").and_then(Json::as_str) != Some("M")).count()
+    {
+        eprintln!("`{path}` has malformed trace events");
+        return ExitCode::Usage;
+    }
+
+    #[derive(Default)]
+    struct Row {
+        events: usize,
+        requests: usize,
+        recoveries: usize,
+        violations: usize,
+        span_cycles: u64,
+    }
+    let mut rows: BTreeMap<u64, Row> = BTreeMap::new();
+    for e in &events {
+        let row = rows.entry(e.tid).or_default();
+        row.events += 1;
+        match e.name {
+            "request" => row.requests += 1,
+            "recovery" => row.recoveries += 1,
+            "violation" => row.violations += 1,
+            "connection" => row.span_cycles = row.span_cycles.max(e.dur),
+            _ => {}
+        }
+    }
+    println!("trace      : {path} ({} events)", events.len());
+    println!(
+        "{:>10} {:>8} {:>9} {:>11} {:>11} {:>14}",
+        "connection", "events", "requests", "recoveries", "violations", "span cycles"
+    );
+    for (tid, r) in &rows {
+        println!(
+            "{:>10} {:>8} {:>9} {:>11} {:>11} {:>14}",
+            tid, r.events, r.requests, r.recoveries, r.violations, r.span_cycles
+        );
+    }
+
+    let mut spans: Vec<&Ev> = events.iter().filter(|e| e.dur > 0).collect();
+    spans.sort_by(|a, b| b.dur.cmp(&a.dur).then(a.cycle.cmp(&b.cycle)).then(a.tid.cmp(&b.tid)));
+    if !spans.is_empty() {
+        println!("longest spans:");
+        for e in spans.iter().take(5) {
+            println!(
+                "  {:>12} cycles  {} (connection {}, start {})",
+                e.dur, e.name, e.tid, e.cycle
+            );
+        }
+    }
+
+    let mut incidents: Vec<&Ev> = events
+        .iter()
+        .filter(|e| matches!(e.name, "recovery" | "violation" | "injection"))
+        .collect();
+    incidents.sort_by_key(|e| (e.cycle, e.tid));
+    if incidents.is_empty() {
+        println!("recovery timeline: clean run, no incidents");
+    } else {
+        println!("recovery timeline:");
+        for e in &incidents {
+            let detail = match e.name {
+                "violation" => format!(
+                    "{} -> {}",
+                    e.args.get("policy").and_then(Json::as_str).unwrap_or("?"),
+                    e.args.get("action").and_then(Json::as_str).unwrap_or("?")
+                ),
+                "recovery" => format!(
+                    "{} cycles thrown away",
+                    e.args.get("recovered_cycles").and_then(Json::as_u64).unwrap_or(0)
+                ),
+                _ => e.args.get("what").and_then(Json::as_str).unwrap_or("?").to_string(),
+            };
+            println!("  cycle {:>12}  connection {:>2}  {:<10} {}", e.cycle, e.tid, e.name, detail);
+        }
+    }
+    if let Some(Json::Arr(series)) = doc.get("timeseries") {
+        if !series.is_empty() {
+            println!("timeseries : {} samples", series.len());
+        }
+    }
+    ExitCode::Success
+}
+
+const USAGE: &str = "usage:\n  \
+     shift attacks [--mode M] [--trace-taint] [--metrics <path>]\n  \
+     shift attack <program> [--mode M] [--benign] [--trace] [--trace-depth N]\n  \
+     \x20                  [--trace-taint] [--metrics <path>] [--profile <path>]\n  \
+     shift spec <bench|all> [--mode M] [--reference] [--safe]\n  \
+     shift apache <size-kb> <requests> [--mode M]\n  \
+     shift serve [--mode M] [--workers N] [--connections N] [--requests N]\n  \
+     \x20           [--size-kb N] [--json <path>] [--seed N] [--inject] [--record <path>]\n  \
+     \x20           [--trace-out <path>] [--prom-out <path>] [--sample-cycles N]\n  \
+     shift trace <file>\n  \
+     shift replay <log> [--connection N] [--debug] [--shrink <path>]\n  \
+     shift bench [--json] [--reference] [--workers N] [--seed N]\n  \
+     shift disasm [--mode M]\n  \
+     shift modes\n  \
+     shift help";
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  \
-         shift attacks [--mode M] [--trace-taint] [--metrics <path>]\n  \
-         shift attack <program> [--mode M] [--benign] [--trace] [--trace-depth N]\n  \
-         \x20                  [--trace-taint] [--metrics <path>] [--profile <path>]\n  \
-         shift spec <bench|all> [--mode M] [--reference] [--safe]\n  \
-         shift apache <size-kb> <requests> [--mode M]\n  \
-         shift serve [--mode M] [--workers N] [--connections N] [--requests N]\n  \
-         \x20           [--size-kb N] [--json <path>] [--seed N] [--inject] [--record <path>]\n  \
-         shift replay <log> [--connection N] [--debug] [--shrink <path>]\n  \
-         shift bench [--json] [--reference] [--workers N] [--seed N]\n  \
-         shift disasm [--mode M]\n  \
-         shift modes"
-    );
-    ExitCode::from(EXIT_USAGE)
+    eprintln!("{USAGE}");
+    ExitCode::Usage
 }
 
-fn main() -> ExitCode {
+/// `shift help`: the usage text plus the exit-code table, on stdout.
+fn cmd_help() -> ExitCode {
+    println!("{USAGE}");
+    println!();
+    print!("{}", ExitCode::table());
+    ExitCode::Success
+}
+
+fn main() -> ProcessExit {
+    run().into()
+}
+
+fn run() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return usage();
@@ -707,13 +978,13 @@ fn main() -> ExitCode {
         Ok(m) => m,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::from(EXIT_USAGE);
+            return ExitCode::Usage;
         }
     };
     match cmd.as_str() {
         "modes" => {
             cmd_modes();
-            ExitCode::SUCCESS
+            ExitCode::Success
         }
         "attacks" => {
             let trace_taint = take_flag(&mut args, "--trace-taint");
@@ -721,7 +992,7 @@ fn main() -> ExitCode {
                 Ok(m) => m,
                 Err(e) => {
                     eprintln!("{e}");
-                    return ExitCode::from(EXIT_USAGE);
+                    return ExitCode::Usage;
                 }
             };
             cmd_attacks(mode, trace_taint, metrics)
@@ -748,7 +1019,7 @@ fn main() -> ExitCode {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("{e}");
-                    return ExitCode::from(EXIT_USAGE);
+                    return ExitCode::Usage;
                 }
             };
             match args.first() {
@@ -796,13 +1067,18 @@ fn main() -> ExitCode {
                         .transpose()?,
                     inject: take_flag(&mut args, "--inject"),
                     record: take_opt(&mut args, "--record")?,
+                    trace_out: take_opt(&mut args, "--trace-out")?,
+                    prom_out: take_opt(&mut args, "--prom-out")?,
+                    sample_cycles: take_opt(&mut args, "--sample-cycles")?
+                        .map(|n| n.parse().map_err(|_| format!("bad --sample-cycles `{n}`")))
+                        .transpose()?,
                 })
             })();
             match parsed {
                 Ok(opts) => cmd_serve(mode, opts),
                 Err(e) => {
                     eprintln!("{e}");
-                    ExitCode::from(EXIT_USAGE)
+                    ExitCode::Usage
                 }
             }
         }
@@ -815,13 +1091,13 @@ fn main() -> ExitCode {
                     Ok(w) => w,
                     Err(_) => {
                         eprintln!("bad --workers `{n}`");
-                        return ExitCode::from(EXIT_USAGE);
+                        return ExitCode::Usage;
                     }
                 },
                 Ok(None) => 0,
                 Err(e) => {
                     eprintln!("{e}");
-                    return ExitCode::from(EXIT_USAGE);
+                    return ExitCode::Usage;
                 }
             };
             let seed = match take_opt(&mut args, "--seed") {
@@ -829,13 +1105,13 @@ fn main() -> ExitCode {
                     Ok(s) => s,
                     Err(_) => {
                         eprintln!("bad --seed `{n}`");
-                        return ExitCode::from(EXIT_USAGE);
+                        return ExitCode::Usage;
                     }
                 },
                 Ok(None) => shift_workloads::master_seed(),
                 Err(e) => {
                     eprintln!("{e}");
-                    return ExitCode::from(EXIT_USAGE);
+                    return ExitCode::Usage;
                 }
             };
             cmd_bench(json, scale, workers, seed)
@@ -856,11 +1132,16 @@ fn main() -> ExitCode {
                 },
                 Err(e) => {
                     eprintln!("{e}");
-                    ExitCode::from(EXIT_USAGE)
+                    ExitCode::Usage
                 }
             }
         }
+        "trace" => match args.first() {
+            Some(path) => cmd_trace(path),
+            None => usage(),
+        },
         "disasm" => cmd_disasm(mode),
+        "help" | "--help" | "-h" => cmd_help(),
         _ => usage(),
     }
 }
@@ -930,8 +1211,8 @@ mod tests {
             exit_code_for(&Exit::Fault(Fault::Unmapped { addr: 0, ip: 0 })),
             exit_code_for(&Exit::FuelExhausted),
             exit_code_for(&Exit::InsnLimit),
-            ExitCode::from(EXIT_REPLAY_DIVERGED),
-            ExitCode::from(EXIT_SHRUNK),
+            ExitCode::ReplayDiverged,
+            ExitCode::Shrunk,
         ];
         let mut uniq: Vec<String> = codes.iter().map(|c| format!("{c:?}")).collect();
         uniq.sort();
@@ -944,10 +1225,28 @@ mod tests {
     /// them unambiguously.
     #[test]
     fn replay_exit_codes_are_reserved() {
-        assert_eq!(EXIT_REPLAY_DIVERGED, 14);
-        assert_eq!(EXIT_SHRUNK, 15);
-        assert_ne!(EXIT_REPLAY_DIVERGED, EXIT_USAGE);
-        assert_ne!(EXIT_SHRUNK, EXIT_USAGE);
+        assert_eq!(ExitCode::ReplayDiverged.code(), 14);
+        assert_eq!(ExitCode::Shrunk.code(), 15);
+        assert_ne!(ExitCode::ReplayDiverged.code(), ExitCode::Usage.code());
+        assert_ne!(ExitCode::Shrunk.code(), ExitCode::Usage.code());
+    }
+
+    /// `shift help` renders its exit-code table from [`ExitCode::ALL`]; this
+    /// pins the documented numeric codes and checks that every code and its
+    /// description actually appear in the rendered table, so the help text
+    /// and the enum cannot drift apart.
+    #[test]
+    fn help_table_agrees_with_exit_code_enum() {
+        let codes: Vec<u8> = ExitCode::ALL.iter().map(|c| c.code()).collect();
+        assert_eq!(codes, vec![0, 1, 2, 3, 10, 11, 12, 13, 14, 15]);
+        let mut uniq = codes.clone();
+        uniq.dedup();
+        assert_eq!(uniq, codes, "exit codes must be distinct and sorted");
+        let table = ExitCode::table();
+        for c in ExitCode::ALL {
+            let row = format!("{:>4}  {}", c.code(), c.describe());
+            assert!(table.contains(&row), "help table missing row {row:?}:\n{table}");
+        }
     }
 
     #[test]

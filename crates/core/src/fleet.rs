@@ -34,10 +34,10 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use shift_machine::{Exit, Injection, Stats, Violation};
-use shift_obs::Registry;
+use shift_obs::{merge_events, merge_samples, Registry, Sample, TraceEvent, TraceKind, TraceRing};
 
 use crate::metrics::serve_metrics;
-use crate::{CompileError, ProgramImage, ServeReport, Shift, World};
+use crate::{CompileError, FlightConfig, ProgramImage, ServeReport, Shift, World};
 
 /// A per-connection fault-injection schedule for [`Fleet::serve_chaos`]:
 /// entry `c` is the `(countdown, injection)` list armed on connection `c`'s
@@ -92,6 +92,10 @@ pub struct ConnectionReport {
     pub registry: Registry,
     /// Final machine state digest (differential-test hook).
     pub state_digest: u64,
+    /// The connection's flight-recorder ring, when the session armed one
+    /// ([`Shift::with_flight_recorder`]): its track id is the connection
+    /// index, so merged timelines are invariant under the worker width.
+    pub trace: Option<TraceRing>,
 }
 
 /// Aggregate outcome of one [`Fleet::serve`] call.
@@ -145,6 +149,27 @@ impl FleetReport {
         self.connections.iter().map(|c| c.exit.clone()).collect()
     }
 
+    /// The fleet's merged trace timeline, ordered by `(cycle, worker, seq)`
+    /// — bit-identical at any worker width (see [`shift_obs::trace`]).
+    /// Empty when the flight recorder was not armed.
+    pub fn merged_trace_events(&self) -> Vec<TraceEvent> {
+        let rings: Vec<&TraceRing> =
+            self.connections.iter().filter_map(|c| c.trace.as_ref()).collect();
+        merge_events(&rings)
+    }
+
+    /// The fleet's merged time-series samples, ordered by `(cycle, worker)`.
+    pub fn merged_samples(&self) -> Vec<Sample> {
+        let rings: Vec<&TraceRing> =
+            self.connections.iter().filter_map(|c| c.trace.as_ref()).collect();
+        merge_samples(&rings)
+    }
+
+    /// Total trace events dropped to ring caps across the fleet.
+    pub fn trace_dropped(&self) -> u64 {
+        self.connections.iter().filter_map(|c| c.trace.as_ref()).map(TraceRing::dropped).sum()
+    }
+
     /// `true` when no connection lost a request.
     pub fn nothing_dropped(&self) -> bool {
         self.dropped == 0
@@ -177,6 +202,14 @@ impl Fleet {
     /// inherits.
     pub fn shift(&self) -> &Shift {
         &self.shift
+    }
+
+    /// Arms the flight recorder on every instance this fleet serves: each
+    /// connection's [`ConnectionReport::trace`] comes back populated, and
+    /// [`FleetReport::merged_trace_events`] yields the fleet-wide timeline.
+    pub fn with_flight_recorder(mut self, cfg: FlightConfig) -> Fleet {
+        self.shift = self.shift.with_flight_recorder(cfg);
+        self
     }
 
     /// Serves `connections` — each an ordered request list handled by a
@@ -276,7 +309,17 @@ impl Fleet {
         width: usize,
     ) -> ConnectionReport {
         let world = requests.iter().fold(base.clone(), |w, msg| w.net(msg.clone()));
-        let report = self.shift.serve_image_injected(&self.image, world, injections);
+        let mut report = self.shift.serve_image_injected(&self.image, world, injections);
+        // Track id = connection index (NOT the modelled instance, which
+        // varies with the fleet width): the merged timeline must be
+        // width-invariant. The whole session becomes one wrapping span.
+        let session = report.stats.total_time();
+        if let Some(ring) = report.machine.flight_recorder_mut() {
+            ring.set_worker(c as u64);
+            ring.span(0, session, TraceKind::Connection { connection: c as u64 });
+        }
+        // Metrics after the session span and before the recorder is detached,
+        // so the `obs.trace.*` series count exactly the events exported.
         let registry = serve_metrics(&report);
         let ServeReport {
             exit,
@@ -287,8 +330,9 @@ impl Fleet {
             violations,
             stats,
             runtime,
-            machine,
+            mut machine,
         } = report;
+        let trace = machine.take_flight_recorder();
         ConnectionReport {
             connection: c,
             instance: c % width,
@@ -304,6 +348,7 @@ impl Fleet {
             registry,
             state_digest: machine.state_digest(),
             stats,
+            trace,
         }
     }
 

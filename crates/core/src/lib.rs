@@ -78,11 +78,34 @@ pub use runtime::{IoCostModel, Runtime, World};
 pub use shift_compiler::{CompileError, CompiledProgram, Compiler, Mode, ShiftOptions};
 pub use shift_machine::{Exit, Fault, Injection, NatFaultKind, Stats, Violation};
 pub use shift_machine::{FuncSpan, Profiler, TaintEvent, TaintJournal, TaintObserver};
-pub use shift_obs::{Json, Registry, SCHEMA_VERSION};
+pub use shift_obs::{
+    chrome_trace_json, merge_events, merge_samples, timeline_digest, total_dropped, Json, Registry,
+    Sample, TraceEvent, TraceKind, TraceRing, CYCLES_PER_US, DEFAULT_TRACE_CAP, SCHEMA_VERSION,
+};
 pub use shift_tagmap::Granularity;
 
 use shift_ir::Program;
 use shift_machine::Machine;
+
+/// Flight-recorder knobs for a serve session (see DESIGN.md §14).
+///
+/// `cap` bounds the per-connection event ring
+/// ([`DEFAULT_TRACE_CAP`] events by default); `sample_cycles` arms the
+/// time-series sampler to snapshot the serving counters every N modelled
+/// cycles (`0`, the default, disarms sampling).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlightConfig {
+    /// Maximum events held per connection ring (oldest evicted beyond it).
+    pub cap: usize,
+    /// Modelled-cycle sampling period for the time series (`0` = off).
+    pub sample_cycles: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> FlightConfig {
+        FlightConfig { cap: DEFAULT_TRACE_CAP, sample_cycles: 0 }
+    }
+}
 
 /// An end-to-end SHIFT session: configuration + compiler mode.
 #[derive(Clone, Debug)]
@@ -94,6 +117,7 @@ pub struct Shift {
     fuel: u64,
     trace_taint: bool,
     profile: bool,
+    flight: Option<FlightConfig>,
 }
 
 /// Everything observable about one guest run.
@@ -152,6 +176,7 @@ impl Shift {
             fuel: 50_000_000,
             trace_taint: false,
             profile: false,
+            flight: None,
         }
     }
 
@@ -169,6 +194,18 @@ impl Shift {
     /// [`Shift::with_taint_trace`].
     pub fn with_profile(mut self) -> Shift {
         self.profile = true;
+        self
+    }
+
+    /// Arms the flight recorder for serve sessions: deterministic
+    /// span/instant timelines of connection/request/recovery/violation/
+    /// syscall events plus optional time-series sampling, per
+    /// [`FlightConfig`]. Diagnostic-only, like [`Shift::with_taint_trace`]
+    /// — modelled results are bit-identical with or without it — and unlike
+    /// the taint observer it does not demote execution to the cold dispatch
+    /// tier (every recording site is a boundary path; DESIGN.md §14).
+    pub fn with_flight_recorder(mut self, cfg: FlightConfig) -> Shift {
+        self.flight = Some(cfg);
         self
     }
 
@@ -221,6 +258,11 @@ impl Shift {
     /// The session's per-transaction watchdog fuel budget.
     pub fn fuel(&self) -> u64 {
         self.fuel
+    }
+
+    /// The session's flight-recorder configuration, when armed.
+    pub fn flight(&self) -> Option<FlightConfig> {
+        self.flight
     }
 
     /// The tag granularity implied by the mode (`None` when uninstrumented).
@@ -342,6 +384,9 @@ impl Shift {
         if self.profile {
             machine.enable_profiler(image.func_spans());
         }
+        if let Some(cfg) = self.flight {
+            machine.enable_flight_recorder(cfg.cap, cfg.sample_cycles);
+        }
         self.serve_machine(machine, world)
     }
 
@@ -387,9 +432,23 @@ impl Shift {
                             ip: machine.cpu.ip,
                             provenance,
                         });
+                        let action = runtime.config().action_for(p);
+                        // NaT-consumption detections bypass the in-syscall
+                        // disposal path, so mirror them into the flight
+                        // recorder here.
+                        let now = machine.stats.total_time();
+                        if let Some(fr) = machine.flight_recorder_mut() {
+                            fr.instant(
+                                now,
+                                TraceKind::Violation {
+                                    policy: p.name().to_string(),
+                                    action: runtime::action_name(action).to_string(),
+                                },
+                            );
+                        }
                         // A faulting instruction cannot be stepped over, so
                         // `LogAndContinue` degrades to a rollback too.
-                        runtime.config().action_for(p) != ViolationAction::Terminate
+                        action != ViolationAction::Terminate
                     }
                     // A plain crash (unmapped access, bad syscall, …):
                     // contain it and keep the server up.
@@ -407,7 +466,15 @@ impl Shift {
             }
             break exit;
         };
-        runtime.finish_request_window(machine.stats.total_time());
+        // Close the final request's latency window, mirroring it into the
+        // flight recorder like the in-stream windows.
+        let session_end = machine.stats.total_time();
+        if let Some((start, latency)) = runtime.finish_request_window(session_end) {
+            let index = runtime.request_latencies.len() as u64 - 1;
+            if let Some(fr) = machine.flight_recorder_mut() {
+                fr.span(start, start + latency, TraceKind::Request { index });
+            }
+        }
         let halted = matches!(exit, Exit::Halted(_));
         // A request still open at a halt completed — the guest finished it
         // and exited without asking for more work. Open at any other stop,

@@ -70,6 +70,15 @@ fn common_metrics(reg: &mut Registry, stats: &Stats, machine: &Machine, runtime:
         reg.counter_add("journal.births", j.births());
         reg.counter_add("journal.propagations", j.propagations());
         reg.counter_add("journal.sinks", j.sinks());
+        // Silent-truncation tripwire: ring drops surface in every metrics
+        // export under one `obs.*` umbrella (alongside obs.trace.dropped).
+        reg.counter_add("obs.journal.dropped", j.dropped());
+    }
+
+    if let Some(fr) = machine.flight_recorder() {
+        reg.counter_add("obs.trace.events", fr.len() as u64);
+        reg.counter_add("obs.trace.dropped", fr.dropped());
+        reg.counter_add("obs.trace.samples", fr.samples().len() as u64);
     }
 
     reg.counter_add("runtime.requests_delivered", runtime.requests_delivered);
@@ -139,6 +148,26 @@ mod tests {
             .map(|p| reg.counter(&format!("stats.by_provenance.{}.cycles", p.name())))
             .sum();
         assert_eq!(prov_sum, report.stats.cycles);
+    }
+
+    #[test]
+    fn obs_drop_counters_surface_in_metrics() {
+        use crate::FlightConfig;
+        let shift = Shift::new(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)))
+            .with_taint_trace()
+            .with_flight_recorder(FlightConfig { cap: 1, sample_cycles: 100 });
+        let report = shift.serve(&tiny_app(), World::new().net(&b"hello"[..])).unwrap();
+        let reg = serve_metrics(&report);
+        let fr = report.machine.flight_recorder().expect("recorder armed");
+        // The tiny serve emits more than one event, so a cap of 1 must drop
+        // and the drops must be visible as obs.* counters.
+        assert!(fr.dropped() > 0, "cap-1 ring should have dropped events");
+        assert_eq!(reg.counter("obs.trace.dropped"), fr.dropped());
+        assert_eq!(reg.counter("obs.trace.events"), fr.len() as u64);
+        assert_eq!(
+            reg.counter("obs.journal.dropped"),
+            report.machine.taint_observer().unwrap().journal().dropped()
+        );
     }
 
     #[test]

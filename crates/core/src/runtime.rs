@@ -19,7 +19,9 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use shift_isa::{sys, Gpr};
-use shift_machine::{layout, Exit, Fault, Machine, MemError, Os, Snapshot, SysResult, Violation};
+use shift_machine::{
+    layout, Exit, Fault, Machine, MemError, Os, Sample, Snapshot, SysResult, TraceKind, Violation,
+};
 use shift_tagmap::{tag_location, Granularity, HostShadow};
 
 use crate::config::{Source, TaintConfig, ViolationAction};
@@ -351,6 +353,10 @@ impl Runtime {
             stats_cycles: m.stats.cycles,
         };
         self.checkpoint = Some((snap, rc));
+        let now = m.stats.total_time();
+        if let Some(fr) = m.flight_recorder_mut() {
+            fr.instant(now, TraceKind::Checkpoint);
+        }
     }
 
     /// Rolls machine and runtime back to the open transaction's checkpoint
@@ -385,9 +391,14 @@ impl Runtime {
         // Cycles are timing state and are not rolled back: attribute the
         // aborted transaction's work to recovery overhead, and restart the
         // attribution window for the transaction that begins now.
-        self.recovery_cycles += m.stats.cycles.saturating_sub(rc.stats_cycles);
+        let thrown = m.stats.cycles.saturating_sub(rc.stats_cycles);
+        self.recovery_cycles += thrown;
         if let Some((_, rc)) = &mut self.checkpoint {
             rc.stats_cycles = m.stats.cycles;
+        }
+        let now = m.stats.total_time();
+        if let Some(fr) = m.flight_recorder_mut() {
+            fr.instant(now, TraceKind::Recovery { recovered_cycles: thrown });
         }
         m.pet_watchdog();
         // The restored CPU sits just after the `net_read` syscall that
@@ -444,6 +455,16 @@ impl Runtime {
 
     /// Applies the configured user-level response to a recorded violation.
     fn dispose(&mut self, m: &mut Machine, action: ViolationAction, v: Violation) -> SysResult {
+        let now = m.stats.total_time();
+        if let Some(fr) = m.flight_recorder_mut() {
+            fr.instant(
+                now,
+                TraceKind::Violation {
+                    policy: v.policy.clone(),
+                    action: action_name(action).to_string(),
+                },
+            );
+        }
         match action {
             ViolationAction::Terminate => SysResult::Stop(Exit::Violation(v)),
             ViolationAction::LogAndContinue => {
@@ -486,11 +507,14 @@ impl Runtime {
 
     /// Closes the open per-request latency window (if any) at modelled time
     /// `now`. The serve loop calls this once after the guest exits so the
-    /// final request's latency is recorded.
-    pub fn finish_request_window(&mut self, now: u64) {
-        if let Some(start) = self.request_start.take() {
-            self.request_latencies.push(now.saturating_sub(start));
-        }
+    /// final request's latency is recorded. Returns the closed window's
+    /// `(start, latency)` so callers can mirror it into the flight recorder
+    /// as a request span.
+    pub fn finish_request_window(&mut self, now: u64) -> Option<(u64, u64)> {
+        let start = self.request_start.take()?;
+        let latency = now.saturating_sub(start);
+        self.request_latencies.push(latency);
+        Some((start, latency))
     }
 
     // ---- syscall bodies ---------------------------------------------------
@@ -535,23 +559,53 @@ impl Runtime {
             self.kbd_reads += 1;
         }
         m.stats.charge_io(base + per_byte * n);
+        let now = m.stats.total_time();
         if matches!(source, Source::Network) {
             // Per-request latency: the window for request k runs from its
             // delivery to the next `net_read` (or `finish_request_window`).
-            let now = m.stats.total_time();
-            self.finish_request_window(now);
+            if let Some((start, latency)) = self.finish_request_window(now) {
+                let index = self.request_latencies.len() as u64 - 1;
+                if let Some(fr) = m.flight_recorder_mut() {
+                    fr.span(start, start + latency, TraceKind::Request { index });
+                }
+            }
             if delivered {
                 self.request_start = Some(now);
             }
         }
+        let io_name = match source {
+            Source::Network => "net_read",
+            Source::Keyboard => "kbd_read",
+            _ => "stream_read",
+        };
+        Self::trace_io(m, io_name, n);
         Self::ret(m, n as i64);
         Ok(SysResult::Continue)
+    }
+
+    /// Mirrors a completed syscall I/O leg into the flight recorder (no-op
+    /// when disarmed).
+    fn trace_io(m: &mut Machine, name: &'static str, bytes: u64) {
+        let now = m.stats.total_time();
+        if let Some(fr) = m.flight_recorder_mut() {
+            fr.instant(now, TraceKind::SyscallIo { name, bytes });
+        }
+    }
+}
+
+/// The stable exposition name of a [`ViolationAction`], used for trace
+/// events and docs.
+pub(crate) fn action_name(action: ViolationAction) -> &'static str {
+    match action {
+        ViolationAction::Terminate => "terminate",
+        ViolationAction::LogAndContinue => "log_and_continue",
+        ViolationAction::AbortTransaction => "abort_transaction",
     }
 }
 
 impl Os for Runtime {
     fn syscall(&mut self, m: &mut Machine, num: u32) -> SysResult {
-        match self.dispatch(m, num) {
+        let out = match self.dispatch(m, num) {
             Ok(r) => r,
             Err(e) => {
                 let ip = m.cpu.ip;
@@ -561,7 +615,30 @@ impl Os for Runtime {
                     MemError::Unaligned { addr, size } => Fault::Unaligned { addr, size, ip },
                 }))
             }
+        };
+        // Time-series sampling. Syscalls are the only points where the
+        // modelled clock can cross a threshold with the runtime's counters
+        // in a consistent state, so sampling here is deterministic: the
+        // same run produces the same samples at the same modelled cycles.
+        if m.flight_recorder().is_some() {
+            let now = m.stats.total_time();
+            let sample = Sample {
+                cycle: now,
+                worker: 0, // restamped by the fleet with the connection index
+                cycles: m.stats.cycles,
+                io_cycles: m.stats.io_cycles,
+                instructions: m.stats.instructions,
+                requests: self.requests_delivered,
+                recoveries: self.recoveries,
+                violations: self.violations.len() as u64,
+            };
+            if let Some(fr) = m.flight_recorder_mut() {
+                if fr.sample_due(now) {
+                    fr.record_sample(sample);
+                }
+            }
         }
+        out
     }
 }
 
@@ -608,6 +685,7 @@ impl Runtime {
                 m.mem.read_bytes(a0, &mut bytes)?;
                 m.stats.charge_io(self.io.net_base + self.io.net_per_byte * a1);
                 self.net_output.extend_from_slice(&bytes);
+                Self::trace_io(m, "net_write", a1);
                 Self::ret(m, a1 as i64);
                 Ok(SysResult::Continue)
             }
@@ -636,6 +714,7 @@ impl Runtime {
                 let fd = self.fds.len() as i64;
                 self.fds.push(Some(OpenFile { name, pos: 0, writable }));
                 m.stats.charge_io(self.io.disk_base);
+                Self::trace_io(m, "file_open", 0);
                 Self::ret(m, fd);
                 Ok(SysResult::Continue)
             }
@@ -654,6 +733,7 @@ impl Runtime {
                 let label = format!("file_read {}", f.name);
                 self.write_guest(m, a1, &chunk, tainted, &label)?;
                 m.stats.charge_io(self.io.disk_base + self.io.disk_per_byte * chunk.len() as u64);
+                Self::trace_io(m, "file_read", chunk.len() as u64);
                 Self::ret(m, chunk.len() as i64);
                 Ok(SysResult::Continue)
             }
@@ -671,6 +751,7 @@ impl Runtime {
                 let n = bytes.len() as u64;
                 self.world.files.entry(f.name.clone()).or_default().extend_from_slice(&bytes);
                 m.stats.charge_io(self.io.disk_base + self.io.disk_per_byte * n);
+                Self::trace_io(m, "file_write", n);
                 Self::ret(m, n as i64);
                 Ok(SysResult::Continue)
             }

@@ -1,7 +1,7 @@
 //! The in-order executor: fetch, predicate check, execute, account.
 
 use shift_isa::{AluOp, CostModel, ExtKind, Insn, MemSize, Op, Provenance};
-use shift_obs::{FuncSpan, Profiler, TaintObserver};
+use shift_obs::{FuncSpan, Profiler, TaintObserver, TraceKind, TraceRing};
 
 use crate::block::{BlockProgram, NPROV};
 use crate::cache::CacheHierarchy;
@@ -102,6 +102,12 @@ pub struct Machine {
     // are boxed so the disabled case is a single pointer test per hook.
     obs: Option<Box<TaintObserver>>,
     profiler: Option<Box<Profiler>>,
+    /// Flight recorder (DESIGN.md §14). Diagnostic-only like `obs` and
+    /// `profiler`, but deliberately NOT part of the hot-tier gate: its
+    /// events originate only at syscall boundaries, superblock flushes,
+    /// recovery points, and injection firings — never per instruction — so
+    /// the superblock tier stays armed while recording.
+    flight: Option<Box<TraceRing>>,
 }
 
 /// Per-transaction fuel budget: counts instructions retired since the last
@@ -194,6 +200,7 @@ impl Machine {
             injections: Vec::new(),
             obs: None,
             profiler: None,
+            flight: None,
         }
     }
 
@@ -220,6 +227,37 @@ impl Machine {
     /// table. Diagnostic-only, like the taint observer.
     pub fn enable_profiler(&mut self, funcs: Vec<FuncSpan>) {
         self.profiler = Some(Box::new(Profiler::new(funcs, self.cpu.ip)));
+    }
+
+    /// Arms the flight recorder: a bounded [`TraceRing`] holding at most
+    /// `cap` events, with time-series sampling every `sample_cycles`
+    /// modelled cycles (`0` disarms sampling). Diagnostic-only, like the
+    /// taint observer — and unlike the per-instruction trace, arming it
+    /// does not demote execution to the cold dispatch tier, because every
+    /// recording site sits on a boundary path (DESIGN.md §14).
+    pub fn enable_flight_recorder(&mut self, cap: usize, sample_cycles: u64) {
+        let mut ring = TraceRing::with_capacity(cap);
+        if sample_cycles > 0 {
+            ring.arm_sampling(sample_cycles);
+        }
+        self.flight = Some(Box::new(ring));
+    }
+
+    /// The flight recorder, when armed.
+    pub fn flight_recorder(&self) -> Option<&TraceRing> {
+        self.flight.as_deref()
+    }
+
+    /// Mutable access to the flight recorder (the runtime pushes
+    /// checkpoint/recovery/violation/request/syscall events through this).
+    pub fn flight_recorder_mut(&mut self) -> Option<&mut TraceRing> {
+        self.flight.as_deref_mut()
+    }
+
+    /// Detaches and returns the flight recorder (the fleet does this after
+    /// a serve, to merge per-connection rings into one timeline).
+    pub fn take_flight_recorder(&mut self) -> Option<TraceRing> {
+        self.flight.take().map(|b| *b)
     }
 
     /// The profiler, when enabled.
@@ -333,6 +371,14 @@ impl Machine {
         let mut fault = None;
         for inj in due {
             self.stats.injected_events += 1;
+            if let Some(fr) = self.flight.as_deref_mut() {
+                let what = match &inj {
+                    Injection::FlipNat { .. } => "flip_nat",
+                    Injection::CorruptByte { .. } => "corrupt_byte",
+                    Injection::Fault(_) => "fault",
+                };
+                fr.instant(self.stats.total_time(), TraceKind::InjectionFired { what });
+            }
             match inj {
                 Injection::FlipNat { reg } => {
                     let v = self.cpu.gpr(reg);
@@ -942,6 +988,11 @@ impl Machine {
     pub fn flush_superblocks(&mut self) {
         self.blocks = std::sync::Arc::new(BlockProgram::build(&self.code, &self.cost));
         self.block_flushes += 1;
+        let now = self.stats.total_time();
+        let blocks = self.blocks.block_count() as u64;
+        if let Some(fr) = self.flight.as_deref_mut() {
+            fr.instant(now, TraceKind::SuperblockFlush { blocks });
+        }
     }
 
     /// Host-side superblock dispatch counters (see [`SuperblockStats`]).

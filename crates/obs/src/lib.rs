@@ -11,6 +11,9 @@
 //! 3. **Profiling** ([`Profiler`]): per-guest-function cycle attribution
 //!    with folded-stack output and hot-block ranking, layered on the same
 //!    provenance labels as Fig. 9's overhead breakdown.
+//! 4. **Flight recording** ([`TraceRing`], [`TraceEvent`]): deterministic
+//!    span/instant timelines of the serving stack with Chrome `trace_event`
+//!    export and modelled-time series sampling (DESIGN.md §14).
 //!
 //! The crate sits between `shift-tagmap` and `shift-machine` in the
 //! dependency order: the machine owns the observer/profiler behind
@@ -25,9 +28,14 @@ pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod profile;
+pub mod trace;
 
 pub use journal::{TaintEvent, TaintJournal, DEFAULT_JOURNAL_CAP};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, Registry, SCHEMA_VERSION};
 pub use observer::TaintObserver;
 pub use profile::{FuncSpan, Profiler, BLOCK_INSNS};
+pub use trace::{
+    chrome_trace_json, merge_events, merge_samples, timeline_digest, total_dropped, Sample,
+    TraceEvent, TraceKind, TraceRing, CYCLES_PER_US, DEFAULT_TRACE_CAP,
+};

@@ -113,6 +113,26 @@ impl Histogram {
         }
     }
 
+    /// Cumulative bucket counts for exposition formats: `(upper, count)`
+    /// pairs where `count` is the number of samples `<= upper`, one pair
+    /// per non-empty power-of-two bucket (the top bucket's upper is
+    /// `u64::MAX`). Pairs are monotone in both fields, as Prometheus'
+    /// cumulative `le` buckets require; the final count equals
+    /// [`Histogram::count`].
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            let upper = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+            out.push((upper, cum));
+        }
+        out
+    }
+
     /// JSON summary: count/sum/min/max plus p50/p90/p99.
     pub fn to_json(&self) -> Json {
         let pct = |p: f64| self.percentile(p).map_or(Json::Null, Json::U64);
@@ -192,6 +212,57 @@ impl Registry {
         }
     }
 
+    /// Iterates counters as `(path, value)`, sorted by path.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates gauges as `(path, value)`, sorted by path.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates histograms as `(path, histogram)`, sorted by path.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Exports the registry in the Prometheus text exposition format
+    /// (version 0.0.4, the `text/plain` scrape format).
+    ///
+    /// Dotted paths become underscore-joined metric names under a `shift_`
+    /// prefix (`cache.l1.hits` → `shift_cache_l1_hits`); every series gets
+    /// a `# TYPE` line. Histograms expand to cumulative `_bucket{le="..."}`
+    /// lines at the power-of-two bucket uppers plus the mandatory `+Inf`
+    /// bucket, `_sum`, and `_count`. Output order is sorted within each
+    /// section, so exports diff cleanly — same stability contract as
+    /// [`Registry::to_json`].
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (path, v) in &self.counters {
+            let name = prom_name(path);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (path, v) in &self.gauges {
+            let name = prom_name(path);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (path, h) in &self.histograms {
+            let name = prom_name(path);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            for (upper, cum) in h.cumulative_buckets() {
+                if upper == u64::MAX {
+                    continue; // folded into the +Inf bucket below
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+        }
+        out
+    }
+
     /// Exports the registry as a nested JSON object.
     ///
     /// Dotted metric paths become nested objects; a `schema_version` field
@@ -210,6 +281,17 @@ impl Registry {
         }
         root
     }
+}
+
+/// Maps a dotted metric path onto a Prometheus-legal name: every character
+/// outside `[A-Za-z0-9_]` becomes `_`, under a `shift_` namespace prefix.
+fn prom_name(path: &str) -> String {
+    let mut name = String::with_capacity(path.len() + 6);
+    name.push_str("shift_");
+    for c in path.chars() {
+        name.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+    }
+    name
 }
 
 fn insert_path(node: &mut Json, path: &str, value: Json) {
@@ -363,6 +445,75 @@ mod tests {
         assert_eq!(left.to_json().render(), rev.to_json().render());
         assert_eq!(left.counter("req"), 15);
         assert_eq!(left.histogram("lat").unwrap().count(), 6);
+    }
+
+    proptest::proptest! {
+        /// Merge-then-percentile equals percentile-of-merged: summary
+        /// statistics computed from a merged histogram are bit-identical to
+        /// recording every sample into one histogram — the property the
+        /// fleet relies on when it quotes p50/p99 over merged per-worker
+        /// latency series.
+        #[test]
+        fn merged_percentiles_match_percentiles_of_merged(
+            xs in proptest::prelude::prop::collection::vec(0u64..=u64::MAX, 0..64),
+            ys in proptest::prelude::prop::collection::vec(0u64..=u64::MAX, 0..64),
+        ) {
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            let mut all = Histogram::new();
+            for &v in &xs {
+                a.record(v);
+                all.record(v);
+            }
+            for &v in &ys {
+                b.record(v);
+                all.record(v);
+            }
+            a.merge(&b);
+            for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+                proptest::prelude::prop_assert_eq!(a.percentile(p), all.percentile(p));
+            }
+            proptest::prelude::prop_assert_eq!(
+                a.to_json().render(),
+                all.to_json().render(),
+                "to_json (count/sum/min/max/p50/p90/p99) must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_export_emits_typed_series_and_cumulative_buckets() {
+        let mut r = Registry::new();
+        r.counter_add("cache.l1.hits", 10);
+        r.set_gauge("fig7.byte_unsafe", 2.5);
+        r.record("serve.latency_cycles", 3); // bucket upper 3
+        r.record("serve.latency_cycles", 400); // bucket upper 511
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE shift_cache_l1_hits counter\n"));
+        assert!(text.contains("shift_cache_l1_hits 10\n"));
+        assert!(text.contains("# TYPE shift_fig7_byte_unsafe gauge\n"));
+        assert!(text.contains("shift_fig7_byte_unsafe 2.5\n"));
+        assert!(text.contains("# TYPE shift_serve_latency_cycles histogram\n"));
+        assert!(text.contains("shift_serve_latency_cycles_bucket{le=\"3\"} 1\n"));
+        assert!(text.contains("shift_serve_latency_cycles_bucket{le=\"511\"} 2\n"));
+        assert!(text.contains("shift_serve_latency_cycles_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("shift_serve_latency_cycles_sum 403\n"));
+        assert!(text.contains("shift_serve_latency_cycles_count 2\n"));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_total() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 7, 1 << 40, u64::MAX] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "uppers must strictly increase");
+            assert!(w[0].1 <= w[1].1, "counts must be cumulative");
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        assert_eq!(buckets.last().unwrap().0, u64::MAX, "u64::MAX lands in the top bucket");
     }
 
     #[test]

@@ -341,6 +341,66 @@ fn chaos_campaign_reproducer_replays_bit_identically() {
     }
 }
 
+/// A chaos campaign slice served twice — flight recorder disarmed, then
+/// armed with time-series sampling (DESIGN.md §14) — must be bit-identical
+/// in every modelled number: exits, state digests, [`shift_core::Stats`],
+/// and violation provenance, with the injection schedule live in both runs.
+/// This is the zero-perturbation contract on the *nastiest* path: rollbacks,
+/// mid-request injections, and policy aborts all happening while the
+/// recorder watches.
+#[test]
+fn chaos_slice_is_bit_identical_with_recorder_armed() {
+    use shift_core::{FlightConfig, TraceKind};
+    let mode = Mode::Shift(ShiftOptions::baseline(Granularity::Byte));
+    let disarmed = chaos::chaos_fleet("chaos-sql", mode);
+    let armed = chaos::chaos_fleet("chaos-sql", mode)
+        .with_flight_recorder(FlightConfig { cap: 4096, sample_cycles: 50_000 });
+
+    let world = chaos::chaos_base_world("chaos-sql");
+    let benign = chaos::chaos_benign_request("chaos-sql");
+    let exploit = chaos::chaos_exploit_request("chaos-sql");
+    let conns: Vec<Vec<Vec<u8>>> = (0..4)
+        .map(|c| {
+            (0..3)
+                .map(|r| if (c + r) % 5 == 1 { exploit.clone() } else { benign.clone() })
+                .collect()
+        })
+        .collect();
+    let mut rng = trial_rng("recorder-slice", 0);
+    let mut faults: Vec<Vec<(u64, Injection)>> = (0..conns.len())
+        .map(|_| (0..rng.below(3)).map(|_| chaos::random_fleet_injection(&mut rng)).collect())
+        .collect();
+    // At least one injection is always armed, whatever the seed drew.
+    faults[0].push(chaos::random_fleet_injection(&mut rng));
+
+    let plain = disarmed.serve_chaos(&world, &conns, &faults, 2);
+    let traced = armed.serve_chaos(&world, &conns, &faults, 2);
+
+    assert_eq!(plain.stats, traced.stats, "arming the recorder changed the chaos run's stats");
+    assert_eq!(plain.exits(), traced.exits());
+    assert_eq!(plain.wall_cycles, traced.wall_cycles);
+    assert_eq!(plain.violations, traced.violations, "provenance chains must be unchanged");
+    assert_eq!(
+        (plain.requests, plain.served, plain.recovered, plain.dropped),
+        (traced.requests, traced.served, traced.recovered, traced.dropped),
+    );
+    for (p, t) in plain.connections.iter().zip(&traced.connections) {
+        assert_eq!(p.state_digest, t.state_digest, "connection {}", p.connection);
+        assert_eq!(p.stats, t.stats, "connection {}", p.connection);
+        assert_eq!(p.violations, t.violations, "connection {}", p.connection);
+        assert_eq!(p.latencies, t.latencies, "connection {}", p.connection);
+    }
+
+    // The armed run actually recorded the slice: every injection that fired
+    // left an instant on the timeline.
+    let events = traced.merged_trace_events();
+    assert!(!events.is_empty(), "armed chaos run recorded nothing");
+    let fired: u64 = plain.connections.iter().map(|c| c.stats.injected_events).sum();
+    let logged =
+        events.iter().filter(|e| matches!(e.kind, TraceKind::InjectionFired { .. })).count() as u64;
+    assert_eq!(logged, fired, "fired injections vs InjectionFired trace events");
+}
+
 /// The escape audit catches a *forged* escape. Random single-byte bitmap
 /// corruption essentially never blinds the whole policy check (the quotes
 /// span multiple tag bytes), so this test constructs the worst case by
