@@ -569,6 +569,149 @@ pub fn trace_overhead(
     }
 }
 
+/// The spawn-latency experiment (DESIGN.md §15): is `MachineSeed::spawn`
+/// really O(1) in the image size?
+#[derive(Clone, Debug)]
+pub struct SpawnLatency {
+    /// Resident pages of the small synthetic image.
+    pub small_pages: u64,
+    /// Resident pages of the large image (4× the small one's data).
+    pub large_pages: u64,
+    /// Best-of-three per-spawn host cost from the small image, in ns.
+    pub small_spawn_ns: u64,
+    /// Best-of-three per-spawn host cost from the large image, in ns.
+    pub large_spawn_ns: u64,
+    /// `large_spawn_ns / small_spawn_ns`. O(1) spawning keeps this near
+    /// 1.0 regardless of the 4× size gap; the deep-clone implementation
+    /// this replaced scaled it with the page count.
+    pub o1_ratio: f64,
+    /// Private pages a fresh spawn starts with — 0 under copy-on-write
+    /// sharing (every pristine page is shared or canonical-zero).
+    pub spawn_owned_pages: u64,
+}
+
+/// Measures the host cost of [`shift_machine::MachineSeed::spawn`] from a
+/// small and a 4×-larger synthetic image (256 vs 1024 resident data pages)
+/// and reports the ratio.
+///
+/// Each image is loaded once; spawns are timed in batches (the per-spawn
+/// cost is far below timer granularity) with the best of three batches kept
+/// as a noise filter, mirroring [`trace_overhead`]'s best-of-three shape.
+/// Under page sharing both images spawn by bumping the same number of
+/// reference counts, so the ratio stays near 1.0; CI asserts it under 1.5,
+/// a bound the old deep-clone spawn (~4× here, by construction) fails.
+pub fn spawn_latency() -> SpawnLatency {
+    use shift_isa::{make_vaddr, Gpr, Insn, Op};
+    use shift_machine::{Image, MachineSeed, PAGE_SIZE};
+
+    let build = |pages: usize| -> MachineSeed {
+        // Non-zero fill so every page is a real resident (shared) page —
+        // all-zero pages would deduplicate away and undercut the contrast.
+        let image = Image::builder()
+            .code(vec![Insn::new(Op::MovI { dst: Gpr::R8, imm: 0 }), Insn::new(Op::Halt)])
+            .data(make_vaddr(1, 0x10_0000), vec![0xA5u8; pages * PAGE_SIZE as usize])
+            .build();
+        MachineSeed::new(&image)
+    };
+    let measure = |seed: &MachineSeed| -> u64 {
+        const BATCH: u32 = 256;
+        let mut best = u64::MAX;
+        for _ in 0..3 {
+            let t = Instant::now();
+            for _ in 0..BATCH {
+                std::hint::black_box(seed.spawn());
+            }
+            best = best.min((t.elapsed().as_nanos() as u64 / u64::from(BATCH)).max(1));
+        }
+        best
+    };
+
+    let small = build(256); // 1 MiB of image data
+    let large = build(1024); // 4 MiB
+    let small_spawn_ns = measure(&small);
+    let large_spawn_ns = measure(&large);
+    SpawnLatency {
+        small_pages: small.resident_pages() as u64,
+        large_pages: large.resident_pages() as u64,
+        small_spawn_ns,
+        large_spawn_ns,
+        o1_ratio: large_spawn_ns as f64 / small_spawn_ns as f64,
+        spawn_owned_pages: large.spawn().mem.owned_pages() as u64,
+    }
+}
+
+/// One point of the connection-count sweep: the mixed Apache stream at a
+/// fixed fleet width, scaled from a handful of connections to serving-farm
+/// counts.
+#[derive(Clone, Debug)]
+pub struct ConnPoint {
+    /// Connections served at this point.
+    pub connections: u64,
+    /// Modelled fleet width (fixed across the sweep).
+    pub workers: usize,
+    /// Requests delivered across the fleet.
+    pub requests: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Modelled fleet makespan in cycles.
+    pub wall_cycles: u64,
+    /// Modelled throughput: served requests per second at the fleet clock.
+    pub requests_per_sec: f64,
+    /// 99th-percentile per-request latency in modelled cycles.
+    pub p99_latency: u64,
+    /// Private (COW-owned) pages summed over every connection's instance.
+    pub owned_pages_total: u64,
+    /// The largest private page count any single instance reached.
+    pub peak_owned_pages: u64,
+    /// Mean private bytes per instance — the memory-diet figure that makes
+    /// thousand-connection fleets affordable (DESIGN.md §15).
+    pub private_bytes_per_instance: f64,
+    /// Host wall-clock spent simulating this point, in nanoseconds.
+    pub host_ns: u64,
+}
+
+/// Sweeps the mixed byte-mode Apache fleet over connection counts at a
+/// fixed width ({8, 256, 1024} in `BENCH_shift.json`) — the fleet-scale
+/// counterpart of [`serve_sweep`]'s width axis.
+///
+/// The guest compiles once; every point re-serves its own connection list
+/// from the shared image. Modelled throughput is monotone non-degrading in
+/// the connection count (more connections only improve instance load
+/// balance at a fixed width), and the per-instance private-byte figures
+/// expose what copy-on-write sharing saves as the fleet scales: total
+/// owned pages grow with connections while bytes *per instance* stay flat
+/// and small.
+pub fn connection_sweep(
+    connections_list: &[usize],
+    workers: usize,
+    requests_per_conn: usize,
+) -> Vec<ConnPoint> {
+    use shift_workloads::apache::{apache_fleet, fleet_connections, fleet_world, ApacheStream};
+    let stream = ApacheStream::Mixed;
+    let world = fleet_world(stream);
+    let fleet = apache_fleet(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)));
+    connections_list
+        .iter()
+        .map(|&n| {
+            let conns = fleet_connections(stream, n, requests_per_conn);
+            let report = fleet.serve(&world, &conns, workers);
+            ConnPoint {
+                connections: conns.len() as u64,
+                workers,
+                requests: report.requests,
+                served: report.served,
+                wall_cycles: report.wall_cycles,
+                requests_per_sec: report.requests_per_sec(),
+                p99_latency: report.latency_percentile(99.0).unwrap_or(0),
+                owned_pages_total: report.owned_pages_total,
+                peak_owned_pages: report.peak_owned_pages,
+                private_bytes_per_instance: report.private_bytes_per_instance(),
+                host_ns: report.host_ns.max(1),
+            }
+        })
+        .collect()
+}
+
 /// A Table-3 row: static code size under each compilation mode.
 #[derive(Clone, Debug)]
 pub struct CodeSizeRow {
@@ -720,10 +863,11 @@ pub fn ablation_design_choices(scale: Scale) -> Vec<AblationRow> {
 
 /// A machine-readable summary of the headline experiments — Figure-7/8 SPEC
 /// slowdown geomeans, Figure-6 Apache overhead geomeans, the fleet-serving
-/// throughput sweep ([`serve_sweep`], `serve_rows`), and the
-/// flight-recorder cost check ([`trace_overhead`], `trace_overhead`) — for
-/// CI regression tracking (`shift bench --json` writes it to
-/// `BENCH_shift.json`).
+/// throughput sweep ([`serve_sweep`], `serve_rows`), the connection-count
+/// sweep ([`connection_sweep`], `conn_sweep_rows`), the flight-recorder
+/// cost check ([`trace_overhead`], `trace_overhead`), and the O(1)-spawn
+/// check ([`spawn_latency`], `spawn_latency`) — for CI regression tracking
+/// (`shift bench --json` writes it to `BENCH_shift.json`).
 ///
 /// Besides the modelled numbers, every row carries `host_ns` (host
 /// wall-clock spent on that row's runs) and a top-level `host_ns` section
@@ -774,6 +918,14 @@ pub fn bench_summary(
     let trace = trace_overhead(serve_conns, serve_reqs, 100_000);
     let trace_ns = t0.elapsed().as_nanos() as u64;
 
+    let t0 = Instant::now();
+    let spawn = spawn_latency();
+    let spawn_ns = t0.elapsed().as_nanos() as u64;
+
+    let t0 = Instant::now();
+    let conn_sweep = connection_sweep(&[8, 256, 1024], 8, 1);
+    let conn_sweep_ns = t0.elapsed().as_nanos() as u64;
+
     let gm = |sel: &dyn Fn(&SpecRow) -> f64| geomean(&spec.iter().map(sel).collect::<Vec<f64>>());
     let egm =
         |sel: &dyn Fn(&EnhanceRow) -> f64| geomean(&enh.iter().map(sel).collect::<Vec<f64>>());
@@ -822,6 +974,24 @@ pub fn bench_summary(
                 ("requests_per_sec", Json::F64(p.requests_per_sec)),
                 ("p50_latency_cycles", Json::U64(p.p50_latency)),
                 ("p99_latency_cycles", Json::U64(p.p99_latency)),
+                ("host_ns", Json::U64(p.host_ns)),
+            ])
+        })
+        .collect();
+    let conn_sweep_rows = conn_sweep
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("connections", Json::U64(p.connections)),
+                ("workers", Json::U64(p.workers as u64)),
+                ("requests", Json::U64(p.requests)),
+                ("served", Json::U64(p.served)),
+                ("wall_cycles", Json::U64(p.wall_cycles)),
+                ("requests_per_sec", Json::F64(p.requests_per_sec)),
+                ("p99_latency_cycles", Json::U64(p.p99_latency)),
+                ("owned_pages_total", Json::U64(p.owned_pages_total)),
+                ("peak_owned_pages", Json::U64(p.peak_owned_pages)),
+                ("private_bytes_per_instance", Json::F64(p.private_bytes_per_instance)),
                 ("host_ns", Json::U64(p.host_ns)),
             ])
         })
@@ -883,6 +1053,18 @@ pub fn bench_summary(
         ("fig8_rows", Json::Arr(fig8_rows)),
         ("fig6_rows", Json::Arr(fig6_rows)),
         ("serve_rows", Json::Arr(serve_rows)),
+        ("conn_sweep_rows", Json::Arr(conn_sweep_rows)),
+        (
+            "spawn_latency",
+            Json::obj(vec![
+                ("small_pages", Json::U64(spawn.small_pages)),
+                ("large_pages", Json::U64(spawn.large_pages)),
+                ("small_spawn_ns", Json::U64(spawn.small_spawn_ns)),
+                ("large_spawn_ns", Json::U64(spawn.large_spawn_ns)),
+                ("o1_ratio", Json::F64(spawn.o1_ratio)),
+                ("spawn_owned_pages", Json::U64(spawn.spawn_owned_pages)),
+            ]),
+        ),
         (
             "trace_overhead",
             Json::obj(vec![
@@ -902,6 +1084,8 @@ pub fn bench_summary(
                 ("fig6_apache", Json::U64(fig6_ns)),
                 ("serve", Json::U64(serve_ns)),
                 ("trace_overhead", Json::U64(trace_ns)),
+                ("spawn_latency", Json::U64(spawn_ns)),
+                ("conn_sweep", Json::U64(conn_sweep_ns)),
                 ("total", Json::U64(t_total.elapsed().as_nanos() as u64)),
             ]),
         ),
@@ -991,6 +1175,48 @@ mod tests {
         assert_eq!(sweep_workers(100), 5);
         assert_eq!(sweep_workers(2), 2);
         set_sweep_workers(0);
+    }
+
+    #[test]
+    fn spawn_latency_is_o1_in_image_size() {
+        let s = spawn_latency();
+        assert_eq!(s.large_pages, 4 * s.small_pages, "images must differ 4x in size");
+        assert_eq!(s.spawn_owned_pages, 0, "a fresh spawn must own no private pages");
+        assert!(
+            s.o1_ratio < 1.5,
+            "spawn cost scaled with image size: {} ns (small) vs {} ns (large), ratio {:.2}",
+            s.small_spawn_ns,
+            s.large_spawn_ns,
+            s.o1_ratio
+        );
+    }
+
+    #[test]
+    fn connection_sweep_scales_to_fleet_counts() {
+        // Test-scale miniature of the {8, 256, 1024} sweep in the summary.
+        let points = connection_sweep(&[4, 16, 64], 4, 1);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.served, p.requests, "mixed stream drops nothing: {p:?}");
+            assert!(p.owned_pages_total > 0, "serving must dirty private pages");
+            assert!(p.private_bytes_per_instance > 0.0);
+            assert!(p.peak_owned_pages * (p.connections) >= p.owned_pages_total);
+        }
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].requests_per_sec >= pair[0].requests_per_sec - 1e-9,
+                "throughput degraded {} -> {} connections",
+                pair[0].connections,
+                pair[1].connections
+            );
+            // Per-instance private bytes stay flat as the fleet grows: the
+            // whole point of sharing the pristine image.
+            assert!(
+                pair[1].private_bytes_per_instance
+                    <= pair[0].private_bytes_per_instance * 1.5 + 4096.0,
+                "private bytes/instance grew with the fleet: {points:?}"
+            );
+        }
     }
 
     #[test]

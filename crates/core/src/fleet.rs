@@ -92,6 +92,10 @@ pub struct ConnectionReport {
     pub registry: Registry,
     /// Final machine state digest (differential-test hook).
     pub state_digest: u64,
+    /// Pages the instance privately owned when the session ended — its real
+    /// memory cost under copy-on-write sharing (DESIGN.md §15); pristine
+    /// pages it still shared with the image cost nothing.
+    pub owned_pages: usize,
     /// The connection's flight-recorder ring, when the session armed one
     /// ([`Shift::with_flight_recorder`]): its track id is the connection
     /// index, so merged timelines are invariant under the worker width.
@@ -124,6 +128,13 @@ pub struct FleetReport {
     /// Modelled fleet makespan: the busiest instance's summed connection
     /// times. This is the one aggregate that depends on `workers`.
     pub wall_cycles: u64,
+    /// Sum of [`ConnectionReport::owned_pages`] — the fleet's total private
+    /// page footprint (shared pristine pages are counted once, in the image,
+    /// not here).
+    pub owned_pages_total: u64,
+    /// The largest [`ConnectionReport::owned_pages`] — the peak private
+    /// residency any single instance reached.
+    pub peak_owned_pages: u64,
     /// Host nanoseconds spent simulating this call.
     pub host_ns: u64,
 }
@@ -173,6 +184,18 @@ impl FleetReport {
     /// `true` when no connection lost a request.
     pub fn nothing_dropped(&self) -> bool {
         self.dropped == 0
+    }
+
+    /// Mean private bytes per instance: the copy-on-write memory diet
+    /// figure (`owned_pages × page size`, averaged over connections). The
+    /// deep-clone baseline this replaced paid
+    /// `image.resident_pages() × page size` per instance *up front*.
+    pub fn private_bytes_per_instance(&self) -> f64 {
+        if self.connections.is_empty() {
+            return 0.0;
+        }
+        self.owned_pages_total as f64 * shift_machine::PAGE_SIZE as f64
+            / self.connections.len() as f64
     }
 }
 
@@ -333,6 +356,7 @@ impl Fleet {
             mut machine,
         } = report;
         let trace = machine.take_flight_recorder();
+        let owned_pages = machine.mem.owned_pages();
         ConnectionReport {
             connection: c,
             instance: c % width,
@@ -349,6 +373,7 @@ impl Fleet {
             state_digest: machine.state_digest(),
             stats,
             trace,
+            owned_pages,
         }
     }
 
@@ -362,6 +387,7 @@ impl Fleet {
         let (mut requests, mut served, mut recovered, mut dropped, mut recovery_cycles) =
             (0u64, 0u64, 0u64, 0u64, 0u64);
         let mut instance_busy = vec![0u64; width];
+        let (mut owned_pages_total, mut peak_owned_pages) = (0u64, 0u64);
         for r in &reports {
             stats.merge(&r.stats);
             registry.merge(&r.registry);
@@ -372,6 +398,8 @@ impl Fleet {
             dropped += r.dropped;
             recovery_cycles += r.recovery_cycles;
             instance_busy[r.instance] += r.time;
+            owned_pages_total += r.owned_pages as u64;
+            peak_owned_pages = peak_owned_pages.max(r.owned_pages as u64);
         }
         let wall_cycles = instance_busy.into_iter().max().unwrap_or(0);
         FleetReport {
@@ -386,6 +414,8 @@ impl Fleet {
             dropped,
             recovery_cycles,
             wall_cycles,
+            owned_pages_total,
+            peak_owned_pages,
             host_ns,
         }
     }

@@ -5,8 +5,9 @@
 //! [`shift_machine::MachineSeed`] (decoded code and pristine memory, shared
 //! between instances) plus the per-function spans the profiler attributes
 //! cycles to. Building it once and spawning N instances costs one
-//! compile+link+load plus N clones of the resident pristine pages — the
-//! fleet-serving fast path — instead of N full compiles.
+//! compile+link+load plus N reference-count bumps — the pristine page table
+//! is shared copy-on-write (DESIGN.md §15), so a spawn is O(1) in image
+//! size and instances pay only for pages they dirty.
 
 use std::sync::Arc;
 
@@ -63,9 +64,22 @@ impl ProgramImage {
         self.func_spans.to_vec()
     }
 
-    /// Pristine pages resident in the image (the per-spawn copy cost).
+    /// Pristine pages resident in the image. Under copy-on-write sharing
+    /// (DESIGN.md §15) these are shared with every spawn, not copied — see
+    /// [`ProgramImage::shared_pages`] / [`ProgramImage::owned_pages`].
     pub fn resident_pages(&self) -> usize {
         self.seed.resident_pages()
+    }
+
+    /// Resident pristine pages every spawn shares by reference.
+    pub fn shared_pages(&self) -> usize {
+        self.seed.shared_pages()
+    }
+
+    /// Pages a spawn privately owns up front — always 0 for a frozen image;
+    /// instances pay only for pages they dirty.
+    pub fn owned_pages(&self) -> usize {
+        self.seed.owned_pages()
     }
 
     /// Static code size in instructions.

@@ -50,6 +50,15 @@ fn common_metrics(reg: &mut Registry, stats: &Stats, machine: &Machine, runtime:
     reg.counter_add("mem.tlb.hits", tlb_h);
     reg.counter_add("mem.tlb.misses", tlb_m);
 
+    // Copy-on-write footprint (see DESIGN.md §15): how many pages this
+    // instance privately owns vs. still shares with the pristine image, and
+    // how many COW faults materialized private copies. Host-side only, like
+    // the TLB counters.
+    let (cow_owned, cow_shared, cow_faults) = machine.mem.cow_stats();
+    reg.counter_add("mem.cow.owned", cow_owned as u64);
+    reg.counter_add("mem.cow.shared", cow_shared as u64);
+    reg.counter_add("mem.cow.faults", cow_faults);
+
     // Superblock dispatch effectiveness (see DESIGN.md §13): how many blocks
     // executed whole vs. fell back to the per-instruction stepper. Host-side
     // only, like the TLB counters above.

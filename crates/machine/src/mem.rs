@@ -1,4 +1,4 @@
-//! Sparse paged guest memory.
+//! Sparse paged guest memory with copy-on-write page sharing.
 //!
 //! Pages are allocated on demand for *mapped* ranges; region 0 (the tag
 //! space) is lazily zero-backed on first touch, modelling a kernel that
@@ -8,30 +8,48 @@
 //! # Host performance
 //!
 //! Guest loads/stores are the interpreter's hottest operation, so the layout
-//! is chosen for the host, not just the model (see DESIGN.md §8):
+//! is chosen for the host, not just the model (see DESIGN.md §8 and §15):
 //!
+//! * A page frame's backing is a [`PageData`]: `Zero` (no backing at all —
+//!   the canonical deduplicated all-zero page, which is also every all-clean
+//!   region-0 tag page), `Shared` (an `Arc`'d immutable page, the pristine
+//!   image or a checkpoint origin), or `Owned` (this instance's private,
+//!   writable copy). Reads serve from any variant; the first write to a
+//!   non-`Owned` page takes a *COW fault* that materializes a private copy.
+//! * The whole page table (frames, index, mappings) lives behind one `Arc`,
+//!   so cloning a `Memory` — the [`crate::MachineSeed::spawn`] path — is a
+//!   reference-count bump, O(1) in the image size. The first mutation after
+//!   a clone un-shares the table (frame *headers* copy; page *contents*
+//!   stay shared until individually COW-faulted).
 //! * Page frames live in an arena (`frames`) indexed by a `page_idx` map, so
 //!   a frame is reachable from a plain integer slot without hashing.
-//! * A small direct-mapped software TLB caches `page → slot` translations. A
-//!   TLB entry is only installed after a *successful* access, so a hit
+//! * A small direct-mapped software TLB caches `page → slot` translations.
+//!   An entry is only installed after a *successful* access, so a hit
 //!   implies the page is implemented and mapped — the fast path needs only
-//!   the alignment check to produce identical errors. The TLB is flushed on
-//!   `map_range` and `rollback_checkpoint` (the only operations that change
-//!   the translation or permission state) and hit/miss counters are exported
-//!   via [`Memory::tlb_stats`].
+//!   the alignment check to produce identical errors. Each entry carries a
+//!   `writable` bit that is set only when the frame is `Owned` *and* its
+//!   pre-image is already journaled under the active checkpoint: the TLB
+//!   hands out write-through slots only for such pages, and every other
+//!   write goes through the slow path to take its COW fault / journal
+//!   touch first. The TLB is flushed whenever translations or writability
+//!   can change wholesale (`map_range`, `begin_checkpoint`,
+//!   `rollback_checkpoint`, `freeze`); hit/miss counters are exported via
+//!   [`Memory::tlb_stats`] and COW traffic via [`Memory::cow_stats`].
 //! * Bulk accessors (`read_bytes`/`write_bytes`/`read_cstr`) work per
 //!   page-span: one permission check, one frame lookup, and one journal
 //!   touch per page instead of per byte. Implementedness and mapping are
 //!   page-granular, so per-span checks fault at exactly the byte the
 //!   per-byte loop would have.
-//! * Copy-on-write journaling stamps each frame with the generation of the
-//!   last captured pre-image, making repeat `touch_for_write`s on the same
-//!   page O(1) without a hash probe.
+//! * Checkpoint pre-images use the same sharing scheme: journaling a
+//!   `Shared` page is an `Arc` bump, and rollback restores pages as
+//!   `Shared` — so repeated rollbacks to one checkpoint never re-copy.
 //!
 //! None of this is visible to the model: modelled cycles come from the cost
-//! model and cache simulator, never from host data-structure choices.
+//! model and cache simulator, never from host data-structure choices, and
+//! `state_digest` hashes page *contents*, which sharing never changes.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use shift_isa::{is_implemented, region_of};
 
@@ -39,6 +57,9 @@ use shift_isa::{is_implemented, region_of};
 pub const PAGE_SIZE: u64 = 4096;
 
 const PAGE_USIZE: usize = PAGE_SIZE as usize;
+
+/// The canonical all-zero page every `PageData::Zero` frame reads from.
+static ZERO_PAGE: [u8; PAGE_USIZE] = [0u8; PAGE_USIZE];
 
 /// log2 of the number of software-TLB entries.
 const TLB_BITS: u32 = 5;
@@ -97,13 +118,45 @@ impl std::fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
+/// Backing storage of one resident page.
+///
+/// `Zero` and `Shared` are immutable — a write COW-faults them into `Owned`
+/// first. Cloning is an `Arc` bump for `Shared`, free for `Zero`, and a deep
+/// copy only for `Owned` (which by construction only happens when a dirtied
+/// instance is itself cloned).
+#[derive(Clone, Debug)]
+enum PageData {
+    /// No backing: reads see the canonical all-zero page. Every all-zero
+    /// page — lazily-faulted region-0 tag pages included — deduplicates to
+    /// this one representation.
+    Zero,
+    /// An immutable page shared by reference: the pristine image a spawn
+    /// inherits, or a checkpoint pre-image a rollback restored.
+    Shared(Arc<[u8; PAGE_USIZE]>),
+    /// This instance's private copy, produced by a COW fault; the only
+    /// variant the write path may hand out.
+    Owned(Box<[u8; PAGE_USIZE]>),
+}
+
+impl PageData {
+    /// The page's bytes, wherever they live.
+    #[inline]
+    fn bytes(&self) -> &[u8; PAGE_USIZE] {
+        match self {
+            PageData::Zero => &ZERO_PAGE,
+            PageData::Shared(a) => a,
+            PageData::Owned(b) => b,
+        }
+    }
+}
+
 /// One resident page frame. `stamp` is the journal generation whose
 /// pre-image capture already covered this frame (see
 /// [`Memory::journal_touch`]).
 #[derive(Clone, Debug)]
 struct Frame {
     page: u64,
-    data: Box<[u8; PAGE_USIZE]>,
+    data: PageData,
     stamp: u64,
 }
 
@@ -111,9 +164,36 @@ struct Frame {
 struct TlbEntry {
     page: u64,
     slot: u32,
+    /// `true` only when the frame is `Owned` *and* journaled under the
+    /// current generation: the one case a write may go straight through.
+    writable: bool,
 }
 
-const EMPTY_TLB: [TlbEntry; TLB_SIZE] = [TlbEntry { page: TLB_EMPTY, slot: 0 }; TLB_SIZE];
+const EMPTY_TLB: [TlbEntry; TLB_SIZE] =
+    [TlbEntry { page: TLB_EMPTY, slot: 0, writable: false }; TLB_SIZE];
+
+/// The sharable page table: everything a pristine image contributes. Lives
+/// behind an `Arc` in [`Memory`] so spawning shares it wholesale; the first
+/// mutation after a share clones frame headers (`Arc::make_mut`) while page
+/// contents stay shared until individually COW-faulted.
+#[derive(Clone, Debug, Default)]
+struct Table {
+    frames: Vec<Frame>,
+    page_idx: HashMap<u64, u32>,
+    mapped: HashSet<u64>,
+}
+
+impl Table {
+    /// Removes `page`'s frame from the arena (`swap_remove` + index fixup
+    /// for the frame that moved into the vacated slot).
+    fn remove_page(&mut self, page: u64) {
+        let Some(slot) = self.page_idx.remove(&page) else { return };
+        self.frames.swap_remove(slot as usize);
+        if let Some(moved) = self.frames.get(slot as usize) {
+            self.page_idx.insert(moved.page, slot);
+        }
+    }
+}
 
 /// Sparse paged memory with explicit mappings (plus lazily-backed region 0).
 ///
@@ -124,11 +204,13 @@ const EMPTY_TLB: [TlbEntry; TLB_SIZE] = [TlbEntry { page: TLB_EMPTY, slot: 0 }; 
 /// compiler that manages `UNAT` correctly, without emitting the bookkeeping
 /// code. Ordinary stores *clear* the slot's NaT bit (the spilled value is
 /// gone), and ordinary loads never see it — only `ld8.fill` does.
+///
+/// Cloning shares the whole page table copy-on-write (see the module docs):
+/// a clone of a [`Memory::freeze`]-prepared pristine image costs O(1) in the
+/// image size, and the clones stay observably independent.
 #[derive(Clone, Debug)]
 pub struct Memory {
-    frames: Vec<Frame>,
-    page_idx: HashMap<u64, u32>,
-    mapped: HashSet<u64>,
+    table: Arc<Table>,
     spill_nat: HashSet<u64>,
     journal: Option<Journal>,
     epoch: u64,
@@ -138,14 +220,15 @@ pub struct Memory {
     tlb: [TlbEntry; TLB_SIZE],
     tlb_hits: u64,
     tlb_misses: u64,
+    /// COW faults taken: transitions of a `Zero`/`Shared`/absent page into a
+    /// private `Owned` copy on this instance's write path.
+    cow_faults: u64,
 }
 
 impl Default for Memory {
     fn default() -> Memory {
         Memory {
-            frames: Vec::new(),
-            page_idx: HashMap::new(),
-            mapped: HashSet::new(),
+            table: Arc::new(Table::default()),
             spill_nat: HashSet::new(),
             journal: None,
             epoch: 0,
@@ -153,6 +236,7 @@ impl Default for Memory {
             tlb: EMPTY_TLB,
             tlb_hits: 0,
             tlb_misses: 0,
+            cow_faults: 0,
         }
     }
 }
@@ -160,15 +244,29 @@ impl Default for Memory {
 /// Copy-on-write undo log for one active checkpoint.
 ///
 /// Page *contents* are captured lazily: the first write to a page after the
-/// checkpoint records its pre-image (`None` when the page did not exist
-/// yet). The small bookkeeping sets (`mapped`, `spill_nat`) are captured
-/// eagerly — they hold one entry per page / spill slot and cloning them is
-/// far cheaper than intercepting every mutation.
+/// checkpoint records its pre-image. Pre-images use the page-sharing scheme
+/// — journaling a `Shared` page is an `Arc` bump, and only an already-private
+/// `Owned` page pays a byte copy. The small bookkeeping sets (`mapped`,
+/// `spill_nat`) are captured eagerly — they hold one entry per page / spill
+/// slot and cloning them is far cheaper than intercepting every mutation.
 #[derive(Clone, Debug, Default)]
 struct Journal {
-    pre_pages: HashMap<u64, Option<Box<[u8; PAGE_USIZE]>>>,
+    pre_pages: HashMap<u64, PreImage>,
     pre_mapped: HashSet<u64>,
     pre_spill_nat: HashSet<u64>,
+}
+
+/// A journaled page pre-image. Never holds an `Owned` page: capture either
+/// shares the existing immutable backing or copies a dirtied page into a
+/// fresh `Arc`, so rollback always restores by reference.
+#[derive(Clone, Debug)]
+enum PreImage {
+    /// The page did not exist at capture; rollback drops it again.
+    Absent,
+    /// The page existed with no backing (all-zero).
+    Zero,
+    /// The page's bytes at capture, shared with any later rollback.
+    Bytes(Arc<[u8; PAGE_USIZE]>),
 }
 
 /// Natural-alignment check. Executor access sizes (`MemSize::bytes()`) are
@@ -197,20 +295,6 @@ impl Memory {
         (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - TLB_BITS)) as usize
     }
 
-    /// Fast-path translation: `Some(slot)` iff the TLB holds `page`. A hit
-    /// proves the page passed the full permission check when the entry was
-    /// installed, and nothing has invalidated translations since.
-    #[inline]
-    fn tlb_lookup(&mut self, page: u64) -> Option<u32> {
-        let e = self.tlb[Self::tlb_index(page)];
-        if e.page == page {
-            self.tlb_hits += 1;
-            Some(e.slot)
-        } else {
-            None
-        }
-    }
-
     #[inline]
     fn tlb_flush(&mut self) {
         self.tlb = EMPTY_TLB;
@@ -222,73 +306,195 @@ impl Memory {
         (self.tlb_hits, self.tlb_misses)
     }
 
+    /// Copy-on-write footprint counters, host-side diagnostics like
+    /// [`Memory::tlb_stats`]: `(owned_pages, shared_pages, cow_faults)`.
+    pub fn cow_stats(&self) -> (usize, usize, u64) {
+        (self.owned_pages(), self.shared_pages(), self.cow_faults)
+    }
+
+    /// Pages this instance privately owns — its real per-instance memory
+    /// cost, `owned_pages() * PAGE_SIZE` bytes. Shared and zero pages cost
+    /// an instance nothing beyond the frame header.
+    pub fn owned_pages(&self) -> usize {
+        self.table.frames.iter().filter(|f| matches!(f.data, PageData::Owned(_))).count()
+    }
+
+    /// Resident pages backed by a shared (`Arc`'d) immutable page — the
+    /// pristine image this instance references but has not dirtied.
+    pub fn shared_pages(&self) -> usize {
+        self.table.frames.iter().filter(|f| matches!(f.data, PageData::Shared(_))).count()
+    }
+
+    /// Resident pages with no backing at all (all-zero / all-clean),
+    /// deduplicated to the canonical zero page.
+    pub fn zero_pages(&self) -> usize {
+        self.table.frames.iter().filter(|f| matches!(f.data, PageData::Zero)).count()
+    }
+
+    /// COW faults this instance has taken: writes that materialized a
+    /// private copy of a zero, shared, or absent page.
+    pub fn cow_faults(&self) -> u64 {
+        self.cow_faults
+    }
+
+    /// The page bytes behind `slot` (read path — any variant serves).
+    #[inline]
+    fn page_bytes(&self, slot: u32) -> &[u8; PAGE_USIZE] {
+        self.table.frames[slot as usize].data.bytes()
+    }
+
+    /// The private writable page behind `slot`. Callers must have gone
+    /// through the write-resolution path (a writable TLB hit or
+    /// [`Memory::resolve_slow`] with `for_write`), which guarantees the
+    /// frame is `Owned`.
+    #[inline]
+    fn page_bytes_mut(&mut self, slot: u32) -> &mut [u8; PAGE_USIZE] {
+        let table = Arc::make_mut(&mut self.table);
+        match &mut table.frames[slot as usize].data {
+            PageData::Owned(b) => b,
+            _ => unreachable!("write path handed out a non-owned page"),
+        }
+    }
+
+    /// Whether a freshly-installed TLB entry for `slot` may carry the
+    /// `writable` bit without going through the write path: the frame is
+    /// already private *and* its pre-image is journaled (or no checkpoint
+    /// is armed).
+    #[inline]
+    fn fast_writable(&self, slot: u32) -> bool {
+        let f = &self.table.frames[slot as usize];
+        matches!(f.data, PageData::Owned(_))
+            && (self.journal.is_none() || f.stamp == self.journal_gen)
+    }
+
+    /// Takes the COW fault for `slot` if its page is not yet private:
+    /// `Zero`/`Shared` become a freshly copied `Owned` page.
+    #[inline]
+    fn own_frame(&mut self, slot: u32) {
+        // Fast no-op probe without un-sharing the table.
+        if matches!(self.table.frames[slot as usize].data, PageData::Owned(_)) {
+            return;
+        }
+        let table = Arc::make_mut(&mut self.table);
+        let frame = &mut table.frames[slot as usize];
+        frame.data = match &frame.data {
+            PageData::Zero => PageData::Owned(Box::new([0u8; PAGE_USIZE])),
+            PageData::Shared(a) => PageData::Owned(Box::new(**a)),
+            PageData::Owned(_) => unreachable!("probed above"),
+        };
+        self.cow_faults += 1;
+    }
+
     /// Full translation: permission checks, frame allocation, journaling
-    /// (for writes), and TLB fill. Error order matches the historical
-    /// `check()`: `Unimplemented` before `Unmapped`.
+    /// and COW faulting (for writes), and TLB fill. Error order matches the
+    /// historical `check()`: `Unimplemented` before `Unmapped`.
     fn resolve_slow(&mut self, addr: u64, for_write: bool) -> Result<u32, MemError> {
         self.tlb_misses += 1;
         if !is_implemented(addr) {
             return Err(MemError::Unimplemented { addr });
         }
         let page = addr / PAGE_SIZE;
-        if !self.mapped.contains(&page) && region_of(addr) != 0 {
+        if !self.table.mapped.contains(&page) && region_of(addr) != 0 {
             return Err(MemError::Unmapped { addr });
         }
-        let slot = match self.page_idx.get(&page) {
+        let slot = match self.table.page_idx.get(&page) {
             Some(&slot) => {
                 if for_write {
                     self.journal_touch(page, slot);
+                    self.own_frame(slot);
                 }
                 slot
             }
             None => {
-                // Pre-image is `None`: the page did not exist, so rollback
-                // drops it again. Reads allocate without journaling — an
-                // all-zero page is observably identical to an absent one,
-                // and a later write journals the (zero) content normally.
+                // The page did not exist. Reads install a backing-free
+                // `Zero` frame — observably identical to an absent page and
+                // to the all-zero page the old implementation allocated,
+                // but deduplicated to the canonical zero page. Writes
+                // journal the page as `Absent` (rollback drops it again)
+                // and take the COW fault to a private zeroed copy.
                 let mut stamp = 0;
+                let mut data = PageData::Zero;
                 if for_write {
                     if let Some(j) = &mut self.journal {
-                        j.pre_pages.entry(page).or_insert(None);
+                        j.pre_pages.entry(page).or_insert(PreImage::Absent);
                         stamp = self.journal_gen;
                     }
+                    data = PageData::Owned(Box::new([0u8; PAGE_USIZE]));
+                    self.cow_faults += 1;
                 }
-                let slot = u32::try_from(self.frames.len()).expect("frame arena overflow");
-                self.frames.push(Frame { page, data: Box::new([0u8; PAGE_USIZE]), stamp });
-                self.page_idx.insert(page, slot);
+                let table = Arc::make_mut(&mut self.table);
+                let slot = u32::try_from(table.frames.len()).expect("frame arena overflow");
+                table.frames.push(Frame { page, data, stamp });
+                table.page_idx.insert(page, slot);
                 slot
             }
         };
-        self.tlb[Self::tlb_index(page)] = TlbEntry { page, slot };
+        let writable = if for_write { true } else { self.fast_writable(slot) };
+        self.tlb[Self::tlb_index(page)] = TlbEntry { page, slot, writable };
         Ok(slot)
     }
 
     /// Translation for byte-granularity accessors (no alignment concerns).
+    /// A read may use any TLB hit; a write-through hit additionally needs
+    /// the `writable` bit — anything else resolves slowly (COW fault,
+    /// journal touch, entry upgrade).
     #[inline]
     fn slot_for(&mut self, addr: u64, for_write: bool) -> Result<u32, MemError> {
         let page = addr / PAGE_SIZE;
-        match self.tlb_lookup(page) {
-            Some(slot) => {
-                if for_write {
-                    self.journal_touch(page, slot);
-                }
-                Ok(slot)
-            }
-            None => self.resolve_slow(addr, for_write),
+        let e = self.tlb[Self::tlb_index(page)];
+        if e.page == page && (!for_write || e.writable) {
+            self.tlb_hits += 1;
+            Ok(e.slot)
+        } else {
+            self.resolve_slow(addr, for_write)
         }
     }
 
     /// Records the pre-image of frame `slot` (backing `page`) before its
     /// first modification under the active checkpoint. The generation stamp
-    /// makes repeat touches a single integer compare.
+    /// makes repeat touches a single integer compare; a `Shared` page's
+    /// pre-image is an `Arc` bump, so only already-private pages pay a copy.
     #[inline]
     fn journal_touch(&mut self, page: u64, slot: u32) {
         let Some(j) = &mut self.journal else { return };
-        let f = &mut self.frames[slot as usize];
+        let table = Arc::make_mut(&mut self.table);
+        let f = &mut table.frames[slot as usize];
         if f.stamp != self.journal_gen {
             f.stamp = self.journal_gen;
-            j.pre_pages.entry(page).or_insert_with(|| Some(f.data.clone()));
+            j.pre_pages.entry(page).or_insert_with(|| match &f.data {
+                PageData::Zero => PreImage::Zero,
+                PageData::Shared(a) => PreImage::Bytes(a.clone()),
+                PageData::Owned(b) => PreImage::Bytes(Arc::new(**b)),
+            });
         }
+    }
+
+    /// Converts every private (`Owned`) page into an immutable shared one
+    /// and deduplicates all-zero pages (all-clean region-0 tag pages
+    /// included) down to the canonical backing-free zero page.
+    ///
+    /// This is the load-time preparation step for spawn-sharing
+    /// ([`crate::MachineSeed`]): after a freeze, cloning this memory is an
+    /// `Arc` bump and every clone COW-faults its own private copies on
+    /// first write. Observably a no-op — contents, mappings, digests, and
+    /// error behaviour are unchanged. Also resets the host-side TLB/COW
+    /// diagnostic counters, so instances meter their own traffic rather
+    /// than inheriting the loader's.
+    pub fn freeze(&mut self) {
+        let table = Arc::make_mut(&mut self.table);
+        for f in &mut table.frames {
+            if let PageData::Owned(b) = &f.data {
+                f.data = if b.iter().all(|&x| x == 0) {
+                    PageData::Zero
+                } else {
+                    PageData::Shared(Arc::new(**b))
+                };
+            }
+        }
+        self.tlb_flush();
+        self.tlb_hits = 0;
+        self.tlb_misses = 0;
+        self.cow_faults = 0;
     }
 
     /// Maps (zero-fills) the pages covering `[addr, addr+len)`.
@@ -308,8 +514,9 @@ impl Memory {
         );
         let first = addr / PAGE_SIZE;
         let last = end / PAGE_SIZE;
+        let table = Arc::make_mut(&mut self.table);
         for page in first..=last {
-            self.mapped.insert(page);
+            table.mapped.insert(page);
         }
         self.tlb_flush();
     }
@@ -322,7 +529,7 @@ impl Memory {
         if e.page == page {
             return true;
         }
-        is_implemented(addr) && (self.mapped.contains(&page) || region_of(addr) == 0)
+        is_implemented(addr) && (self.table.mapped.contains(&page) || region_of(addr) == 0)
     }
 
     /// Arms a copy-on-write checkpoint: subsequent writes record page
@@ -333,9 +540,12 @@ impl Memory {
         self.journal_gen += 1;
         self.journal = Some(Journal {
             pre_pages: HashMap::new(),
-            pre_mapped: self.mapped.clone(),
+            pre_mapped: self.table.mapped.clone(),
             pre_spill_nat: self.spill_nat.clone(),
         });
+        // Writable TLB bits encode "journaled under the current generation";
+        // a new generation invalidates them all.
+        self.tlb_flush();
         self.epoch
     }
 
@@ -350,10 +560,11 @@ impl Memory {
     }
 
     /// Undoes every modification since [`Memory::begin_checkpoint`]: dirtied
-    /// pages revert to their pre-images, pages that did not exist are
-    /// dropped, and mappings / banked spill-NaT bits revert wholesale. The
-    /// checkpoint stays armed, so the same point can be rolled back to again.
-    /// Returns `false` (doing nothing) when no checkpoint is armed.
+    /// pages revert to their pre-images (restored *by reference* — a page
+    /// rolled back twice is never copied twice), pages that did not exist
+    /// are dropped, and mappings / banked spill-NaT bits revert wholesale.
+    /// The checkpoint stays armed, so the same point can be rolled back to
+    /// again. Returns `false` (doing nothing) when no checkpoint is armed.
     pub fn rollback_checkpoint(&mut self) -> bool {
         if self.journal.is_none() {
             return false;
@@ -365,31 +576,26 @@ impl Memory {
         // Frames keep stamps from the closed generation; bumping makes the
         // next write after this rollback journal a fresh pre-image.
         self.journal_gen += 1;
+        let table = Arc::make_mut(&mut self.table);
         for (page, pre) in pre_pages {
             match pre {
-                Some(data) => {
-                    let slot = self.page_idx[&page];
-                    self.frames[slot as usize].data = data;
+                PreImage::Bytes(data) => {
+                    let slot = table.page_idx[&page];
+                    table.frames[slot as usize].data = PageData::Shared(data);
                 }
-                None => self.remove_page(page),
+                PreImage::Zero => {
+                    let slot = table.page_idx[&page];
+                    table.frames[slot as usize].data = PageData::Zero;
+                }
+                PreImage::Absent => table.remove_page(page),
             }
         }
-        self.mapped = pre_mapped;
+        table.mapped = pre_mapped;
         self.spill_nat = pre_spill_nat;
-        // Rollback can drop pages and revoke mappings: every cached
-        // translation is suspect.
+        // Rollback can drop pages, revoke mappings, and un-own frames:
+        // every cached translation is suspect.
         self.tlb_flush();
         true
-    }
-
-    /// Removes `page`'s frame from the arena (`swap_remove` + index fixup
-    /// for the frame that moved into the vacated slot).
-    fn remove_page(&mut self, page: u64) {
-        let Some(slot) = self.page_idx.remove(&page) else { return };
-        self.frames.swap_remove(slot as usize);
-        if let Some(moved) = self.frames.get(slot as usize) {
-            self.page_idx.insert(moved.page, slot);
-        }
     }
 
     /// Drops the active checkpoint (if any) without undoing anything.
@@ -411,26 +617,25 @@ impl Memory {
     /// [`MemError`] on unimplemented, unmapped, or unaligned access.
     pub fn read_int(&mut self, addr: u64, size: u64) -> Result<u64, MemError> {
         let page = addr / PAGE_SIZE;
-        let slot = match self.tlb_lookup(page) {
+        let e = self.tlb[Self::tlb_index(page)];
+        let slot = if e.page == page {
             // A hit proves implemented + mapped; only alignment can fail.
-            Some(slot) => {
-                if !aligned(addr, size) {
-                    return Err(MemError::Unaligned { addr, size });
-                }
-                slot
+            self.tlb_hits += 1;
+            if !aligned(addr, size) {
+                return Err(MemError::Unaligned { addr, size });
             }
-            None => {
-                // Historical error order: unimplemented, unaligned, unmapped.
-                if !is_implemented(addr) {
-                    return Err(MemError::Unimplemented { addr });
-                }
-                if !aligned(addr, size) {
-                    return Err(MemError::Unaligned { addr, size });
-                }
-                self.resolve_slow(addr, false)?
+            e.slot
+        } else {
+            // Historical error order: unimplemented, unaligned, unmapped.
+            if !is_implemented(addr) {
+                return Err(MemError::Unimplemented { addr });
             }
+            if !aligned(addr, size) {
+                return Err(MemError::Unaligned { addr, size });
+            }
+            self.resolve_slow(addr, false)?
         };
-        let data = &self.frames[slot as usize].data;
+        let data = self.page_bytes(slot);
         let off = (addr % PAGE_SIZE) as usize;
         Ok(match size {
             8 => u64::from_le_bytes(data[off..off + 8].try_into().expect("8-byte slice")),
@@ -459,25 +664,25 @@ impl Memory {
     /// [`MemError`] on unimplemented, unmapped, or unaligned access.
     pub fn write_int(&mut self, addr: u64, size: u64, value: u64) -> Result<(), MemError> {
         let page = addr / PAGE_SIZE;
-        let slot = match self.tlb_lookup(page) {
-            Some(slot) => {
-                if !aligned(addr, size) {
-                    return Err(MemError::Unaligned { addr, size });
-                }
-                self.journal_touch(page, slot);
-                slot
+        let e = self.tlb[Self::tlb_index(page)];
+        let slot = if e.page == page && e.writable {
+            // A writable hit proves the frame is private and journaled:
+            // write straight through.
+            self.tlb_hits += 1;
+            if !aligned(addr, size) {
+                return Err(MemError::Unaligned { addr, size });
             }
-            None => {
-                if !is_implemented(addr) {
-                    return Err(MemError::Unimplemented { addr });
-                }
-                if !aligned(addr, size) {
-                    return Err(MemError::Unaligned { addr, size });
-                }
-                self.resolve_slow(addr, true)?
+            e.slot
+        } else {
+            if !is_implemented(addr) {
+                return Err(MemError::Unimplemented { addr });
             }
+            if !aligned(addr, size) {
+                return Err(MemError::Unaligned { addr, size });
+            }
+            self.resolve_slow(addr, true)?
         };
-        let data = &mut self.frames[slot as usize].data;
+        let data = self.page_bytes_mut(slot);
         let off = (addr % PAGE_SIZE) as usize;
         match size {
             8 => data[off..off + 8].copy_from_slice(&value.to_le_bytes()),
@@ -530,7 +735,7 @@ impl Memory {
             let off = (a % PAGE_SIZE) as usize;
             let span = (PAGE_USIZE - off).min(out.len() - done);
             let slot = self.slot_for(a, false)?;
-            let data = &self.frames[slot as usize].data;
+            let data = self.page_bytes(slot);
             out[done..done + span].copy_from_slice(&data[off..off + span]);
             done += span;
         }
@@ -539,9 +744,10 @@ impl Memory {
 
     /// Writes `data` starting at `addr` (no alignment requirement).
     ///
-    /// Runs page-span at a time (one check + one journal touch per page);
-    /// on error, spans before the faulting page have already been written,
-    /// matching the per-byte loop's partial-write semantics.
+    /// Runs page-span at a time (one check + one journal touch + at most
+    /// one COW fault per page); on error, spans before the faulting page
+    /// have already been written, matching the per-byte loop's
+    /// partial-write semantics.
     ///
     /// # Errors
     ///
@@ -553,7 +759,7 @@ impl Memory {
             let off = (a % PAGE_SIZE) as usize;
             let span = (PAGE_USIZE - off).min(data.len() - done);
             let slot = self.slot_for(a, true)?;
-            let frame = &mut self.frames[slot as usize].data;
+            let frame = self.page_bytes_mut(slot);
             frame[off..off + span].copy_from_slice(&data[done..done + span]);
             if !self.spill_nat.is_empty() {
                 // Invalidate every 8-byte spill slot the span overlaps.
@@ -588,7 +794,7 @@ impl Memory {
             let off = (a % PAGE_SIZE) as usize;
             let span = (PAGE_USIZE - off).min(max - done);
             let slot = self.slot_for(a, false)?;
-            let chunk = &self.frames[slot as usize].data[off..off + span];
+            let chunk = &self.page_bytes(slot)[off..off + span];
             match chunk.iter().position(|&b| b == 0) {
                 Some(nul) => {
                     out.extend_from_slice(&chunk[..nul]);
@@ -602,29 +808,37 @@ impl Memory {
     }
 
     /// Number of distinct pages that have been touched (diagnostics).
+    /// Under sharing this counts frame *headers*, not private bytes — see
+    /// [`Memory::owned_pages`] / [`Memory::shared_pages`] for the split.
     pub fn resident_pages(&self) -> usize {
-        self.frames.len()
+        self.table.frames.len()
     }
 
     /// Folds the observable memory state into `h`. All-zero pages digest
     /// identically to absent ones: region 0 is lazily zero-backed, so a page
-    /// a read faulted in is indistinguishable from one never touched.
+    /// a read faulted in is indistinguishable from one never touched — and
+    /// sharing state (`Zero`/`Shared`/`Owned`) never enters the digest,
+    /// only contents do.
     pub(crate) fn digest_into(&self, h: &mut crate::snapshot::Fnv) {
         let mut slots: Vec<(u64, usize)> = self
+            .table
             .frames
             .iter()
             .enumerate()
-            .filter(|(_, f)| f.data.iter().any(|&b| b != 0))
+            .filter(|(_, f)| {
+                !matches!(f.data, PageData::Zero) && f.data.bytes().iter().any(|&b| b != 0)
+            })
             .map(|(s, f)| (f.page, s))
             .collect();
         slots.sort_unstable();
-        for (page, slot) in slots {
-            h.word(page);
-            h.bytes(&self.frames[slot].data[..]);
+        for (_, slot) in &slots {
+            let f = &self.table.frames[*slot];
+            h.word(f.page);
+            h.bytes(&f.data.bytes()[..]);
         }
         // Domain separators keep the variable-length sections unambiguous.
         h.word(u64::MAX);
-        let mut mapped: Vec<u64> = self.mapped.iter().copied().collect();
+        let mut mapped: Vec<u64> = self.table.mapped.iter().copied().collect();
         mapped.sort_unstable();
         for m in mapped {
             h.word(m);
@@ -635,6 +849,15 @@ impl Memory {
         for n in nats {
             h.word(n);
         }
+    }
+
+    /// A stable digest of the observable memory state — the memory portion
+    /// of [`crate::Machine::state_digest`]. Sharing never enters it: a COW
+    /// spawn and a deep copy with the same bytes digest identically.
+    pub fn digest(&self) -> u64 {
+        let mut h = crate::snapshot::Fnv::new();
+        self.digest_into(&mut h);
+        h.0
     }
 }
 
@@ -678,6 +901,12 @@ mod tests {
         // The alignment error must also fire on the TLB-hit fast path.
         m.read_int(base, 8).unwrap();
         assert_eq!(m.read_int(base + 4, 8), Err(MemError::Unaligned { addr: base + 4, size: 8 }));
+        // …and on the writable-hit fast path.
+        m.write_int(base, 8, 1).unwrap();
+        assert_eq!(
+            m.write_int(base + 4, 8, 1),
+            Err(MemError::Unaligned { addr: base + 4, size: 8 })
+        );
     }
 
     #[test]
@@ -808,5 +1037,112 @@ mod tests {
         assert_eq!(err, MemError::Unmapped { addr: base + PAGE_SIZE });
         // The mapped prefix was written before the fault.
         assert_eq!(m.read_int(base + PAGE_SIZE - 8, 8).unwrap(), 0xaaaa_aaaa_aaaa_aaaa);
+    }
+
+    #[test]
+    fn clone_shares_pages_until_written() {
+        let (mut m, base) = mapped();
+        m.write_bytes(base, b"pristine").unwrap();
+        m.freeze();
+        assert_eq!((m.owned_pages(), m.shared_pages()), (0, 1));
+
+        let mut a = m.clone();
+        let mut b = m.clone();
+        // Clones read the shared page without faulting a private copy.
+        assert_eq!(a.read_int(base, 8).unwrap(), b.read_int(base, 8).unwrap());
+        assert_eq!(a.owned_pages(), 0);
+        assert_eq!(a.cow_faults(), 0);
+
+        // First write COW-faults exactly one private page, leaving the
+        // sibling and the origin untouched.
+        a.write_int(base, 8, 0xdead).unwrap();
+        assert_eq!((a.owned_pages(), a.cow_faults()), (1, 1));
+        assert_eq!(a.read_int(base, 8).unwrap(), 0xdead);
+        assert_eq!(&b.read_cstr(base, 16).unwrap(), b"pristine");
+        assert_eq!(&m.read_cstr(base, 16).unwrap(), b"pristine");
+        assert_eq!(b.owned_pages(), 0);
+
+        // Repeat writes ride the writable TLB entry: no further faults.
+        a.write_int(base + 8, 8, 1).unwrap();
+        assert_eq!(a.cow_faults(), 1);
+    }
+
+    #[test]
+    fn freeze_dedupes_all_zero_pages() {
+        let (mut m, base) = mapped();
+        // Dirty two pages, one of which ends up all-zero again.
+        m.write_int(base, 8, 7).unwrap();
+        m.write_int(base + PAGE_SIZE, 8, 9).unwrap();
+        m.write_int(base + PAGE_SIZE, 8, 0).unwrap();
+        let digest_before = {
+            let mut h = crate::snapshot::Fnv::new();
+            m.digest_into(&mut h);
+            h.0
+        };
+        m.freeze();
+        // The all-zero page became the canonical zero page; the non-zero
+        // one became shared. Nothing observable moved.
+        assert_eq!((m.owned_pages(), m.shared_pages(), m.zero_pages()), (0, 1, 1));
+        let digest_after = {
+            let mut h = crate::snapshot::Fnv::new();
+            m.digest_into(&mut h);
+            h.0
+        };
+        assert_eq!(digest_before, digest_after, "freeze must be digest-neutral");
+        assert_eq!(m.read_int(base + PAGE_SIZE, 8).unwrap(), 0);
+        assert_eq!(m.read_int(base, 8).unwrap(), 7);
+    }
+
+    #[test]
+    fn lazy_reads_allocate_no_backing() {
+        let mut m = Memory::new();
+        let tag = make_vaddr(0, 0x9000);
+        assert_eq!(m.read_int(tag, 8).unwrap(), 0);
+        // The faulted-in tag page is the canonical zero page: resident as a
+        // frame header, but zero private bytes.
+        assert_eq!(m.resident_pages(), 1);
+        assert_eq!((m.owned_pages(), m.shared_pages(), m.zero_pages()), (0, 0, 1));
+        // Writing it takes the COW fault into a private page.
+        m.write_int(tag, 8, 1).unwrap();
+        assert_eq!((m.owned_pages(), m.zero_pages()), (1, 0));
+        assert_eq!(m.cow_faults(), 1);
+    }
+
+    #[test]
+    fn rollback_restores_pages_by_reference() {
+        let (mut m, base) = mapped();
+        m.write_bytes(base, b"origin").unwrap();
+        m.freeze();
+        let mut inst = m.clone();
+        inst.begin_checkpoint();
+        inst.write_int(base, 8, 0xbad).unwrap();
+        // Journaling the shared page was an Arc bump, not a byte copy; the
+        // write itself took the one COW fault.
+        assert_eq!(inst.cow_faults(), 1);
+        assert!(inst.rollback_checkpoint());
+        assert_eq!(&inst.read_cstr(base, 16).unwrap(), b"origin");
+        // Rolled-back page is shared again: the next write faults anew.
+        inst.write_int(base, 8, 0xfeed).unwrap();
+        assert_eq!(inst.cow_faults(), 2);
+        assert_eq!(&m.read_cstr(base, 16).unwrap(), b"origin", "origin untouched");
+    }
+
+    #[test]
+    fn checkpoint_write_rollback_digest_round_trip() {
+        let (mut m, base) = mapped();
+        m.write_bytes(base, b"seed state").unwrap();
+        m.freeze();
+        let digest = |mm: &Memory| {
+            let mut h = crate::snapshot::Fnv::new();
+            mm.digest_into(&mut h);
+            h.0
+        };
+        let before = digest(&m);
+        m.begin_checkpoint();
+        m.write_bytes(base + 100, &[1, 2, 3]).unwrap();
+        m.write_int(base + PAGE_SIZE, 8, 42).unwrap();
+        assert_ne!(digest(&m), before);
+        assert!(m.rollback_checkpoint());
+        assert_eq!(digest(&m), before, "rollback must restore the exact digest");
     }
 }

@@ -4,10 +4,11 @@
 //! once — decoding cost tables and materializing the initialized memory
 //! image — and then stamps out fresh instances with [`MachineSeed::spawn`].
 //! The decoded code and per-instruction base-cost table are shared between
-//! every spawned instance through `Arc`, so instance #2..N costs one clone
-//! of the *resident* pristine pages (guest pages are allocated on first
-//! touch, so an untouched stack costs nothing) plus two reference-count
-//! bumps.
+//! every spawned instance through `Arc`, and the pristine memory image is
+//! [`Memory::freeze`]-prepared so the whole page table is shared the same
+//! way: spawning is a handful of reference-count bumps, O(1) in the image
+//! size, and an instance pays for private pages only as it copy-on-write
+//! faults them in (see DESIGN.md §15).
 //!
 //! A spawned machine is bit-identical to one built by [`Machine::new`] from
 //! the same [`Image`]: same `state_digest`, same cold caches, same zeroed
@@ -25,9 +26,9 @@ use crate::mem::Memory;
 
 /// A pristine machine image prepared for repeated spawning.
 ///
-/// Cloning a seed is cheap relative to reloading: the code and cost tables
-/// are shared, and only the resident pages of the pristine memory image are
-/// copied.
+/// Cloning a seed is O(1) in the image size: the code and cost tables are
+/// shared through `Arc`, and the frozen pristine page table is shared
+/// copy-on-write — no page bytes move until an instance writes.
 ///
 /// ```
 /// use shift_isa::{Gpr, Insn, Op};
@@ -74,6 +75,9 @@ impl MachineSeed {
             mem.write_bytes(*vaddr, bytes).expect("image data segment failed to load");
         }
         mem.map_range(image.stack_top - image.stack_size, image.stack_size);
+        // Seal the loaded image behind shared immutable pages: spawns then
+        // share the table by Arc bump and COW-fault private copies on write.
+        mem.freeze();
         MachineSeed {
             code: image.code.clone().into(),
             base_cost: image.code.iter().map(|i| CostModel::ITANIUM2.base(&i.op)).collect(),
@@ -112,10 +116,23 @@ impl MachineSeed {
         Machine::from_seed_parts(cpu, self.mem, self.code, self.base_cost, self.blocks)
     }
 
-    /// Pages of the pristine image that are actually resident (and hence
-    /// copied per spawn).
+    /// Pages of the pristine image that are actually resident (frame
+    /// headers — shared with every spawn, not copied per spawn).
     pub fn resident_pages(&self) -> usize {
         self.mem.resident_pages()
+    }
+
+    /// Pages a spawn would privately own up front. Always 0 after the
+    /// constructor's [`Memory::freeze`]: the pristine image is entirely
+    /// shared, and instances only pay for pages they dirty.
+    pub fn owned_pages(&self) -> usize {
+        self.mem.owned_pages()
+    }
+
+    /// Resident pristine pages backed by shared (`Arc`'d) immutable data —
+    /// what every spawn references for free.
+    pub fn shared_pages(&self) -> usize {
+        self.mem.shared_pages()
     }
 
     /// Static code size in instructions.
@@ -166,5 +183,25 @@ mod tests {
         // Only the 4-byte data segment is resident; the stack is mapped but
         // untouched.
         assert_eq!(seed.resident_pages(), 1);
+        // Under sharing, residency is all shared frames and zero private
+        // ones: a spawn copies no page bytes at all.
+        assert_eq!(seed.shared_pages(), 1);
+        assert_eq!(seed.owned_pages(), 0);
+    }
+
+    #[test]
+    fn spawns_share_pages_until_dirtied() {
+        let image = demo_image();
+        let seed = MachineSeed::new(&image);
+        let mut a = seed.spawn();
+        let b = seed.spawn();
+        let (owned, shared, faults) = a.mem.cow_stats();
+        assert_eq!((owned, faults), (0, 0), "a fresh spawn owns nothing");
+        assert_eq!(shared, seed.shared_pages());
+        a.mem.write_int(0x1000, 8, 0x5eed).unwrap();
+        assert_eq!(a.mem.cow_stats().0, 1, "first write owns exactly one page");
+        assert_eq!(a.mem.cow_faults(), 1);
+        assert_eq!(b.mem.cow_stats().0, 0, "sibling still owns nothing");
+        assert_eq!(seed.owned_pages(), 0, "seed stays pristine");
     }
 }

@@ -137,6 +137,15 @@ impl NaiveMem {
     }
 }
 
+/// One generated fleet operation: either spawn a new instance by cloning an
+/// existing one (COW: an `Arc` bump; reference: a deep clone) or apply a
+/// memory [`Op`] to one instance. Indices are taken modulo the live fleet.
+#[derive(Clone, Debug)]
+enum FleetOp {
+    Spawn { from: usize },
+    Mem { inst: usize, op: Op },
+}
+
 /// One generated operation. Offsets are relative to a small window so
 /// sequences revisit pages (exercising TLB hits), cross page boundaries
 /// (exercising span splitting), and run off the mapped range (exercising
@@ -181,6 +190,35 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         Just(Op::Rollback),
         Just(Op::Discard),
     ]
+}
+
+fn fleet_op_strategy() -> impl Strategy<Value = FleetOp> {
+    // Spawns are one draw in ten so sequences mostly mutate (the vendored
+    // proptest shim's `prop_oneof!` has no weight syntax).
+    (0u8..10, 0usize..4, op_strategy()).prop_map(|(sel, inst, op)| {
+        if sel == 0 {
+            FleetOp::Spawn { from: inst }
+        } else {
+            FleetOp::Mem { inst, op }
+        }
+    })
+}
+
+/// What an instance *observes* of the test window: mapped bits, per-page
+/// readback, spill-NaT bits. Two instances with equal observations must
+/// digest identically (and vice versa) no matter how their pages are shared.
+fn naive_observation(naive: &mut NaiveMem, base: u64) -> (Vec<bool>, Vec<Vec<u8>>, Vec<bool>) {
+    let mut mapped = Vec::new();
+    let mut contents = Vec::new();
+    for page in 0..WINDOW / PAGE_SIZE {
+        let addr = base + page * PAGE_SIZE;
+        mapped.push(naive.check(addr, 1, false).is_ok());
+        let mut bytes = vec![0u8; PAGE_SIZE as usize];
+        let _ = naive.read_bytes(addr, &mut bytes);
+        contents.push(bytes);
+    }
+    let spill = (0..WINDOW).step_by(8).map(|slot| naive.spill_nat(base + slot)).collect();
+    (mapped, contents, spill)
 }
 
 /// Applies one op to both implementations; every result must agree.
@@ -289,5 +327,68 @@ proptest! {
             apply(&mut mem, &mut naive, base, op);
         }
         assert_equivalent(&mut mem, &mut naive, base);
+    }
+
+    /// COW fleets vs deep clones: random interleavings of spawn / write /
+    /// read / checkpoint / rollback across 2–4 instances sharing one frozen
+    /// image. Each COW instance must stay byte-, error-, and observation-
+    /// equivalent to its deep-cloned reference twin, and digest equality
+    /// across instances must coincide exactly with observable equality —
+    /// page sharing is never visible.
+    #[test]
+    fn cow_fleet_matches_deep_clone_reference(
+        ops in prop::collection::vec(fleet_op_strategy(), 1..48),
+        image in prop::collection::vec(any::<u8>(), 1..5000),
+    ) {
+        let base = make_vaddr(1, 0x40000);
+        // Build the pristine seed once: map part of the window, load the
+        // image bytes, freeze so spawns share every page by reference.
+        let mut seed = Memory::new();
+        let mut naive_seed = NaiveMem::default();
+        seed.map_range(base, 2 * PAGE_SIZE);
+        naive_seed.map_range(base, 2 * PAGE_SIZE);
+        seed.write_bytes(base, &image).unwrap();
+        naive_seed.write_bytes(base, &image).unwrap();
+        seed.freeze();
+
+        let mut fleet: Vec<(Memory, NaiveMem)> =
+            (0..2).map(|_| (seed.clone(), naive_seed.clone())).collect();
+        for op in &ops {
+            match op {
+                FleetOp::Spawn { from } => {
+                    if fleet.len() < 4 {
+                        let pair = fleet[from % fleet.len()].clone();
+                        fleet.push(pair);
+                    }
+                }
+                FleetOp::Mem { inst, op } => {
+                    let idx = inst % fleet.len();
+                    let (mem, naive) = &mut fleet[idx];
+                    apply(mem, naive, base, op);
+                }
+            }
+        }
+
+        // Per instance: bytes, mapping, spill bits, and errors all agree
+        // with the deep-clone twin.
+        for (mem, naive) in &mut fleet {
+            assert_equivalent(mem, naive, base);
+        }
+        // Across instances: digests discriminate exactly the states the
+        // references distinguish. Sharing state never leaks into a digest,
+        // and divergent instances never alias.
+        let observations: Vec<_> =
+            fleet.iter_mut().map(|(_, naive)| naive_observation(naive, base)).collect();
+        let digests: Vec<u64> = fleet.iter().map(|(mem, _)| mem.digest()).collect();
+        for i in 0..fleet.len() {
+            for j in i + 1..fleet.len() {
+                prop_assert_eq!(
+                    digests[i] == digests[j],
+                    observations[i] == observations[j],
+                    "instances {} and {}: digest equality must track observable equality",
+                    i, j
+                );
+            }
+        }
     }
 }

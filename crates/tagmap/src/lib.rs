@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use shift_isa::{is_implemented, offset_of, region_of, IMPL_BITS};
 
@@ -203,9 +204,17 @@ pub fn tag_span(vaddr: u64, len: u64, gran: Granularity) -> u64 {
 /// counters (`marks`/`clears`) are computed from `popcount(new & !old)` /
 /// `popcount(old & !new)` per word, which counts exactly the transitions the
 /// per-byte loop would have.
+///
+/// Pages are shared copy-on-write, mirroring the guest memory's scheme
+/// (DESIGN.md §15): each 512-byte bit page sits behind an `Arc`, so cloning
+/// a shadow — the fleet's spawn path clones one per instance — shares every
+/// page by reference and the first mutation of a shared page copies just
+/// that page. Pages that become all-clean are pruned, the tag-space analogue
+/// of deduplicating all-zero memory pages: an absent page and an all-clean
+/// page are observably identical, so a pristine clone holds no pages at all.
 #[derive(Clone, Debug, Default)]
 pub struct HostShadow {
-    pages: HashMap<u64, Box<[u8; 512]>>,
+    pages: HashMap<u64, Arc<[u8; 512]>>,
     tainted_bytes: u64,
     marks: u64,
     clears: u64,
@@ -257,6 +266,24 @@ impl HostShadow {
     /// count.
     pub fn clears(&self) -> u64 {
         self.clears
+    }
+
+    /// Resident bit pages (host diagnostic). All-clean pages are pruned, so
+    /// this tracks pages with at least one tainted byte — the shadow's real
+    /// footprint under copy-on-write sharing.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Drops `page_no`'s backing if every bit is clear — the canonical
+    /// representation of an all-clean page is no page at all, which keeps
+    /// clones cheap and pristine shadows empty.
+    fn prune_if_clean(&mut self, page_no: u64) {
+        if let Some(page) = self.pages.get(&page_no) {
+            if page.iter().all(|&b| b == 0) {
+                self.pages.remove(&page_no);
+            }
+        }
     }
 
     /// Returns `true` if the byte at `addr` is tainted.
@@ -327,7 +354,9 @@ impl HostShadow {
             let page_no = a / SPAN;
             let (s, e) = (off, off + span as u32);
             if tainted {
-                let page = self.pages.entry(page_no).or_insert_with(|| Box::new([0u8; 512]));
+                let page = Arc::make_mut(
+                    self.pages.entry(page_no).or_insert_with(|| Arc::new([0u8; 512])),
+                );
                 let mut marks = 0u64;
                 for w in (s / 64) as usize..=((e - 1) / 64) as usize {
                     let base = w as u32 * 64;
@@ -341,7 +370,8 @@ impl HostShadow {
                 }
                 self.tainted_bytes += marks;
                 self.marks += marks;
-            } else if let Some(page) = self.pages.get_mut(&page_no) {
+            } else if let Some(entry) = self.pages.get_mut(&page_no) {
+                let page = Arc::make_mut(entry);
                 let mut clears = 0u64;
                 for w in (s / 64) as usize..=((e - 1) / 64) as usize {
                     let base = w as u32 * 64;
@@ -355,6 +385,9 @@ impl HostShadow {
                 }
                 self.tainted_bytes -= clears;
                 self.clears += clears;
+                if clears > 0 {
+                    self.prune_if_clean(page_no);
+                }
             }
             done += span;
         }
@@ -365,17 +398,18 @@ impl HostShadow {
         let off = (addr % SPAN) as usize;
         let (idx, mask) = (off / 8, 1u8 << (off % 8));
         if tainted {
-            let page = self.pages.entry(addr / SPAN).or_insert_with(|| Box::new([0u8; 512]));
-            if page[idx] & mask == 0 {
-                page[idx] |= mask;
+            let entry = self.pages.entry(addr / SPAN).or_insert_with(|| Arc::new([0u8; 512]));
+            if entry[idx] & mask == 0 {
+                Arc::make_mut(entry)[idx] |= mask;
                 self.tainted_bytes += 1;
                 self.marks += 1;
             }
-        } else if let Some(page) = self.pages.get_mut(&(addr / SPAN)) {
-            if page[idx] & mask != 0 {
-                page[idx] &= !mask;
+        } else if let Some(entry) = self.pages.get_mut(&(addr / SPAN)) {
+            if entry[idx] & mask != 0 {
+                Arc::make_mut(entry)[idx] &= !mask;
                 self.tainted_bytes -= 1;
                 self.clears += 1;
+                self.prune_if_clean(addr / SPAN);
             }
         }
     }
@@ -401,25 +435,26 @@ impl HostShadow {
         }
         let base = wi.wrapping_shl(6);
         let page_no = base / SPAN;
-        let page = match self.pages.entry(page_no) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                if value & mask == 0 {
-                    return;
-                }
-                e.insert(Box::new([0u8; 512]))
-            }
-        };
         let w = ((base % SPAN) / 64) as usize;
-        let old = word_get(page, w);
+        // Probe read-only first: a no-change RMW must not un-share (or
+        // allocate) a page — clearing bits of an absent page stays a no-op.
+        let old = match self.pages.get(&page_no) {
+            Some(page) => word_get(page, w),
+            None => 0,
+        };
         let new = (old & !mask) | (value & mask);
-        if new != old {
-            let marks = u64::from((new & !old).count_ones());
-            let clears = u64::from((old & !new).count_ones());
-            self.tainted_bytes = self.tainted_bytes + marks - clears;
-            self.marks += marks;
-            self.clears += clears;
-            word_set(page, w, new);
+        if new == old {
+            return;
+        }
+        let marks = u64::from((new & !old).count_ones());
+        let clears = u64::from((old & !new).count_ones());
+        self.tainted_bytes = self.tainted_bytes + marks - clears;
+        self.marks += marks;
+        self.clears += clears;
+        let page = Arc::make_mut(self.pages.entry(page_no).or_insert_with(|| Arc::new([0u8; 512])));
+        word_set(page, w, new);
+        if new == 0 && clears > 0 {
+            self.prune_if_clean(page_no);
         }
     }
 
@@ -605,6 +640,38 @@ mod tests {
         s.clear();
         assert_eq!(s.tainted_bytes(), 0);
         assert!(!s.any_tainted(0, 100));
+    }
+
+    #[test]
+    fn shadow_prunes_all_clean_pages() {
+        let mut s = HostShadow::new();
+        s.set_range(0x1000, 64, true);
+        assert_eq!(s.resident_pages(), 1);
+        s.set_range(0x1000, 64, false);
+        // All-clean page is dropped: absent and all-clean are identical.
+        assert_eq!(s.resident_pages(), 0);
+        assert!(!s.any_tainted(0x1000, 64));
+        // Same via the single-byte and word-RMW paths.
+        s.set(0x2000, true);
+        s.set(0x2000, false);
+        assert_eq!(s.resident_pages(), 0);
+        s.copy_taint(0x3000, 0x5000, 64); // copying clean bits allocates nothing
+        assert_eq!(s.resident_pages(), 0);
+    }
+
+    #[test]
+    fn shadow_clones_share_pages_copy_on_write() {
+        let mut s = HostShadow::new();
+        s.set_range(0, 32, true);
+        let mut c = s.clone();
+        // Writing through the clone never leaks into the original…
+        c.set_range(0, 16, false);
+        assert_eq!(c.tainted_bytes(), 16);
+        assert_eq!(s.tainted_bytes(), 32, "original must keep its taint");
+        assert!(s.all_tainted(0, 32));
+        // …and vice versa.
+        s.set(100, true);
+        assert!(!c.is_tainted(100));
     }
 
     #[test]
