@@ -14,7 +14,7 @@ use std::time::Instant;
 use shift_core::{Granularity, Mode, ShiftOptions};
 use shift_isa::Provenance;
 use shift_workloads::{
-    all_benches, compile_spec, run_spec, run_spec_precompiled, Scale, SpecBench,
+    all_benches, compile_spec, run_spec, run_spec_precompiled, ArrivalProcess, Scale, SpecBench,
 };
 
 /// Geometric mean of a non-empty slice.
@@ -712,6 +712,105 @@ pub fn connection_sweep(
         .collect()
 }
 
+/// One point of the open-loop offered-load sweep: a Poisson arrival stream
+/// at a fixed rate driven through the event-driven scheduler
+/// ([`shift_core::Fleet::serve_open_loop`]), reporting tail sojourn latency
+/// and admission-control outcomes.
+#[derive(Clone, Debug)]
+pub struct OpenLoopPoint {
+    /// Canonical arrival-process spec (e.g. `poisson:1000`).
+    pub arrivals: String,
+    /// Offered arrival rate in connections per modelled second.
+    pub rate_rps: f64,
+    /// Connections offered at this point.
+    pub connections: u64,
+    /// Modelled worker count of the event scheduler.
+    pub workers: usize,
+    /// Connections completed.
+    pub completed: u64,
+    /// Connections shed by admission control.
+    pub shed: u64,
+    /// `true` when the offered rate exceeded saturation throughput.
+    pub saturated: bool,
+    /// Modelled makespan in cycles.
+    pub wall_cycles: u64,
+    /// Served requests per modelled second.
+    pub requests_per_sec: f64,
+    /// Modelled worker utilization in [0, 1].
+    pub utilization: f64,
+    /// Median sojourn latency (completion − arrival) in cycles.
+    pub sojourn_p50: u64,
+    /// 99th-percentile sojourn latency in cycles.
+    pub sojourn_p99: u64,
+    /// 99.9th-percentile sojourn latency in cycles.
+    pub sojourn_p999: u64,
+    /// Deepest the ready queue got.
+    pub peak_queue_depth: u64,
+    /// Most guests simultaneously resident.
+    pub peak_resident: u64,
+    /// The largest private page count any single guest reached — bounded by
+    /// residency, not by the offered connection count.
+    pub peak_owned_pages: u64,
+    /// Host wall-clock spent simulating this point, in nanoseconds.
+    pub host_ns: u64,
+}
+
+/// Sweeps the open-loop byte-mode Apache fleet over offered Poisson rates
+/// at a fixed modelled width — the tail-latency experiment behind
+/// `open_loop_rows` in `BENCH_shift.json`.
+///
+/// The sweep is run with a deliberately tight admission controller
+/// (accept-cap 16, max-resident 8) so the rate axis crosses saturation
+/// inside the sweep: the lowest rate must complete everything (`shed == 0`,
+/// finite p99), and a rate far above capacity must shed (`shed > 0`) —
+/// both asserted by the CI bench smoke. The guest compiles once; every
+/// point re-serves the same connection list under its own arrival schedule
+/// derived from `seed`.
+pub fn open_loop_sweep(
+    connections: usize,
+    rates_rps: &[f64],
+    workers: usize,
+    requests_per_conn: usize,
+    seed: u64,
+) -> Vec<OpenLoopPoint> {
+    use shift_core::OpenLoopConfig;
+    use shift_workloads::apache::{apache_fleet, fleet_connections, fleet_world, ApacheStream};
+    use shift_workloads::chaos;
+    let stream = ApacheStream::Mixed;
+    let world = fleet_world(stream);
+    let fleet = apache_fleet(Mode::Shift(ShiftOptions::baseline(Granularity::Byte)));
+    let conns = fleet_connections(stream, connections, requests_per_conn);
+    let cfg = OpenLoopConfig { workers, accept_cap: 16, max_resident: 8, quantum: 100_000 };
+    rates_rps
+        .iter()
+        .map(|&rate| {
+            let process = ArrivalProcess::Poisson { rate_rps: rate };
+            let arrivals = process.schedule(conns.len(), chaos::derive(seed, &process.spec()));
+            let host = sweep_workers(conns.len());
+            let report = fleet.serve_open_loop(&world, &conns, &[], &arrivals, &cfg, host);
+            OpenLoopPoint {
+                arrivals: process.spec(),
+                rate_rps: rate,
+                connections: report.offered,
+                workers,
+                completed: report.completed,
+                shed: report.shed,
+                saturated: report.saturated(),
+                wall_cycles: report.wall_cycles,
+                requests_per_sec: report.requests_per_sec(),
+                utilization: report.utilization(),
+                sojourn_p50: report.sojourn_percentile(50.0).unwrap_or(0),
+                sojourn_p99: report.sojourn_percentile(99.0).unwrap_or(0),
+                sojourn_p999: report.sojourn_percentile(99.9).unwrap_or(0),
+                peak_queue_depth: report.peak_queue_depth,
+                peak_resident: report.peak_resident,
+                peak_owned_pages: report.peak_owned_pages,
+                host_ns: report.host_ns.max(1),
+            }
+        })
+        .collect()
+}
+
 /// A Table-3 row: static code size under each compilation mode.
 #[derive(Clone, Debug)]
 pub struct CodeSizeRow {
@@ -926,6 +1025,17 @@ pub fn bench_summary(
     let conn_sweep = connection_sweep(&[8, 256, 1024], 8, 1);
     let conn_sweep_ns = t0.elapsed().as_nanos() as u64;
 
+    // Open-loop tail-latency sweep: one rate well below the tight admission
+    // controller's capacity, one far above it, so the CI smoke can assert
+    // both sides of saturation from the same artifact.
+    let t0 = Instant::now();
+    let (ol_conns, ol_rates): (usize, &[f64]) = match scale {
+        Scale::Test => (96, &[1_000.0, 1_000_000.0]),
+        Scale::Reference => (4096, &[2_000.0, 1_000_000.0]),
+    };
+    let open_loop = open_loop_sweep(ol_conns, ol_rates, 8, 2, seed);
+    let open_loop_ns = t0.elapsed().as_nanos() as u64;
+
     let gm = |sel: &dyn Fn(&SpecRow) -> f64| geomean(&spec.iter().map(sel).collect::<Vec<f64>>());
     let egm =
         |sel: &dyn Fn(&EnhanceRow) -> f64| geomean(&enh.iter().map(sel).collect::<Vec<f64>>());
@@ -996,6 +1106,30 @@ pub fn bench_summary(
             ])
         })
         .collect();
+    let open_loop_rows = open_loop
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("arrivals", Json::Str(p.arrivals.clone())),
+                ("rate_rps", Json::F64(p.rate_rps)),
+                ("connections", Json::U64(p.connections)),
+                ("workers", Json::U64(p.workers as u64)),
+                ("completed", Json::U64(p.completed)),
+                ("shed", Json::U64(p.shed)),
+                ("saturated", Json::Bool(p.saturated)),
+                ("wall_cycles", Json::U64(p.wall_cycles)),
+                ("requests_per_sec", Json::F64(p.requests_per_sec)),
+                ("utilization", Json::F64(p.utilization)),
+                ("sojourn_p50", Json::U64(p.sojourn_p50)),
+                ("sojourn_p99", Json::U64(p.sojourn_p99)),
+                ("sojourn_p999", Json::U64(p.sojourn_p999)),
+                ("peak_queue_depth", Json::U64(p.peak_queue_depth)),
+                ("peak_resident", Json::U64(p.peak_resident)),
+                ("peak_owned_pages", Json::U64(p.peak_owned_pages)),
+                ("host_ns", Json::U64(p.host_ns)),
+            ])
+        })
+        .collect();
     let fig6_rows = apache
         .iter()
         .map(|r| {
@@ -1054,6 +1188,7 @@ pub fn bench_summary(
         ("fig6_rows", Json::Arr(fig6_rows)),
         ("serve_rows", Json::Arr(serve_rows)),
         ("conn_sweep_rows", Json::Arr(conn_sweep_rows)),
+        ("open_loop_rows", Json::Arr(open_loop_rows)),
         (
             "spawn_latency",
             Json::obj(vec![
@@ -1086,6 +1221,7 @@ pub fn bench_summary(
                 ("trace_overhead", Json::U64(trace_ns)),
                 ("spawn_latency", Json::U64(spawn_ns)),
                 ("conn_sweep", Json::U64(conn_sweep_ns)),
+                ("open_loop", Json::U64(open_loop_ns)),
                 ("total", Json::U64(t_total.elapsed().as_nanos() as u64)),
             ]),
         ),
@@ -1217,6 +1353,30 @@ mod tests {
                 "private bytes/instance grew with the fleet: {points:?}"
             );
         }
+    }
+
+    #[test]
+    fn open_loop_sweep_crosses_saturation() {
+        // Test-scale miniature of the summary's open-loop rate sweep: the
+        // low rate must clear the tight admission controller, the overload
+        // must trip it.
+        let rows = open_loop_sweep(48, &[1_000.0, 1_000_000.0], 8, 1, 7);
+        assert_eq!(rows.len(), 2);
+        let (low, high) = (&rows[0], &rows[1]);
+        assert_eq!(low.shed, 0, "below saturation nothing sheds: {low:?}");
+        assert!(!low.saturated);
+        assert!(low.completed == low.connections);
+        assert!(
+            low.sojourn_p50 <= low.sojourn_p99 && low.sojourn_p99 <= low.sojourn_p999,
+            "{low:?}"
+        );
+        assert!(low.sojourn_p999 > 0, "completed connections must have sojourn: {low:?}");
+        assert!(high.shed > 0, "overload must shed: {high:?}");
+        assert!(high.saturated);
+        assert_eq!(high.completed + high.shed, high.connections);
+        // Residency — not the offered count — bounds peak guest memory.
+        assert!(high.peak_resident <= 8, "{high:?}");
+        assert!(high.peak_owned_pages > 0);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! shift serve [--mode M] [--workers N] [--connections N] [--requests N]
 //!             [--size-kb N] [--json <path>] [--seed N] [--inject]
 //!             [--record <path>] [--trace-out <path>] [--prom-out <path>]
-//!             [--sample-cycles N]
+//!             [--sample-cycles N] [--arrivals SPEC] [--accept-cap N]
+//!             [--max-resident N] [--quantum N] [--host-workers N]
 //! shift trace <file>                   summarize a recorded trace file
 //! shift replay <log> [--connection N] [--debug] [--shrink <path>]
 //! shift bench [--json] [--reference] [--workers N] [--seed N]
@@ -28,15 +29,36 @@
 //! deterministic-latency CI runs — the modelled numbers are identical
 //! either way).
 //!
+//! Open-loop serving (`--arrivals`, DESIGN.md §16): instead of the
+//! closed-loop round-robin fleet, connections *arrive* on a modelled clock
+//! drawn from an arrival process — `poisson:RATE`, `bursty:RATE[:BURST]`,
+//! or `diurnal:RATE[:AMPLITUDE]` (RATE in connections per modelled
+//! second) — and are multiplexed over `--workers` modelled workers by the
+//! discrete-event scheduler. Guests park at I/O points, so thousands of
+//! in-flight connections share a handful of workers. Admission control is
+//! explicit: `--accept-cap` bounds the accept queue (beyond it, arrivals
+//! are shed and counted), `--max-resident` caps simultaneously-live
+//! guests, `--quantum` sets the round-robin slice in cycles (0 = run each
+//! CPU burst to its park point). The report adds sojourn latency
+//! (completion − arrival) at p50/p99/p999, saturation throughput, queue
+//! depth, and peak resident pages. `--host-workers` sizes the host
+//! simulation pool only — every modelled number is bit-identical at any
+//! setting.
+//!
 //! Record/replay: `serve --record <path>` writes a replay log of the run —
 //! every connection's request stream, the session options, the injection
 //! schedule (`--inject` arms a randomized chaos schedule derived from
 //! `--seed`), and the per-connection outcome digests. `shift replay <log>`
 //! reconstructs and re-runs every recorded connection (or one, with
 //! `--connection N`) and verifies bit-identical digests, cycles, and
-//! violations; `--debug` opens the postmortem debugger on the connection
-//! instead (registers, NaT bits, tag-bitmap slices, provenance chain at
-//! the fault); `--shrink <path>` writes a minimized single-connection
+//! violations — open-loop logs carry their materialized arrival schedule,
+//! and connections recorded as shed are skipped (they never ran);
+//! `--debug` opens the postmortem debugger on the connection instead. On a
+//! terminal the debugger is an interactive REPL (`step`, `run`, `regs`,
+//! `mem`, `taint`, `bt`, `dis`, `report`, `quit`); with stdin closed or
+//! piped it runs straight to the recorded stop and prints the postmortem
+//! report (registers, NaT bits, tag-bitmap slices, provenance chain at
+//! the fault). `--shrink <path>` writes a minimized single-connection
 //! reproducer preserving the connection's outcome. One `--seed` integer
 //! reproduces every randomized harness — it flows from the CLI through the
 //! bench summary and the fault-injection schedules, and defaults to the
@@ -179,6 +201,10 @@ fn exit_code_for(exit: &Exit) -> ExitCode {
         Exit::Fault(_) => ExitCode::Fault,
         Exit::FuelExhausted => ExitCode::Fuel,
         Exit::InsnLimit => ExitCode::InsnLimit,
+        // Sessions drain parks internally (a parked guest is resumed until
+        // it reaches a real exit), so a Parked can only surface through a
+        // misuse of the session API — treat it as a usage error.
+        Exit::Parked => ExitCode::Usage,
     }
 }
 
@@ -535,6 +561,19 @@ struct ServeOpts {
     /// Snapshot serving counters every N modelled cycles (arms the
     /// recorder; the samples land in the trace file's `timeseries`).
     sample_cycles: Option<u64>,
+    /// Open-loop arrival-process spec (`poisson:RATE`, `bursty:RATE[:B]`,
+    /// `diurnal:RATE[:A]`). `Some` switches serving to the event-driven
+    /// scheduler.
+    arrivals: Option<String>,
+    /// Accept-queue bound for open-loop admission control.
+    accept_cap: usize,
+    /// Resident-guest cap for the open-loop scheduler.
+    max_resident: usize,
+    /// Round-robin quantum in cycles (0 = run each CPU leg to its park).
+    quantum: u64,
+    /// Host simulation pool for open-loop phase 1 (default: one thread per
+    /// core). Modelled results are bit-identical at any setting.
+    host_workers: Option<usize>,
 }
 
 impl ServeOpts {
@@ -579,6 +618,9 @@ fn cmd_serve(mode: Mode, opts: ServeOpts) -> ExitCode {
     // Recording is assembled *after* the run from its inputs and report, so
     // the serving path is identical with and without --record.
     let world = fleet_world(stream);
+    if let Some(spec) = opts.arrivals.clone() {
+        return cmd_serve_open_loop(mode, &opts, &fleet, &conns, &faults, &world, seed, &spec);
+    }
     let report = fleet.serve_chaos(&world, &conns, &faults, opts.workers);
     println!("mode       : {}", mode_name(mode));
     println!(
@@ -679,6 +721,335 @@ fn cmd_serve(mode: Mode, opts: ServeOpts) -> ExitCode {
     }
 }
 
+/// Serves the open-loop workload selected by `--arrivals`: synthesizes the
+/// arrival schedule from the spec and the seed, drives the event-driven
+/// scheduler ([`shift_core::Fleet::serve_open_loop`]), and reports tail
+/// latency, saturation, and admission-control outcomes. Exit-code rules
+/// match closed-loop serve; shedding alone is not a failure (it is the
+/// admission controller doing its job).
+#[allow(clippy::too_many_arguments)]
+fn cmd_serve_open_loop(
+    mode: Mode,
+    opts: &ServeOpts,
+    fleet: &shift_core::Fleet,
+    conns: &[Vec<Vec<u8>>],
+    faults: &shift_core::FaultPlan,
+    world: &shift_core::World,
+    seed: u64,
+    spec: &str,
+) -> ExitCode {
+    use shift_core::OpenLoopConfig;
+    use shift_workloads::{chaos, ArrivalProcess};
+    let process = match ArrivalProcess::parse(spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bad --arrivals `{spec}`: {e}");
+            return ExitCode::Usage;
+        }
+    };
+    let arrivals = process.schedule(conns.len(), chaos::derive(seed, "arrivals"));
+    let cfg = OpenLoopConfig {
+        workers: opts.workers,
+        accept_cap: opts.accept_cap,
+        max_resident: opts.max_resident,
+        quantum: opts.quantum,
+    };
+    let host = opts
+        .host_workers
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    let report = fleet.serve_open_loop(world, conns, faults, &arrivals, &cfg, host);
+    println!("mode       : {}", mode_name(mode));
+    println!("arrivals   : {} ({} connections offered)", process.spec(), report.offered);
+    println!(
+        "fleet      : {} modelled workers, accept-cap {}, max-resident {}, quantum {}",
+        cfg.workers, cfg.accept_cap, cfg.max_resident, cfg.quantum
+    );
+    println!(
+        "image      : {} insns compiled once, {} pristine pages per spawn",
+        fleet.image().insn_count(),
+        fleet.image().resident_pages()
+    );
+    println!(
+        "admission  : {} completed / {} shed of {} offered{}",
+        report.completed,
+        report.shed,
+        report.offered,
+        if report.saturated() { " — SATURATED" } else { "" }
+    );
+    println!(
+        "requests   : {} served / {} recovered / {} dropped of {} delivered",
+        report.served, report.recovered, report.dropped, report.requests
+    );
+    println!(
+        "sojourn    : p50 {} / p99 {} / p999 {} cycles (max {})",
+        report.sojourn_percentile(50.0).unwrap_or(0),
+        report.sojourn_percentile(99.0).unwrap_or(0),
+        report.sojourn_percentile(99.9).unwrap_or(0),
+        report.sojourn_max().unwrap_or(0)
+    );
+    println!(
+        "throughput : {:.0} req/s modelled, {:.1} conn/s ({} wall cycles, {:.1}% utilization)",
+        report.requests_per_sec(),
+        report.completions_per_sec(),
+        report.wall_cycles,
+        report.utilization() * 100.0
+    );
+    println!(
+        "queue      : peak depth {} / peak resident {} guests",
+        report.peak_queue_depth, report.peak_resident
+    );
+    println!(
+        "memory     : peak {} owned pages in any resident guest ({} total over the run)",
+        report.peak_owned_pages, report.owned_pages_total
+    );
+    if !report.violations.is_empty() {
+        println!("violations : {}", report.violations.len());
+    }
+    if opts.inject {
+        let armed: usize = faults.iter().map(Vec::len).sum();
+        println!("chaos      : {armed} injections armed (seed {seed})");
+    }
+    println!("host       : {:.2} ms ({host} host workers)", report.host_ns as f64 / 1e6);
+    if let Some(path) = &opts.trace_out {
+        let events = report.merged_trace_events();
+        let samples = report.merged_samples();
+        let doc = shift_core::chrome_trace_json(&events, &samples);
+        if let Err(code) = write_artifact(path, "trace", &doc.render()) {
+            return code;
+        }
+        println!(
+            "trace      : {} events / {} samples written to {path}",
+            events.len(),
+            samples.len()
+        );
+    }
+    if let Some(path) = &opts.prom_out {
+        if let Err(code) =
+            write_artifact(path, "prometheus metrics", &report.registry.to_prometheus())
+        {
+            return code;
+        }
+        println!("metrics    : prometheus text written to {path}");
+    }
+    if let Some(path) = &opts.record {
+        let log = shift_core::ReplayLog::capture_open_loop(
+            "apache",
+            fleet,
+            world,
+            conns,
+            faults,
+            seed,
+            &process.spec(),
+            &arrivals,
+            &report,
+        );
+        if let Err(code) = write_artifact(path, "replay log", &log.render()) {
+            return code;
+        }
+        println!(
+            "record     : replay log written to {path} ({} connections, {} shed)",
+            conns.len(),
+            report.shed
+        );
+    }
+    if let Some(path) = &opts.json {
+        use shift_obs::Json;
+        let mut pairs = vec![
+            ("schema_version", Json::U64(shift_obs::SCHEMA_VERSION)),
+            ("mode", Json::Str(mode_name(mode))),
+            ("seed", Json::U64(seed)),
+            ("arrivals", Json::Str(process.spec())),
+            ("workers", Json::U64(cfg.workers as u64)),
+            ("accept_cap", Json::U64(cfg.accept_cap as u64)),
+            ("max_resident", Json::U64(cfg.max_resident as u64)),
+            ("quantum", Json::U64(cfg.quantum)),
+            ("offered", Json::U64(report.offered)),
+            ("completed", Json::U64(report.completed)),
+            ("shed", Json::U64(report.shed)),
+            ("saturated", Json::Bool(report.saturated())),
+            ("requests", Json::U64(report.requests)),
+            ("served", Json::U64(report.served)),
+            ("recovered", Json::U64(report.recovered)),
+            ("dropped", Json::U64(report.dropped)),
+            ("wall_cycles", Json::U64(report.wall_cycles)),
+            ("requests_per_sec", Json::F64(report.requests_per_sec())),
+            ("sojourn_p50", Json::U64(report.sojourn_percentile(50.0).unwrap_or(0))),
+            ("sojourn_p99", Json::U64(report.sojourn_percentile(99.0).unwrap_or(0))),
+            ("sojourn_p999", Json::U64(report.sojourn_percentile(99.9).unwrap_or(0))),
+            ("sojourn_max", Json::U64(report.sojourn_max().unwrap_or(0))),
+            ("utilization", Json::F64(report.utilization())),
+            ("peak_queue_depth", Json::U64(report.peak_queue_depth)),
+            ("peak_resident", Json::U64(report.peak_resident)),
+            ("peak_owned_pages", Json::U64(report.peak_owned_pages)),
+            ("violations", Json::U64(report.violations.len() as u64)),
+            ("host_ns", Json::U64(report.host_ns)),
+            ("metrics", report.registry.to_json()),
+        ];
+        if let Some(record) = &opts.record {
+            pairs.push(("record_log", Json::Str(record.clone())));
+        }
+        let doc = Json::obj(pairs);
+        if let Err(code) = write_artifact(path, "open-loop report", &doc.render()) {
+            return code;
+        }
+        println!("report     : written to {path}");
+    }
+    match report
+        .connections
+        .iter()
+        .filter_map(|c| c.exit.as_ref())
+        .find(|e| !matches!(e, Exit::Halted(_)))
+    {
+        Some(exit) => exit_code_for(exit),
+        None => ExitCode::Success,
+    }
+}
+
+/// Parses a REPL address operand: `0x`-prefixed hex or plain decimal.
+fn parse_addr(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// One-line position summary for the debugger prompt.
+fn repl_position(pm: &shift_core::Postmortem) -> String {
+    match pm.exit() {
+        Some(exit) => format!(
+            "stopped: {exit} (ip {}, {} insns, {} cycles)",
+            pm.ip(),
+            pm.instructions(),
+            pm.cycles()
+        ),
+        None => format!("ip {} ({} insns, {} cycles)", pm.ip(), pm.instructions(), pm.cycles()),
+    }
+}
+
+const REPL_HELP: &str = "commands:\n  \
+     step [n] (s)     single-step n instructions (default 1)\n  \
+     run [n]          run up to n more instructions (default: the log's budget)\n  \
+     regs (r)         general registers (nonzero or NaT'd) and unat\n  \
+     mem <addr> [len] hex dump of guest memory (default 64 bytes)\n  \
+     taint <addr> [len] tainted byte ranges in [addr, addr+len)\n  \
+     bt               recent-instruction trace and provenance chain\n  \
+     dis [radius]     disassembly around the current ip (default 4)\n  \
+     report           the full postmortem report\n  \
+     quit (q)         leave — prints the final postmortem on the way out";
+
+/// The interactive postmortem debugger behind `shift replay --debug`.
+///
+/// Reads commands from stdin (prompting only when stdin is a terminal) and
+/// drives the [`shift_core::Postmortem`] single-step API. On `quit` or EOF
+/// the session runs to its recorded stop (if it has not already) and prints
+/// the full postmortem report — so a non-interactive `--debug` (stdin
+/// closed or piped empty, as in CI) behaves exactly like the batch
+/// debugger did.
+fn debug_repl(pm: &mut shift_core::Postmortem, log: &shift_core::ReplayLog, c: usize) -> ExitCode {
+    use std::io::{BufRead, IsTerminal, Write};
+    let stdin = std::io::stdin();
+    let interactive = stdin.is_terminal();
+    if interactive {
+        println!("--- interactive postmortem: connection {c} (`help` lists commands) ---");
+        println!("{}", repl_position(pm));
+    }
+    let mut lines = stdin.lock().lines();
+    loop {
+        if interactive {
+            print!("(pm) ");
+            std::io::stdout().flush().ok();
+        }
+        let Some(Ok(line)) = lines.next() else { break };
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else { continue };
+        match cmd {
+            "q" | "quit" => break,
+            "h" | "help" | "?" => println!("{REPL_HELP}"),
+            "s" | "step" => {
+                let n = parts.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+                pm.step(n);
+                println!("{}", repl_position(pm));
+            }
+            "run" => {
+                let n = parts.next().and_then(|v| v.parse().ok()).unwrap_or(log.insn_limit);
+                pm.run_to_violation(n);
+                println!("{}", repl_position(pm));
+            }
+            "r" | "regs" => {
+                for (reg, val) in pm.registers() {
+                    if val.value != 0 || val.nat {
+                        println!(
+                            "  {reg:<4} {:#018x}{}",
+                            val.value,
+                            if val.nat { "  NaT" } else { "" }
+                        );
+                    }
+                }
+                println!("  unat {:#018x}", pm.unat());
+            }
+            "mem" => {
+                let Some(addr) = parts.next().and_then(parse_addr) else {
+                    println!("usage: mem <addr> [len]");
+                    continue;
+                };
+                let len = parts.next().and_then(parse_addr).unwrap_or(64);
+                for row in pm.mem_slice(addr, len).chunks(16) {
+                    let bytes: Vec<String> = row
+                        .iter()
+                        .map(|(_, b)| b.map_or("--".into(), |v| format!("{v:02x}")))
+                        .collect();
+                    let ascii: String = row
+                        .iter()
+                        .map(|(_, b)| match b {
+                            Some(v) if v.is_ascii_graphic() || *v == b' ' => *v as char,
+                            Some(_) => '.',
+                            None => ' ',
+                        })
+                        .collect();
+                    println!("  {:#010x}  {:<47}  |{ascii}|", row[0].0, bytes.join(" "));
+                }
+            }
+            "taint" => {
+                let Some(addr) = parts.next().and_then(parse_addr) else {
+                    println!("usage: taint <addr> [len]");
+                    continue;
+                };
+                let len = parts.next().and_then(parse_addr).unwrap_or(64);
+                let runs = pm.tainted_ranges(addr, len);
+                if runs.is_empty() {
+                    println!("  no tainted bytes in [{addr:#x}, {:#x})", addr.saturating_add(len));
+                } else {
+                    for (start, n) in runs {
+                        println!("  {start:#x} +{n} tainted");
+                    }
+                }
+            }
+            "bt" => {
+                print!("{}", pm.trace_listing());
+                match pm.provenance() {
+                    Some(chain) => println!("provenance: {chain}"),
+                    None => println!("provenance: (none)"),
+                }
+            }
+            "dis" => {
+                let radius = parts.next().and_then(|v| v.parse().ok()).unwrap_or(4);
+                print!("{}", pm.disasm_window(radius));
+            }
+            "report" => print!("{}", pm.report()),
+            _ => println!("unknown command `{cmd}` — `help` lists commands"),
+        }
+    }
+    if pm.exit().is_none() {
+        pm.run_to_violation(log.insn_limit);
+    }
+    println!("--- postmortem: connection {c} ---");
+    print!("{}", pm.report());
+    match pm.exit() {
+        Some(exit) => exit_code_for(exit),
+        None => ExitCode::Success,
+    }
+}
+
 /// Replays a recorded fleet run from `path` and verifies bit-identical
 /// outcomes. `--connection N` restricts to one connection; `--debug` runs
 /// that connection under the postmortem debugger instead of verifying;
@@ -725,16 +1096,21 @@ fn cmd_replay(
     println!("log        : {path}");
     println!("program    : {} ({})", log.program, mode_name(log.mode));
     println!("connections: {} recorded, seed {}", log.connections.len(), log.seed);
+    if let Some(ol) = &log.open_loop {
+        println!(
+            "open-loop  : {} over {} workers (accept-cap {}, max-resident {}, quantum {}); \
+             {} completed / {} shed",
+            ol.spec, ol.workers, ol.accept_cap, ol.max_resident, ol.quantum, ol.completed, ol.shed
+        );
+    }
     if debug {
         let c = connection.unwrap_or(0);
+        if log.expected.get(c).is_some_and(shift_core::replay::Expected::is_shed) {
+            eprintln!("connection {c} was shed by admission control — it never ran");
+            return ExitCode::Usage;
+        }
         let mut pm = shift_core::Postmortem::from_log(&log, &fleet, c);
-        pm.run_to_violation(log.insn_limit);
-        println!("--- postmortem: connection {c} ---");
-        print!("{}", pm.report());
-        return match pm.exit() {
-            Some(exit) => exit_code_for(exit),
-            None => ExitCode::Success,
-        };
+        return debug_repl(&mut pm, &log, c);
     }
     if let Some(out) = shrink_out {
         let c = connection.unwrap_or(0);
@@ -760,6 +1136,10 @@ fn cmd_replay(
     };
     let mut diverged = false;
     for c in targets {
+        if log.expected.get(c).is_some_and(shift_core::replay::Expected::is_shed) {
+            println!("connection {c:>2}: shed by admission control (not replayed)");
+            continue;
+        }
         let outcome = log.replay_connection(&fleet, c);
         if outcome.matches() {
             println!(
@@ -944,6 +1324,8 @@ const USAGE: &str = "usage:\n  \
      shift serve [--mode M] [--workers N] [--connections N] [--requests N]\n  \
      \x20           [--size-kb N] [--json <path>] [--seed N] [--inject] [--record <path>]\n  \
      \x20           [--trace-out <path>] [--prom-out <path>] [--sample-cycles N]\n  \
+     \x20           [--arrivals poisson:R|bursty:R[:B]|diurnal:R[:A]] [--accept-cap N]\n  \
+     \x20           [--max-resident N] [--quantum N] [--host-workers N]\n  \
      shift trace <file>\n  \
      shift replay <log> [--connection N] [--debug] [--shrink <path>]\n  \
      shift bench [--json] [--reference] [--workers N] [--seed N]\n  \
@@ -1053,7 +1435,16 @@ fn run() -> ExitCode {
                     Some(n) => n.parse().map_err(|_| format!("bad {flag} `{n}`")),
                     None => Ok(default),
                 };
-                let default_workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+                let arrivals = take_opt(&mut args, "--arrivals")?;
+                // Closed-loop `--workers` is the modelled fleet width and
+                // defaults to one instance per host core; open-loop workers
+                // are the event scheduler's modelled cores and default to
+                // the paper-scale width of 8.
+                let default_workers = if arrivals.is_some() {
+                    8
+                } else {
+                    std::thread::available_parallelism().map_or(1, |p| p.get())
+                };
                 Ok(ServeOpts {
                     workers: take_num(&mut args, "--workers", default_workers)?,
                     connections: take_num(&mut args, "--connections", 8)?,
@@ -1071,6 +1462,16 @@ fn run() -> ExitCode {
                     prom_out: take_opt(&mut args, "--prom-out")?,
                     sample_cycles: take_opt(&mut args, "--sample-cycles")?
                         .map(|n| n.parse().map_err(|_| format!("bad --sample-cycles `{n}`")))
+                        .transpose()?,
+                    arrivals,
+                    accept_cap: take_num(&mut args, "--accept-cap", 1024)?,
+                    max_resident: take_num(&mut args, "--max-resident", 256)?,
+                    quantum: match take_opt(&mut args, "--quantum")? {
+                        Some(n) => n.parse().map_err(|_| format!("bad --quantum `{n}`"))?,
+                        None => 100_000,
+                    },
+                    host_workers: take_opt(&mut args, "--host-workers")?
+                        .map(|n| n.parse().map_err(|_| format!("bad --host-workers `{n}`")))
                         .transpose()?,
                 })
             })();

@@ -219,6 +219,22 @@ impl Postmortem {
         runs
     }
 
+    /// Reads `len` bytes of guest memory starting at `addr`: one
+    /// `(address, byte)` pair per address, `None` where the page is
+    /// unmapped. This is the `mem` command of the interactive debugger.
+    pub fn mem_slice(&mut self, addr: u64, len: u64) -> Vec<(u64, Option<u8>)> {
+        (addr..addr.saturating_add(len))
+            .map(|a| {
+                let byte = if self.machine.mem.is_mapped(a) {
+                    self.machine.mem.read_int(a, 1).ok().map(|b| b as u8)
+                } else {
+                    None
+                };
+                (a, byte)
+            })
+            .collect()
+    }
+
     /// Formats the full postmortem: exit, violation cycle, disassembly
     /// around the fault, NaT'd registers, recent trace, provenance chain,
     /// and tainted ranges in the hot regions (top of stack, globals). This

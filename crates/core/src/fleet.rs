@@ -36,8 +36,12 @@ use std::sync::{Arc, Mutex};
 use shift_machine::{Exit, Injection, Stats, Violation};
 use shift_obs::{merge_events, merge_samples, Registry, Sample, TraceEvent, TraceKind, TraceRing};
 
+use shift_obs::SCHEDULER_TRACK;
+
+use crate::event::{self, Disposition, OpenLoopConfig, Segment};
 use crate::metrics::serve_metrics;
-use crate::{CompileError, FlightConfig, ProgramImage, ServeReport, Shift, World};
+use crate::replay::Expected;
+use crate::{CompileError, FlightConfig, ProgramImage, ServeReport, SessionStep, Shift, World};
 
 /// A per-connection fault-injection schedule for [`Fleet::serve_chaos`]:
 /// entry `c` is the `(countdown, injection)` list armed on connection `c`'s
@@ -332,7 +336,51 @@ impl Fleet {
         width: usize,
     ) -> ConnectionReport {
         let world = requests.iter().fold(base.clone(), |w, msg| w.net(msg.clone()));
-        let mut report = self.shift.serve_image_injected(&self.image, world, injections);
+        let report = self.shift.serve_image_injected(&self.image, world, injections);
+        self.connection_report(report, c, width)
+    }
+
+    /// [`Fleet::serve_one`] with yield-on-I/O parking armed: the session
+    /// parks at every I/O point and is resumed immediately, capturing its
+    /// [`Segment`] trace — the `(cpu, io)` legs the open-loop event loop
+    /// schedules. The park/resume differential contract
+    /// (`tests/open_loop.rs`) guarantees the report is bit-identical to
+    /// [`Fleet::serve_one`]'s.
+    pub fn serve_one_traced(
+        &self,
+        base: &World,
+        requests: &[Vec<u8>],
+        injections: &[(u64, Injection)],
+        c: usize,
+        width: usize,
+    ) -> (ConnectionReport, Vec<Segment>) {
+        let world = requests.iter().fold(base.clone(), |w, msg| w.net(msg.clone()));
+        let mut session = self.shift.serve_session(&self.image, world, injections, true);
+        let mut segments = Vec::new();
+        let (mut cpu_seen, mut io_seen) = (0u64, 0u64);
+        while let SessionStep::Parked { cpu, io } = session.advance() {
+            segments.push(Segment { cpu, io });
+            cpu_seen += cpu;
+            io_seen += io;
+        }
+        let report = session.finish();
+        // The terminal leg: whatever ran after the last park (including any
+        // I/O charged by recovery redeliveries, which never park).
+        segments.push(Segment {
+            cpu: report.stats.cycles - cpu_seen,
+            io: report.stats.io_cycles - io_seen,
+        });
+        (self.connection_report(report, c, width), segments)
+    }
+
+    /// Extracts a [`ConnectionReport`] from a finished session (the shared
+    /// tail of [`Fleet::serve_one`] and [`Fleet::serve_one_traced`]).
+    fn connection_report(
+        &self,
+        mut report: ServeReport,
+        c: usize,
+        width: usize,
+    ) -> ConnectionReport {
         // Track id = connection index (NOT the modelled instance, which
         // varies with the fleet width): the merged timeline must be
         // width-invariant. The whole session becomes one wrapping span.
@@ -377,6 +425,181 @@ impl Fleet {
         }
     }
 
+    /// Serves an open-loop workload: `connections[c]` arrives at modelled
+    /// cycle `arrivals[c]` and is multiplexed over `cfg.workers` modelled
+    /// workers by the discrete-event scheduler (see [`crate::event`]),
+    /// with admission control (`cfg.accept_cap`, `cfg.max_resident`) and
+    /// round-robin fairness (`cfg.quantum`).
+    ///
+    /// Host-side, `host_workers` threads pre-simulate connection traces in
+    /// parallel (phase 1); the event loop itself is sequential (phase 2).
+    /// The report is bit-identical at any `host_workers` — only
+    /// [`OpenLoopReport::host_ns`] varies — and host memory is bounded by
+    /// the pool: at most `host_workers` machines are resident at once, so
+    /// peak owned pages grows with resident guests, not total connections.
+    ///
+    /// # Panics
+    ///
+    /// When `connections` and `arrivals` disagree on the connection count.
+    pub fn serve_open_loop(
+        &self,
+        base: &World,
+        connections: &[Vec<Vec<u8>>],
+        faults: &FaultPlan,
+        arrivals: &[u64],
+        cfg: &OpenLoopConfig,
+        host_workers: usize,
+    ) -> OpenLoopReport {
+        assert_eq!(connections.len(), arrivals.len(), "one arrival cycle per connection");
+        let start = std::time::Instant::now();
+        let n = connections.len();
+        let host = host_workers.max(1).min(n.max(1));
+        let width = cfg.workers.max(1);
+        // Phase 1: parallel trace capture over the bounded host pool (the
+        // same sharded work-stealing shape as `serve_chaos`).
+        type TracedSlot = Mutex<Option<(ConnectionReport, Vec<Segment>)>>;
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..host).map(|k| Mutex::new((k..n).step_by(host).collect())).collect();
+        let slots: Vec<TracedSlot> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for k in 0..host {
+                let queues = &queues;
+                let slots = &slots;
+                s.spawn(move || loop {
+                    let mut job = queues[k].lock().expect("queue poisoned").pop_front();
+                    if job.is_none() {
+                        for other in queues {
+                            job = other.lock().expect("queue poisoned").pop_back();
+                            if job.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    let Some(c) = job else { break };
+                    let inj = faults.get(c).map_or(NO_INJECTIONS, Vec::as_slice);
+                    let traced = self.serve_one_traced(base, &connections[c], inj, c, width);
+                    *slots[c].lock().expect("slot poisoned") = Some(traced);
+                });
+            }
+        });
+        let (reports, traces): (Vec<ConnectionReport>, Vec<Vec<Segment>>) = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot poisoned").expect("connection not traced"))
+            .unzip();
+        // Phase 2: the sequential event loop.
+        let trace_on = self.shift.flight().is_some();
+        let des = event::simulate(arrivals, &traces, cfg, trace_on);
+        // Phase 3: join scheduler dispositions with serve results. Merges
+        // run in connection order over *admitted* connections only — shed
+        // connections never ran in the model, so their pre-simulated
+        // results are discarded.
+        let mut stats = Stats::new();
+        let mut registry = Registry::new();
+        let mut violations = Vec::new();
+        let mut rows: Vec<OpenConnection> = Vec::with_capacity(n);
+        let mut sojourns: Vec<u64> = Vec::new();
+        let (mut requests, mut served, mut recovered, mut dropped) = (0u64, 0u64, 0u64, 0u64);
+        let (mut owned_pages_total, mut peak_owned_pages) = (0u64, 0u64);
+        for (c, (mut report, disposition)) in
+            reports.into_iter().zip(des.dispositions.iter().copied()).enumerate()
+        {
+            match disposition {
+                Disposition::Shed => rows.push(OpenConnection {
+                    connection: c,
+                    disposition,
+                    sojourn: None,
+                    exit: None,
+                    state_digest: None,
+                    served: 0,
+                    trace: None,
+                    outcome: None,
+                }),
+                Disposition::Done { started, finished, slot, .. } => {
+                    let outcome = Expected::of(&report);
+                    let sojourn = finished - arrivals[c];
+                    sojourns.push(sojourn);
+                    stats.merge(&report.stats);
+                    registry.merge(&report.registry);
+                    violations.extend(report.violations.iter().cloned());
+                    requests += report.requests_delivered;
+                    served += report.served;
+                    recovered += report.recovered;
+                    dropped += report.dropped;
+                    owned_pages_total += report.owned_pages as u64;
+                    peak_owned_pages = peak_owned_pages.max(report.owned_pages as u64);
+                    if let Some(ring) = report.trace.as_mut() {
+                        // Dense resident-slot track id plus the connection's
+                        // first scheduled cycle: bounded Perfetto tracks at
+                        // 16k connections (DESIGN.md §16).
+                        ring.set_worker(slot);
+                        ring.offset_cycles(started);
+                    }
+                    rows.push(OpenConnection {
+                        connection: c,
+                        disposition,
+                        sojourn: Some(sojourn),
+                        exit: Some(report.exit.clone()),
+                        state_digest: Some(report.state_digest),
+                        served: report.served,
+                        trace: report.trace.take(),
+                        outcome: Some(outcome),
+                    });
+                }
+            }
+        }
+        sojourns.sort_unstable();
+        for &s in &sojourns {
+            registry.record("openloop.sojourn_cycles", s);
+        }
+        registry.counter_add("openloop.offered", n as u64);
+        registry.counter_add("openloop.completed", sojourns.len() as u64);
+        registry.counter_add("openloop.shed", des.shed);
+        registry.counter_add("openloop.peak_queue_depth", des.peak_queue_depth);
+        registry.counter_add("openloop.peak_resident", des.peak_resident);
+        // The scheduler's shared track: admissions, sheds, parks, and the
+        // queue-depth series (rate-limited by the sampling interval).
+        let scheduler_trace = self.shift.flight().map(|fc| {
+            let mut ring = TraceRing::with_capacity(fc.cap);
+            ring.set_worker(SCHEDULER_TRACK);
+            let every = fc.sample_cycles;
+            let mut next_depth_at = 0u64;
+            for (cycle, kind) in des.sched_events {
+                if matches!(kind, TraceKind::QueueDepth { .. }) {
+                    if every > 0 && cycle < next_depth_at {
+                        continue;
+                    }
+                    next_depth_at = cycle.saturating_add(every);
+                }
+                ring.instant(cycle, kind);
+            }
+            ring
+        });
+        OpenLoopReport {
+            config: *cfg,
+            offered: n as u64,
+            completed: sojourns.len() as u64,
+            shed: des.shed,
+            requests,
+            served,
+            recovered,
+            dropped,
+            wall_cycles: des.wall_cycles,
+            busy_cycles: des.busy_cycles,
+            peak_queue_depth: des.peak_queue_depth,
+            peak_resident: des.peak_resident,
+            queue_depth: des.queue_depth,
+            sojourns,
+            connections: rows,
+            stats,
+            registry,
+            violations,
+            owned_pages_total,
+            peak_owned_pages,
+            scheduler_trace,
+            host_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+
     /// Merges per-connection reports in connection order. Every sum is an
     /// exact `u64` add, so the result is independent of how the work was
     /// scheduled.
@@ -418,5 +641,167 @@ impl Fleet {
             peak_owned_pages,
             host_ns,
         }
+    }
+}
+
+/// One connection's row in an [`OpenLoopReport`]: the scheduler disposition
+/// joined with the serve outcome. Shed connections never ran in the model,
+/// so their serve fields are `None`.
+#[derive(Clone, Debug)]
+pub struct OpenConnection {
+    /// Index of the connection in the offered stream.
+    pub connection: usize,
+    /// What the scheduler did with it.
+    pub disposition: Disposition,
+    /// Sojourn latency in modelled cycles (completion − arrival), `None`
+    /// when shed.
+    pub sojourn: Option<u64>,
+    /// How the connection's session ended, `None` when shed.
+    pub exit: Option<Exit>,
+    /// Final machine state digest, `None` when shed.
+    pub state_digest: Option<u64>,
+    /// Requests served on this connection (0 when shed).
+    pub served: u64,
+    /// The connection's flight-recorder ring, restamped onto its dense
+    /// resident-slot track and offset to its first scheduled cycle.
+    pub trace: Option<TraceRing>,
+    /// The connection's replayable expectation (exit signature, digest,
+    /// exact counters), `None` when shed. [`crate::ReplayLog::capture_open_loop`]
+    /// copies this into the log so a straight-through replay of the
+    /// connection — valid because park/resume is bit-identical — can verify
+    /// against it.
+    pub outcome: Option<Expected>,
+}
+
+/// Aggregate outcome of one [`Fleet::serve_open_loop`] call. Everything
+/// except [`OpenLoopReport::host_ns`] is bit-identical at any host worker
+/// count.
+#[derive(Clone, Debug)]
+pub struct OpenLoopReport {
+    /// The scheduling parameters this run used.
+    pub config: OpenLoopConfig,
+    /// Connections offered (arrivals generated).
+    pub offered: u64,
+    /// Connections admitted and completed (all admitted complete).
+    pub completed: u64,
+    /// Connections shed by admission control — nonzero means the offered
+    /// load exceeded what `workers` could absorb: the saturation signal.
+    pub shed: u64,
+    /// Requests delivered across completed connections.
+    pub requests: u64,
+    /// Requests served across completed connections.
+    pub served: u64,
+    /// Requests recovered (rolled back, service continued).
+    pub recovered: u64,
+    /// Requests dropped inside connections.
+    pub dropped: u64,
+    /// Modelled makespan: cycle of the last scheduler event.
+    pub wall_cycles: u64,
+    /// Worker-busy integral (sum of executed cpu slices).
+    pub busy_cycles: u64,
+    /// Largest ready + accept queue depth observed.
+    pub peak_queue_depth: u64,
+    /// Largest resident-guest count observed (≤ `config.max_resident`).
+    pub peak_resident: u64,
+    /// `(cycle, depth)` queue-depth series, recorded on change.
+    pub queue_depth: Vec<(u64, u64)>,
+    /// Sojourn latencies of completed connections, sorted ascending —
+    /// exact percentiles come from here, not the log2 histogram.
+    pub sojourns: Vec<u64>,
+    /// Per-connection rows, in connection order.
+    pub connections: Vec<OpenConnection>,
+    /// Merged cycle/event accounting over completed connections.
+    pub stats: Stats,
+    /// Merged metrics registry, plus the `openloop.*` series.
+    pub registry: Registry,
+    /// All violations in connection order.
+    pub violations: Vec<Violation>,
+    /// Sum of completed connections' owned pages.
+    pub owned_pages_total: u64,
+    /// Largest single-instance owned-page count — bounded by the guest's
+    /// working set, not the connection count.
+    pub peak_owned_pages: u64,
+    /// The scheduler's shared trace track (admissions, sheds, parks,
+    /// queue depths), when the flight recorder was armed.
+    pub scheduler_trace: Option<TraceRing>,
+    /// Host nanoseconds spent simulating this call (the only
+    /// width-dependent field).
+    pub host_ns: u64,
+}
+
+impl OpenLoopReport {
+    /// Exact nearest-rank percentile (0–100) of sojourn latency in modelled
+    /// cycles. `None` when nothing completed.
+    pub fn sojourn_percentile(&self, p: f64) -> Option<u64> {
+        if self.sojourns.is_empty() {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.sojourns.len() as f64).ceil() as usize;
+        Some(self.sojourns[rank.clamp(1, self.sojourns.len()) - 1])
+    }
+
+    /// Largest sojourn latency observed.
+    pub fn sojourn_max(&self) -> Option<u64> {
+        self.sojourns.last().copied()
+    }
+
+    /// Requests served per modelled second at [`CLOCK_HZ`].
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_cycles == 0 {
+            return 0.0;
+        }
+        self.served as f64 * CLOCK_HZ as f64 / self.wall_cycles as f64
+    }
+
+    /// Connections completed per modelled second at [`CLOCK_HZ`].
+    pub fn completions_per_sec(&self) -> f64 {
+        if self.wall_cycles == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * CLOCK_HZ as f64 / self.wall_cycles as f64
+    }
+
+    /// Modelled worker utilization: busy cycles over `wall × workers`.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.wall_cycles.saturating_mul(self.config.workers.max(1) as u64);
+        if denom == 0 {
+            return 0.0;
+        }
+        self.busy_cycles as f64 / denom as f64
+    }
+
+    /// `true` when admission control shed load: the offered rate exceeded
+    /// the saturation throughput of this configuration.
+    pub fn saturated(&self) -> bool {
+        self.shed > 0
+    }
+
+    /// Per-connection `(connection, state_digest)` pairs of completed
+    /// connections — the width-invariance differential hook.
+    pub fn state_digests(&self) -> Vec<(usize, u64)> {
+        self.connections.iter().filter_map(|r| r.state_digest.map(|d| (r.connection, d))).collect()
+    }
+
+    /// The merged open-loop timeline: every completed connection's ring
+    /// (on its dense slot track) plus the scheduler's shared track, ordered
+    /// by `(cycle, worker, seq)`.
+    pub fn merged_trace_events(&self) -> Vec<TraceEvent> {
+        let mut rings: Vec<&TraceRing> =
+            self.connections.iter().filter_map(|c| c.trace.as_ref()).collect();
+        if let Some(s) = &self.scheduler_trace {
+            rings.push(s);
+        }
+        merge_events(&rings)
+    }
+
+    /// The merged open-loop time-series samples, ordered by
+    /// `(cycle, worker)`.
+    pub fn merged_samples(&self) -> Vec<Sample> {
+        let mut rings: Vec<&TraceRing> =
+            self.connections.iter().filter_map(|c| c.trace.as_ref()).collect();
+        if let Some(s) = &self.scheduler_trace {
+            rings.push(s);
+        }
+        merge_samples(&rings)
     }
 }

@@ -86,6 +86,9 @@ pub fn exit_signature(exit: &Exit) -> String {
         Exit::Fault(f) => format!("fault:{f}"),
         Exit::FuelExhausted => "fuel-exhausted".to_string(),
         Exit::InsnLimit => "insn-limit".to_string(),
+        // Sessions drain parks before reporting: a `Parked` exit is never a
+        // final exit, but the signature stays total over `Exit`.
+        Exit::Parked => "parked".to_string(),
     }
 }
 
@@ -138,6 +141,63 @@ impl Expected {
             violations: report.violations.iter().map(|v| v.policy.clone()).collect(),
         }
     }
+
+    /// The placeholder outcome of a connection shed by open-loop admission
+    /// control: it never ran, so there is nothing to replay. The replayer
+    /// recognizes the `"shed"` signature and skips verification.
+    pub fn shed() -> Expected {
+        Expected {
+            exit: "shed".to_string(),
+            state_digest: 0,
+            cycles: 0,
+            instructions: 0,
+            delivered: 0,
+            served: 0,
+            recovered: 0,
+            dropped: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// `true` when this outcome records a shed (never-run) connection.
+    pub fn is_shed(&self) -> bool {
+        self.exit == "shed"
+    }
+}
+
+/// Open-loop scheduling inputs recorded alongside a fleet run: the
+/// materialized arrival schedule, the scheduler parameters, and the
+/// headline outcome. Absent from closed-loop logs, so the key set (and
+/// byte-for-byte rendering) of every pre-existing log is unchanged.
+///
+/// The *materialized* cycles are recorded, not the generator spec alone:
+/// schedule synthesis uses host floating point (`ln`, `sin`), and storing
+/// the realized schedule makes replay exact even across hosts that round
+/// transcendentals differently. Per-connection outcomes need no open-loop
+/// replay path at all — park/resume is bit-identical to straight-through
+/// execution (pinned by the park differential tests), so
+/// [`ReplayLog::replay_connection`] validates open-loop connections as-is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpenLoopLog {
+    /// Canonical arrival-process spec the schedule was synthesized from
+    /// (e.g. `poisson:500`); informational — replay uses `arrivals`.
+    pub spec: String,
+    /// Materialized arrival cycles, aligned with the recorded connections.
+    pub arrivals: Vec<u64>,
+    /// Modelled worker count of the event-driven scheduler.
+    pub workers: usize,
+    /// Accept-queue bound (arrivals beyond it are shed).
+    pub accept_cap: usize,
+    /// Resident-guest cap (admitted connections beyond it queue).
+    pub max_resident: usize,
+    /// Round-robin quantum in cycles (0 = run each CPU leg to its park).
+    pub quantum: u64,
+    /// Connections completed in the recorded run.
+    pub completed: u64,
+    /// Connections shed by admission control in the recorded run.
+    pub shed: u64,
+    /// Recorded modelled makespan in cycles.
+    pub wall_cycles: u64,
 }
 
 /// A recorded fleet run: everything needed to reconstruct any single
@@ -171,6 +231,10 @@ pub struct ReplayLog {
     pub connections: Vec<ConnectionLog>,
     /// Per-connection outcomes, aligned with `connections`.
     pub expected: Vec<Expected>,
+    /// Open-loop arrival schedule and scheduler parameters, when the run
+    /// was driven by [`crate::Fleet::serve_open_loop`]. `None` for
+    /// closed-loop runs (and absent from their JSON).
+    pub open_loop: Option<OpenLoopLog>,
 }
 
 /// Outcome of replaying one recorded connection.
@@ -241,6 +305,73 @@ impl ReplayLog {
                 })
                 .collect(),
             expected: report.connections.iter().map(Expected::of).collect(),
+            open_loop: None,
+        }
+    }
+
+    /// Attaches an open-loop section (arrival schedule + scheduler
+    /// parameters) to a captured log. See [`OpenLoopLog`] for the replay
+    /// contract.
+    pub fn with_open_loop(mut self, open_loop: OpenLoopLog) -> ReplayLog {
+        self.open_loop = Some(open_loop);
+        self
+    }
+
+    /// Assembles a log from a completed [`Fleet::serve_open_loop`] call.
+    ///
+    /// Completed connections record their full [`Expected`] outcome; shed
+    /// connections record the [`Expected::shed`] placeholder (they never
+    /// ran, so there is nothing to verify). The materialized arrival
+    /// schedule and scheduler parameters land in the `open_loop` section so
+    /// the whole run can be re-driven exactly — see [`OpenLoopLog`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture_open_loop(
+        program: &str,
+        fleet: &Fleet,
+        base: &World,
+        connections: &[Vec<Vec<u8>>],
+        faults: &FaultPlan,
+        seed: u64,
+        spec: &str,
+        arrivals: &[u64],
+        report: &crate::OpenLoopReport,
+    ) -> ReplayLog {
+        let shift = fleet.shift();
+        ReplayLog {
+            program: program.to_string(),
+            mode: shift.mode(),
+            config: shift.config().clone(),
+            io: shift.io(),
+            insn_limit: shift.insn_limit(),
+            fuel: shift.fuel(),
+            workers: report.config.workers,
+            seed,
+            image_digest: fleet.image().pristine_digest(),
+            base: base.clone(),
+            connections: connections
+                .iter()
+                .enumerate()
+                .map(|(c, reqs)| ConnectionLog {
+                    requests: reqs.clone(),
+                    injections: faults.get(c).cloned().unwrap_or_default(),
+                })
+                .collect(),
+            expected: report
+                .connections
+                .iter()
+                .map(|row| row.outcome.clone().unwrap_or_else(Expected::shed))
+                .collect(),
+            open_loop: Some(OpenLoopLog {
+                spec: spec.to_string(),
+                arrivals: arrivals.to_vec(),
+                workers: report.config.workers,
+                accept_cap: report.config.accept_cap,
+                max_resident: report.config.max_resident,
+                quantum: report.config.quantum,
+                completed: report.completed,
+                shed: report.shed,
+                wall_cycles: report.wall_cycles,
+            }),
         }
     }
 
@@ -311,9 +442,14 @@ impl ReplayLog {
         ReplayOutcome { connection: c, live, mismatches }
     }
 
-    /// Replays every recorded connection (see [`ReplayLog::replay_connection`]).
+    /// Replays every recorded connection (see [`ReplayLog::replay_connection`]),
+    /// skipping connections recorded as shed — admission control never ran
+    /// them, so there is no outcome to verify (see [`Expected::shed`]).
     pub fn verify(&self, fleet: &Fleet) -> Vec<ReplayOutcome> {
-        (0..self.connections.len()).map(|c| self.replay_connection(fleet, c)).collect()
+        (0..self.connections.len())
+            .filter(|&c| !self.expected.get(c).is_some_and(Expected::is_shed))
+            .map(|c| self.replay_connection(fleet, c))
+            .collect()
     }
 
     /// A copy of this log containing only connection `c` (as its sole
@@ -388,6 +524,8 @@ impl ReplayLog {
         let final_report = run(&requests, &injections);
         let mut log = self.single(c);
         log.workers = 1;
+        // A one-connection reproducer has no meaningful arrival schedule.
+        log.open_loop = None;
         log.connections =
             vec![ConnectionLog { requests: requests.clone(), injections: injections.clone() }];
         log.expected = vec![Expected::of(&final_report)];
@@ -399,9 +537,11 @@ impl ReplayLog {
         }
     }
 
-    /// Serializes the log as a JSON document.
+    /// Serializes the log as a JSON document. The `open_loop` key is
+    /// emitted only when the section is present, so closed-loop logs render
+    /// with exactly the historical key set.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("kind", Json::Str(REPLAY_LOG_KIND.to_string())),
             ("schema_version", Json::U64(REPLAY_SCHEMA_VERSION)),
             ("program", Json::Str(self.program.clone())),
@@ -424,7 +564,11 @@ impl ReplayLog {
             ("world", world_to_json(&self.base)),
             ("connections", Json::Arr(self.connections.iter().map(connection_to_json).collect())),
             ("expected", Json::Arr(self.expected.iter().map(expected_to_json).collect())),
-        ])
+        ];
+        if let Some(ol) = &self.open_loop {
+            pairs.push(("open_loop", open_loop_to_json(ol)));
+        }
+        Json::obj(pairs)
     }
 
     /// Renders the log as pretty-printed JSON text.
@@ -469,6 +613,7 @@ impl ReplayLog {
             .iter()
             .map(expected_from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        let open_loop = doc.get("open_loop").map(open_loop_from_json).transpose()?;
         Ok(ReplayLog {
             program: str_field(doc, "program")?.to_string(),
             mode,
@@ -482,6 +627,7 @@ impl ReplayLog {
             base,
             connections,
             expected,
+            open_loop,
         })
     }
 
@@ -712,6 +858,40 @@ fn fault_from_json(doc: &Json) -> Result<Fault, String> {
         }
         other => Err(format!("unknown fault kind `{other}`")),
     }
+}
+
+// ---- open-loop section ------------------------------------------------------
+
+fn open_loop_to_json(ol: &OpenLoopLog) -> Json {
+    Json::obj(vec![
+        ("spec", Json::Str(ol.spec.clone())),
+        ("arrivals", Json::Arr(ol.arrivals.iter().map(|&c| Json::U64(c)).collect())),
+        ("workers", Json::U64(ol.workers as u64)),
+        ("accept_cap", Json::U64(ol.accept_cap as u64)),
+        ("max_resident", Json::U64(ol.max_resident as u64)),
+        ("quantum", Json::U64(ol.quantum)),
+        ("completed", Json::U64(ol.completed)),
+        ("shed", Json::U64(ol.shed)),
+        ("wall_cycles", Json::U64(ol.wall_cycles)),
+    ])
+}
+
+fn open_loop_from_json(doc: &Json) -> Result<OpenLoopLog, String> {
+    let arrivals = arr_field(doc, "arrivals")?
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| "non-integer arrival cycle".to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(OpenLoopLog {
+        spec: str_field(doc, "spec")?.to_string(),
+        arrivals,
+        workers: u64_field(doc, "workers")? as usize,
+        accept_cap: u64_field(doc, "accept_cap")? as usize,
+        max_resident: u64_field(doc, "max_resident")? as usize,
+        quantum: u64_field(doc, "quantum")?,
+        completed: u64_field(doc, "completed")?,
+        shed: u64_field(doc, "shed")?,
+        wall_cycles: u64_field(doc, "wall_cycles")?,
+    })
 }
 
 // ---- connections and outcomes -----------------------------------------------

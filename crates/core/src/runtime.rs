@@ -195,6 +195,13 @@ pub struct Runtime {
     request_start: Option<u64>,
     /// Keyboard lines delivered (labels taint births).
     kbd_reads: u64,
+    /// When `true`, every syscall that charges I/O wait time completes in
+    /// full (delivery, return value, latency) and then stops the machine
+    /// with [`Exit::Parked`] instead of continuing — the yield points of the
+    /// event-driven fleet scheduler. Redeliveries inside
+    /// [`Runtime::recover`] never park: the rollback path must leave the
+    /// guest runnable.
+    yield_on_io: bool,
 }
 
 impl Runtime {
@@ -229,6 +236,7 @@ impl Runtime {
             request_latencies: Vec::new(),
             request_start: None,
             kbd_reads: 0,
+            yield_on_io: false,
         }
     }
 
@@ -249,6 +257,31 @@ impl Runtime {
     pub fn with_transactions(mut self) -> Runtime {
         self.transactional = true;
         self
+    }
+
+    /// Turns every I/O-charging syscall into a yield point (builder style):
+    /// the syscall completes in full and the machine stops with
+    /// [`Exit::Parked`], resumable with another [`Machine::run`]. With the
+    /// [`IoCostModel::FREE`] model nothing charges, so nothing parks.
+    pub fn with_io_yield(mut self) -> Runtime {
+        self.yield_on_io = true;
+        self
+    }
+
+    /// Is yield-on-I/O parking armed?
+    pub fn yields_on_io(&self) -> bool {
+        self.yield_on_io
+    }
+
+    /// The result of a syscall that just charged `charged` cycles of I/O
+    /// wait: a park when yield-on-I/O is armed and the operation actually
+    /// cost something, otherwise plain continuation.
+    fn io_done(&self, charged: u64) -> SysResult {
+        if self.yield_on_io && charged > 0 {
+            SysResult::Stop(Exit::Parked)
+        } else {
+            SysResult::Continue
+        }
     }
 
     /// Network requests still queued for delivery.
@@ -412,8 +445,14 @@ impl Runtime {
         }
         let (b, p) = (self.io.net_base, self.io.net_per_byte);
         // Delivery into the restored buffer cannot fault: the same pages
-        // accepted the original request before the rollback.
+        // accepted the original request before the rollback. The redelivery
+        // must not park either — recovery leaves the guest runnable, and its
+        // I/O charge folds into the current execution segment (a documented
+        // coarseness of the event model).
+        let saved_yield = self.yield_on_io;
+        self.yield_on_io = false;
         let _ = self.do_stream_read(m, msg, buf, max, Source::Network, b, p);
+        self.yield_on_io = saved_yield;
         true
     }
 
@@ -580,7 +619,7 @@ impl Runtime {
         };
         Self::trace_io(m, io_name, n);
         Self::ret(m, n as i64);
-        Ok(SysResult::Continue)
+        Ok(self.io_done(base + per_byte * n))
     }
 
     /// Mirrors a completed syscall I/O leg into the flight recorder (no-op
@@ -687,7 +726,7 @@ impl Runtime {
                 self.net_output.extend_from_slice(&bytes);
                 Self::trace_io(m, "net_write", a1);
                 Self::ret(m, a1 as i64);
-                Ok(SysResult::Continue)
+                Ok(self.io_done(self.io.net_base + self.io.net_per_byte * a1))
             }
             sys::FILE_OPEN => {
                 let path = self.read_tainted_cstr(m, a0, 4096)?;
@@ -716,7 +755,7 @@ impl Runtime {
                 m.stats.charge_io(self.io.disk_base);
                 Self::trace_io(m, "file_open", 0);
                 Self::ret(m, fd);
-                Ok(SysResult::Continue)
+                Ok(self.io_done(self.io.disk_base))
             }
             sys::FILE_READ => {
                 let Some(Some(f)) = self.fds.get(a0 as usize).cloned() else {
@@ -732,10 +771,11 @@ impl Runtime {
                 let tainted = self.cfg.source_on(Source::Disk);
                 let label = format!("file_read {}", f.name);
                 self.write_guest(m, a1, &chunk, tainted, &label)?;
-                m.stats.charge_io(self.io.disk_base + self.io.disk_per_byte * chunk.len() as u64);
+                let charged = self.io.disk_base + self.io.disk_per_byte * chunk.len() as u64;
+                m.stats.charge_io(charged);
                 Self::trace_io(m, "file_read", chunk.len() as u64);
                 Self::ret(m, chunk.len() as i64);
-                Ok(SysResult::Continue)
+                Ok(self.io_done(charged))
             }
             sys::FILE_WRITE => {
                 let Some(Some(f)) = self.fds.get(a0 as usize).cloned() else {
@@ -753,7 +793,7 @@ impl Runtime {
                 m.stats.charge_io(self.io.disk_base + self.io.disk_per_byte * n);
                 Self::trace_io(m, "file_write", n);
                 Self::ret(m, n as i64);
-                Ok(SysResult::Continue)
+                Ok(self.io_done(self.io.disk_base + self.io.disk_per_byte * n))
             }
             sys::FILE_CLOSE => {
                 if let Some(slot) = self.fds.get_mut(a0 as usize) {
@@ -768,7 +808,7 @@ impl Runtime {
                 let size = self.world.files.get(&name).map(|c| c.len() as i64).unwrap_or(-1);
                 m.stats.charge_io(self.io.disk_base / 2);
                 Self::ret(m, size);
-                Ok(SysResult::Continue)
+                Ok(self.io_done(self.io.disk_base / 2))
             }
             sys::SQL_EXEC => {
                 let q = self.read_tainted(m, a0, a1)?;
@@ -797,9 +837,10 @@ impl Runtime {
                     return Ok(stop);
                 }
                 self.html_output.extend_from_slice(&h.bytes);
-                m.stats.charge_io(self.io.net_base / 4 + self.io.net_per_byte * a1);
+                let charged = self.io.net_base / 4 + self.io.net_per_byte * a1;
+                m.stats.charge_io(charged);
                 Self::ret(m, a1 as i64);
-                Ok(SysResult::Continue)
+                Ok(self.io_done(charged))
             }
             sys::BRK => {
                 let size = a0.div_ceil(16) * 16;

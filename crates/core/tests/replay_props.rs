@@ -7,7 +7,9 @@
 //! and malformed or mislabeled documents must fail to parse, never panic.
 
 use proptest::prelude::*;
-use shift_core::replay::{mode_from_key, mode_key, ConnectionLog, Expected, ReplayLog};
+use shift_core::replay::{
+    mode_from_key, mode_key, ConnectionLog, Expected, OpenLoopLog, ReplayLog,
+};
 use shift_core::{IoCostModel, Mode, Source, TaintConfig, ViolationAction, World};
 use shift_isa::Gpr;
 use shift_machine::{Fault, Injection, NatFaultKind};
@@ -112,6 +114,34 @@ fn config_strategy() -> impl Strategy<Value = TaintConfig> {
     })
 }
 
+fn open_loop_strategy() -> impl Strategy<Value = OpenLoopLog> {
+    const SPECS: [&str; 3] = ["poisson:500", "bursty:250:16", "diurnal:100:0.8"];
+    (
+        0usize..SPECS.len(),
+        prop::collection::vec(any::<u64>(), 0..6),
+        (1usize..16, 1usize..64, 1usize..32, 0u64..1_000_000),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(
+                spec,
+                arrivals,
+                (workers, accept_cap, max_resident, quantum),
+                (completed, shed, wall_cycles),
+            )| OpenLoopLog {
+                spec: SPECS[spec].to_string(),
+                arrivals,
+                workers,
+                accept_cap,
+                max_resident,
+                quantum,
+                completed,
+                shed,
+                wall_cycles,
+            },
+        )
+}
+
 fn log_strategy() -> impl Strategy<Value = ReplayLog> {
     const PROGRAMS: [&str; 3] = ["apache", "chaos-sql", "some-guest"];
     (
@@ -129,12 +159,16 @@ fn log_strategy() -> impl Strategy<Value = ReplayLog> {
         // Generating (inputs, outcome) pairs keeps `connections` and
         // `expected` the same length without needing flat-map.
         prop::collection::vec((connection_strategy(), expected_strategy()), 1..4),
+        // The vendored proptest has no `prop::option`; a bool flag plays
+        // that role.
+        (any::<bool>(), open_loop_strategy()),
     )
         .prop_map(
             |(
                 (program, mode, config, server_io, insn_limit, fuel, workers, (seed, digest)),
                 base,
                 pairs,
+                (with_open_loop, open_loop),
             )| {
                 let (connections, expected) = pairs.into_iter().unzip();
                 ReplayLog {
@@ -150,6 +184,7 @@ fn log_strategy() -> impl Strategy<Value = ReplayLog> {
                     base,
                     connections,
                     expected,
+                    open_loop: with_open_loop.then_some(open_loop),
                 }
             },
         )
@@ -214,6 +249,7 @@ fn wrong_kind_and_future_schema_are_rejected() {
         base: World::new(),
         connections: vec![ConnectionLog::default()],
         expected: vec![],
+        open_loop: None,
     };
     let text = log.render();
     let wrong_kind = text.replacen("shift-replay-log", "something-else", 1);

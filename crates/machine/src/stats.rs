@@ -44,6 +44,14 @@ pub enum Exit {
     /// watchdog is a recoverable, per-request budget the runtime re-arms,
     /// while `InsnLimit` is the whole run's ceiling.
     FuelExhausted,
+    /// The guest parked at an I/O point: the runtime completed the syscall
+    /// in full (data delivered, return value set, latency charged) and then
+    /// yielded instead of continuing, so an event-driven scheduler can run
+    /// another guest while this one's modelled I/O is in flight. Not a
+    /// terminal exit — `ip` already points past the syscall, so calling
+    /// [`crate::Machine::run`] again resumes the guest exactly where it
+    /// parked.
+    Parked,
 }
 
 impl Exit {
@@ -71,6 +79,7 @@ impl std::fmt::Display for Exit {
             Exit::Violation(v) => write!(f, "violation: {v}"),
             Exit::InsnLimit => f.write_str("instruction limit reached"),
             Exit::FuelExhausted => f.write_str("watchdog fuel budget exhausted"),
+            Exit::Parked => f.write_str("parked at an I/O point"),
         }
     }
 }

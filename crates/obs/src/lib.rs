@@ -37,5 +37,5 @@ pub use observer::TaintObserver;
 pub use profile::{FuncSpan, Profiler, BLOCK_INSNS};
 pub use trace::{
     chrome_trace_json, merge_events, merge_samples, timeline_digest, total_dropped, Sample,
-    TraceEvent, TraceKind, TraceRing, CYCLES_PER_US, DEFAULT_TRACE_CAP,
+    TraceEvent, TraceKind, TraceRing, CYCLES_PER_US, DEFAULT_TRACE_CAP, SCHEDULER_TRACK,
 };

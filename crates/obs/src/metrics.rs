@@ -133,7 +133,11 @@ impl Histogram {
         out
     }
 
-    /// JSON summary: count/sum/min/max plus p50/p90/p99.
+    /// JSON summary: count/sum/min/max plus p50/p90/p99/p999.
+    ///
+    /// `max` is tracked exactly (not bucket-quantized), so the deep tail is
+    /// always bounded by a true sample; `p999` is bucket-resolution like the
+    /// other percentiles but clamped to `[min, max]`.
     pub fn to_json(&self) -> Json {
         let pct = |p: f64| self.percentile(p).map_or(Json::Null, Json::U64);
         Json::obj(vec![
@@ -144,6 +148,7 @@ impl Histogram {
             ("p50", pct(50.0)),
             ("p90", pct(90.0)),
             ("p99", pct(99.0)),
+            ("p999", pct(99.9)),
         ])
     }
 }
@@ -351,9 +356,12 @@ mod tests {
         }
         let p50 = h.percentile(50.0).unwrap();
         let p99 = h.percentile(99.0).unwrap();
-        assert!(p50 <= p99);
+        let p999 = h.percentile(99.9).unwrap();
+        assert!(p50 <= p99 && p99 <= p999);
         // 500 has bit-length 9; the bucket's upper bound is 511.
         assert_eq!(p50, 511);
+        // Rank 999 lands in the top bucket (513..=1000), clamped to max.
+        assert_eq!(p999, 1000);
         assert_eq!(h.percentile(100.0), Some(1000));
         assert_eq!(h.min(), Some(1));
     }
@@ -470,13 +478,20 @@ mod tests {
                 all.record(v);
             }
             a.merge(&b);
-            for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            for p in [0.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
                 proptest::prelude::prop_assert_eq!(a.percentile(p), all.percentile(p));
+            }
+            // Tail percentiles may be quantized, but never escape the exact
+            // sample range, and never invert.
+            if let (Some(p99), Some(p999), Some(max)) =
+                (a.percentile(99.0), a.percentile(99.9), a.max())
+            {
+                proptest::prelude::prop_assert!(p99 <= p999 && p999 <= max);
             }
             proptest::prelude::prop_assert_eq!(
                 a.to_json().render(),
                 all.to_json().render(),
-                "to_json (count/sum/min/max/p50/p90/p99) must agree"
+                "to_json (count/sum/min/max/p50/p90/p99/p999) must agree"
             );
         }
     }

@@ -81,7 +81,46 @@ pub enum TraceKind {
         /// Injection flavour (`"flip_nat"`, `"corrupt_byte"`, `"fault"`).
         what: &'static str,
     },
+    /// The open-loop scheduler admitted a connection onto a resident slot
+    /// (instant, on [`SCHEDULER_TRACK`]).
+    Admitted {
+        /// Index of the admitted connection.
+        connection: u64,
+        /// Dense resident-slot (and track) id it was assigned.
+        slot: u64,
+    },
+    /// Admission control turned a connection away: accept queue full at
+    /// residency cap (instant, on [`SCHEDULER_TRACK`]).
+    Shed {
+        /// Index of the shed connection.
+        connection: u64,
+    },
+    /// A connection parked at an I/O point; idle guests share the scheduler
+    /// track instead of exploding the track list at 16k connections
+    /// (instant, on [`SCHEDULER_TRACK`]).
+    Parked {
+        /// Index of the parked connection.
+        connection: u64,
+        /// Modelled cycle its I/O completes and it becomes runnable again.
+        wake: u64,
+    },
+    /// Run-queue depth sample from the open-loop scheduler (instant, on
+    /// [`SCHEDULER_TRACK`]; recorded on change, rate-limited by the
+    /// sampling interval).
+    QueueDepth {
+        /// Connections waiting for a worker (ready + accept queue).
+        depth: u64,
+        /// Connections currently admitted (holding a resident slot).
+        resident: u64,
+    },
 }
+
+/// The shared track id for open-loop scheduler events (admissions, sheds,
+/// parks, queue-depth samples). Resident guests get dense slot-indexed
+/// tracks `0..max_resident`; everything idle or administrative shares this
+/// one, keeping the Perfetto track list bounded by the residency cap rather
+/// than the connection count.
+pub const SCHEDULER_TRACK: u64 = u64::MAX;
 
 impl TraceKind {
     /// Display name for the event (the Chrome `name` field).
@@ -95,6 +134,10 @@ impl TraceKind {
             TraceKind::SyscallIo { name, .. } => name,
             TraceKind::SuperblockFlush { .. } => "superblock_flush",
             TraceKind::InjectionFired { .. } => "injection",
+            TraceKind::Admitted { .. } => "admitted",
+            TraceKind::Shed { .. } => "shed",
+            TraceKind::Parked { .. } => "parked",
+            TraceKind::QueueDepth { .. } => "queue_depth",
         }
     }
 
@@ -113,6 +156,16 @@ impl TraceKind {
             TraceKind::SyscallIo { bytes, .. } => vec![("bytes", Json::U64(*bytes))],
             TraceKind::SuperblockFlush { blocks } => vec![("blocks", Json::U64(*blocks))],
             TraceKind::InjectionFired { what } => vec![("what", Json::Str((*what).to_string()))],
+            TraceKind::Admitted { connection, slot } => {
+                vec![("connection", Json::U64(*connection)), ("slot", Json::U64(*slot))]
+            }
+            TraceKind::Shed { connection } => vec![("connection", Json::U64(*connection))],
+            TraceKind::Parked { connection, wake } => {
+                vec![("connection", Json::U64(*connection)), ("wake", Json::U64(*wake))]
+            }
+            TraceKind::QueueDepth { depth, resident } => {
+                vec![("depth", Json::U64(*depth)), ("resident", Json::U64(*resident))]
+            }
         }
     }
 }
@@ -234,6 +287,21 @@ impl TraceRing {
     /// The ring's track id.
     pub fn worker(&self) -> u64 {
         self.worker
+    }
+
+    /// Shifts every recorded cycle stamp forward by `delta` modelled cycles.
+    /// The open-loop scheduler records each guest on its own local clock
+    /// (session start = cycle 0) and calls this with the connection's first
+    /// scheduled cycle, placing its activity at (approximately) its global
+    /// timeline position — queueing gaps *within* the session are not
+    /// re-expanded, a documented coarseness of the export.
+    pub fn offset_cycles(&mut self, delta: u64) {
+        for e in &mut self.events {
+            e.cycle += delta;
+        }
+        for s in &mut self.samples {
+            s.cycle += delta;
+        }
     }
 
     /// Records an instant event at modelled time `cycle`.
@@ -375,7 +443,17 @@ pub fn chrome_trace_json(events: &[TraceEvent], samples: &[Sample]) -> Json {
             ("ph", Json::Str("M".to_string())),
             ("pid", Json::U64(0)),
             ("tid", Json::U64(w)),
-            ("args", Json::obj(vec![("name", Json::Str(format!("connection {w}")))])),
+            (
+                "args",
+                Json::obj(vec![(
+                    "name",
+                    Json::Str(if w == SCHEDULER_TRACK {
+                        "scheduler".to_string()
+                    } else {
+                        format!("connection {w}")
+                    }),
+                )]),
+            ),
         ]));
     }
     for e in events {

@@ -23,10 +23,12 @@
 #![warn(missing_docs)]
 
 pub mod apache;
+pub mod arrivals;
 pub mod chaos;
 mod harness;
 pub mod spec;
 
+pub use arrivals::ArrivalProcess;
 pub use chaos::{escape_audit, master_seed, ChaosReport, ChaosSpec, EscapeVerdict, Rng};
 pub use harness::{input_reader, rng_step, INPUT_FILE};
 pub use spec::{all_benches, SpecBench};
